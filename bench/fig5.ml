@@ -1,0 +1,133 @@
+(* Figure 5 — restart behaviour of PSkipList (Sec. V-G):
+   (a) parallel skip-list reconstruction time vs threads;
+   (b) find throughput after restart (cold history cache) vs SQLiteReg,
+       which persists table and indices and restarts warm.
+
+   Reconstruction is executed for real at each thread count (the domains
+   timeshare the single physical core, so real wall time stays flat);
+   the 64-core sweep is projected from the 1-thread measurement with the
+   reconstruction law. *)
+
+module P = Approaches.P
+
+let threads_sweep = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let build_pskiplist ~n =
+  let heap = Pmem.Pheap.create_ram ~capacity:!Approaches.heap_capacity () in
+  let store = P.create heap in
+  let keys1 = Workload.Keygen.unique_keys ~seed:1 n in
+  let keys2 = Workload.Keygen.unique_keys ~seed:3 n in
+  let insert k =
+    P.insert store k (k land 0xffff);
+    ignore (P.tag store)
+  in
+  Array.iter insert keys1;
+  Array.iter (fun k -> P.remove store k; ignore (P.tag store)) keys1;
+  Array.iter insert keys2;
+  (heap, Array.append keys1 keys2)
+
+let run ~n =
+  Report.header (Printf.sprintf "Figure 5: restart from persisted state, P=%d keys" (2 * n));
+  let heap, population = build_pskiplist ~n in
+
+  (* 5a: reconstruction. *)
+  Report.subheader "Fig 5a: skip-list reconstruction time vs threads";
+  let real_1t =
+    Sim.Calibrate.time_s (fun () ->
+        ignore (P.open_existing ~threads:1 (Pmem.Pheap.reopen heap)))
+  in
+  Printf.printf "measured 1-thread reconstruction: %s (%d keys)\n"
+    (Report.seconds real_1t) (2 * n);
+  let projected threads =
+    Sim.Cost_model.makespan_ns Sim.Cost_model.reconstruction ~threads
+      ~total_ops:(2 * n)
+      ~op_cost_ns:(real_1t *. 1e9 /. float_of_int (2 * n))
+    /. 1e9
+  in
+  Report.series ~param:"threads"
+    ~columns:[ "projected"; "real wall" ]
+    ~rows:(List.map (fun t -> (string_of_int t, t)) threads_sweep)
+    ~cell:(fun i _ t ->
+      if i = 0 then Report.seconds (projected t)
+      else if t <= 4 then
+        Report.seconds
+          (Sim.Calibrate.time_s (fun () ->
+               ignore (P.open_existing ~threads:t (Pmem.Pheap.reopen heap))))
+      else "-");
+  Report.shape_check ~label:"reconstruction strongly scalable (64T ~8x faster)"
+    (projected 1 /. projected 64 > 6.0);
+
+  (* 5b: find after restart. *)
+  Report.subheader "Fig 5b: find throughput after restart (vs SQLiteReg)";
+  let queries = min n 100_000 in
+  let max_version = 3 * n in
+  let find_ops store_version =
+    (Workload.Opgen.query_phase ~seed:12 ~keys:population ~queries
+       ~max_version:store_version ~kind:`Find ~threads:1).(0)
+  in
+  (* PSkipList warm: a store that has been serving queries. *)
+  let warm_store = P.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  let run_finds store ops =
+    Sim.Calibrate.time_s (fun () ->
+        Array.iter
+          (function
+            | Workload.Opgen.Find (k, v) -> ignore (P.find store ~version:v k)
+            | _ -> ())
+          ops)
+    *. 1e9
+    /. float_of_int queries
+  in
+  let ops = find_ops max_version in
+  ignore (run_finds warm_store ops);
+  let warm_ns = run_finds warm_store ops in
+  (* Cold: fresh reopen, first pass over the queries. *)
+  let cold_store = P.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  let cold_ns = run_finds cold_store ops in
+  Printf.printf "PSkipList find: warm %.0f ns/op, cold-after-restart %.0f ns/op (+%.1f%%)\n"
+    warm_ns cold_ns
+    ((cold_ns -. warm_ns) /. warm_ns *. 100.0);
+
+  (* SQLiteReg: build, reopen (cold caches), measure. *)
+  let reg = Minidb.Sql_store.Reg.create () in
+  Array.iter
+    (fun k ->
+      Minidb.Sql_store.Reg.insert reg k (k land 0xffff);
+      ignore (Minidb.Sql_store.Reg.tag reg))
+    population;
+  let reg2 = Minidb.Sql_store.Reg.reopen reg in
+  let reg_ns =
+    Sim.Calibrate.time_s (fun () ->
+        Array.iter
+          (function
+            | Workload.Opgen.Find (k, v) ->
+                ignore (Minidb.Sql_store.Reg.find reg2 ~version:v k)
+            | _ -> ())
+          ops)
+    *. 1e9
+    /. float_of_int queries
+  in
+  Printf.printf "SQLiteReg find after restart: %.0f ns/op\n" reg_ns;
+  let project law op_ns threads =
+    Sim.Cost_model.makespan_ns law ~threads ~total_ops:queries ~op_cost_ns:op_ns /. 1e9
+  in
+  Report.series ~param:"threads"
+    ~columns:[ "SQLiteReg"; "PSkipList-cold" ]
+    ~rows:(List.map (fun t -> (string_of_int t, t)) threads_sweep)
+    ~cell:(fun i _ t ->
+      if i = 0 then Report.seconds (project Sim.Cost_model.sqlitereg_query reg_ns t)
+      else Report.seconds (project Sim.Cost_model.pskiplist_query cold_ns t));
+  (* Paper: < 9% on KNL (MCDRAM caching); this container's single small
+     cache makes the first cold pass pay more — the requirement is that
+     the penalty is a bounded constant factor, not a blow-up. *)
+  Report.shape_check ~label:"cold-cache penalty bounded (< 2x)"
+    (cold_ns < warm_ns *. 2.0);
+  Report.shape_check ~label:"PSkipList beats SQLiteReg at 64T after restart"
+    (project Sim.Cost_model.pskiplist_query cold_ns 64
+    < project Sim.Cost_model.sqlitereg_query reg_ns 64);
+  let rebuild_plus_finds =
+    projected 64 +. project Sim.Cost_model.pskiplist_query cold_ns 64
+  in
+  Printf.printf
+    "rebuild(64T) + finds(64T) = %s vs SQLiteReg finds %s\n(paper: rebuild+finds still 10x ahead; here minidb's find is leaner than SQLite's, see EXPERIMENTS.md)\n"
+    (Report.seconds rebuild_plus_finds)
+    (Report.seconds (project Sim.Cost_model.sqlitereg_query reg_ns 64))

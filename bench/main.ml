@@ -1,0 +1,50 @@
+(* Benchmark harness entry point: regenerates every table/figure of the
+   paper's evaluation (Sec. V). See DESIGN.md for the per-experiment
+   index and EXPERIMENTS.md for paper-vs-measured.
+
+   Usage:
+     dune exec bench/main.exe                    # all figures, default sizes
+     dune exec bench/main.exe -- --fig 2 -n 500000
+     dune exec bench/main.exe -- --real          # add real-domain cross-checks
+     dune exec bench/main.exe -- --bechamel      # add OLS microbenchmarks *)
+
+let parse_args () =
+  let fig = ref "all" in
+  let n = ref 100_000 in
+  let dist_n = ref 100_000 in
+  let real = ref false in
+  let bechamel = ref false in
+  let spec =
+    [
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations");
+      ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
+      ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
+      ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
+      ("--bechamel", Arg.Set bechamel, "also run the Bechamel OLS microbenchmarks");
+    ]
+  in
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "mvkv benchmarks";
+  (!fig, !n, !dist_n, !real, !bechamel)
+
+let () =
+  let fig, n, dist_n, real, bechamel = parse_args () in
+  (* Size the persistent heap for the largest single-node state
+     (3N history entries + 2N chain slots + index blobs + slack). *)
+  Approaches.heap_capacity := max (1 lsl 26) (n * 160);
+  let want f = fig = "all" || fig = f in
+  Printf.printf "mvkv benchmark harness — N=%d (single node), N=%d per rank (distributed)\n"
+    n dist_n;
+  print_endline
+    "Single-node sweeps are projections of measured 1-thread costs onto a\n\
+     64-core node (this container has 1 core); distributed sweeps combine\n\
+     measured local costs with a Theta-like network model. See DESIGN.md.";
+  if want "2" then Fig2.run ~n ~real;
+  if want "3" then Fig3.run ~n;
+  if want "4" then Fig4.run ~n;
+  if want "5" then Fig5.run ~n:(n / 2);
+  if want "6" then Fig6.run ~n:dist_n;
+  if want "7" then Fig7.run ~n:dist_n;
+  if want "8" then Fig8.run ~n:dist_n;
+  if want "ablations" then Ablations.run ~n:(min n 50_000);
+  if bechamel then Microbench.run ~n:(min n 20_000);
+  print_endline "\nbench: done."

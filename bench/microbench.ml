@@ -1,0 +1,91 @@
+(* Bechamel microbenchmarks: one Test.make per (figure, approach)
+   operation — the per-op latencies behind Figs. 2-4, measured with
+   linear regression instead of a single timed loop. Enabled with
+   --bechamel (the OLS runs take a while on one core). *)
+
+open Bechamel
+
+let prefilled approach n =
+  let keys = Workload.Keygen.unique_keys ~seed:1 n in
+  let values = Workload.Keygen.values ~seed:1 n in
+  let instance, _ = approach.Approaches.fresh () in
+  Approaches.run_ops instance
+    (Workload.Opgen.insert_phase ~keys ~values ~threads:1).(0);
+  (instance, keys)
+
+let tests ~n =
+  let groups =
+    List.map
+      (fun approach ->
+        let label = approach.Approaches.label in
+        (* Separate instances for the mutating and the read-only tests so
+           the insert runs do not inflate the stores the queries scan. *)
+        let insert_instance, _ = prefilled approach n in
+        let instance, keys = prefilled approach n in
+        let population = Array.length keys in
+        (* Each closure owns its cursor so successive runs touch
+           different keys, like the benchmark loops. *)
+        let insert_cursor = ref 0 in
+        let insert_test =
+          Test.make ~name:(label ^ "/fig2-insert")
+            (Staged.stage (fun () ->
+                 let i = !insert_cursor in
+                 incr insert_cursor;
+                 match insert_instance with
+                 | Approaches.Instance ((module S), t) ->
+                     S.insert t (population + i) i;
+                     ignore (S.tag t)))
+        in
+        let find_cursor = ref 0 in
+        let find_test =
+          Test.make ~name:(label ^ "/fig3-find")
+            (Staged.stage (fun () ->
+                 let i = !find_cursor in
+                 incr find_cursor;
+                 match instance with
+                 | Approaches.Instance ((module S), t) ->
+                     ignore (S.find t ~version:(1 + (i mod n)) keys.(i mod population))))
+        in
+        let history_cursor = ref 0 in
+        let history_test =
+          Test.make ~name:(label ^ "/fig3-history")
+            (Staged.stage (fun () ->
+                 let i = !history_cursor in
+                 incr history_cursor;
+                 match instance with
+                 | Approaches.Instance ((module S), t) ->
+                     ignore (S.extract_history t keys.(i mod population))))
+        in
+        let snapshot_test =
+          Test.make ~name:(label ^ "/fig4-snapshot")
+            (Staged.stage (fun () ->
+                 match instance with
+                 | Approaches.Instance ((module S), t) ->
+                     ignore (S.extract_snapshot t ())))
+        in
+        [ insert_test; find_test; history_test; snapshot_test ])
+      Approaches.all
+  in
+  Test.make_grouped ~name:"mvkv" (List.concat groups)
+
+let run ~n =
+  Report.header (Printf.sprintf "Bechamel microbenchmarks (store prefilled with %d keys)" n);
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (tests ~n) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name result acc -> (name, result) :: acc) results [] in
+  List.iter
+    (fun (name, result) ->
+      let estimate =
+        match Analyze.OLS.estimates result with
+        | Some (e :: _) -> Printf.sprintf "%10.0f ns/op" e
+        | Some [] | None -> "(no estimate)"
+      in
+      Printf.printf "  %-28s %s\n" name estimate)
+    (List.sort compare rows)

@@ -1,0 +1,35 @@
+(* Table/series printing for the figure reproductions. *)
+
+let header title =
+  let line = String.make (String.length title) '=' in
+  Printf.printf "\n%s\n%s\n" title line
+
+let subheader title = Printf.printf "\n-- %s --\n" title
+
+(* Print a series table: first column is the sweep parameter, one column
+   per approach, values in seconds (or a custom unit). *)
+let series ~param ~columns ~rows ~cell =
+  Printf.printf "%-10s" param;
+  List.iter (fun c -> Printf.printf "%14s" c) columns;
+  print_newline ();
+  List.iter
+    (fun row ->
+      Printf.printf "%-10s" (fst row);
+      List.iteri (fun i c -> Printf.printf "%14s" (cell i c (snd row))) columns;
+      print_newline ())
+    rows
+
+let seconds v =
+  if v < 1e-3 then Printf.sprintf "%.1f us" (v *. 1e6)
+  else if v < 1.0 then Printf.sprintf "%.2f ms" (v *. 1e3)
+  else Printf.sprintf "%.3f s" v
+
+let throughput v =
+  if v >= 1e6 then Printf.sprintf "%.2f Mop/s" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1f Kop/s" (v /. 1e3)
+  else Printf.sprintf "%.1f op/s" v
+
+let ratio a b = if b = 0.0 then infinity else a /. b
+
+let shape_check ~label ok =
+  Printf.printf "  [shape] %s: %s\n" label (if ok then "OK" else "DIVERGES")

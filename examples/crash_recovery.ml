@@ -1,0 +1,55 @@
+(* Crash recovery: the store survives a simulated power failure. The
+   persistent-memory substrate keeps a durable shadow image that only
+   explicit cache-line flushes update, so cutting the power drops every
+   non-persisted write — then the restart path recovers the global
+   finished counter from the persisted completion stamps, prunes torn
+   appends, and rebuilds the ephemeral skip-list index in parallel
+   (Sec. IV-B of the paper).
+
+   Run with: dune exec examples/crash_recovery.exe *)
+
+module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
+
+let () =
+  (* crash_sim:true arms the durable shadow image. *)
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 24) () in
+  let heap = Pmem.Pheap.create media in
+  let store = Store.create heap in
+
+  let n = 5000 in
+  for k = 1 to n do
+    Store.insert store k (k * 11);
+    ignore (Store.tag store)
+  done;
+  Printf.printf "inserted %d keys, current version %d\n" n
+    (Store.current_version store);
+  let stats = Pmem.Pheap.stats heap in
+  Printf.printf "persistence cost so far: %d flushed lines, %d fences\n"
+    (Pmem.Pstats.flushed_lines stats) (Pmem.Pstats.fences stats);
+
+  (* Power failure. Everything not flushed+fenced is gone. *)
+  Pmem.Media.simulate_crash media;
+  print_endline "-- power failure simulated --";
+
+  (* Restart: recover counters, prune, rebuild the index with 4 threads. *)
+  let t0 = Unix.gettimeofday () in
+  let store2 = Store.open_existing ~threads:4 (Pmem.Pheap.reopen heap) in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "recovered in %.3f s: %d keys, version clock %d\n" dt
+    (Store.key_count store2)
+    (Store.current_version store2);
+
+  (* Every committed operation survived. *)
+  let lost = ref 0 in
+  for k = 1 to n do
+    if Store.find store2 k <> Some (k * 11) then incr lost
+  done;
+  Printf.printf "lost values: %d (every completed insert was persisted)\n" !lost;
+  assert (!lost = 0);
+
+  (* And the store keeps working after recovery. *)
+  Store.insert store2 (n + 1) 424242;
+  let v = Store.tag store2 in
+  Printf.printf "post-recovery insert visible at v%d: %b\n" v
+    (Store.find store2 (n + 1) = Some 424242);
+  print_endline "crash_recovery done."

@@ -1,0 +1,57 @@
+(* Distributed snapshot extraction: a key-range-partitioned store over K
+   in-process ranks, comparing the naive K-way merge at rank 0 with the
+   paper's optimised recursive-doubling + multi-threaded merge
+   (Sec. IV-A), with wire time accounted by the network model.
+
+   Run with: dune exec examples/distributed_snapshot.exe *)
+
+module Local = Mvdict.Eskiplist.Make (Int) (Int)
+module D = Distrib.Dstore.Make (Local)
+
+let () =
+  let ranks = 16 in
+  let per_rank = 4000 in
+  let store = D.create ~ranks ~key_bits:24 ~make_local:(fun _ -> Local.create ()) in
+
+  (* Insert uniformly random keys; routing sends each to its owner. *)
+  let keys = Workload.Keygen.unique_keys ~seed:7 (ranks * per_rank) in
+  Array.iter (fun k -> D.insert store (k land ((1 lsl 24) - 1)) k) keys;
+
+  (* One query, routed. *)
+  let sample = keys.(42) land ((1 lsl 24) - 1) in
+  Printf.printf "find %d -> %s\n" sample
+    (match D.find store sample with Some _ -> "hit" | None -> "miss");
+
+  (* Extract the full snapshot both ways; results must agree. *)
+  let t0 = Unix.gettimeofday () in
+  let naive = D.snapshot_naive store () in
+  let t_naive = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let opt = D.snapshot_opt store ~threads:4 () in
+  let t_opt = Unix.gettimeofday () -. t0 in
+  assert (naive = opt);
+  Printf.printf "snapshot: %d pairs, naive %.4f s, opt %.4f s (in-process compute)\n"
+    (Array.length naive) t_naive t_opt;
+
+  (* Wire-time accounting on the Theta-like network model: the naive
+     gather hauls every rank's partition to rank 0; recursive doubling
+     moves the same data but spreads the merging over log2 K rounds. *)
+  let net = Distrib.Simnet.theta_like in
+  let bytes_per_rank = per_rank * 16 in
+  let gather_s = Distrib.Simnet.gather_linear_s net ~ranks ~bytes_per_rank in
+  let opt_wire = ref 0.0 in
+  ignore
+    (Distrib.Merge.recursive_doubling
+       ~round:(fun ~round:_ ~merges ->
+         (* Sends within a round are parallel: pay the largest one. *)
+         let slowest =
+           List.fold_left
+             (fun acc (_, _, bytes) ->
+               Float.max acc (Distrib.Simnet.transfer_s net ~bytes))
+             0.0 merges
+         in
+         opt_wire := !opt_wire +. slowest)
+       (D.local_snapshots store ()));
+  Printf.printf "modelled wire time: naive gather %.6f s, recursive doubling %.6f s\n"
+    gather_s !opt_wire;
+  print_endline "distributed_snapshot done."

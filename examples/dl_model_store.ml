@@ -1,0 +1,82 @@
+(* DL model store: the motivating scenario of the paper's introduction —
+   a learning model is an ordered set of (layer id, tensor) pairs, and
+   training produces a new snapshot per epoch. The ordered iteration
+   gives the layer sequence; snapshots give any epoch back; histories
+   show how a layer evolved; the common prefix of two snapshots drives
+   transfer learning.
+
+   Run with: dune exec examples/dl_model_store.exe *)
+
+module Store =
+  Mvdict.Pskiplist.Make (Mvdict.Codec.String_key) (Mvdict.Codec.String_value)
+
+(* A toy "tensor": a label plus a checksum standing in for weights. *)
+let tensor ~layer ~epoch = Printf.sprintf "weights[%s@epoch%d]" layer epoch
+
+let layers =
+  [ "00/input"; "01/conv"; "02/conv"; "03/pool"; "04/dense"; "05/softmax" ]
+
+let () =
+  let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 24) () in
+  let model = Store.create heap in
+
+  (* Epoch 0: initialise every layer, tag the first snapshot. *)
+  List.iter (fun l -> Store.insert model l (tensor ~layer:l ~epoch:0)) layers;
+  let epoch0 = Store.tag model in
+
+  (* Epochs 1..3: only some layers change (fine-tuning the head). *)
+  let epochs =
+    List.map
+      (fun epoch ->
+        List.iter
+          (fun l -> Store.insert model l (tensor ~layer:l ~epoch))
+          [ "04/dense"; "05/softmax" ];
+        (epoch, Store.tag model))
+      [ 1; 2; 3 ]
+  in
+
+  (* Architecture mutation: drop a layer, add a residual block. *)
+  Store.remove model "03/pool";
+  Store.insert model "03/residual" (tensor ~layer:"03/residual" ~epoch:4);
+  let mutated = Store.tag model in
+
+  (* Ordered iteration = the layer sequence of a given model version. *)
+  let print_model label version =
+    Printf.printf "%s (v%d):\n" label version;
+    Store.iter_snapshot model ~version (fun layer _ ->
+        Printf.printf "  %s\n" layer)
+  in
+  print_model "initial model" epoch0;
+  print_model "mutated model" mutated;
+
+  (* Longest common prefix of two snapshots: the shared trunk that
+     transfer learning keeps frozen. *)
+  let common_prefix v1 v2 =
+    let s1 = Store.extract_snapshot model ~version:v1 () in
+    let s2 = Store.extract_snapshot model ~version:v2 () in
+    let n = min (Array.length s1) (Array.length s2) in
+    let rec go i = if i < n && s1.(i) = s2.(i) then go (i + 1) else i in
+    Array.sub s1 0 (go 0)
+  in
+  let trunk = common_prefix epoch0 mutated in
+  Printf.printf "shared trunk between v%d and v%d: %d layers\n" epoch0 mutated
+    (Array.length trunk);
+  Array.iter (fun (l, _) -> Printf.printf "  %s\n" l) trunk;
+
+  (* Per-layer provenance: how did the classifier head evolve? *)
+  Printf.printf "history of 05/softmax:\n";
+  List.iter
+    (fun (version, event) ->
+      match event with
+      | Mvdict.Dict_intf.Put w -> Printf.printf "  v%d: %s\n" version w
+      | Mvdict.Dict_intf.Del -> Printf.printf "  v%d: removed\n" version)
+    (Store.extract_history model "05/softmax");
+
+  (* Every epoch remains addressable. *)
+  List.iter
+    (fun (epoch, version) ->
+      match Store.find model ~version "04/dense" with
+      | Some w -> Printf.printf "epoch %d head: %s\n" epoch w
+      | None -> assert false)
+    epochs;
+  print_endline "dl_model_store done."

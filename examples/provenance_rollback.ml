@@ -1,0 +1,73 @@
+(* Provenance tracking and rollback: a workflow component keeps its
+   intermediate results in the store, tags after every stage, and when a
+   late stage produces garbage it (1) inspects the provenance of the bad
+   cells and (2) rolls the state back to the last good snapshot by
+   re-applying it — the multi-versioning use cases of Sec. I.
+
+   Run with: dune exec examples/provenance_rollback.exe *)
+
+module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
+
+let () =
+  let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 22) () in
+  let store = Store.create heap in
+
+  (* Stage 1: ingest raw cells. *)
+  for cell = 0 to 9 do
+    Store.insert store cell (100 + cell)
+  done;
+  let after_ingest = Store.tag store in
+  Printf.printf "stage 1 (ingest)    -> snapshot v%d\n" after_ingest;
+
+  (* Stage 2: normalise (every cell rewritten). *)
+  for cell = 0 to 9 do
+    Store.insert store cell (200 + cell)
+  done;
+  let after_normalise = Store.tag store in
+  Printf.printf "stage 2 (normalise) -> snapshot v%d\n" after_normalise;
+
+  (* Stage 3: a buggy filter removes half the cells and corrupts others. *)
+  for cell = 0 to 9 do
+    if cell mod 2 = 0 then Store.remove store cell
+    else Store.insert store cell (-1)
+  done;
+  let after_filter = Store.tag store in
+  Printf.printf "stage 3 (filter)    -> snapshot v%d (buggy!)\n" after_filter;
+
+  (* Introspection: what happened to cell 4? *)
+  Printf.printf "provenance of cell 4:\n";
+  List.iter
+    (fun (version, event) ->
+      match event with
+      | Mvdict.Dict_intf.Put v -> Printf.printf "  v%d: put %d\n" version v
+      | Mvdict.Dict_intf.Del -> Printf.printf "  v%d: removed\n" version)
+    (Store.extract_history store 4);
+
+  (* The snapshots before the bug are immutable and still addressable —
+     diff the two latest stages to see the damage. *)
+  let count version = Array.length (Store.extract_snapshot store ~version ()) in
+  Printf.printf "live cells: v%d=%d, v%d=%d\n" after_normalise
+    (count after_normalise) after_filter (count after_filter);
+
+  (* Rollback: re-apply the last good snapshot as new operations (the
+     history is append-only, so the bad stage remains auditable). *)
+  let good = Store.extract_snapshot store ~version:after_normalise () in
+  let live_now = Store.extract_snapshot store () in
+  let live_keys = Array.to_list (Array.map fst live_now) in
+  List.iter
+    (fun k -> if not (Array.exists (fun (g, _) -> g = k) good) then Store.remove store k)
+    live_keys;
+  Array.iter (fun (k, v) -> Store.insert store k v) good;
+  let after_rollback = Store.tag store in
+  Printf.printf "rolled back to v%d as new snapshot v%d\n" after_normalise
+    after_rollback;
+
+  let restored = Store.extract_snapshot store ~version:after_rollback () in
+  assert (restored = good);
+  Printf.printf "restored state matches v%d exactly (%d cells)\n" after_normalise
+    (Array.length restored);
+
+  (* The buggy snapshot is still there for the post-mortem. *)
+  Printf.printf "buggy snapshot v%d still shows %d cells\n" after_filter
+    (count after_filter);
+  print_endline "provenance_rollback done."

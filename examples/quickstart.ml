@@ -1,0 +1,62 @@
+(* Quickstart: the multi-version ordered key-value store API (Table 1 of
+   the paper) end to end on the persistent PSkipList.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
+
+let () =
+  (* A persistent heap stands in for a PMDK pool; RAM-backed here, use
+     Pmem.Pheap.create_file to map a real file. *)
+  let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 22) () in
+  let store = Store.create heap in
+
+  (* insert / tag: every tag commits an immutable snapshot. *)
+  Store.insert store 10 100;
+  Store.insert store 20 200;
+  let v1 = Store.tag store in
+  Printf.printf "tagged snapshot v%d\n" v1;
+
+  Store.insert store 10 101;
+  Store.remove store 20;
+  Store.insert store 30 300;
+  let v2 = Store.tag store in
+  Printf.printf "tagged snapshot v%d\n" v2;
+
+  (* find: current state or any past snapshot. *)
+  let show label = function
+    | Some value -> Printf.printf "%s = %d\n" label value
+    | None -> Printf.printf "%s is absent\n" label
+  in
+  show "key 10 (current)" (Store.find store 10);
+  show (Printf.sprintf "key 10 (v%d)" v1) (Store.find store ~version:v1 10);
+  show (Printf.sprintf "key 20 (v%d)" v1) (Store.find store ~version:v1 20);
+  show (Printf.sprintf "key 20 (v%d)" v2) (Store.find store ~version:v2 20);
+
+  (* extract_snapshot: all live pairs of a version, in key order. *)
+  let print_snapshot version =
+    let pairs = Store.extract_snapshot store ~version () in
+    Printf.printf "snapshot v%d: " version;
+    Array.iter (fun (k, v) -> Printf.printf "(%d -> %d) " k v) pairs;
+    print_newline ()
+  in
+  print_snapshot v1;
+  print_snapshot v2;
+
+  (* extract_history: the evolution of one key. *)
+  Printf.printf "history of key 20:\n";
+  List.iter
+    (fun (version, event) ->
+      match event with
+      | Mvdict.Dict_intf.Put value -> Printf.printf "  v%d: put %d\n" version value
+      | Mvdict.Dict_intf.Del -> Printf.printf "  v%d: removed\n" version)
+    (Store.extract_history store 20);
+
+  (* Persistence: reopen the same heap as a restarted process would and
+     rebuild the index (here with 2 reconstruction threads). *)
+  let store2 = Store.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  Printf.printf "after restart: %d keys, key 10 = %s, current version = %d\n"
+    (Store.key_count store2)
+    (match Store.find store2 10 with Some v -> string_of_int v | None -> "?")
+    (Store.current_version store2);
+  print_endline "quickstart done."

@@ -1,0 +1,13 @@
+type t = { min : int; max : int; mutable current : int }
+
+let create ?(min = 1) ?(max = 256) () =
+  if min < 1 || max < min then invalid_arg "Backoff.create";
+  { min; max; current = min }
+
+let once t =
+  for _ = 1 to t.current do
+    Domain.cpu_relax ()
+  done;
+  t.current <- Stdlib.min t.max (t.current * 2)
+
+let reset t = t.current <- t.min

@@ -1,0 +1,17 @@
+(** Exponential backoff for CAS retry loops.
+
+    Failed compare-and-swap attempts under contention burn memory
+    bandwidth; spinning a growing number of [cpu_relax] pauses between
+    retries is the standard remedy and is what keeps the lock-free skip
+    list scalable at high thread counts. *)
+
+type t
+
+val create : ?min:int -> ?max:int -> unit -> t
+(** Fresh backoff state; [min] and [max] bound the pause length in
+    [cpu_relax] iterations (defaults 1 and 256). *)
+
+val once : t -> unit
+(** Pause, then double the next pause up to [max]. *)
+
+val reset : t -> unit

@@ -1,0 +1,192 @@
+type color = Red | Black
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable color : color;
+  mutable left : ('k, 'v) node option;
+  mutable right : ('k, 'v) node option;
+  mutable parent : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  mutable root : ('k, 'v) node option;
+  mutable count : int;
+}
+
+let create ~compare () = { compare; root = None; count = 0 }
+
+let find t key =
+  let rec walk = function
+    | None -> None
+    | Some n ->
+        let c = t.compare key n.key in
+        if c = 0 then Some n.value
+        else if c < 0 then walk n.left
+        else walk n.right
+  in
+  walk t.root
+
+(* Physical identity against an optional child ([Some] allocates, so
+   [opt == Some n] would always be false). *)
+let is_node opt n = match opt with Some c -> c == n | None -> false
+
+let rotate_left t x =
+  match x.right with
+  | None -> assert false
+  | Some y ->
+      x.right <- y.left;
+      (match y.left with Some yl -> yl.parent <- Some x | None -> ());
+      y.parent <- x.parent;
+      (match x.parent with
+      | None -> t.root <- Some y
+      | Some p -> if is_node p.left x then p.left <- Some y else p.right <- Some y);
+      y.left <- Some x;
+      x.parent <- Some y
+
+let rotate_right t x =
+  match x.left with
+  | None -> assert false
+  | Some y ->
+      x.left <- y.right;
+      (match y.right with Some yr -> yr.parent <- Some x | None -> ());
+      y.parent <- x.parent;
+      (match x.parent with
+      | None -> t.root <- Some y
+      | Some p -> if is_node p.right x then p.right <- Some y else p.left <- Some y);
+      y.right <- Some x;
+      x.parent <- Some y
+
+let color_of = function None -> Black | Some n -> n.color
+
+(* CLRS insert fixup: restore "no red parent of red child" bottom-up. *)
+let rec fixup t z =
+  match z.parent with
+  | Some p when p.color = Red -> begin
+      match p.parent with
+      | None -> ()
+      | Some g ->
+          if is_node g.left p then begin
+            let uncle = g.right in
+            if color_of uncle = Red then begin
+              p.color <- Black;
+              (match uncle with Some u -> u.color <- Black | None -> ());
+              g.color <- Red;
+              fixup t g
+            end
+            else begin
+              let z = if is_node p.right z then (rotate_left t p; p) else z in
+              match z.parent with
+              | None -> ()
+              | Some p' ->
+                  p'.color <- Black;
+                  (match p'.parent with
+                  | Some g' ->
+                      g'.color <- Red;
+                      rotate_right t g'
+                  | None -> ())
+            end
+          end
+          else begin
+            let uncle = g.left in
+            if color_of uncle = Red then begin
+              p.color <- Black;
+              (match uncle with Some u -> u.color <- Black | None -> ());
+              g.color <- Red;
+              fixup t g
+            end
+            else begin
+              let z = if is_node p.left z then (rotate_right t p; p) else z in
+              match z.parent with
+              | None -> ()
+              | Some p' ->
+                  p'.color <- Black;
+                  (match p'.parent with
+                  | Some g' ->
+                      g'.color <- Red;
+                      rotate_left t g'
+                  | None -> ())
+            end
+          end
+    end
+  | Some _ | None -> (
+      match t.root with Some r -> r.color <- Black | None -> ())
+
+let insert_node t key ~make =
+  let rec walk parent link =
+    match link with
+    | Some n ->
+        let c = t.compare key n.key in
+        if c = 0 then `Existing n
+        else if c < 0 then walk (Some n) n.left
+        else walk (Some n) n.right
+    | None ->
+        let node =
+          { key; value = make (); color = Red; left = None; right = None; parent }
+        in
+        (match parent with
+        | None -> t.root <- Some node
+        | Some p ->
+            if t.compare key p.key < 0 then p.left <- Some node
+            else p.right <- Some node);
+        t.count <- t.count + 1;
+        fixup t node;
+        (match t.root with Some r -> r.color <- Black | None -> ());
+        `Fresh node
+  in
+  walk None t.root
+
+let find_or_insert t key ~make =
+  match insert_node t key ~make with `Existing n | `Fresh n -> n.value
+
+let insert t key value =
+  match insert_node t key ~make:(fun () -> value) with
+  | `Existing n -> n.value <- value
+  | `Fresh _ -> ()
+
+let iter t f =
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        walk n.left;
+        f n.key n.value;
+        walk n.right
+  in
+  walk t.root
+
+let iter_range t ~lo ~hi f =
+  (* Prune subtrees entirely outside [lo, hi). *)
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let c_lo = t.compare n.key lo and c_hi = t.compare n.key hi in
+        if c_lo > 0 then walk n.left;
+        if c_lo >= 0 && c_hi < 0 then f n.key n.value;
+        if c_hi < 0 then walk n.right
+  in
+  walk t.root
+
+let cardinal t = t.count
+
+let invariants_ok t =
+  let ok = ref true in
+  (* Returns the black height; -1 marks a violation below. *)
+  let rec check = function
+    | None -> 1
+    | Some n ->
+        (if n.color = Red then
+           if color_of n.left = Red || color_of n.right = Red then ok := false);
+        (match n.left with
+        | Some l -> if t.compare l.key n.key >= 0 then ok := false
+        | None -> ());
+        (match n.right with
+        | Some r -> if t.compare r.key n.key <= 0 then ok := false
+        | None -> ());
+        let bh_left = check n.left and bh_right = check n.right in
+        if bh_left <> bh_right then ok := false;
+        bh_left + if n.color = Black then 1 else 0
+  in
+  (match t.root with Some r -> if r.color = Red then ok := false | None -> ());
+  ignore (check t.root);
+  !ok

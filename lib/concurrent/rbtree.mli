@@ -1,0 +1,33 @@
+(** Imperative red-black tree (insert, lookup, ordered iteration).
+
+    The LockedMap baseline of the paper wraps a C++ [std::map] — a
+    red-black tree — behind a global lock. This is the equivalent
+    structure: CLRS insertion with rebalancing, no deletion (the
+    multi-version stores never delete index entries; removals append a
+    marker to the key's history). Not thread-safe by design: the baseline
+    explicitly serialises access with a mutex, which is the behaviour the
+    experiments measure. *)
+
+type ('k, 'v) t
+
+val create : compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+val find : ('k, 'v) t -> 'k -> 'v option
+
+val find_or_insert : ('k, 'v) t -> 'k -> make:(unit -> 'v) -> 'v
+(** Return the value bound to the key, inserting [make ()] if absent. *)
+
+val insert : ('k, 'v) t -> 'k -> 'v -> unit
+(** Bind the key, replacing any previous binding. *)
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** In-order (ascending key) traversal. *)
+
+val iter_range : ('k, 'v) t -> lo:'k -> hi:'k -> ('k -> 'v -> unit) -> unit
+(** In-order traversal of keys in [lo, hi). *)
+
+val cardinal : ('k, 'v) t -> int
+
+val invariants_ok : ('k, 'v) t -> bool
+(** Check the red-black invariants: root black, no red-red edge, equal
+    black height on every path (test hook). *)

@@ -1,0 +1,67 @@
+type t = {
+  mutex : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable active_readers : int;
+  mutable writer_active : bool;
+  mutable writers_waiting : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    active_readers = 0;
+    writer_active = false;
+    writers_waiting = 0;
+  }
+
+let read t f =
+  Mutex.lock t.mutex;
+  (* Writer preference: incoming readers also wait behind queued writers
+     so writers cannot starve. *)
+  while t.writer_active || t.writers_waiting > 0 do
+    Condition.wait t.can_read t.mutex
+  done;
+  t.active_readers <- t.active_readers + 1;
+  Mutex.unlock t.mutex;
+  let release () =
+    Mutex.lock t.mutex;
+    t.active_readers <- t.active_readers - 1;
+    if t.active_readers = 0 then Condition.signal t.can_write;
+    Mutex.unlock t.mutex
+  in
+  match f () with
+  | result ->
+      release ();
+      result
+  | exception e ->
+      release ();
+      raise e
+
+let write t f =
+  Mutex.lock t.mutex;
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer_active || t.active_readers > 0 do
+    Condition.wait t.can_write t.mutex
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer_active <- true;
+  Mutex.unlock t.mutex;
+  let release () =
+    Mutex.lock t.mutex;
+    t.writer_active <- false;
+    if t.writers_waiting > 0 then Condition.signal t.can_write
+    else Condition.broadcast t.can_read;
+    Mutex.unlock t.mutex
+  in
+  match f () with
+  | result ->
+      release ();
+      result
+  | exception e ->
+      release ();
+      raise e
+
+let readers t = t.active_readers

@@ -1,0 +1,18 @@
+(** Writer-preferring readers-writer lock (Mutex + Condition).
+
+    Used by the minidb Reg mode: many concurrent readers, one writer at a
+    time — the locking model the paper's SQLiteReg baseline exhibits
+    (write-ahead logging with engine-level concurrency control). *)
+
+type t
+
+val create : unit -> t
+
+val read : t -> (unit -> 'a) -> 'a
+(** Run with a shared lock. *)
+
+val write : t -> (unit -> 'a) -> 'a
+(** Run with the exclusive lock. *)
+
+val readers : t -> int
+(** Instantaneous reader count (diagnostics). *)

@@ -1,0 +1,188 @@
+type ('k, 'v) node =
+  | Nil
+  | Node of { key : 'k; value : 'v; next : ('k, 'v) node Atomic.t array }
+
+type ('k, 'v) t = {
+  compare : 'k -> 'k -> int;
+  head : ('k, 'v) node Atomic.t array;
+  count : int Atomic.t;
+  top : int Atomic.t;
+  level_seed : int Atomic.t;
+}
+
+type 'v insert_outcome =
+  | Added of 'v
+  | Found of 'v
+  | Raced of { made : 'v; existing : 'v }
+
+let max_level = 24
+
+let create ~compare () =
+  {
+    compare;
+    head = Array.init max_level (fun _ -> Atomic.make Nil);
+    count = Atomic.make 0;
+    top = Atomic.make 1;
+    level_seed = Atomic.make 0x9e3779b9;
+  }
+
+(* Deterministic per-insert level draw: hash a shared counter, count
+   trailing ones (p = 1/2 per level). Cheaper and more reproducible than
+   per-domain RNG state. *)
+let random_level t =
+  let z = Atomic.fetch_and_add t.level_seed 0x61c88647 in
+  let z = (z lxor (z lsr 16)) * 0x45d9f3b land max_int in
+  let z = (z lxor (z lsr 16)) * 0x45d9f3b land max_int in
+  let z = z lxor (z lsr 16) in
+  let rec count_ones bits level =
+    if level >= max_level || bits land 1 = 0 then level
+    else count_ones (bits lsr 1) (level + 1)
+  in
+  count_ones z 1
+
+(* Algorithm 2: walk down from the top level recording, per level, the
+   next-pointer array of the predecessor (the CAS target) and the
+   successor node. Returns the level-0 match if the key is present. *)
+let find_towers t key preds succs =
+  let found = ref Nil in
+  let rec descend level pred_next =
+    let rec advance pred_next =
+      match Atomic.get pred_next.(level) with
+      | Node n when t.compare n.key key < 0 -> advance n.next
+      | cur -> (pred_next, cur)
+    in
+    let pred_next, cur = advance pred_next in
+    preds.(level) <- pred_next;
+    succs.(level) <- cur;
+    if level = 0 then begin
+      match cur with
+      | Node n when t.compare n.key key = 0 -> found := cur
+      | Node _ | Nil -> ()
+    end
+    else descend (level - 1) pred_next
+  in
+  descend (max_level - 1) t.head;
+  !found
+
+let find t key =
+  (* Read-only variant of the descent: no towers recorded. *)
+  let rec descend level pred_next =
+    let rec advance pred_next =
+      match Atomic.get pred_next.(level) with
+      | Node n when t.compare n.key key < 0 -> advance n.next
+      | cur -> (pred_next, cur)
+    in
+    let pred_next, cur = advance pred_next in
+    if level = 0 then
+      match cur with
+      | Node n when t.compare n.key key = 0 -> Some n.value
+      | Node _ | Nil -> None
+    else descend (level - 1) pred_next
+  in
+  descend (max_level - 1) t.head
+
+let rec bump_top t level =
+  let current = Atomic.get t.top in
+  if level > current && not (Atomic.compare_and_set t.top current level) then
+    bump_top t level
+
+let find_or_insert t key ~make =
+  let preds = Array.make max_level t.head in
+  let succs = Array.make max_level Nil in
+  let backoff = Backoff.create () in
+  (* [made] memoises the speculative value so [make] runs at most once
+     even across CAS retries. *)
+  let rec attempt made =
+    match find_towers t key preds succs with
+    | Node existing_node -> begin
+        match made with
+        | None -> Found existing_node.value
+        | Some made -> Raced { made; existing = existing_node.value }
+      end
+    | Nil ->
+        let value = match made with Some v -> v | None -> make () in
+        let level = random_level t in
+        let next = Array.init max_level (fun i -> Atomic.make succs.(i)) in
+        let node = Node { key; value; next } in
+        if not (Atomic.compare_and_set preds.(0).(0) succs.(0) node) then begin
+          Backoff.once backoff;
+          attempt (Some value)
+        end
+        else begin
+          (* Linearized: the key is now reachable at level 0. Link the
+             upper levels best-effort; competitors may force re-searches. *)
+          ignore (Atomic.fetch_and_add t.count 1);
+          bump_top t level;
+          for lvl = 1 to level - 1 do
+            let rec link () =
+              if not (Atomic.compare_and_set preds.(lvl).(lvl) succs.(lvl) node)
+              then begin
+                Backoff.once backoff;
+                ignore (find_towers t key preds succs);
+                (* Our node is not yet visible at [lvl], so the re-search
+                   gives a fresh successor to adopt. *)
+                Atomic.set next.(lvl) succs.(lvl);
+                link ()
+              end
+            in
+            link ()
+          done;
+          Added value
+        end
+  in
+  attempt None
+
+let iter t f =
+  let rec walk = function
+    | Nil -> ()
+    | Node n ->
+        f n.key n.value;
+        walk (Atomic.get n.next.(0))
+  in
+  walk (Atomic.get t.head.(0))
+
+let iter_from t key f =
+  let rec descend level pred_next =
+    let rec advance pred_next =
+      match Atomic.get pred_next.(level) with
+      | Node n when t.compare n.key key < 0 -> advance n.next
+      | cur -> (pred_next, cur)
+    in
+    let pred_next, cur = advance pred_next in
+    if level = 0 then cur else descend (level - 1) pred_next
+  in
+  let rec walk = function
+    | Nil -> ()
+    | Node n ->
+        f n.key n.value;
+        walk (Atomic.get n.next.(0))
+  in
+  walk (descend (max_level - 1) t.head)
+
+let iter_range t ~lo ~hi f =
+  let rec descend level pred_next =
+    let rec advance pred_next =
+      match Atomic.get pred_next.(level) with
+      | Node n when t.compare n.key lo < 0 -> advance n.next
+      | cur -> (pred_next, cur)
+    in
+    let pred_next, cur = advance pred_next in
+    if level = 0 then cur else descend (level - 1) pred_next
+  in
+  let rec walk = function
+    | Nil -> ()
+    | Node n ->
+        if t.compare n.key hi < 0 then begin
+          f n.key n.value;
+          walk (Atomic.get n.next.(0))
+        end
+  in
+  walk (descend (max_level - 1) t.head)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun k v -> acc := f !acc k v);
+  !acc
+
+let cardinal t = Atomic.get t.count
+let height t = Atomic.get t.top

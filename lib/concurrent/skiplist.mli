@@ -1,0 +1,56 @@
+(** Lock-free insert-only ordered skip list (Algorithm 2 of the paper).
+
+    The multi-version store never deletes index nodes — a key removal
+    appends a marker to the key's version history instead — so the skip
+    list omits the deletion protocol entirely and inserts with plain
+    compare-and-swap on next pointers, exactly the simplification the
+    paper exploits ("since there is no need to support removal from the
+    skip list itself, the implementation can be simplified to use raw
+    pointers in compare-and-exchange operations").
+
+    Values are immutable once inserted (the store mutates the history the
+    value points at, not the index entry). Iteration over level 0 yields
+    keys in ascending order and may run concurrently with inserts: it
+    observes every key inserted before it started and possibly some
+    inserted during. *)
+
+type ('k, 'v) t
+
+val max_level : int
+(** Tower height bound (24: comfortable for hundreds of millions of
+    keys at p = 1/2). *)
+
+val create : compare:('k -> 'k -> int) -> unit -> ('k, 'v) t
+
+type 'v insert_outcome =
+  | Added of 'v
+      (** The key was absent; our freshly made value is now indexed. *)
+  | Found of 'v  (** The key was already present with this value. *)
+  | Raced of { made : 'v; existing : 'v }
+      (** We made a value but a concurrent insert of the same key won the
+          CAS; [existing] is indexed, [made] must be cleaned up by the
+          caller (the paper: "the slower thread needs to detect this
+          situation and clean up accordingly"). *)
+
+val find_or_insert : ('k, 'v) t -> 'k -> make:(unit -> 'v) -> 'v insert_outcome
+(** Look the key up; if absent, call [make] once and try to link the
+    result. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+
+val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
+(** In-order traversal of level 0. *)
+
+val iter_from : ('k, 'v) t -> 'k -> ('k -> 'v -> unit) -> unit
+(** In-order traversal starting at the smallest key >= the given key. *)
+
+val iter_range : ('k, 'v) t -> lo:'k -> hi:'k -> ('k -> 'v -> unit) -> unit
+(** In-order traversal of keys in [lo, hi). *)
+
+val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
+
+val cardinal : ('k, 'v) t -> int
+(** Number of keys (maintained with an atomic counter). *)
+
+val height : ('k, 'v) t -> int
+(** Current highest occupied level (for tests/diagnostics). *)

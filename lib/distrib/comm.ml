@@ -1,0 +1,92 @@
+type t = { net : Simnet.t; clocks : float array }
+
+let create net ~ranks =
+  if ranks < 1 then invalid_arg "Comm.create: ranks";
+  { net; clocks = Array.make ranks 0.0 }
+
+let ranks t = Array.length t.clocks
+let reset t = Array.fill t.clocks 0 (Array.length t.clocks) 0.0
+
+let check_rank t r =
+  if r < 0 || r >= ranks t then invalid_arg "Comm: rank out of range"
+
+let compute t ~rank ~seconds =
+  check_rank t rank;
+  if seconds < 0.0 then invalid_arg "Comm.compute: negative time";
+  t.clocks.(rank) <- t.clocks.(rank) +. seconds
+
+let send t ~src ~dst ~bytes =
+  check_rank t src;
+  check_rank t dst;
+  if src <> dst then begin
+    let start = Float.max t.clocks.(src) t.clocks.(dst) in
+    let arrival = start +. Simnet.transfer_s t.net ~bytes in
+    t.clocks.(src) <- start;
+    t.clocks.(dst) <- arrival
+  end
+
+(* Binomial tree rooted at [root]: in round r, every rank that already
+   holds the data and whose relative id is < 2^r sends to relative id +
+   2^r. *)
+let bcast t ~root ~bytes =
+  check_rank t root;
+  let k = ranks t in
+  let absolute i = (i + root) mod k in
+  let rec rounds stride =
+    if stride < k then begin
+      for rel = 0 to min (stride - 1) (k - 1) do
+        let target = rel + stride in
+        if target < k then
+          send t ~src:(absolute rel) ~dst:(absolute target) ~bytes
+      done;
+      rounds (stride * 2)
+    end
+  in
+  rounds 1
+
+(* Mirror schedule: pairs combine towards the root, halving the set of
+   active ranks each round. *)
+let reduce t ~root ~bytes =
+  check_rank t root;
+  let k = ranks t in
+  let absolute i = (i + root) mod k in
+  let rec largest_stride s = if s * 2 < k then largest_stride (s * 2) else s in
+  let rec rounds stride =
+    if stride >= 1 then begin
+      for rel = 0 to stride - 1 do
+        let source = rel + stride in
+        if source < k then
+          send t ~src:(absolute source) ~dst:(absolute rel) ~bytes
+      done;
+      rounds (stride / 2)
+    end
+  in
+  if k > 1 then rounds (largest_stride 1)
+
+let gather t ~root ~bytes_per_rank =
+  check_rank t root;
+  let k = ranks t in
+  if k > 1 then begin
+    (* The root's ingress link is the bottleneck: payloads stream in
+       back to back once the last sender is ready. *)
+    let ready = ref t.clocks.(root) in
+    for i = 0 to k - 1 do
+      if i <> root then ready := Float.max !ready (t.clocks.(i))
+    done;
+    let stream =
+      t.net.Simnet.latency_s
+      +. (float_of_int ((k - 1) * bytes_per_rank) /. t.net.Simnet.bandwidth_bps)
+    in
+    t.clocks.(root) <- !ready +. stream
+  end
+
+let barrier t =
+  let top = Array.fold_left Float.max 0.0 t.clocks in
+  let after = top +. Simnet.bcast_s t.net ~ranks:(ranks t) ~bytes:0 in
+  Array.fill t.clocks 0 (Array.length t.clocks) after
+
+let elapsed t ~rank =
+  check_rank t rank;
+  t.clocks.(rank)
+
+let makespan t = Array.fold_left Float.max 0.0 t.clocks

@@ -1,0 +1,43 @@
+(** MPI-like communication world with simulated per-rank clocks.
+
+    Each of the K ranks carries a clock of simulated seconds; local
+    compute advances one clock, point-to-point messages impose
+    [max(sender, receiver) + transfer] on the receiver, and collectives
+    follow binomial-tree schedules — the textbook cost model of the MPI
+    collectives bounding Figs. 6–8. The benchmark layer interleaves real
+    local execution (measured and charged via {!compute}) with modelled
+    wire time. *)
+
+type t
+
+val create : Simnet.t -> ranks:int -> t
+val ranks : t -> int
+
+val reset : t -> unit
+(** Zero all clocks. *)
+
+val compute : t -> rank:int -> seconds:float -> unit
+(** Charge local work to one rank. *)
+
+val send : t -> src:int -> dst:int -> bytes:int -> unit
+(** Point-to-point message: the receiver's clock becomes
+    [max(src, dst) + transfer(bytes)]. *)
+
+val bcast : t -> root:int -> bytes:int -> unit
+(** Binomial-tree broadcast of [bytes] from [root]. *)
+
+val reduce : t -> root:int -> bytes:int -> unit
+(** Binomial-tree reduction of fixed-size contributions to [root]
+    (mirror of {!bcast}). *)
+
+val gather : t -> root:int -> bytes_per_rank:int -> unit
+(** Every rank ships its payload to [root]; the root's ingress link
+    serialises them (linear gather). *)
+
+val barrier : t -> unit
+(** Synchronise all clocks to the current maximum plus one broadcast of
+    an empty payload. *)
+
+val elapsed : t -> rank:int -> float
+val makespan : t -> float
+(** Largest clock — the completion time of the schedule so far. *)

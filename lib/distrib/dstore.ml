@@ -1,0 +1,57 @@
+module Make (S : sig
+  include Mvdict.Dict_intf.S with type key = int and type value = int
+end) =
+struct
+  type t = { partition : Partition.t; locals : S.t array }
+
+  let create ~ranks ~key_bits ~make_local =
+    {
+      partition = Partition.create ~ranks ~key_bits;
+      locals = Array.init ranks make_local;
+    }
+
+  let ranks t = Partition.ranks t.partition
+  let partition t = t.partition
+  let local t r = t.locals.(r)
+  let owner t key = t.locals.(Partition.owner t.partition key)
+
+  let insert t key value =
+    let s = owner t key in
+    S.insert s key value;
+    ignore (S.tag s)
+
+  let remove t key =
+    let s = owner t key in
+    S.remove s key;
+    ignore (S.tag s)
+
+  let find t ?version key = S.find (owner t key) ?version key
+
+  let find_bulk t ?version keys =
+    (* Group by owning rank (one "message" per rank), answer per rank,
+       scatter the replies back into input order. *)
+    let k = ranks t in
+    let by_rank = Array.make k [] in
+    Array.iteri
+      (fun i key ->
+        let r = Partition.owner t.partition key in
+        by_rank.(r) <- (i, key) :: by_rank.(r))
+      keys;
+    let out = Array.make (Array.length keys) None in
+    Array.iteri
+      (fun r batch ->
+        let s = t.locals.(r) in
+        List.iter (fun (i, key) -> out.(i) <- S.find s ?version key) batch)
+      by_rank;
+    out
+  let extract_history t key = S.extract_history (owner t key) key
+
+  let local_snapshots t ?version () =
+    Array.map (fun s -> S.extract_snapshot s ?version ()) t.locals
+
+  let snapshot_naive t ?version () =
+    Merge.k_way (local_snapshots t ?version ())
+
+  let snapshot_opt t ?(threads = 1) ?version () =
+    Merge.recursive_doubling ~threads (local_snapshots t ?version ())
+end

@@ -1,0 +1,45 @@
+(** Distributed multi-version store: K ranks, each owning a key range
+    with a full local store (Sec. V-H).
+
+    Ranks are in-process (the container is one node); the semantics —
+    routing, per-rank stores, gather and merge algorithms — are executed
+    for real, while wire time is accounted by the benchmark layer
+    through {!Simnet}. Each rank's store tags independently; the
+    benchmark keeps logical snapshot versions aligned by tagging the
+    owning rank after each routed operation, as the paper does. *)
+
+module Make (S : sig
+  include Mvdict.Dict_intf.S with type key = int and type value = int
+end) : sig
+  type t
+
+  val create : ranks:int -> key_bits:int -> make_local:(int -> S.t) -> t
+  val ranks : t -> int
+  val partition : t -> Partition.t
+  val local : t -> int -> S.t
+
+  val insert : t -> int -> int -> unit
+  (** Route to the owning rank and tag that rank (one snapshot per op). *)
+
+  val remove : t -> int -> unit
+
+  val find : t -> ?version:int -> int -> int option
+  (** Route the lookup to the owning rank. *)
+
+  val find_bulk : t -> ?version:int -> int array -> int option array
+  (** Bulk mode (Sec. V-H): many lookups shipped in one broadcast; each
+      rank answers the keys it owns. Result order matches the input. *)
+
+  val extract_history : t -> int -> (int * int Mvdict.Dict_intf.event) list
+
+  val snapshot_naive : t -> ?version:int -> unit -> (int * int) array
+  (** NaiveMerge: per-rank extract, gather everything at rank 0, K-way
+      heap merge there. *)
+
+  val snapshot_opt : t -> ?threads:int -> ?version:int -> unit -> (int * int) array
+  (** OptMerge: per-rank extract, recursive-doubling hierarchic merge
+      with the multi-threaded two-array merge on each surviving rank. *)
+
+  val local_snapshots : t -> ?version:int -> unit -> (int * int) array array
+  (** The per-rank sorted extracts (the gather payloads of Fig. 7). *)
+end

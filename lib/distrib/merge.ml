@@ -1,0 +1,134 @@
+let is_sorted a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if fst a.(i - 1) >= fst a.(i) then ok := false
+  done;
+  !ok
+
+let merge_into a alo ahi b blo bhi out olo =
+  (* Merge a[alo,ahi) with b[blo,bhi) into out starting at olo. *)
+  let i = ref alo and j = ref blo and o = ref olo in
+  while !i < ahi && !j < bhi do
+    if fst a.(!i) <= fst b.(!j) then begin
+      out.(!o) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(!o) <- b.(!j);
+      incr j
+    end;
+    incr o
+  done;
+  while !i < ahi do
+    out.(!o) <- a.(!i);
+    incr i;
+    incr o
+  done;
+  while !j < bhi do
+    out.(!o) <- b.(!j);
+    incr j;
+    incr o
+  done
+
+let two_way a b =
+  let out = Array.make (Array.length a + Array.length b) (0, 0) in
+  merge_into a 0 (Array.length a) b 0 (Array.length b) out 0;
+  out
+
+(* First index in b whose key is > key (b sorted by key). *)
+let upper_bound b key =
+  let rec search lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if fst b.(mid) <= key then search (mid + 1) hi else search lo mid
+    end
+  in
+  search 0 (Array.length b)
+
+let multi_threaded ~threads a b =
+  if threads < 1 then invalid_arg "Merge.multi_threaded";
+  let na = Array.length a and nb = Array.length b in
+  if threads = 1 || na = 0 || nb = 0 then two_way a b
+  else begin
+    let out = Array.make (na + nb) (0, 0) in
+    (* Thread i owns a[a_lo_i, a_lo_{i+1}); its B range ends where the
+       next thread's partition boundary lands in B (binary search); all
+       output offsets are then known without communication (Sec. IV-A). *)
+    let a_bound i = i * na / threads in
+    let b_bound = Array.make (threads + 1) 0 in
+    b_bound.(threads) <- nb;
+    for i = 1 to threads - 1 do
+      b_bound.(i) <- upper_bound b (fst a.(a_bound i - 1))
+    done;
+    ignore
+      (Concurrent.Parallel.run ~threads (fun tid ->
+           let alo = a_bound tid and ahi = a_bound (tid + 1) in
+           let blo = b_bound.(tid) and bhi = b_bound.(tid + 1) in
+           merge_into a alo ahi b blo bhi out (alo + blo)));
+    out
+  end
+
+let k_way inputs =
+  let k = Array.length inputs in
+  if k = 0 then [||]
+  else begin
+    let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 inputs in
+    let out = Array.make total (0, 0) in
+    (* Min-heap of (key, input index); cursors track progress. *)
+    let heap = Sim.Eventq.create () in
+    let cursors = Array.make k 0 in
+    Array.iteri
+      (fun i a ->
+        if Array.length a > 0 then
+          Sim.Eventq.push heap ~time:(float_of_int (fst a.(0))) i)
+      inputs;
+    let o = ref 0 in
+    let rec pump () =
+      match Sim.Eventq.pop heap with
+      | None -> ()
+      | Some (_, i) ->
+          let c = cursors.(i) in
+          out.(!o) <- inputs.(i).(c);
+          incr o;
+          cursors.(i) <- c + 1;
+          if c + 1 < Array.length inputs.(i) then
+            Sim.Eventq.push heap ~time:(float_of_int (fst inputs.(i).(c + 1))) i;
+          pump ()
+    in
+    pump ();
+    out
+  end
+
+let pair_bytes = 16
+
+let recursive_doubling ?(threads = 1) ?(round = fun ~round:_ ~merges:_ -> ()) inputs =
+  let k = Array.length inputs in
+  if k = 0 then [||]
+  else begin
+    let buffers = Array.copy inputs in
+    let alive = Array.init k (fun i -> i) in
+    let rec run alive round_index =
+      if Array.length alive <= 1 then buffers.(alive.(0))
+      else begin
+        let survivors = ref [] and merges = ref [] in
+        let n = Array.length alive in
+        let i = ref 0 in
+        while !i < n do
+          let dst = alive.(!i) in
+          if !i + 1 < n then begin
+            let src = alive.(!i + 1) in
+            merges :=
+              (dst, src, Array.length buffers.(src) * pair_bytes) :: !merges;
+            buffers.(dst) <- multi_threaded ~threads buffers.(dst) buffers.(src);
+            buffers.(src) <- [||]
+          end;
+          survivors := dst :: !survivors;
+          i := !i + 2
+        done;
+        round ~round:round_index ~merges:(List.rev !merges);
+        run (Array.of_list (List.rev !survivors)) (round_index + 1)
+      end
+    in
+    run alive 0
+  end

@@ -1,0 +1,33 @@
+(** Merge machinery for distributed extract-snapshot (Sec. IV-A).
+
+    Three real algorithms, all operating on arrays of [(key, value)]
+    pairs sorted by key with distinct keys across inputs (range
+    partitioning guarantees disjointness):
+
+    - {!two_way}: sequential merge of two sorted arrays;
+    - {!multi_threaded}: the paper's parallel two-array merge — split A
+      evenly among threads, binary-search each boundary in B, merge the
+      aligned chunks independently (all output offsets known up front);
+    - {!k_way}: heap-based K-way merge (the NaiveMerge comparator);
+    - {!recursive_doubling}: the OptMerge schedule — log2 K rounds, odd
+      survivors send to even survivors who merge and survive. The
+      [round] callback reports each round's pairings for time
+      accounting. *)
+
+val two_way : (int * int) array -> (int * int) array -> (int * int) array
+
+val multi_threaded :
+  threads:int -> (int * int) array -> (int * int) array -> (int * int) array
+
+val k_way : (int * int) array array -> (int * int) array
+
+val recursive_doubling :
+  ?threads:int ->
+  ?round:(round:int -> merges:(int * int * int) list -> unit) ->
+  (int * int) array array ->
+  (int * int) array
+(** [round] receives, per round, [(dst_rank, src_rank, bytes_moved)] for
+    each surviving/eliminated pair. [threads] selects the per-rank merge
+    implementation (default 1 = sequential {!two_way}). *)
+
+val is_sorted : (int * int) array -> bool

@@ -1,0 +1,20 @@
+type t = { ranks : int; key_bits : int; width : int }
+
+let create ~ranks ~key_bits =
+  if ranks < 1 then invalid_arg "Partition.create: ranks";
+  if key_bits < 1 || key_bits > 62 then invalid_arg "Partition.create: key_bits";
+  let space = 1 lsl key_bits in
+  { ranks; key_bits; width = (space + ranks - 1) / ranks }
+
+let ranks t = t.ranks
+
+let owner t key =
+  if key < 0 || key >= 1 lsl t.key_bits then
+    invalid_arg (Printf.sprintf "Partition.owner: key %d outside key space" key);
+  min (key / t.width) (t.ranks - 1)
+
+let range t r =
+  if r < 0 || r >= t.ranks then invalid_arg "Partition.range: bad rank";
+  let lo = r * t.width in
+  let hi = if r = t.ranks - 1 then 1 lsl t.key_bits else min (1 lsl t.key_bits) (lo + t.width) in
+  (lo, hi)

@@ -1,0 +1,21 @@
+(** Key-range partitioning across K ranks (Sec. IV-A, horizontal
+    scalability).
+
+    The key space is split into K contiguous ranges; every operation is
+    routed to the rank owning its key. With the benchmark's uniformly
+    distributed keys, ranges are uniformly loaded, as on the paper's
+    testbed. *)
+
+type t
+
+val create : ranks:int -> key_bits:int -> t
+(** Partition the non-negative key space [0, 2^key_bits) evenly. *)
+
+val ranks : t -> int
+
+val owner : t -> int -> int
+(** Rank owning a key.
+    @raise Invalid_argument for keys outside the key space. *)
+
+val range : t -> int -> int * int
+(** [range t r] is the half-open key interval [lo, hi) owned by rank [r]. *)

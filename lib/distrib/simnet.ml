@@ -1,0 +1,24 @@
+type t = { latency_s : float; bandwidth_bps : float }
+
+let theta_like = { latency_s = 3e-6; bandwidth_bps = 10e9 }
+
+let transfer_s t ~bytes = t.latency_s +. (float_of_int bytes /. t.bandwidth_bps)
+
+let rounds k =
+  if k < 1 then invalid_arg "Simnet.rounds";
+  let rec go r cover = if cover >= k then r else go (r + 1) (cover * 2) in
+  go 0 1
+
+let bcast_s t ~ranks ~bytes =
+  float_of_int (rounds ranks) *. transfer_s t ~bytes
+
+let reduce_s t ~ranks ~bytes =
+  float_of_int (rounds ranks) *. transfer_s t ~bytes
+
+let gather_linear_s t ~ranks ~bytes_per_rank =
+  (* The root's ingress link is the bottleneck; payloads of the K-1
+     non-root ranks stream in back to back. *)
+  if ranks <= 1 then 0.0
+  else
+    t.latency_s
+    +. (float_of_int (ranks - 1) *. float_of_int bytes_per_rank /. t.bandwidth_bps)

@@ -1,0 +1,26 @@
+(** Interconnect model: latency + bandwidth (the alpha-beta model).
+
+    Stands in for the Theta Dragonfly network the paper's horizontal
+    experiments ran on. Message time = [latency + bytes / bandwidth];
+    collectives built on top pay [log2 K] rounds, which is what bounds
+    the distributed find throughput in Fig. 6. *)
+
+type t = { latency_s : float; bandwidth_bps : float }
+
+val theta_like : t
+(** 3 µs MPI latency, 10 GB/s effective point-to-point bandwidth. *)
+
+val transfer_s : t -> bytes:int -> float
+
+val rounds : int -> int
+(** ceil(log2 K) — rounds of a binomial-tree collective over K ranks. *)
+
+val bcast_s : t -> ranks:int -> bytes:int -> float
+(** Binomial-tree broadcast completion time. *)
+
+val reduce_s : t -> ranks:int -> bytes:int -> float
+(** Binomial-tree reduction of fixed-size replies. *)
+
+val gather_linear_s : t -> ranks:int -> bytes_per_rank:int -> float
+(** Root receives every rank's payload (bandwidth-bound at the root):
+    the "gather" of Fig. 7. *)

@@ -1,0 +1,267 @@
+(* Page layout (offsets in bytes):
+     0  u16  node type: 1 = leaf, 2 = internal
+     2  u16  entry count
+     8  i64  leaf: next-leaf page id (-1 = none); internal: leftmost child
+     16..    entries, 32 bytes each:
+             leaf:     a, b, seq, payload
+             internal: a, b, seq, child (subtree with keys >= (a,b,seq))
+   Separators are copies of real keys (first key of the right node at
+   split time) and keys are never deleted, so the subtree chosen by
+   "largest separator <= target" always contains the floor of target —
+   floor queries never need a previous-leaf pointer. *)
+
+type key = { a : int; b : int; seq : int }
+
+let compare_key x y =
+  let c = Int.compare x.a y.a in
+  if c <> 0 then c
+  else
+    let c = Int.compare x.b y.b in
+    if c <> 0 then c else Int.compare x.seq y.seq
+
+type t = { cache : Pagecache.t; mutable root : int }
+
+let leaf_tag = 1
+let internal_tag = 2
+let header_bytes = 16
+let entry_bytes = 32
+let capacity = (Page.size - header_bytes) / entry_bytes (* 127 *)
+
+let node_type p = Page.get_u16 p 0
+let set_node_type p v = Page.set_u16 p 0 v
+let count p = Page.get_u16 p 2
+let set_count p v = Page.set_u16 p 2 v
+let link p = Page.get_i64 p 8
+let set_link p v = Page.set_i64 p 8 v
+
+let entry_off i = header_bytes + (i * entry_bytes)
+
+let read_key p i =
+  let off = entry_off i in
+  { a = Page.get_i64 p off; b = Page.get_i64 p (off + 8); seq = Page.get_i64 p (off + 16) }
+
+let read_payload p i = Page.get_i64 p (entry_off i + 24)
+
+let write_entry p i key payload =
+  let off = entry_off i in
+  Page.set_i64 p off key.a;
+  Page.set_i64 p (off + 8) key.b;
+  Page.set_i64 p (off + 16) key.seq;
+  Page.set_i64 p (off + 24) payload
+
+(* Rightmost entry index with key <= target, or -1. *)
+let floor_index p target =
+  let rec search lo hi best =
+    if lo > hi then best
+    else begin
+      let mid = (lo + hi) / 2 in
+      if compare_key (read_key p mid) target <= 0 then search (mid + 1) hi mid
+      else search lo (mid - 1) best
+    end
+  in
+  search 0 (count p - 1) (-1)
+
+let create cache =
+  let id, page = Pagecache.allocate cache in
+  set_node_type page leaf_tag;
+  set_count page 0;
+  set_link page (-1);
+  { cache; root = id }
+
+let attach cache ~root = { cache; root }
+let root t = t.root
+
+(* Shift entries [i, count) one slot right to open slot i. *)
+let open_slot p i =
+  let n = count p in
+  if i < n then
+    Bytes.blit p (entry_off i) p (entry_off (i + 1)) ((n - i) * entry_bytes);
+  set_count p (n + 1)
+
+(* Split a full node: keep the left half in place, move the right half
+   to a fresh page; return (separator, right page id). *)
+let split t page_id =
+  let page = Pagecache.get_mut t.cache page_id in
+  let n = count page in
+  let left_n = n / 2 in
+  let right_n = n - left_n in
+  let right_id, right = Pagecache.allocate t.cache in
+  set_node_type right (node_type page);
+  Bytes.blit page (entry_off left_n) right (entry_off 0) (right_n * entry_bytes);
+  let separator = read_key right 0 in
+  if node_type page = leaf_tag then begin
+    set_count right right_n;
+    set_link right (link page);
+    set_link page right_id;
+    set_count page left_n
+  end
+  else begin
+    (* Internal split: the separator moves up; its child becomes the
+       right node's leftmost child. *)
+    set_link right (read_payload right 0);
+    Bytes.blit right (entry_off 1) right (entry_off 0) ((right_n - 1) * entry_bytes);
+    set_count right (right_n - 1);
+    set_count page left_n
+  end;
+  (separator, right_id)
+
+let insert t key payload =
+  (* Returns Some (separator, right id) when the child split. *)
+  let rec descend page_id =
+    let page = Pagecache.get t.cache page_id in
+    if node_type page = leaf_tag then begin
+      if count page >= capacity then begin
+        let separator, right_id = split t page_id in
+        if compare_key key separator < 0 then begin
+          insert_into_leaf page_id;
+          Some (separator, right_id)
+        end
+        else begin
+          insert_into_leaf right_id;
+          Some (separator, right_id)
+        end
+      end
+      else begin
+        insert_into_leaf page_id;
+        None
+      end
+    end
+    else begin
+      let child =
+        let i = floor_index page key in
+        if i < 0 then link page else read_payload page i
+      in
+      match descend child with
+      | None -> None
+      | Some (separator, right_id) ->
+          if count page >= capacity then begin
+            let my_separator, my_right = split t page_id in
+            let target =
+              if compare_key separator my_separator < 0 then page_id else my_right
+            in
+            insert_into_internal target separator right_id;
+            Some (my_separator, my_right)
+          end
+          else begin
+            insert_into_internal page_id separator right_id;
+            None
+          end
+    end
+  and insert_into_leaf page_id =
+    let page = Pagecache.get_mut t.cache page_id in
+    let i = floor_index page key in
+    open_slot page (i + 1);
+    write_entry page (i + 1) key payload
+  and insert_into_internal page_id separator right_id =
+    let page = Pagecache.get_mut t.cache page_id in
+    let i = floor_index page separator in
+    open_slot page (i + 1);
+    write_entry page (i + 1) separator right_id
+  in
+  match descend t.root with
+  | None -> ()
+  | Some (separator, right_id) ->
+      let new_root_id, new_root = Pagecache.allocate t.cache in
+      set_node_type new_root internal_tag;
+      set_count new_root 1;
+      set_link new_root t.root;
+      write_entry new_root 0 separator right_id;
+      t.root <- new_root_id
+
+(* Leaf containing the floor of [target] (the descent invariant in the
+   header comment guarantees the floor, if any, is inside it). *)
+let rec leaf_for t page_id target =
+  let page = Pagecache.get t.cache page_id in
+  if node_type page = leaf_tag then page_id
+  else begin
+    let i = floor_index page target in
+    let child = if i < 0 then link page else read_payload page i in
+    leaf_for t child target
+  end
+
+let find_floor t ~a ~b_max =
+  let target = { a; b = b_max; seq = max_int } in
+  let leaf_id = leaf_for t t.root target in
+  let page = Pagecache.get t.cache leaf_id in
+  let i = floor_index page target in
+  if i < 0 then None
+  else begin
+    let key = read_key page i in
+    if key.a = a then Some (key, read_payload page i) else None
+  end
+
+let iter_prefix t ~a f =
+  let target = { a; b = min_int; seq = min_int } in
+  let rec walk page_id start =
+    if page_id >= 0 then begin
+      let page = Pagecache.get t.cache page_id in
+      let n = count page in
+      let rec scan i =
+        if i >= n then walk (link page) 0
+        else begin
+          let key = read_key page i in
+          if key.a < a then scan (i + 1)
+          else if key.a = a then begin
+            f key (read_payload page i);
+            scan (i + 1)
+          end
+          (* key.a > a: done *)
+        end
+      in
+      scan start
+    end
+  in
+  let leaf_id = leaf_for t t.root target in
+  let page = Pagecache.get t.cache leaf_id in
+  walk leaf_id (floor_index page target + 1)
+
+let iter_from t target f =
+  let rec walk page_id start =
+    if page_id >= 0 then begin
+      let page = Pagecache.get t.cache page_id in
+      let n = count page in
+      let rec scan i =
+        if i >= n then walk (link page) 0
+        else if f (read_key page i) (read_payload page i) then scan (i + 1)
+      in
+      scan start
+    end
+  in
+  let leaf_id = leaf_for t t.root target in
+  let page = Pagecache.get t.cache leaf_id in
+  (* floor_index finds the last entry <= target, so start just after
+     entries strictly below it and re-check the floor itself. *)
+  let i = floor_index page target in
+  let start = if i >= 0 && compare_key (read_key page i) target >= 0 then i else i + 1 in
+  walk leaf_id start
+
+let leftmost_leaf t =
+  let rec descend page_id =
+    let page = Pagecache.get t.cache page_id in
+    if node_type page = leaf_tag then page_id else descend (link page)
+  in
+  descend t.root
+
+let iter_all t f =
+  let rec walk page_id =
+    if page_id >= 0 then begin
+      let page = Pagecache.get t.cache page_id in
+      for i = 0 to count page - 1 do
+        f (read_key page i) (read_payload page i)
+      done;
+      walk (link page)
+    end
+  in
+  walk (leftmost_leaf t)
+
+let entry_count t =
+  let n = ref 0 in
+  iter_all t (fun _ _ -> incr n);
+  !n
+
+let depth t =
+  let rec descend page_id acc =
+    let page = Pagecache.get t.cache page_id in
+    if node_type page = leaf_tag then acc else descend (link page) (acc + 1)
+  in
+  descend t.root 1

@@ -1,0 +1,14 @@
+let size = 4096
+
+type t = Bytes.t
+
+let create () = Bytes.make size '\000'
+
+let get_i64 p off = Int64.to_int (Bytes.get_int64_le p off)
+let set_i64 p off v = Bytes.set_int64_le p off (Int64.of_int v)
+let get_u16 p off = Bytes.get_uint16_le p off
+let set_u16 p off v = Bytes.set_uint16_le p off v
+
+let copy = Bytes.copy
+
+let blit ~src ~dst = Bytes.blit src 0 dst 0 size

@@ -1,0 +1,24 @@
+(** Fixed-size database pages.
+
+    The minidb engine (the SQLite-equivalent baseline) stores everything
+    in 4 KiB pages, like a real embedded database: a heap of row pages
+    and B+tree index pages. A page is a mutable byte buffer with typed
+    word accessors; page 0 of every database is the header. *)
+
+val size : int
+(** Page size in bytes (4096). *)
+
+type t = Bytes.t
+(** A page image. *)
+
+val create : unit -> t
+(** A zeroed page. *)
+
+val get_i64 : t -> int -> int
+val set_i64 : t -> int -> int -> unit
+
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+
+val copy : t -> t
+val blit : src:t -> dst:t -> unit

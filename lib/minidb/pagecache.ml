@@ -1,0 +1,109 @@
+type source = {
+  fetch : int -> Page.t -> unit;
+  store : (int * Page.t) list -> unit;
+  allocate : unit -> int;
+  generation : unit -> int;
+}
+
+type frame = { page : Page.t; mutable dirty : bool; mutable touched : int }
+
+type t = {
+  source : source;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t;
+  mutable clock : int;
+  mutable seen_generation : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 2000) source =
+  {
+    source;
+    capacity;
+    frames = Hashtbl.create (min capacity 256);
+    clock = 0;
+    seen_generation = source.generation ();
+    hits = 0;
+    misses = 0;
+  }
+
+(* Another connection committed: our clean copies may be stale. Dirty
+   pages (our own in-flight transaction) are kept. *)
+let revalidate t =
+  let generation = t.source.generation () in
+  if generation <> t.seen_generation then begin
+    let stale =
+      Hashtbl.fold (fun id f acc -> if f.dirty then acc else id :: acc) t.frames []
+    in
+    List.iter (Hashtbl.remove t.frames) stale;
+    t.seen_generation <- generation
+  end
+
+let evict_if_needed t =
+  if Hashtbl.length t.frames >= t.capacity then begin
+    (* Evict the least recently touched clean page. *)
+    let victim = ref None in
+    Hashtbl.iter
+      (fun id f ->
+        if not f.dirty then
+          match !victim with
+          | Some (_, best) when best <= f.touched -> ()
+          | _ -> victim := Some (id, f.touched))
+      t.frames;
+    match !victim with
+    | Some (id, _) -> Hashtbl.remove t.frames id
+    | None -> () (* everything is dirty and pinned *)
+  end
+
+let load t id =
+  t.clock <- t.clock + 1;
+  match Hashtbl.find_opt t.frames id with
+  | Some f ->
+      t.hits <- t.hits + 1;
+      f.touched <- t.clock;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      evict_if_needed t;
+      let page = Page.create () in
+      t.source.fetch id page;
+      let f = { page; dirty = false; touched = t.clock } in
+      Hashtbl.replace t.frames id f;
+      f
+
+let get t id =
+  revalidate t;
+  (load t id).page
+
+let get_mut t id =
+  revalidate t;
+  let f = load t id in
+  f.dirty <- true;
+  f.page
+
+let allocate t =
+  revalidate t;
+  let id = t.source.allocate () in
+  t.clock <- t.clock + 1;
+  evict_if_needed t;
+  let f = { page = Page.create (); dirty = true; touched = t.clock } in
+  Hashtbl.replace t.frames id f;
+  (id, f.page)
+
+let commit t =
+  let dirty =
+    Hashtbl.fold (fun id f acc -> if f.dirty then (id, f.page) :: acc else acc)
+      t.frames []
+  in
+  if dirty <> [] then begin
+    t.source.store dirty;
+    List.iter (fun (id, _) -> (Hashtbl.find t.frames id).dirty <- false) dirty;
+    t.seen_generation <- t.source.generation ()
+  end
+
+let dirty_count t =
+  Hashtbl.fold (fun _ f acc -> if f.dirty then acc + 1 else acc) t.frames 0
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,45 @@
+(** Page cache connecting the access layers (B+tree, heap table) to the
+    storage/WAL below.
+
+    Two usage patterns, matching the paper's SQLite configurations:
+
+    - {b Reg}: each connection owns a private cache; committed changes of
+      other connections invalidate its clean pages via a generation
+      counter (the cost SQLiteReg pays instead of page contention).
+    - {b Mem}: one unbounded shared cache {e is} the database; all access
+      is serialised by the engine's global lock, reproducing the shared
+      page cache contention the paper observes for SQLiteMem.
+
+    A cache instance is not thread-safe; the {!Db} layer guarantees each
+    instance is used by one thread at a time. *)
+
+type source = {
+  fetch : int -> Page.t -> unit;  (** read a committed page image *)
+  store : (int * Page.t) list -> unit;  (** commit a dirty set *)
+  allocate : unit -> int;  (** extend the database by one page *)
+  generation : unit -> int;  (** bumped by every commit, any connection *)
+}
+
+type t
+
+val create : ?capacity:int -> source -> t
+(** [capacity] bounds cached pages (default 2000, like SQLite); dirty
+    pages are pinned and never evicted before {!commit}. *)
+
+val get : t -> int -> Page.t
+(** Cached image of a page for reading. The returned buffer is owned by
+    the cache; do not mutate it (use {!get_mut}). *)
+
+val get_mut : t -> int -> Page.t
+(** Like {!get} but marks the page dirty for the next {!commit}. *)
+
+val allocate : t -> int * Page.t
+(** Fresh page, already dirty. *)
+
+val commit : t -> unit
+(** Push the dirty set to the source and resynchronise with its
+    generation. No-op when nothing is dirty. *)
+
+val dirty_count : t -> int
+val hits : t -> int
+val misses : t -> int

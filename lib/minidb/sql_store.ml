@@ -1,0 +1,85 @@
+let marker = min_int
+
+module Make (M : sig
+  val mode : Db.mode
+  val name : string
+end) =
+struct
+  type key = int
+  type value = int
+
+  type t = {
+    db : Db.t;
+    ctx : Mvdict.Version.t;
+    conn_key : Db.conn Domain.DLS.key;
+  }
+
+  let name = M.name
+
+  let wrap db ~clock =
+    {
+      db;
+      ctx = Mvdict.Version.restore ~clock ~fc:0;
+      conn_key = Domain.DLS.new_key (fun () -> Db.connect db);
+    }
+
+  let create () = wrap (Db.create M.mode) ~clock:0
+  let conn t = Domain.DLS.get t.conn_key
+  let db t = t.db
+
+  let insert t key value =
+    if value = marker then invalid_arg (name ^ ": value out of allowable range");
+    let version = Mvdict.Version.stamp t.ctx in
+    Db.insert_row (conn t) ~version ~key ~value
+
+  let remove t key =
+    let version = Mvdict.Version.stamp t.ctx in
+    Db.insert_row (conn t) ~version ~key ~value:marker
+
+  let tag t = Mvdict.Version.tag t.ctx
+  let current_version t = Mvdict.Version.current t.ctx
+
+  let find t ?(version = max_int) key =
+    match Db.find_row (conn t) ~key ~version with
+    | Some (_, value) when value <> marker -> Some value
+    | Some _ | None -> None
+
+  let extract_history t key =
+    List.map
+      (fun (version, value) ->
+        if value = marker then (version, Mvdict.Dict_intf.Del)
+        else (version, Mvdict.Dict_intf.Put value))
+      (Db.history_rows (conn t) ~key)
+
+  let iter_snapshot t ?(version = max_int) f =
+    Db.iter_snapshot_rows (conn t) ~version (fun key _row_version value ->
+        if value <> marker then f key value)
+
+  let iter_range t ?(version = max_int) ~lo ~hi f =
+    Db.iter_range_rows (conn t) ~lo ~hi ~version (fun key _row_version value ->
+        if value <> marker then f key value)
+
+  let extract_snapshot t ?version () =
+    let acc = ref [] in
+    iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
+    let a = Array.of_list !acc in
+    let n = Array.length a in
+    Array.init n (fun i -> a.(n - 1 - i))
+
+  let key_count t = Db.distinct_keys (conn t)
+
+  let reopen t =
+    let db = Db.reopen t.db in
+    let clock = Db.max_version (Db.connect db) in
+    wrap db ~clock
+end
+
+module Reg = Make (struct
+  let mode = Db.Reg
+  let name = "SQLiteReg"
+end)
+
+module Mem = Make (struct
+  let mode = Db.Mem
+  let name = "SQLiteMem"
+end)

@@ -1,0 +1,26 @@
+(** SQLiteReg / SQLiteMem — the database-engine baselines (Sec. V-B),
+    implementing the multi-version dictionary API over the minidb engine.
+
+    The schema is the paper's: one table whose rows are insertions and
+    removals [(version, key, value)], a removal being a row whose value
+    is a marker outside the allowable range ([min_int]); queries are
+    index-backed selects. Connections are per-domain (one SQLite
+    connection per thread, as the paper's benchmark does). Values must
+    be greater than [min_int]. *)
+
+module Reg : sig
+  include Mvdict.Dict_intf.S with type key = int and type value = int
+
+  val create : unit -> t
+  val reopen : t -> t
+  (** Restart: cold caches over the persisted storage + WAL (Fig. 5b). *)
+
+  val db : t -> Db.t
+end
+
+module Mem : sig
+  include Mvdict.Dict_intf.S with type key = int and type value = int
+
+  val create : unit -> t
+  val db : t -> Db.t
+end

@@ -1,0 +1,47 @@
+(* Row page layout: u16 type (=3) @0, u16 count @2, rows of 24 bytes from
+   offset 16. Row id = page * rows_per_page + slot. *)
+
+let header_bytes = 16
+let row_bytes = 24
+let rows_per_page = (Page.size - header_bytes) / row_bytes
+let row_tag = 3
+
+type t = { cache : Pagecache.t; mutable tail : int; mutable rows : int }
+
+let init_page page =
+  Page.set_u16 page 0 row_tag;
+  Page.set_u16 page 2 0
+
+let create cache =
+  let id, page = Pagecache.allocate cache in
+  init_page page;
+  { cache; tail = id; rows = 0 }
+
+let attach cache ~tail ~row_count = { cache; tail; rows = row_count }
+let tail t = t.tail
+let row_count t = t.rows
+
+let append t ~version ~key ~value =
+  let slot = t.rows mod rows_per_page in
+  let page_id, page =
+    if slot = 0 && t.rows > 0 then begin
+      let id, page = Pagecache.allocate t.cache in
+      init_page page;
+      t.tail <- id;
+      (id, page)
+    end
+    else (t.tail, Pagecache.get_mut t.cache t.tail)
+  in
+  let off = header_bytes + (slot * row_bytes) in
+  Page.set_i64 page off version;
+  Page.set_i64 page (off + 8) key;
+  Page.set_i64 page (off + 16) value;
+  Page.set_u16 page 2 (slot + 1);
+  t.rows <- t.rows + 1;
+  page_id * rows_per_page + slot
+
+let fetch t rowid =
+  let page_id = rowid / rows_per_page and slot = rowid mod rows_per_page in
+  let page = Pagecache.get t.cache page_id in
+  let off = header_bytes + (slot * row_bytes) in
+  (Page.get_i64 page off, Page.get_i64 page (off + 8), Page.get_i64 page (off + 16))

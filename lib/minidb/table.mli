@@ -1,0 +1,25 @@
+(** Heap table of [(version, key, value)] rows.
+
+    Rows are appended, never updated or deleted — the multi-version
+    schema turns every mutation into a row insert. A row id encodes its
+    page and slot, so fetches are a single page access (the second page
+    touched by a find query, after the index seek). *)
+
+type t
+
+val rows_per_page : int
+
+val create : Pagecache.t -> t
+(** Allocate the first row page. *)
+
+val attach : Pagecache.t -> tail:int -> row_count:int -> t
+(** Re-attach from header state. *)
+
+val tail : t -> int
+val row_count : t -> int
+
+val append : t -> version:int -> key:int -> value:int -> int
+(** Append a row; returns its row id. *)
+
+val fetch : t -> int -> int * int * int
+(** [(version, key, value)] of a row id. *)

@@ -1,0 +1,71 @@
+(** The multi-version ordered dictionary API (Table 1 of the paper).
+
+    All implementations — the persistent PSkipList, the ephemeral
+    ESkipList and LockedMap baselines, and the SQL-engine-backed stores in
+    [lib/minidb] — satisfy {!S}, so benchmarks and tests are written once
+    against the signature. *)
+
+(** One step in a key's history. *)
+type 'v event =
+  | Put of 'v  (** the key was inserted / updated with this value *)
+  | Del  (** the key was removed *)
+
+let pp_event pp_value fmt = function
+  | Put v -> Format.fprintf fmt "put %a" pp_value v
+  | Del -> Format.pp_print_string fmt "del"
+
+let equal_event equal_value a b =
+  match (a, b) with
+  | Put x, Put y -> equal_value x y
+  | Del, Del -> true
+  | Put _, Del | Del, Put _ -> false
+
+module type S = sig
+  type t
+  type key
+  type value
+
+  val name : string
+  (** Display name used by benchmarks ("PSkipList", "SQLiteReg", ...). *)
+
+  val insert : t -> key -> value -> unit
+  (** Bind [key] to [value] in the next snapshot. Inserting an existing
+      key updates it (equivalent to a remove + insert, per Sec. V-D). *)
+
+  val remove : t -> key -> unit
+  (** Remove [key] from the next snapshot (appends a removal marker;
+      removing an absent key is a no-op in every visible snapshot). *)
+
+  val tag : t -> int
+  (** Commit the operations issued so far as an immutable snapshot and
+      return its version number (1, 2, ...). *)
+
+  val current_version : t -> int
+  (** Latest committed version; 0 before the first {!tag}. *)
+
+  val find : t -> ?version:int -> key -> value option
+  (** Value of [key] in snapshot [version] (default: the current state,
+      including not-yet-tagged operations). [None] if absent or
+      removed. *)
+
+  val extract_history : t -> key -> (int * value event) list
+  (** Evolution of [key]: the versions at which it was inserted, updated
+      or removed, oldest first. *)
+
+  val extract_snapshot : t -> ?version:int -> unit -> (key * value) array
+  (** All live key-value pairs of snapshot [version], in ascending key
+      order. *)
+
+  val iter_snapshot : t -> ?version:int -> (key -> value -> unit) -> unit
+  (** Iterate snapshot [version] in ascending key order without
+      materialising it. *)
+
+  val iter_range : t -> ?version:int -> lo:key -> hi:key -> (key -> value -> unit) -> unit
+  (** Iterate the live pairs of snapshot [version] whose keys fall in
+      [lo, hi), ascending. Ordered range scans are what distinguish this
+      store from unordered key-value stores (Sec. I). *)
+
+  val key_count : t -> int
+  (** Number of distinct keys ever inserted (the index cardinality
+      N_k of the complexity analysis). *)
+end

@@ -1,0 +1,86 @@
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) (V : sig
+  type t
+end) =
+struct
+  module EH = Ehistory.Make (V)
+
+  type key = K.t
+  type value = V.t
+
+  type t = {
+    index : (K.t, EH.t) Concurrent.Skiplist.t;
+    ctx : Version.t;
+    board : Completion.t;
+  }
+
+  let name = "ESkipList"
+
+  let create () =
+    let ctx = Version.create () in
+    { index = Concurrent.Skiplist.create ~compare:K.compare ();
+      ctx;
+      board = Completion.create ctx }
+
+  let history_of t key =
+    match
+      Concurrent.Skiplist.find_or_insert t.index key ~make:EH.create
+    with
+    | Concurrent.Skiplist.Added h | Found h | Raced { existing = h; _ } -> h
+    (* A raced speculative history was never linked nor appended to; the
+       GC reclaims it — nothing to clean up in the ephemeral store. *)
+
+  let append t key value =
+    let version = Version.stamp t.ctx in
+    EH.H.append (history_of t key) ~ctx:t.ctx ~board:t.board ~version value
+
+  let insert t key value = append t key (Some value)
+  let remove t key = append t key None
+  let tag t = Version.tag t.ctx
+  let current_version t = Version.current t.ctx
+
+  let find t ?(version = max_int) key =
+    match Concurrent.Skiplist.find t.index key with
+    | None -> None
+    | Some h -> (
+        match EH.H.find h ~ctx:t.ctx ~version with
+        | EH.H.Absent | EH.H.Entry (_, None) -> None
+        | EH.H.Entry (_, Some v) -> Some v)
+
+  let extract_history t key =
+    match Concurrent.Skiplist.find t.index key with
+    | None -> []
+    | Some h ->
+        List.map
+          (fun (version, value) ->
+            match value with
+            | Some v -> (version, Dict_intf.Put v)
+            | None -> (version, Dict_intf.Del))
+          (EH.H.events h ~ctx:t.ctx)
+
+  let iter_snapshot t ?(version = max_int) f =
+    Concurrent.Skiplist.iter t.index (fun key h ->
+        match EH.H.find h ~ctx:t.ctx ~version with
+        | EH.H.Absent | EH.H.Entry (_, None) -> ()
+        | EH.H.Entry (_, Some v) -> f key v)
+
+  let iter_range t ?(version = max_int) ~lo ~hi f =
+    Concurrent.Skiplist.iter_range t.index ~lo ~hi (fun key h ->
+        match EH.H.find h ~ctx:t.ctx ~version with
+        | EH.H.Absent | EH.H.Entry (_, None) -> ()
+        | EH.H.Entry (_, Some v) -> f key v)
+
+  let extract_snapshot t ?version () =
+    let acc = ref [] in
+    iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
+    let a = Array.of_list !acc in
+    (* Collected in descending key order; restore ascending. *)
+    let n = Array.length a in
+    let sorted = Array.init n (fun i -> a.(n - 1 - i)) in
+    sorted
+
+  let key_count t = Concurrent.Skiplist.cardinal t.index
+end

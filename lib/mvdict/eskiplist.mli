@@ -1,0 +1,19 @@
+(** ESkipList — the ephemeral upper-bound baseline (Sec. V-B).
+
+    Combines every optimization of the paper's proposal — lock-free
+    skip-list index, per-key lock-free version histories with lazy tails
+    — but keeps everything in RAM: no persistence, hence no flush/fence
+    cost. The experiments use it as the ceiling that PSkipList is
+    measured against. *)
+
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) (V : sig
+  type t
+end) : sig
+  include Dict_intf.S with type key = K.t and type value = V.t
+
+  val create : unit -> t
+end

@@ -1,0 +1,94 @@
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) (V : sig
+  type t
+end) =
+struct
+  module EH = Ehistory.Make (V)
+
+  type key = K.t
+  type value = V.t
+
+  type t = {
+    map : (K.t, EH.t) Concurrent.Rbtree.t;
+    lock : Mutex.t;
+    ctx : Version.t;
+    board : Completion.t;
+  }
+
+  let name = "LockedMap"
+
+  let create () =
+    let ctx = Version.create () in
+    { map = Concurrent.Rbtree.create ~compare:K.compare ();
+      lock = Mutex.create ();
+      ctx;
+      board = Completion.create ctx }
+
+  let with_lock t f =
+    Mutex.lock t.lock;
+    match f () with
+    | result ->
+        Mutex.unlock t.lock;
+        result
+    | exception e ->
+        Mutex.unlock t.lock;
+        raise e
+
+  let append t key value =
+    let version = Version.stamp t.ctx in
+    let h = with_lock t (fun () -> Concurrent.Rbtree.find_or_insert t.map key ~make:EH.create) in
+    (* The history itself is lock-free; only the index is serialised. *)
+    EH.H.append h ~ctx:t.ctx ~board:t.board ~version value
+
+  let insert t key value = append t key (Some value)
+  let remove t key = append t key None
+  let tag t = Version.tag t.ctx
+  let current_version t = Version.current t.ctx
+
+  let find t ?(version = max_int) key =
+    match with_lock t (fun () -> Concurrent.Rbtree.find t.map key) with
+    | None -> None
+    | Some h -> (
+        match EH.H.find h ~ctx:t.ctx ~version with
+        | EH.H.Absent | EH.H.Entry (_, None) -> None
+        | EH.H.Entry (_, Some v) -> Some v)
+
+  let extract_history t key =
+    match with_lock t (fun () -> Concurrent.Rbtree.find t.map key) with
+    | None -> []
+    | Some h ->
+        List.map
+          (fun (version, value) ->
+            match value with
+            | Some v -> (version, Dict_intf.Put v)
+            | None -> (version, Dict_intf.Del))
+          (EH.H.events h ~ctx:t.ctx)
+
+  let iter_snapshot t ?(version = max_int) f =
+    (* The whole ordered walk holds the lock — the behaviour the paper's
+       extract-snapshot experiment punishes. *)
+    with_lock t (fun () ->
+        Concurrent.Rbtree.iter t.map (fun key h ->
+            match EH.H.find h ~ctx:t.ctx ~version with
+            | EH.H.Absent | EH.H.Entry (_, None) -> ()
+            | EH.H.Entry (_, Some v) -> f key v))
+
+  let iter_range t ?(version = max_int) ~lo ~hi f =
+    with_lock t (fun () ->
+        Concurrent.Rbtree.iter_range t.map ~lo ~hi (fun key h ->
+            match EH.H.find h ~ctx:t.ctx ~version with
+            | EH.H.Absent | EH.H.Entry (_, None) -> ()
+            | EH.H.Entry (_, Some v) -> f key v))
+
+  let extract_snapshot t ?version () =
+    let acc = ref [] in
+    iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
+    let a = Array.of_list !acc in
+    let n = Array.length a in
+    Array.init n (fun i -> a.(n - 1 - i))
+
+  let key_count t = with_lock t (fun () -> Concurrent.Rbtree.cardinal t.map)
+end

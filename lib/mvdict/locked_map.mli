@@ -1,0 +1,20 @@
+(** LockedMap — the lock-based baseline (Sec. V-B).
+
+    A red-black tree (the typical [std::map] implementation) maps each
+    key to a lock-free version history; every index access — insert
+    lookup, find, ordered iteration — takes a global mutex. The paper
+    includes it to show what a straightforward extension of a standard
+    ordered map costs under concurrency: fastest single-threaded, heavy
+    degradation as threads are added. *)
+
+module Make (K : sig
+  type t
+
+  val compare : t -> t -> int
+end) (V : sig
+  type t
+end) : sig
+  include Dict_intf.S with type key = K.t and type value = V.t
+
+  val create : unit -> t
+end

@@ -1,0 +1,44 @@
+(** Persistent-memory history backend: {!Lazy_tail.BACKEND} over a
+    {!Pmem.Pvector} of [(version, value-word, finished)] records.
+
+    Values are {!Codec} words (inline payloads or blob pointers; 0 is the
+    removal marker), so a history entry costs 24 bytes of persistent
+    memory and — for inline values — zero allocations on the append path.
+
+    Persist ordering per entry: version+value words first, completion
+    stamp last; recovery treats a slot as present iff its stamp is
+    non-zero and globally contiguous. *)
+
+module Backend : Lazy_tail.BACKEND with type value = int
+
+module H : module type of Lazy_tail.Make (Backend)
+
+type t = H.t
+
+val record_words : int
+
+val create : Pmem.Pheap.t -> t
+(** Fresh empty history (initial capacity 2 records). *)
+
+val handle : t -> Pmem.Pptr.t
+(** Persistent handle for the key block chain. *)
+
+val destroy : Pmem.Pheap.t -> t -> unit
+(** Recycle an unregistered history (the loser of an index insert race).
+    Must never be called on a history reachable from the key chain. *)
+
+val scan_persisted : Pmem.Pheap.t -> Pmem.Pptr.t -> (int * int * int) array
+(** [scan_persisted heap handle] returns the raw [(version, word, stamp)]
+    records of the contiguous finished prefix as persisted — the input to
+    recovery ({!Recovery.recover_fc}). *)
+
+val rewrite_offline : t -> (int * int * int) array -> unit
+(** Overwrite the persisted records with the given [(version, word,
+    stamp)] array from slot 0, zeroing the remainder, and reset the
+    ephemeral cursors. Offline only (compaction). *)
+
+val attach_pruned : Pmem.Pheap.t -> Pmem.Pptr.t -> fc:int -> t * int
+(** Re-attach after restart: truncate the persisted history to the
+    longest prefix whose stamps are all [<= fc] (zeroing any entries
+    beyond it, as the paper prescribes), and return the wrapped history
+    plus the highest retained version (for clock recovery). *)

@@ -1,0 +1,222 @@
+module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
+  type key = K.t
+  type value = V.t
+
+  type t = {
+    heap : Pmem.Pheap.t;
+    media : Pmem.Media.t;
+    chain : Pmem.Pblockchain.t;
+    index : (K.t, Phistory.t) Concurrent.Skiplist.t;
+    ctx : Version.t;
+    mutable board : Completion.t;
+    recovered_fc : int;
+  }
+
+  let name = "PSkipList"
+  let chain_root_slot = 0
+
+  let make_store heap chain ctx recovered_fc =
+    {
+      heap;
+      media = Pmem.Pheap.media heap;
+      chain;
+      index = Concurrent.Skiplist.create ~compare:K.compare ();
+      ctx;
+      board = Completion.create ctx;
+      recovered_fc;
+    }
+
+  let create ?(block_slots = 64) heap =
+    if not (Pmem.Pptr.is_null (Pmem.Pheap.root_get heap chain_root_slot)) then
+      invalid_arg "Pskiplist.create: heap already holds a store (use open_existing)";
+    let chain = Pmem.Pblockchain.create heap ~block_slots in
+    Pmem.Pheap.root_set heap chain_root_slot (Pmem.Pblockchain.handle chain);
+    make_store heap chain (Version.create ()) 0
+
+  (* Index lookup with insert-if-absent. A freshly won history is
+     registered in the persistent key chain; a raced speculative one is
+     recycled (the paper: "the slower thread needs to detect this
+     situation and clean up accordingly, then reuse the pointer of the
+     faster thread"). *)
+  let history_of t key =
+    match
+      Concurrent.Skiplist.find_or_insert t.index key ~make:(fun () ->
+          Phistory.create t.heap)
+    with
+    | Concurrent.Skiplist.Found h -> h
+    | Concurrent.Skiplist.Added h ->
+        Pmem.Pblockchain.append t.chain
+          ~key:(Codec.encode (module K) t.heap key)
+          ~hist:(Phistory.handle h);
+        h
+    | Concurrent.Skiplist.Raced { made; existing } ->
+        Phistory.destroy t.heap made;
+        existing
+
+  let append t key value_word =
+    let version = Version.stamp t.ctx in
+    Phistory.H.append (history_of t key) ~ctx:t.ctx ~board:t.board ~version
+      value_word
+
+  let insert t key value = append t key (Codec.encode (module V) t.heap value)
+  let remove t key = append t key Codec.marker_word
+  let tag t = Version.tag t.ctx
+  let current_version t = Version.current t.ctx
+
+  let lookup_value t h version =
+    match Phistory.H.find h ~ctx:t.ctx ~version with
+    | Phistory.H.Absent -> None
+    | Phistory.H.Entry (_, word) ->
+        if Codec.is_marker word then None
+        else Some (Codec.decode (module V) t.media word)
+
+  let find t ?(version = max_int) key =
+    match Concurrent.Skiplist.find t.index key with
+    | None -> None
+    | Some h -> lookup_value t h version
+
+  let extract_history t key =
+    match Concurrent.Skiplist.find t.index key with
+    | None -> []
+    | Some h ->
+        List.map
+          (fun (version, word) ->
+            if Codec.is_marker word then (version, Dict_intf.Del)
+            else (version, Dict_intf.Put (Codec.decode (module V) t.media word)))
+          (Phistory.H.events h ~ctx:t.ctx)
+
+  let iter_snapshot t ?(version = max_int) f =
+    Concurrent.Skiplist.iter t.index (fun key h ->
+        match lookup_value t h version with
+        | Some v -> f key v
+        | None -> ())
+
+  let iter_range t ?(version = max_int) ~lo ~hi f =
+    Concurrent.Skiplist.iter_range t.index ~lo ~hi (fun key h ->
+        match lookup_value t h version with
+        | Some v -> f key v
+        | None -> ())
+
+  let extract_snapshot t ?version () =
+    let acc = ref [] in
+    iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
+    let a = Array.of_list !acc in
+    let n = Array.length a in
+    Array.init n (fun i -> a.(n - 1 - i))
+
+  let key_count t = Concurrent.Skiplist.cardinal t.index
+
+  let open_existing ?(threads = 1) heap =
+    let chain_handle = Pmem.Pheap.root_get heap chain_root_slot in
+    if Pmem.Pptr.is_null chain_handle then
+      invalid_arg "Pskiplist.open_existing: heap holds no store";
+    let chain = Pmem.Pblockchain.attach heap chain_handle in
+    (* Pass 1 — gather the completion stamps of every contiguous
+       finished prefix and recover the global finished counter. *)
+    let stamps = ref [] in
+    let stamp_count = ref 0 in
+    Pmem.Pblockchain.iter_slots chain (fun ~key:_ ~hist ->
+        Array.iter
+          (fun (_, _, stamp) ->
+            stamps := stamp :: !stamps;
+            incr stamp_count)
+          (Phistory.scan_persisted heap hist));
+    let stamp_array = Array.make !stamp_count 0 in
+    List.iteri (fun i s -> stamp_array.(i) <- s) !stamps;
+    let fc = Recovery.recover_fc stamp_array in
+    (* Pass 2 — prune beyond [fc] and rebuild the index in parallel:
+       thread [tid] claims the chain blocks with index = tid mod threads
+       and bulk-inserts their keys. *)
+    let store = make_store heap chain (Version.create ()) fc in
+    let blocks = Pmem.Pblockchain.block_offsets chain in
+    let slots = Pmem.Pblockchain.block_slots chain in
+    let max_versions =
+      Concurrent.Parallel.run ~threads (fun tid ->
+          let highest = ref 0 in
+          List.iter
+            (fun bi ->
+              for s = 0 to slots - 1 do
+                match Pmem.Pblockchain.read_slot chain blocks.(bi) s with
+                | None -> ()
+                | Some (key_word, hist_handle) ->
+                    let key = Codec.decode (module K) store.media key_word in
+                    let h, maxv = Phistory.attach_pruned heap hist_handle ~fc in
+                    if maxv > !highest then highest := maxv;
+                    (match
+                       Concurrent.Skiplist.find_or_insert store.index key
+                         ~make:(fun () -> h)
+                     with
+                    | Concurrent.Skiplist.Added _ | Found _ | Raced _ -> ())
+              done)
+            (Recovery.plan_blocks ~blocks:(Array.length blocks) ~threads ~tid);
+          !highest)
+    in
+    let clock = Array.fold_left max 0 max_versions in
+    let ctx = Version.restore ~clock ~fc in
+    {
+      store with
+      ctx;
+      board = Completion.create ctx;
+    }
+
+  let heap t = t.heap
+
+  (* Offline GC (see interface). Retained entries keep their relative
+     order; their completion stamps are renumbered to 1..M globally (in
+     old-stamp order) so the contiguous-prefix recovery invariant holds
+     after a crash. *)
+  let compact t ~before =
+    let dropped = ref 0 in
+    let histories = ref [] in
+    Concurrent.Skiplist.iter t.index (fun _ h ->
+        let raw = Phistory.scan_persisted t.heap (Phistory.handle h) in
+        let n = Array.length raw in
+        (* Rightmost entry with version <= before, if any. *)
+        let floor_idx = ref (-1) in
+        Array.iteri
+          (fun i (version, _, _) -> if version <= before then floor_idx := i)
+          raw;
+        let keep i (_, word, _) =
+          if i > !floor_idx then true
+          else if i = !floor_idx then not (Codec.is_marker word)
+          else false
+        in
+        let kept = ref [] in
+        for i = n - 1 downto 0 do
+          let ((_, word, _) as entry) = raw.(i) in
+          if keep i entry then kept := entry :: !kept
+          else begin
+            incr dropped;
+            Codec.free_word t.heap word
+          end
+        done;
+        histories := (h, Array.of_list !kept) :: !histories);
+    (* Renumber stamps globally in old-stamp order. *)
+    let flat = ref [] in
+    List.iter
+      (fun (_, kept) ->
+        Array.iteri (fun i (_, _, stamp) -> flat := (stamp, kept, i) :: !flat)
+        kept)
+      !histories;
+    let order = Array.of_list !flat in
+    Array.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) order;
+    Array.iteri
+      (fun rank (_, kept, i) ->
+        let version, word, _ = kept.(i) in
+        kept.(i) <- (version, word, rank + 1))
+      order;
+    List.iter (fun (h, kept) -> Phistory.rewrite_offline h kept) !histories;
+    let fc = Array.length order in
+    Version.reset_completed_offline t.ctx ~fc;
+    (* The board may hold stale stamps that collide with the renumbered
+       sequence; replace it. *)
+    t.board <- Completion.create t.ctx;
+    !dropped
+
+  let history_words t key =
+    match Concurrent.Skiplist.find t.index key with
+    | None -> [||]
+    | Some h -> Phistory.scan_persisted t.heap (Phistory.handle h)
+
+  let recovered_fc t = t.recovered_fc
+end

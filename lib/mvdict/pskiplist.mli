@@ -1,0 +1,53 @@
+(** PSkipList — the paper's proposal (Sec. IV).
+
+    A hybrid multi-version ordered key-value store:
+
+    - the {e compact representation} — per-key version histories and the
+      key block chain — lives in persistent memory ({!Pmem}) and survives
+      crashes and restarts;
+    - the {e ordered index} — a lock-free skip list mapping keys to their
+      histories — is ephemeral and is reconstructed in parallel on
+      restart by dealing the chain's blocks round-robin to threads;
+    - appends use the lazy-tail protocol (claim a slot with a fetch-add,
+      write in parallel, publish a completion stamp), never a transaction
+      or a lock.
+
+    Keys and values go through {!Codec}: integers are stored inline (no
+    allocation on the hot path); arbitrary data becomes blobs. *)
+
+module Make (K : Codec.KEY) (V : Codec.VALUE) : sig
+  include Dict_intf.S with type key = K.t and type value = V.t
+
+  val create : ?block_slots:int -> Pmem.Pheap.t -> t
+  (** Format a store in a fresh heap (root slot 0). [block_slots] is the
+      key-chain block size (default 64). *)
+
+  val open_existing : ?threads:int -> Pmem.Pheap.t -> t
+  (** Restart path: recover the global finished counter from the
+      persisted stamps, prune entries beyond it, and rebuild the
+      skip-list index with [threads] reconstruction threads
+      (default 1). *)
+
+  val heap : t -> Pmem.Pheap.t
+
+  val compact : t -> before:int -> int
+  (** Garbage-collect history entries no retained snapshot can observe
+      (the aging/GC extension the paper leaves as future work): for each
+      key, entries superseded by a later entry with version <= [before]
+      are dropped and their value blobs recycled; a floor entry that is
+      a removal marker is dropped too. Snapshots at or after [before]
+      are preserved exactly; older snapshots become unfaithful (a key
+      whose last pre-[before] change came after the queried version now
+      reads as absent — the usual contract of version GC). The persisted
+      completion stamps are renumbered globally so crash recovery keeps
+      working. Offline: must not run concurrently with any other
+      operation on the store. Returns the number of entries dropped. *)
+
+  val history_words : t -> key -> (int * int * int) array
+  (** Raw persisted [(version, word, stamp)] records of a key's history
+      (test/diagnostic hook). *)
+
+  val recovered_fc : t -> int
+  (** The finished-counter value recovered at [open_existing] time (0
+      for a freshly created store); test hook. *)
+end

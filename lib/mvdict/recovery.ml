@@ -1,0 +1,23 @@
+let recover_fc stamps =
+  let n = Array.length stamps in
+  if n = 0 then 0
+  else begin
+    (* Mark which stamps in [1, n] are present; any stamp above [n]
+       cannot belong to the complete prefix {1..G} since G <= n. *)
+    let present = Bytes.make (n + 1) '\000' in
+    Array.iter
+      (fun s -> if s >= 1 && s <= n then Bytes.set present s '\001')
+      stamps;
+    let rec scan g =
+      if g < n && Bytes.get present (g + 1) = '\001' then scan (g + 1) else g
+    in
+    scan 0
+  end
+
+let plan_blocks ~blocks ~threads ~tid =
+  if threads < 1 || tid < 0 || tid >= threads then
+    invalid_arg "Recovery.plan_blocks";
+  let rec collect i acc =
+    if i >= blocks then List.rev acc else collect (i + threads) (i :: acc)
+  in
+  collect tid []

@@ -1,0 +1,22 @@
+(** Restart/crash recovery logic (Sec. IV-B).
+
+    On restart the ephemeral counters of Algorithm 1 are rebuilt from the
+    persisted completion stamps: "it is enough to count the length of all
+    contiguous non-zero finished sequences of all keys to recover fc,
+    then prune all finished entries larger than fc and adjust tail and
+    pending accordingly for each key".
+
+    The pure core is {!recover_fc}; the store drives the scanning and
+    pruning around it. *)
+
+val recover_fc : int array -> int
+(** [recover_fc stamps] is the largest [G] such that every stamp in
+    [1..G] occurs in [stamps] (the stamps gathered from the contiguous
+    finished prefixes of all histories). Entries stamped above [G]
+    completed out of order with a crashed earlier append and must be
+    pruned for snapshot consistency. *)
+
+val plan_blocks : blocks:int -> threads:int -> tid:int -> int list
+(** Round-robin block distribution for parallel index reconstruction:
+    the block indices thread [tid] of [threads] claims ([i mod threads =
+    tid]), ascending. *)

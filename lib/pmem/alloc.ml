@@ -1,0 +1,129 @@
+(* On-media layout at [base_off]:
+     +0   bump pointer (next fresh block offset)
+     +8   heap_end
+     +16  free-list heads, one word per size class (intrusive lists: the
+          first word of a free block holds the offset of the next one)
+   Every mutation is persisted before [alloc]/[free] returns, so a crash
+   can only leak the block being handed out, never double-allocate it. *)
+
+let size_classes =
+  [| 16; 24; 32; 48; 64; 96; 128; 192; 256; 384; 512; 1024; 2048; 4096 |]
+
+let num_classes = Array.length size_classes
+let header_size = 16 + (8 * num_classes)
+
+type t = {
+  media : Media.t;
+  base_off : int;
+  lock : Mutex.t;
+}
+
+let bump_off t = t.base_off
+let end_off t = t.base_off + 8
+let class_head_off t c = t.base_off + 16 + (8 * c)
+
+let format media ~base_off ~heap_end =
+  if base_off land 7 <> 0 then invalid_arg "Alloc.format: unaligned base";
+  let start = base_off + header_size in
+  if heap_end <= start then invalid_arg "Alloc.format: empty heap range";
+  let t = { media; base_off; lock = Mutex.create () } in
+  Media.set_i64 media (bump_off t) start;
+  Media.set_i64 media (end_off t) heap_end;
+  for c = 0 to num_classes - 1 do
+    Media.set_i64 media (class_head_off t c) Pptr.null
+  done;
+  Media.persist media base_off header_size;
+  t
+
+let attach media ~base_off =
+  let t = { media; base_off; lock = Mutex.create () } in
+  let bump = Media.get_i64 media (bump_off t) in
+  let heap_end = Media.get_i64 media (end_off t) in
+  if bump < base_off + header_size || heap_end > Media.capacity media || bump > heap_end
+  then invalid_arg "Alloc.attach: corrupt allocator header";
+  t
+
+(* Smallest class index serving [size], or None for oversized requests. *)
+let class_of_size size =
+  let rec scan c =
+    if c >= num_classes then None
+    else if size_classes.(c) >= size then Some c
+    else scan (c + 1)
+  in
+  scan 0
+
+let rounded_size size =
+  match class_of_size size with
+  | Some c -> size_classes.(c)
+  | None -> Pptr.align8 size
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | result ->
+      Mutex.unlock t.lock;
+      result
+  | exception e ->
+      Mutex.unlock t.lock;
+      raise e
+
+let pop_free_list t c =
+  let head_off = class_head_off t c in
+  let head = Media.get_i64 t.media head_off in
+  if Pptr.is_null head then Pptr.null
+  else begin
+    let next = Media.get_i64 t.media head in
+    Media.set_i64 t.media head_off next;
+    Media.persist t.media head_off 8;
+    head
+  end
+
+let alloc_fresh t size =
+  let bump = Media.get_i64 t.media (bump_off t) in
+  let heap_end = Media.get_i64 t.media (end_off t) in
+  if bump + size > heap_end then raise Out_of_memory;
+  Media.set_i64 t.media (bump_off t) (bump + size);
+  Media.persist t.media (bump_off t) 8;
+  bump
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Alloc.alloc: size must be positive";
+  let off =
+    with_lock t (fun () ->
+        match class_of_size size with
+        | Some c ->
+            let recycled = pop_free_list t c in
+            if Pptr.is_null recycled then alloc_fresh t size_classes.(c)
+            else recycled
+        | None -> alloc_fresh t (Pptr.align8 size))
+  in
+  Pstats.record_alloc (Media.stats t.media) ~bytes:(rounded_size size);
+  off
+
+let alloc_zeroed t size =
+  let off = alloc t size in
+  Media.fill t.media off (rounded_size size) '\000';
+  Media.persist t.media off (rounded_size size);
+  off
+
+let free t ptr size =
+  if Pptr.is_null ptr then invalid_arg "Alloc.free: null pointer";
+  match class_of_size size with
+  | None ->
+      (* Oversized blocks are leaked; see interface. *)
+      ()
+  | Some c ->
+      with_lock t (fun () ->
+          let head_off = class_head_off t c in
+          let head = Media.get_i64 t.media head_off in
+          Media.set_i64 t.media ptr head;
+          Media.persist t.media ptr 8;
+          Media.set_i64 t.media head_off ptr;
+          Media.persist t.media head_off 8;
+          Pstats.record_free (Media.stats t.media) ~bytes:size_classes.(c))
+
+let used_bytes t =
+  Media.get_i64 t.media (bump_off t) - (t.base_off + header_size)
+
+let remaining_bytes t =
+  Media.get_i64 t.media (end_off t) - Media.get_i64 t.media (bump_off t)

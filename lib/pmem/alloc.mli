@@ -1,0 +1,52 @@
+(** Persistent block allocator.
+
+    Sits directly above {!Media.t} and hands out 8-byte-aligned blocks.
+    The design follows PMDK's allocator in spirit but is simplified:
+
+    - a persisted bump pointer serves fresh blocks;
+    - freed blocks go to per-size-class free lists (persisted, intrusive:
+      the first word of a free block links to the next);
+    - allocation metadata is persisted before a block is handed out, so a
+      crash can at worst {e leak} blocks, never double-allocate them
+      (leaks are reclaimable offline; PMDK makes the same trade under
+      [POBJ_XALLOC_NO_FLUSH]).
+
+    Thread-safe: a single internal mutex serialises allocation, mirroring
+    the internal locking of real persistent allocators. The hot paths of
+    the store above avoid the allocator (inline values, block-chain slot
+    claims), exactly as the paper's design intends. *)
+
+type t
+
+val size_classes : int array
+(** Block sizes served from free lists; larger requests are rounded up to
+    a multiple of 8 and never recycled. *)
+
+val header_size : int
+(** Bytes reserved at [base_off] for allocator state. *)
+
+val format : Media.t -> base_off:int -> heap_end:int -> t
+(** Initialise allocator state on a fresh media. Blocks are served from
+    [\[base_off + header_size, heap_end)]. *)
+
+val attach : Media.t -> base_off:int -> t
+(** Recover allocator state persisted by {!format} from an existing
+    media (after restart or crash). *)
+
+val alloc : t -> int -> Pptr.t
+(** [alloc t size] returns a block of at least [size] bytes. The block
+    contents are NOT zeroed (recycled blocks carry stale bytes).
+    @raise Out_of_memory when the heap range is exhausted. *)
+
+val alloc_zeroed : t -> int -> Pptr.t
+(** Like {!alloc} but the block is zero-filled. *)
+
+val free : t -> Pptr.t -> int -> unit
+(** [free t ptr size] recycles a block previously returned by [alloc t
+    size]. Size-class requests are recycled; oversized blocks are leaked
+    (documented simplification). *)
+
+val used_bytes : t -> int
+(** Bytes between the start of the heap range and the bump pointer. *)
+
+val remaining_bytes : t -> int

@@ -1,0 +1,175 @@
+open Bigarray
+
+type mapped = (char, int8_unsigned_elt, c_layout) Array1.t
+
+(* RAM media use Bytes so word accesses compile to single 64-bit loads
+   (Bytes.{get,set}_int64_le are primitives); file media are mmapped
+   bigarrays and assemble words bytewise. *)
+type buffer = Ram_buf of Bytes.t | Map_buf of mapped
+
+type backing =
+  | Ram of { shadow : Bytes.t option }
+  | File of { fd : Unix.file_descr; path : string }
+
+type t = {
+  buf : buffer;
+  capacity : int;
+  backing : backing;
+  stats : Pstats.t;
+  mutable closed : bool;
+}
+
+let cache_line = 64
+
+let create_ram ?(crash_sim = false) ~capacity () =
+  if capacity <= 0 then invalid_arg "Media.create_ram: capacity must be positive";
+  let shadow = if crash_sim then Some (Bytes.make capacity '\000') else None in
+  {
+    buf = Ram_buf (Bytes.make capacity '\000');
+    capacity;
+    backing = Ram { shadow };
+    stats = Pstats.create ();
+    closed = false;
+  }
+
+let map_fd fd capacity =
+  let genarray = Unix.map_file fd char c_layout true [| capacity |] in
+  array1_of_genarray genarray
+
+let create_file ~path ~capacity =
+  if capacity <= 0 then invalid_arg "Media.create_file: capacity must be positive";
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Unix.ftruncate fd capacity;
+  let buf = Map_buf (map_fd fd capacity) in
+  { buf; capacity; backing = File { fd; path }; stats = Pstats.create (); closed = false }
+
+let open_file ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let capacity = (Unix.fstat fd).Unix.st_size in
+  if capacity = 0 then begin
+    Unix.close fd;
+    invalid_arg (Printf.sprintf "Media.open_file: %s is empty" path)
+  end;
+  let buf = Map_buf (map_fd fd capacity) in
+  { buf; capacity; backing = File { fd; path }; stats = Pstats.create (); closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backing with
+    | Ram _ -> ()
+    | File { fd; _ } -> Unix.close fd
+  end
+
+let capacity t = t.capacity
+let stats t = t.stats
+
+let is_file_backed t =
+  match t.backing with File _ -> true | Ram _ -> false
+
+let check_range t off len =
+  if off < 0 || len < 0 || off + len > t.capacity then
+    invalid_arg
+      (Printf.sprintf "Media: access [%d, %d) out of bounds (capacity %d)" off
+         (off + len) t.capacity)
+
+let get_i64 t off =
+  assert (off land 7 = 0);
+  check_range t off 8;
+  match t.buf with
+  | Ram_buf b -> Int64.to_int (Bytes.get_int64_le b off)
+  | Map_buf b ->
+      let byte i = Char.code (Array1.unsafe_get b (off + i)) in
+      byte 0
+      lor (byte 1 lsl 8)
+      lor (byte 2 lsl 16)
+      lor (byte 3 lsl 24)
+      lor (byte 4 lsl 32)
+      lor (byte 5 lsl 40)
+      lor (byte 6 lsl 48)
+      lor (byte 7 lsl 56)
+
+let set_i64 t off v =
+  assert (off land 7 = 0);
+  check_range t off 8;
+  match t.buf with
+  | Ram_buf b -> Bytes.set_int64_le b off (Int64.of_int v)
+  | Map_buf b ->
+      Array1.unsafe_set b off (Char.unsafe_chr (v land 0xff));
+      Array1.unsafe_set b (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xff));
+      Array1.unsafe_set b (off + 2) (Char.unsafe_chr ((v lsr 16) land 0xff));
+      Array1.unsafe_set b (off + 3) (Char.unsafe_chr ((v lsr 24) land 0xff));
+      Array1.unsafe_set b (off + 4) (Char.unsafe_chr ((v lsr 32) land 0xff));
+      Array1.unsafe_set b (off + 5) (Char.unsafe_chr ((v lsr 40) land 0xff));
+      Array1.unsafe_set b (off + 6) (Char.unsafe_chr ((v lsr 48) land 0xff));
+      Array1.unsafe_set b (off + 7) (Char.unsafe_chr ((v lsr 56) land 0x7f))
+
+let get_byte t off =
+  check_range t off 1;
+  match t.buf with
+  | Ram_buf b -> Char.code (Bytes.unsafe_get b off)
+  | Map_buf b -> Char.code (Array1.unsafe_get b off)
+
+let set_byte t off v =
+  check_range t off 1;
+  match t.buf with
+  | Ram_buf b -> Bytes.unsafe_set b off (Char.unsafe_chr (v land 0xff))
+  | Map_buf b -> Array1.unsafe_set b off (Char.unsafe_chr (v land 0xff))
+
+let read_bytes t off len =
+  check_range t off len;
+  match t.buf with
+  | Ram_buf b -> Bytes.sub b off len
+  | Map_buf b ->
+      let out = Bytes.create len in
+      for i = 0 to len - 1 do
+        Bytes.unsafe_set out i (Array1.unsafe_get b (off + i))
+      done;
+      out
+
+let write_bytes t off data =
+  let len = Bytes.length data in
+  check_range t off len;
+  match t.buf with
+  | Ram_buf b -> Bytes.blit data 0 b off len
+  | Map_buf b ->
+      for i = 0 to len - 1 do
+        Array1.unsafe_set b (off + i) (Bytes.unsafe_get data i)
+      done
+
+let fill t off len c =
+  check_range t off len;
+  match t.buf with
+  | Ram_buf b -> Bytes.fill b off len c
+  | Map_buf b ->
+      for i = off to off + len - 1 do
+        Array1.unsafe_set b i c
+      done
+
+let flush t off len =
+  check_range t off len;
+  if len > 0 then begin
+    let first = off / cache_line and last = (off + len - 1) / cache_line in
+    Pstats.record_flush t.stats ~lines:(last - first + 1);
+    match (t.backing, t.buf) with
+    | Ram { shadow = Some shadow }, Ram_buf b ->
+        let lo = first * cache_line in
+        let hi = min t.capacity ((last + 1) * cache_line) in
+        Bytes.blit b lo shadow lo (hi - lo)
+    | (Ram { shadow = None } | File _), _ | Ram { shadow = Some _ }, Map_buf _ -> ()
+  end
+
+let fence t = Pstats.record_fence t.stats
+
+let persist t off len =
+  flush t off len;
+  fence t
+
+let simulate_crash t =
+  match (t.backing, t.buf) with
+  | Ram { shadow = Some shadow }, Ram_buf b ->
+      Bytes.blit shadow 0 b 0 t.capacity
+  | Ram { shadow = None }, _ ->
+      invalid_arg "Media.simulate_crash: media created without crash_sim"
+  | File _, _ | Ram { shadow = Some _ }, Map_buf _ ->
+      invalid_arg "Media.simulate_crash: unsupported on file-backed media"

@@ -1,0 +1,72 @@
+(** Byte-addressable persistent-memory device emulation.
+
+    This is the bottom of the substrate that replaces Intel PMDK's mapped
+    persistent memory. A media is a flat byte range addressed by offsets,
+    backed either by RAM (volatile, optionally with crash simulation) or
+    by a memory-mapped file (survives process restart, like the paper's
+    [/dev/shm] PMDK pool).
+
+    Durability model: a store becomes durable only once the cache lines
+    covering it have been {!flush}ed and a {!fence} issued — exactly the
+    [clwb + sfence] discipline of real persistent memory. In
+    [crash_sim:true] mode the media keeps a shadow "durable image":
+    {!simulate_crash} discards every write that was not flushed, which is
+    how the test suite proves crash consistency of the layouts above.
+
+    Concurrency: distinct byte ranges may be written by different domains
+    concurrently. Same-word racing accesses must be coordinated by the
+    caller (the structures above use ephemeral atomics for that, as the
+    paper does). *)
+
+type t
+
+val cache_line : int
+(** Durability granularity in bytes (64, as on Optane). *)
+
+val create_ram : ?crash_sim:bool -> capacity:int -> unit -> t
+(** Volatile backing of [capacity] bytes, zero-initialised. With
+    [crash_sim] a durable shadow image is maintained by {!flush}. *)
+
+val create_file : path:string -> capacity:int -> t
+(** Create (truncating) a file-backed media of [capacity] bytes. *)
+
+val open_file : path:string -> t
+(** Map an existing file-backed media; capacity is the file size. *)
+
+val close : t -> unit
+(** Unmap/flush a file-backed media. RAM media: no-op. *)
+
+val capacity : t -> int
+val stats : t -> Pstats.t
+val is_file_backed : t -> bool
+
+(** {1 Typed accessors} — offsets are byte offsets; int64 accessors require
+    8-byte alignment (checked by assertion). *)
+
+val get_i64 : t -> int -> int
+val set_i64 : t -> int -> int -> unit
+(** Values are OCaml ints stored as little-endian 64-bit words (the top
+    bit is never used by the layouts above). *)
+
+val get_byte : t -> int -> int
+val set_byte : t -> int -> int -> unit
+
+val read_bytes : t -> int -> int -> Bytes.t
+val write_bytes : t -> int -> Bytes.t -> unit
+val fill : t -> int -> int -> char -> unit
+
+(** {1 Durability} *)
+
+val flush : t -> int -> int -> unit
+(** [flush t off len] makes the cache lines covering [off, off+len)
+    durable (updates the shadow image in crash-sim mode; counts lines). *)
+
+val fence : t -> unit
+(** Store fence; orders flushes. Counted. *)
+
+val persist : t -> int -> int -> unit
+(** [flush] followed by [fence]. *)
+
+val simulate_crash : t -> unit
+(** Crash-sim RAM media only: revert every non-durable write, as a power
+    failure would. Raises [Invalid_argument] otherwise. *)

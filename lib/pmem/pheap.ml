@@ -1,0 +1,62 @@
+(* Layout:
+     +0    magic
+     +8    layout version
+     +16   capacity at format time
+     +24   root slots (16 words)
+     +192  allocator header, then the allocatable range. *)
+
+let magic = 0x4d564b565f504d00 land max_int (* "MVKV_PM" *)
+let layout_version = 1
+let root_slots = 16
+let roots_off = 24
+let alloc_base = 192
+
+type t = { media : Media.t; alloc : Alloc.t }
+
+let create media =
+  let capacity = Media.capacity media in
+  if capacity < alloc_base + Alloc.header_size + 64 then
+    invalid_arg "Pheap.create: media too small";
+  Media.set_i64 media 8 layout_version;
+  Media.set_i64 media 16 capacity;
+  for i = 0 to root_slots - 1 do
+    Media.set_i64 media (roots_off + (8 * i)) Pptr.null
+  done;
+  let alloc = Alloc.format media ~base_off:alloc_base ~heap_end:capacity in
+  Media.persist media 8 (alloc_base - 8);
+  (* The magic is persisted last: a heap is valid only once fully formatted. *)
+  Media.set_i64 media 0 magic;
+  Media.persist media 0 8;
+  { media; alloc }
+
+let open_existing media =
+  if Media.get_i64 media 0 <> magic then
+    invalid_arg "Pheap.open_existing: bad magic (not a formatted heap)";
+  if Media.get_i64 media 8 <> layout_version then
+    invalid_arg "Pheap.open_existing: unsupported layout version";
+  let alloc = Alloc.attach media ~base_off:alloc_base in
+  { media; alloc }
+
+let create_ram ?crash_sim ~capacity () =
+  create (Media.create_ram ?crash_sim ~capacity ())
+
+let create_file ~path ~capacity = create (Media.create_file ~path ~capacity)
+let open_file ~path = open_existing (Media.open_file ~path)
+let reopen t = open_existing t.media
+let media t = t.media
+let allocator t = t.alloc
+let stats t = Media.stats t.media
+
+let check_slot i =
+  if i < 0 || i >= root_slots then invalid_arg "Pheap: root slot out of range"
+
+let root_get t i =
+  check_slot i;
+  Media.get_i64 t.media (roots_off + (8 * i))
+
+let root_set t i ptr =
+  check_slot i;
+  Media.set_i64 t.media (roots_off + (8 * i)) ptr;
+  Media.persist t.media (roots_off + (8 * i)) 8
+
+let close t = Media.close t.media

@@ -1,0 +1,52 @@
+type t = {
+  flushed_lines : int Atomic.t;
+  fences : int Atomic.t;
+  allocs : int Atomic.t;
+  alloc_bytes : int Atomic.t;
+  frees : int Atomic.t;
+  free_bytes : int Atomic.t;
+}
+
+let create () =
+  {
+    flushed_lines = Atomic.make 0;
+    fences = Atomic.make 0;
+    allocs = Atomic.make 0;
+    alloc_bytes = Atomic.make 0;
+    frees = Atomic.make 0;
+    free_bytes = Atomic.make 0;
+  }
+
+let add counter n = ignore (Atomic.fetch_and_add counter n)
+
+let record_flush t ~lines = add t.flushed_lines lines
+let record_fence t = add t.fences 1
+
+let record_alloc t ~bytes =
+  add t.allocs 1;
+  add t.alloc_bytes bytes
+
+let record_free t ~bytes =
+  add t.frees 1;
+  add t.free_bytes bytes
+
+let flushed_lines t = Atomic.get t.flushed_lines
+let fences t = Atomic.get t.fences
+let allocs t = Atomic.get t.allocs
+let alloc_bytes t = Atomic.get t.alloc_bytes
+let frees t = Atomic.get t.frees
+let live_bytes t = Atomic.get t.alloc_bytes - Atomic.get t.free_bytes
+
+let reset t =
+  Atomic.set t.flushed_lines 0;
+  Atomic.set t.fences 0;
+  Atomic.set t.allocs 0;
+  Atomic.set t.alloc_bytes 0;
+  Atomic.set t.frees 0;
+  Atomic.set t.free_bytes 0
+
+let pp fmt t =
+  Format.fprintf fmt
+    "flushed_lines=%d fences=%d allocs=%d alloc_bytes=%d frees=%d live_bytes=%d"
+    (flushed_lines t) (fences t) (allocs t) (alloc_bytes t) (frees t)
+    (live_bytes t)

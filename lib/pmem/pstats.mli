@@ -1,0 +1,28 @@
+(** Persistence-cost accounting for a {!Media.t}.
+
+    Real persistent memory makes writes durable only after an explicit
+    cache-line flush ([clwb]/[clflushopt]) followed by a store fence. The
+    number of flushed lines and fences is the dominant cost of persistence,
+    so the substrate counts them; the machine model in [lib/sim] converts
+    counts into simulated time. All counters are updated with atomics and
+    may be read concurrently. *)
+
+type t
+
+val create : unit -> t
+
+val record_flush : t -> lines:int -> unit
+val record_fence : t -> unit
+val record_alloc : t -> bytes:int -> unit
+val record_free : t -> bytes:int -> unit
+
+val flushed_lines : t -> int
+val fences : t -> int
+val allocs : t -> int
+val alloc_bytes : t -> int
+val frees : t -> int
+val live_bytes : t -> int
+(** Allocated minus freed bytes. *)
+
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+(** Undo-log transactions over a {!Pheap.t}.
+
+    Equivalent of PMDK's [TX_BEGIN]/[TX_ADD]/[TX_END]: before mutating a
+    range inside a transaction the caller snapshots it with {!add_range};
+    on commit the mutated ranges are persisted and the log is dropped; if
+    the process crashes mid-transaction, {!recover} rolls every snapshot
+    range back, so the heap is restored to its pre-transaction state.
+
+    The scalable store deliberately avoids transactions on its hot path
+    (the paper's point: serialised transactions are slow) — they are used
+    by cold-path maintenance and offered to library users for their own
+    multi-word updates. One transaction at a time per manager; a mutex
+    serialises callers, which is exactly the cost the paper measures
+    against. *)
+
+type t
+
+type tx
+(** Handle valid only inside {!run}. *)
+
+val attach : Pheap.t -> root_slot:int -> log_capacity:int -> t
+(** Create or recover the transaction manager whose log lives in
+    [root_slot]. If the slot already holds a log (e.g. after restart),
+    incomplete transactions are rolled back. *)
+
+val run : t -> (tx -> unit) -> unit
+(** [run t f] executes [f] inside a transaction. If [f] returns, the
+    transaction commits; if [f] raises, the mutations registered via
+    {!add_range} are rolled back and the exception is re-raised. *)
+
+val add_range : tx -> Pptr.t -> int -> unit
+(** Snapshot [len] bytes at [off] before mutating them. Every range
+    mutated inside the transaction must be registered first.
+    @raise Failure if the log is full. *)
+
+val set_i64 : tx -> Pptr.t -> int -> unit
+(** Convenience: {!add_range} (8 bytes) + write. *)
+
+val write_bytes : tx -> Pptr.t -> Bytes.t -> unit
+(** Convenience: {!add_range} + write. *)
+
+val in_flight : t -> bool
+(** True while some domain is inside {!run} (for assertions in tests). *)

@@ -1,0 +1,17 @@
+let now_s () = Unix.gettimeofday ()
+
+let time_s f =
+  let t0 = now_s () in
+  f ();
+  now_s () -. t0
+
+let ns_per_op ~ops f =
+  if ops <= 0 then invalid_arg "Calibrate.ns_per_op";
+  time_s f *. 1e9 /. float_of_int ops
+
+let median samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Calibrate.median: empty";
+  Array.sort compare samples;
+  if n land 1 = 1 then samples.(n / 2)
+  else (samples.((n / 2) - 1) +. samples.(n / 2)) /. 2.0

@@ -1,0 +1,15 @@
+(** Measurement utilities feeding the machine model.
+
+    Single-thread per-operation costs are measured on the real
+    implementations (monotonic clock around a closed loop), then handed
+    to {!Cost_model} for projection to higher thread counts. *)
+
+val time_s : (unit -> unit) -> float
+(** Wall time of one call (monotonic clock). *)
+
+val ns_per_op : ops:int -> (unit -> unit) -> float
+(** [ns_per_op ~ops f] runs [f] once and divides by [ops]: the average
+    cost of one operation when [f] performs [ops] of them. *)
+
+val median : float array -> float
+(** Median (destructive sort); robust summary for repeated runs. *)

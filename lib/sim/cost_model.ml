@@ -1,0 +1,75 @@
+type law =
+  | Lock_free of { coherence : float }
+  | Global_lock of { handoff_frac : float }
+  | Rw_lock of { max_parallel : float; coherence : float }
+  | Two_part of { first : law; second : law; first_frac : float }
+
+let log2 t = log (float_of_int t) /. log 2.0
+
+let rec makespan_ns law ~threads ~total_ops ~op_cost_ns =
+  if threads < 1 then invalid_arg "Cost_model.makespan_ns";
+  let total = float_of_int total_ops and t = float_of_int threads in
+  match law with
+  | Two_part { first; second; first_frac } ->
+      (* An operation whose cost splits into two regimes (e.g. index
+         update vs persistence work): each part scales by its own law. *)
+      makespan_ns first ~threads ~total_ops ~op_cost_ns:(op_cost_ns *. first_frac)
+      +. makespan_ns second ~threads ~total_ops
+           ~op_cost_ns:(op_cost_ns *. (1.0 -. first_frac))
+  | Lock_free { coherence } ->
+      total /. t *. op_cost_ns *. (1.0 +. (coherence *. log2 threads))
+  | Global_lock { handoff_frac } ->
+      (* Every operation serialises through the lock: total work is the
+         sum of critical sections, inflated by contention handoff. *)
+      total *. op_cost_ns *. (1.0 +. (handoff_frac *. log2 threads))
+  | Rw_lock { max_parallel; coherence } ->
+      total /. Float.min t max_parallel *. op_cost_ns
+      *. (1.0 +. (coherence *. log2 threads))
+
+type pmem = { flush_ns : float; fence_ns : float }
+
+let optane_like = { flush_ns = 60.0; fence_ns = 30.0 }
+
+let pmem_op_overhead_ns pmem ~flushes_per_op ~fences_per_op =
+  (flushes_per_op *. pmem.flush_ns) +. (fences_per_op *. pmem.fence_ns)
+
+(* Law constants anchored to the paper's reported ratios (EXPERIMENTS.md
+   derives each number):
+   - ESkipList insert: 6.6x speedup at 64T  -> 64/6.6 = 1 + 6c, c = 1.45
+   - PSkipList insert: 20x speedup at 64T   -> 64/20  = 1 + 6c, c = 0.37
+   - LockedMap insert: 3x slowdown at 64T   -> 1 + 6f = 3,      f = 0.33
+   - SQLite modes: "not scalable", mild degradation -> f = 0.05
+   - queries: skip lists near-linear (c = 0.05); SQLiteReg flattens at 8
+     threads (Rw_lock, max_parallel = 8); SQLiteMem shared-cache
+     degradation f = 0.2; LockedMap lock degradation f = 0.15. *)
+
+let eskiplist_insert = Lock_free { coherence = 1.45 }
+
+(* PSkipList insert = the same contended index update plus persistence
+   work that is local to the appending thread (lazy-tail slots, flushes)
+   and therefore scales almost perfectly; flush-bandwidth sharing keeps
+   it from being ideal. [pskiplist_insert ~index_frac] builds the
+   composite once the measured index/persistence split is known. *)
+let pskiplist_persist_part = Lock_free { coherence = 0.2 }
+
+let pskiplist_insert_split ~index_frac =
+  Two_part
+    { first = eskiplist_insert; second = pskiplist_persist_part;
+      first_frac = index_frac }
+
+(* Fallback when no split measurement is available: the paper's 20x
+   speedup anchor at 64 threads (64/20 = 1 + 6c). *)
+let pskiplist_insert = Lock_free { coherence = 0.37 }
+let lockedmap_insert = Global_lock { handoff_frac = 0.33 }
+let sqlitemem_insert = Global_lock { handoff_frac = 0.05 }
+let sqlitereg_insert = Global_lock { handoff_frac = 0.05 }
+
+(* Fig 5a anchor: reconstruction drops 17s -> ~2s over 64 threads, a
+   8.5x speedup -> 64/8.5 = 1 + 6c, c = 1.08. *)
+let reconstruction = Lock_free { coherence = 1.08 }
+
+let eskiplist_query = Lock_free { coherence = 0.05 }
+let pskiplist_query = Lock_free { coherence = 0.05 }
+let lockedmap_query = Global_lock { handoff_frac = 0.15 }
+let sqlitemem_query = Global_lock { handoff_frac = 0.2 }
+let sqlitereg_query = Rw_lock { max_parallel = 8.0; coherence = 0.05 }

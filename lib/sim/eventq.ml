@@ -1,0 +1,76 @@
+type 'a t = {
+  mutable times : float array;
+  mutable payloads : 'a array;
+  mutable count : int;
+}
+
+let create () = { times = Array.make 16 0.0; payloads = [||]; count = 0 }
+
+let is_empty t = t.count = 0
+let size t = t.count
+
+let swap t i j =
+  let ti = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- ti;
+  let pi = t.payloads.(i) in
+  t.payloads.(i) <- t.payloads.(j);
+  t.payloads.(j) <- pi
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.times.(i) < t.times.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.count && t.times.(left) < t.times.(!smallest) then smallest := left;
+  if right < t.count && t.times.(right) < t.times.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ~time payload =
+  if t.count = 0 && Array.length t.payloads = 0 then begin
+    t.payloads <- Array.make (Array.length t.times) payload
+  end;
+  if t.count = Array.length t.times then begin
+    let n = 2 * t.count in
+    let times = Array.make n 0.0 and payloads = Array.make n payload in
+    Array.blit t.times 0 times 0 t.count;
+    Array.blit t.payloads 0 payloads 0 t.count;
+    t.times <- times;
+    t.payloads <- payloads
+  end;
+  t.times.(t.count) <- time;
+  t.payloads.(t.count) <- payload;
+  t.count <- t.count + 1;
+  sift_up t (t.count - 1)
+
+let pop t =
+  if t.count = 0 then None
+  else begin
+    let time = t.times.(0) and payload = t.payloads.(0) in
+    t.count <- t.count - 1;
+    if t.count > 0 then begin
+      t.times.(0) <- t.times.(t.count);
+      t.payloads.(0) <- t.payloads.(t.count);
+      sift_down t 0
+    end;
+    Some (time, payload)
+  end
+
+let peek_time t = if t.count = 0 then None else Some t.times.(0)
+
+let rec drain t f =
+  match pop t with
+  | None -> ()
+  | Some (time, payload) ->
+      f time payload;
+      drain t f

@@ -1,0 +1,21 @@
+(** Discrete-event priority queue (binary min-heap on time).
+
+    The kernel of the machine model: events are [(time, payload)] pairs
+    popped in time order. Times are floats (seconds of simulated time). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. Ties pop in unspecified
+    order. *)
+
+val peek_time : 'a t -> float option
+
+val drain : 'a t -> (float -> 'a -> unit) -> unit
+(** Pop everything in time order. The handler may push new events. *)

@@ -1,0 +1,44 @@
+(* Unique keys: take the sequence 1..n, spread it over a 62-bit space with
+   an invertible mixing function (splittable-hash style), then xor a
+   seed-derived offset. Injective mixing of distinct inputs keeps the keys
+   distinct while looking uniformly random. *)
+
+let mix64 z =
+  (* Variant of the splitmix64 finalizer restricted to OCaml's 63-bit
+     ints (multiplier constants truncated to 62 bits, still odd, so the
+     map stays a bijection on non-negative ints). *)
+  let z = (z lxor (z lsr 30)) * 0x3f58476d1ce4e5b9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14d049bb133111eb land max_int in
+  z lxor (z lsr 31)
+
+let unique_keys ~seed n =
+  if n < 0 then invalid_arg "Keygen.unique_keys: negative count";
+  let rng = Mt19937.create seed in
+  let offset = Mt19937.next_int64 rng in
+  (* mix64 is a bijection on 63-bit ints, so distinct i give distinct keys;
+     xor with a per-seed offset decorrelates runs without losing injectivity. *)
+  Array.init n (fun i -> mix64 (i + 1) lxor offset land max_int)
+
+let values ~seed n =
+  if n < 0 then invalid_arg "Keygen.values: negative count";
+  let rng = Mt19937.create (seed lxor 0x5eed) in
+  Array.init n (fun _ -> Mt19937.next_int64 rng)
+
+let shuffled_copy ~seed a =
+  let rng = Mt19937.create seed in
+  let b = Array.copy a in
+  Mt19937.shuffle rng b;
+  b
+
+let partition_even a t =
+  if t < 1 then invalid_arg "Keygen.partition_even: need at least one part";
+  let n = Array.length a in
+  let base = n / t and extra = n mod t in
+  let start = ref 0 in
+  Array.init t (fun i ->
+      let len = base + if i < extra then 1 else 0 in
+      let chunk = Array.sub a !start len in
+      start := !start + len;
+      chunk)
+
+let thread_seed ~base ~node ~thread = [| base; node; thread; 0x6d76 |]

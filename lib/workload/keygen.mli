@@ -1,0 +1,28 @@
+(** Reproducible key/value stream generation for the paper's benchmarks.
+
+    The evaluation (Sec. V-C) stresses the stores with a large number of
+    tiny key-value pairs: keys and values are integers, generated with a
+    Mersenne Twister under fixed seeds so every run sees the same streams.
+    Insert workloads use {e unique} keys (worst case: every insert creates
+    a new version history); remove workloads use a random shuffling of the
+    inserted keys. *)
+
+val unique_keys : seed:int -> int -> int array
+(** [unique_keys ~seed n] generates [n] distinct pseudo-random keys.
+    Distinctness is guaranteed by hashing a random permutation base, so
+    generation is O(n) and deterministic in [seed]. *)
+
+val values : seed:int -> int -> int array
+(** [values ~seed n] generates [n] (not necessarily distinct) values. *)
+
+val shuffled_copy : seed:int -> 'a array -> 'a array
+(** Deterministically shuffled copy of an array (removal order). *)
+
+val partition_even : 'a array -> int -> 'a array array
+(** [partition_even a t] splits [a] into [t] contiguous chunks whose sizes
+    differ by at most one — the per-thread distribution used by all the
+    strong-scaling experiments. [t >= 1]. *)
+
+val thread_seed : base:int -> node:int -> thread:int -> int array
+(** Composite seed key for per-(node, thread) generators, for use with
+    {!Mt19937.create_by_array}. *)

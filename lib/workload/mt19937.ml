@@ -1,0 +1,115 @@
+(* MT19937, 32-bit reference algorithm (Matsumoto & Nishimura 1998).
+   State words are stored in OCaml ints masked to 32 bits; all arithmetic
+   below is done modulo 2^32 via [mask32]. *)
+
+let n = 624
+let m = 397
+let matrix_a = 0x9908b0df
+let upper_mask = 0x80000000
+let lower_mask = 0x7fffffff
+let mask32 = 0xffffffff
+
+type t = { mutable mti : int; mt : int array }
+
+let create seed =
+  let mt = Array.make n 0 in
+  mt.(0) <- seed land mask32;
+  for i = 1 to n - 1 do
+    (* mt[i] = 1812433253 * (mt[i-1] ^ (mt[i-1] >> 30)) + i, mod 2^32 *)
+    let prev = mt.(i - 1) in
+    mt.(i) <- (1812433253 * (prev lxor (prev lsr 30)) + i) land mask32
+  done;
+  { mti = n; mt }
+
+let create_by_array key =
+  let t = create 19650218 in
+  let mt = t.mt in
+  let key_length = Array.length key in
+  if key_length = 0 then invalid_arg "Mt19937.create_by_array: empty key";
+  let i = ref 1 and j = ref 0 in
+  let k = ref (max n key_length) in
+  while !k > 0 do
+    let prev = mt.(!i - 1) in
+    mt.(!i) <-
+      ((mt.(!i) lxor ((prev lxor (prev lsr 30)) * 1664525))
+       + key.(!j) + !j)
+      land mask32;
+    incr i;
+    incr j;
+    if !i >= n then begin
+      mt.(0) <- mt.(n - 1);
+      i := 1
+    end;
+    if !j >= key_length then j := 0;
+    decr k
+  done;
+  k := n - 1;
+  while !k > 0 do
+    let prev = mt.(!i - 1) in
+    mt.(!i) <-
+      ((mt.(!i) lxor ((prev lxor (prev lsr 30)) * 1566083941)) - !i)
+      land mask32;
+    incr i;
+    if !i >= n then begin
+      mt.(0) <- mt.(n - 1);
+      i := 1
+    end;
+    decr k
+  done;
+  mt.(0) <- 0x80000000;
+  t
+
+(* Regenerate the ring of [n] words in one pass. *)
+let refill t =
+  let mt = t.mt in
+  let mag01 y = if y land 1 = 0 then 0 else matrix_a in
+  for kk = 0 to n - m - 1 do
+    let y = (mt.(kk) land upper_mask) lor (mt.(kk + 1) land lower_mask) in
+    mt.(kk) <- mt.(kk + m) lxor (y lsr 1) lxor mag01 y
+  done;
+  for kk = n - m to n - 2 do
+    let y = (mt.(kk) land upper_mask) lor (mt.(kk + 1) land lower_mask) in
+    mt.(kk) <- mt.(kk + (m - n)) lxor (y lsr 1) lxor mag01 y
+  done;
+  let y = (mt.(n - 1) land upper_mask) lor (mt.(0) land lower_mask) in
+  mt.(n - 1) <- mt.(m - 1) lxor (y lsr 1) lxor mag01 y;
+  t.mti <- 0
+
+let next_uint32 t =
+  if t.mti >= n then refill t;
+  let y = t.mt.(t.mti) in
+  t.mti <- t.mti + 1;
+  (* tempering *)
+  let y = y lxor (y lsr 11) in
+  let y = y lxor ((y lsl 7) land 0x9d2c5680) in
+  let y = (y lxor ((y lsl 15) land 0xefc60000)) land mask32 in
+  y lxor (y lsr 18)
+
+let next_int t bound =
+  if bound <= 0 || bound > 1 lsl 30 then
+    invalid_arg "Mt19937.next_int: bound out of range";
+  (* Rejection sampling over the smallest power-of-two envelope. *)
+  let rec draw limit =
+    let v = next_uint32 t land (limit - 1) in
+    if v < bound then v else draw limit
+  in
+  let rec envelope l = if l >= bound then l else envelope (l * 2) in
+  draw (envelope 1)
+
+let next_int64 t =
+  let hi = next_uint32 t and lo = next_uint32 t in
+  ((hi lsl 30) lxor lo) land max_int
+
+let next_float t =
+  let a = next_uint32 t lsr 5 and b = next_uint32 t lsr 6 in
+  (float_of_int a *. 67108864.0 +. float_of_int b) *. (1.0 /. 9007199254740992.0)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = next_int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let copy t = { mti = t.mti; mt = Array.copy t.mt }

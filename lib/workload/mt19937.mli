@@ -1,0 +1,40 @@
+(** MT19937 Mersenne Twister pseudo-random number generator.
+
+    The paper pre-generates all workloads with a Mersenne Twister seeded
+    per thread and per node so that every experiment is reproducible. This
+    is a from-scratch implementation of the classic 32-bit MT19937 of
+    Matsumoto & Nishimura (1998), with convenience derivations for the
+    ranges the benchmarks need. It is deliberately {e not} thread-safe:
+    each thread owns its generator, exactly as in the paper's setup. *)
+
+type t
+(** Mutable generator state (624-word twister ring + cursor). *)
+
+val create : int -> t
+(** [create seed] initialises the state from the low 32 bits of [seed]
+    using the reference [init_genrand] recurrence. *)
+
+val create_by_array : int array -> t
+(** [create_by_array key] is the reference [init_by_array] initialisation,
+    used to seed per-(node, thread) generators from a composite key. *)
+
+val next_uint32 : t -> int
+(** Next raw 32-bit output, in [0, 2{^32}-1], as a non-negative [int]. *)
+
+val next_int : t -> int -> int
+(** [next_int t bound] is uniform in [0, bound-1]. [bound] must be in
+    [1, 2{^30}]. Uses rejection sampling, so it is exactly uniform. *)
+
+val next_int64 : t -> int
+(** A 62-bit non-negative integer built from two 32-bit draws (OCaml [int]
+    on a 64-bit platform). *)
+
+val next_float : t -> float
+(** Uniform float in [0, 1) with 53-bit resolution (reference
+    [genrand_res53]). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle driven by this generator. *)
+
+val copy : t -> t
+(** Independent snapshot of the generator state. *)

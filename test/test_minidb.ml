@@ -1,0 +1,517 @@
+(* Tests for lib/minidb: pages, storage, WAL, page cache, B+tree, heap
+   table, engine statements, and the SQL-backed stores (conformance via
+   comparison with the reference model and the other stores). *)
+
+module IntMap = Map.Make (Int)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Page *)
+
+let page_accessors () =
+  let p = Minidb.Page.create () in
+  Minidb.Page.set_i64 p 0 123456789;
+  Minidb.Page.set_u16 p 8 65535;
+  check_int "i64" 123456789 (Minidb.Page.get_i64 p 0);
+  check_int "u16" 65535 (Minidb.Page.get_u16 p 8)
+
+(* Storage *)
+
+let storage_basics () =
+  let s = Minidb.Storage.create () in
+  let id0 = Minidb.Storage.allocate s in
+  let id1 = Minidb.Storage.allocate s in
+  check_int "first id" 0 id0;
+  check_int "second id" 1 id1;
+  let p = Minidb.Page.create () in
+  Minidb.Page.set_i64 p 0 77;
+  Minidb.Storage.write s id1 p;
+  let q = Minidb.Page.create () in
+  Minidb.Storage.read s id1 q;
+  check_int "roundtrip" 77 (Minidb.Page.get_i64 q 0);
+  check_bool "io counted" true (Minidb.Storage.reads s >= 1 && Minidb.Storage.writes s >= 1)
+
+let storage_bounds () =
+  let s = Minidb.Storage.create () in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Storage: page 5 out of range (count 0)") (fun () ->
+      Minidb.Storage.read s 5 (Minidb.Page.create ()))
+
+(* WAL *)
+
+let wal_lookup_after_commit () =
+  let s = Minidb.Storage.create () in
+  let id = Minidb.Storage.allocate s in
+  let wal = Minidb.Wal.create s in
+  check_bool "empty" true (Minidb.Wal.lookup wal id = None);
+  let p = Minidb.Page.create () in
+  Minidb.Page.set_i64 p 0 42;
+  Minidb.Wal.commit wal [ (id, p) ];
+  (match Minidb.Wal.lookup wal id with
+  | Some image -> check_int "logged image" 42 (Minidb.Page.get_i64 image 0)
+  | None -> Alcotest.fail "expected WAL hit");
+  check_int "one commit" 1 (Minidb.Wal.commits wal)
+
+let wal_checkpoint_applies () =
+  let s = Minidb.Storage.create () in
+  let id = Minidb.Storage.allocate s in
+  let wal = Minidb.Wal.create s in
+  let p = Minidb.Page.create () in
+  Minidb.Page.set_i64 p 0 99;
+  Minidb.Wal.commit wal [ (id, p) ];
+  Minidb.Wal.checkpoint wal;
+  check_bool "log drained" true (Minidb.Wal.lookup wal id = None);
+  let q = Minidb.Page.create () in
+  Minidb.Storage.read s id q;
+  check_int "applied to storage" 99 (Minidb.Page.get_i64 q 0);
+  check_int "checkpoint counted" 1 (Minidb.Wal.checkpoints wal)
+
+let wal_auto_checkpoint () =
+  let s = Minidb.Storage.create () in
+  let wal = Minidb.Wal.create ~checkpoint_frames:4 s in
+  for _ = 1 to 5 do
+    let id = Minidb.Storage.allocate s in
+    let p = Minidb.Page.create () in
+    Minidb.Wal.commit wal [ (id, p) ]
+  done;
+  check_bool "auto checkpointed" true (Minidb.Wal.checkpoints wal >= 1)
+
+(* Pagecache *)
+
+let cache_source s wal generation =
+  {
+    Minidb.Pagecache.fetch =
+      (fun id buf ->
+        match Minidb.Wal.lookup wal id with
+        | Some image -> Minidb.Page.blit ~src:image ~dst:buf
+        | None -> Minidb.Storage.read s id buf);
+    store =
+      (fun dirty ->
+        Minidb.Wal.commit wal dirty;
+        incr generation);
+    allocate = (fun () -> Minidb.Storage.allocate s);
+    generation = (fun () -> !generation);
+  }
+
+let pagecache_hit_miss () =
+  let s = Minidb.Storage.create () in
+  let wal = Minidb.Wal.create s in
+  let generation = ref 0 in
+  let c = Minidb.Pagecache.create (cache_source s wal generation) in
+  let id = Minidb.Storage.allocate s in
+  ignore (Minidb.Pagecache.get c id);
+  ignore (Minidb.Pagecache.get c id);
+  check_int "one miss" 1 (Minidb.Pagecache.misses c);
+  check_int "one hit" 1 (Minidb.Pagecache.hits c)
+
+let pagecache_commit_roundtrip () =
+  let s = Minidb.Storage.create () in
+  let wal = Minidb.Wal.create s in
+  let generation = ref 0 in
+  let c = Minidb.Pagecache.create (cache_source s wal generation) in
+  let id, p = Minidb.Pagecache.allocate c in
+  Minidb.Page.set_i64 p 0 7;
+  check_int "dirty" 1 (Minidb.Pagecache.dirty_count c);
+  Minidb.Pagecache.commit c;
+  check_int "clean after commit" 0 (Minidb.Pagecache.dirty_count c);
+  (* A second, cold cache must observe the committed page. *)
+  let c2 = Minidb.Pagecache.create (cache_source s wal generation) in
+  check_int "visible elsewhere" 7 (Minidb.Page.get_i64 (Minidb.Pagecache.get c2 id) 0)
+
+let pagecache_invalidation () =
+  let s = Minidb.Storage.create () in
+  let wal = Minidb.Wal.create s in
+  let generation = ref 0 in
+  let c1 = Minidb.Pagecache.create (cache_source s wal generation) in
+  let c2 = Minidb.Pagecache.create (cache_source s wal generation) in
+  let id, p = Minidb.Pagecache.allocate c1 in
+  Minidb.Page.set_i64 p 0 1;
+  Minidb.Pagecache.commit c1;
+  check_int "c2 sees v1" 1 (Minidb.Page.get_i64 (Minidb.Pagecache.get c2 id) 0);
+  (* c1 commits a new version; c2's cached copy must be invalidated. *)
+  let p = Minidb.Pagecache.get_mut c1 id in
+  Minidb.Page.set_i64 p 0 2;
+  Minidb.Pagecache.commit c1;
+  check_int "c2 sees v2" 2 (Minidb.Page.get_i64 (Minidb.Pagecache.get c2 id) 0)
+
+let pagecache_eviction_bounded () =
+  let s = Minidb.Storage.create () in
+  let wal = Minidb.Wal.create s in
+  let generation = ref 0 in
+  let c = Minidb.Pagecache.create ~capacity:4 (cache_source s wal generation) in
+  let ids = Array.init 16 (fun _ -> Minidb.Storage.allocate s) in
+  Array.iter (fun id -> ignore (Minidb.Pagecache.get c id)) ids;
+  check_int "all misses" 16 (Minidb.Pagecache.misses c);
+  (* Re-reading an early page must miss again (it was evicted). *)
+  ignore (Minidb.Pagecache.get c ids.(0));
+  check_int "evicted page re-fetched" 17 (Minidb.Pagecache.misses c)
+
+(* B+tree *)
+
+let btree_env () =
+  let s = Minidb.Storage.create () in
+  let wal = Minidb.Wal.create s in
+  let generation = ref 0 in
+  Minidb.Pagecache.create ~capacity:max_int (cache_source s wal generation)
+
+let btree_insert_find_small () =
+  let c = btree_env () in
+  let t = Minidb.Btree.create c in
+  Minidb.Btree.insert t { Minidb.Btree.a = 5; b = 1; seq = 0 } 100;
+  Minidb.Btree.insert t { Minidb.Btree.a = 5; b = 3; seq = 1 } 101;
+  Minidb.Btree.insert t { Minidb.Btree.a = 9; b = 1; seq = 2 } 102;
+  (match Minidb.Btree.find_floor t ~a:5 ~b_max:2 with
+  | Some (k, payload) ->
+      check_int "floor version" 1 k.Minidb.Btree.b;
+      check_int "payload" 100 payload
+  | None -> Alcotest.fail "expected floor");
+  (match Minidb.Btree.find_floor t ~a:5 ~b_max:10 with
+  | Some (k, payload) ->
+      check_int "latest version" 3 k.Minidb.Btree.b;
+      check_int "payload" 101 payload
+  | None -> Alcotest.fail "expected floor");
+  check_bool "no floor below first" true (Minidb.Btree.find_floor t ~a:5 ~b_max:0 = None);
+  check_bool "absent key" true (Minidb.Btree.find_floor t ~a:7 ~b_max:99 = None)
+
+let btree_many_keys_sorted () =
+  let c = btree_env () in
+  let t = Minidb.Btree.create c in
+  let n = 20_000 in
+  let keys = Workload.Keygen.unique_keys ~seed:13 n in
+  Array.iteri
+    (fun i k -> Minidb.Btree.insert t { Minidb.Btree.a = k; b = 1; seq = i } i)
+    keys;
+  check_int "entry count" n (Minidb.Btree.entry_count t);
+  check_bool "split happened" true (Minidb.Btree.depth t >= 2);
+  let prev = ref min_int and ok = ref true and seen = ref 0 in
+  Minidb.Btree.iter_all t (fun k _ ->
+      if k.Minidb.Btree.a < !prev then ok := false;
+      prev := k.Minidb.Btree.a;
+      incr seen);
+  check_bool "ascending scan" true !ok;
+  check_int "scan count" n !seen;
+  (* Every key findable. *)
+  let missing = ref 0 in
+  Array.iter
+    (fun k ->
+      match Minidb.Btree.find_floor t ~a:k ~b_max:max_int with
+      | Some _ -> ()
+      | None -> incr missing)
+    keys;
+  check_int "all findable" 0 !missing
+
+let btree_prefix_iteration () =
+  let c = btree_env () in
+  let t = Minidb.Btree.create c in
+  for v = 1 to 300 do
+    Minidb.Btree.insert t { Minidb.Btree.a = 1; b = v; seq = v } v;
+    Minidb.Btree.insert t { Minidb.Btree.a = 2; b = v; seq = 300 + v } (1000 + v)
+  done;
+  let versions = ref [] in
+  Minidb.Btree.iter_prefix t ~a:1 (fun k _ -> versions := k.Minidb.Btree.b :: !versions);
+  check_int "300 versions of key 1" 300 (List.length !versions);
+  check_bool "ascending" true (List.rev !versions = List.init 300 (fun i -> i + 1))
+
+let btree_vs_model_property =
+  let open QCheck in
+  Test.make ~name:"btree floor agrees with a sorted-list model" ~count:100
+    (list (triple (int_bound 20) (int_bound 50) (int_bound 1000)))
+    (fun ops ->
+      let c = btree_env () in
+      let t = Minidb.Btree.create c in
+      let model = ref [] in
+      List.iteri
+        (fun seq (a, b, payload) ->
+          Minidb.Btree.insert t { Minidb.Btree.a; b; seq } payload;
+          model := ((a, b, seq), payload) :: !model)
+        ops;
+      let model = List.sort compare !model in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b_max ->
+              let expected =
+                List.fold_left
+                  (fun acc (((ka, kb, _), payload) as _e) ->
+                    if ka = a && kb <= b_max then Some payload else acc)
+                  None model
+              in
+              let got =
+                Option.map snd (Minidb.Btree.find_floor t ~a ~b_max)
+              in
+              expected = got)
+            [ 0; 10; 25; 50 ])
+        [ 0; 5; 10; 20 ])
+
+(* Table *)
+
+let table_append_fetch () =
+  let c = btree_env () in
+  let t = Minidb.Table.create c in
+  let r1 = Minidb.Table.append t ~version:1 ~key:10 ~value:100 in
+  let r2 = Minidb.Table.append t ~version:2 ~key:20 ~value:200 in
+  check_bool "distinct rowids" true (r1 <> r2);
+  let v, k, value = Minidb.Table.fetch t r1 in
+  check_int "version" 1 v;
+  check_int "key" 10 k;
+  check_int "value" 100 value
+
+let table_spills_pages () =
+  let c = btree_env () in
+  let t = Minidb.Table.create c in
+  let n = Minidb.Table.rows_per_page * 3 in
+  let rowids = Array.init n (fun i -> Minidb.Table.append t ~version:i ~key:i ~value:(2 * i)) in
+  check_int "row count" n (Minidb.Table.row_count t);
+  let bad = ref 0 in
+  Array.iteri
+    (fun i rowid ->
+      let v, k, value = Minidb.Table.fetch t rowid in
+      if v <> i || k <> i || value <> 2 * i then incr bad)
+    rowids;
+  check_int "all rows intact across pages" 0 !bad
+
+(* Engine statements *)
+
+let db_insert_find_roundtrip mode () =
+  let db = Minidb.Db.create mode in
+  let conn = Minidb.Db.connect db in
+  Minidb.Db.insert_row conn ~version:1 ~key:5 ~value:50;
+  Minidb.Db.insert_row conn ~version:2 ~key:5 ~value:51;
+  Minidb.Db.insert_row conn ~version:1 ~key:9 ~value:90;
+  check_bool "floor v1" true (Minidb.Db.find_row conn ~key:5 ~version:1 = Some (1, 50));
+  check_bool "floor v2" true (Minidb.Db.find_row conn ~key:5 ~version:9 = Some (2, 51));
+  check_bool "absent" true (Minidb.Db.find_row conn ~key:6 ~version:9 = None);
+  check_bool "history" true (Minidb.Db.history_rows conn ~key:5 = [ (1, 50); (2, 51) ]);
+  check_int "distinct" 2 (Minidb.Db.distinct_keys conn);
+  check_int "max version" 2 (Minidb.Db.max_version conn)
+
+let db_snapshot mode () =
+  let db = Minidb.Db.create mode in
+  let conn = Minidb.Db.connect db in
+  Minidb.Db.insert_row conn ~version:1 ~key:3 ~value:30;
+  Minidb.Db.insert_row conn ~version:1 ~key:1 ~value:10;
+  Minidb.Db.insert_row conn ~version:2 ~key:1 ~value:11;
+  let rows = ref [] in
+  Minidb.Db.iter_snapshot_rows conn ~version:1 (fun k _ v -> rows := (k, v) :: !rows);
+  check_bool "snapshot v1" true (List.rev !rows = [ (1, 10); (3, 30) ]);
+  rows := [];
+  Minidb.Db.iter_snapshot_rows conn ~version:2 (fun k _ v -> rows := (k, v) :: !rows);
+  check_bool "snapshot v2" true (List.rev !rows = [ (1, 11); (3, 30) ])
+
+let db_reg_reopen_persists () =
+  let db = Minidb.Db.create Minidb.Db.Reg in
+  let conn = Minidb.Db.connect db in
+  for i = 1 to 500 do
+    Minidb.Db.insert_row conn ~version:i ~key:i ~value:(i * 7)
+  done;
+  let db2 = Minidb.Db.reopen db in
+  let conn2 = Minidb.Db.connect db2 in
+  check_bool "find after reopen" true
+    (Minidb.Db.find_row conn2 ~key:123 ~version:max_int = Some (123, 861));
+  check_int "distinct after reopen" 500 (Minidb.Db.distinct_keys conn2);
+  check_int "clock recovery source" 500 (Minidb.Db.max_version conn2)
+
+let db_concurrent_inserts mode () =
+  let db = Minidb.Db.create mode in
+  let threads = 4 and per = 250 in
+  ignore
+    (Concurrent.Parallel.run ~threads (fun tid ->
+         let conn = Minidb.Db.connect db in
+         for i = 0 to per - 1 do
+           let k = (tid * per) + i in
+           Minidb.Db.insert_row conn ~version:(k + 1) ~key:k ~value:k
+         done));
+  let conn = Minidb.Db.connect db in
+  check_int "all rows indexed" (threads * per) (Minidb.Db.distinct_keys conn)
+
+let db_concurrent_readers_writers () =
+  let db = Minidb.Db.create Minidb.Db.Reg in
+  let setup = Minidb.Db.connect db in
+  for i = 0 to 199 do
+    Minidb.Db.insert_row setup ~version:1 ~key:i ~value:i
+  done;
+  let stop = Atomic.make false in
+  let results =
+    Concurrent.Parallel.run ~threads:3 (fun tid ->
+        let conn = Minidb.Db.connect db in
+        if tid = 0 then begin
+          for i = 200 to 400 do
+            Minidb.Db.insert_row conn ~version:2 ~key:i ~value:i
+          done;
+          Atomic.set stop true;
+          0
+        end
+        else begin
+          (* Readers: pre-existing keys must always be found. *)
+          let misses = ref 0 in
+          while not (Atomic.get stop) do
+            for i = 0 to 199 do
+              if Minidb.Db.find_row conn ~key:i ~version:max_int = None then incr misses
+            done
+          done;
+          !misses
+        end)
+  in
+  check_int "readers never miss committed keys" 0 (results.(1) + results.(2))
+
+let db_range_rows mode () =
+  let db = Minidb.Db.create mode in
+  let conn = Minidb.Db.connect db in
+  List.iter
+    (fun k -> Minidb.Db.insert_row conn ~version:1 ~key:k ~value:(k * 10))
+    [ 1; 3; 5; 7; 9 ];
+  Minidb.Db.insert_row conn ~version:2 ~key:5 ~value:55;
+  let collect lo hi version =
+    let acc = ref [] in
+    Minidb.Db.iter_range_rows conn ~lo ~hi ~version (fun k _ v -> acc := (k, v) :: !acc);
+    List.rev !acc
+  in
+  check_bool "v1 range" true (collect 3 8 1 = [ (3, 30); (5, 50); (7, 70) ]);
+  check_bool "v2 range" true (collect 3 8 2 = [ (3, 30); (5, 55); (7, 70) ]);
+  check_bool "empty" true (collect 10 20 2 = []);
+  check_bool "lower edge" true (collect 9 10 2 = [ (9, 90) ])
+
+let sql_store_range () =
+  let s = Minidb.Sql_store.Mem.create () in
+  List.iter (fun k -> Minidb.Sql_store.Mem.insert s k k) [ 2; 4; 6 ];
+  Minidb.Sql_store.Mem.remove s 4;
+  ignore (Minidb.Sql_store.Mem.tag s);
+  let acc = ref [] in
+  Minidb.Sql_store.Mem.iter_range s ~lo:0 ~hi:10 (fun k v -> acc := (k, v) :: !acc);
+  check_bool "markers excluded from ranges" true (List.rev !acc = [ (2, 2); (6, 6) ])
+
+(* SQL stores against the shared model and conformance with mvdict *)
+
+let sql_store_basics (type s)
+    (module S : Mvdict.Dict_intf.S with type t = s and type key = int and type value = int)
+    (store : s) () =
+  S.insert store 1 100;
+  let v1 = S.tag store in
+  S.insert store 1 200;
+  S.remove store 2;
+  let v2 = S.tag store in
+  S.insert store 2 20;
+  let v3 = S.tag store in
+  check_bool "v1" true (S.find store ~version:v1 1 = Some 100);
+  check_bool "v2" true (S.find store ~version:v2 1 = Some 200);
+  check_bool "removed key absent" true (S.find store ~version:v2 2 = None);
+  check_bool "v3" true (S.find store ~version:v3 2 = Some 20);
+  check_bool "history" true
+    (S.extract_history store 2
+    = [ (v2, Mvdict.Dict_intf.Del); (v3, Mvdict.Dict_intf.Put 20) ]);
+  let snap = S.extract_snapshot store ~version:v3 () in
+  check_bool "snapshot" true (snap = [| (1, 200); (2, 20) |])
+
+let sql_reg_restart_preserves () =
+  let s = Minidb.Sql_store.Reg.create () in
+  Minidb.Sql_store.Reg.insert s 10 1000;
+  let v1 = Minidb.Sql_store.Reg.tag s in
+  Minidb.Sql_store.Reg.remove s 10;
+  ignore (Minidb.Sql_store.Reg.tag s);
+  let s2 = Minidb.Sql_store.Reg.reopen s in
+  check_bool "v1 after restart" true (Minidb.Sql_store.Reg.find s2 ~version:v1 10 = Some 1000);
+  check_bool "current after restart" true (Minidb.Sql_store.Reg.find s2 10 = None);
+  (* Tag clock resumes beyond the persisted versions. *)
+  Minidb.Sql_store.Reg.insert s2 11 1100;
+  let v3 = Minidb.Sql_store.Reg.tag s2 in
+  check_bool "clock resumed" true (v3 > v1);
+  check_bool "new op" true (Minidb.Sql_store.Reg.find s2 11 = Some 1100)
+
+let sql_agrees_with_pskiplist =
+  let open QCheck in
+  let op_gen =
+    Gen.(pair (int_bound 25) (oneof [ map (fun v -> Some v) (int_bound 500); return None ]))
+  in
+  Test.make ~name:"SQL stores agree with PSkipList on snapshots" ~count:25
+    (make Gen.(list_size (int_bound 120) op_gen))
+    (fun ops ->
+      let module P = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value) in
+      let p = P.create (Pmem.Pheap.create_ram ~capacity:(1 lsl 22) ()) in
+      let reg = Minidb.Sql_store.Reg.create () in
+      let mem = Minidb.Sql_store.Mem.create () in
+      let versions =
+        List.map
+          (fun (k, op) ->
+            (match op with
+            | Some v ->
+                P.insert p k v;
+                Minidb.Sql_store.Reg.insert reg k v;
+                Minidb.Sql_store.Mem.insert mem k v
+            | None ->
+                P.remove p k;
+                Minidb.Sql_store.Reg.remove reg k;
+                Minidb.Sql_store.Mem.remove mem k);
+            let vp = P.tag p in
+            let vr = Minidb.Sql_store.Reg.tag reg in
+            let vm = Minidb.Sql_store.Mem.tag mem in
+            assert (vp = vr && vr = vm);
+            vp)
+          ops
+      in
+      List.for_all
+        (fun version ->
+          let sp = P.extract_snapshot p ~version () in
+          let sr = Minidb.Sql_store.Reg.extract_snapshot reg ~version () in
+          let sm = Minidb.Sql_store.Mem.extract_snapshot mem ~version () in
+          sp = sr && sr = sm)
+        versions)
+
+let () =
+  Alcotest.run "minidb"
+    [
+      ("page", [ Alcotest.test_case "accessors" `Quick page_accessors ]);
+      ( "storage",
+        [
+          Alcotest.test_case "basics" `Quick storage_basics;
+          Alcotest.test_case "bounds" `Quick storage_bounds;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "lookup after commit" `Quick wal_lookup_after_commit;
+          Alcotest.test_case "checkpoint applies" `Quick wal_checkpoint_applies;
+          Alcotest.test_case "auto checkpoint" `Quick wal_auto_checkpoint;
+        ] );
+      ( "pagecache",
+        [
+          Alcotest.test_case "hit/miss" `Quick pagecache_hit_miss;
+          Alcotest.test_case "commit roundtrip" `Quick pagecache_commit_roundtrip;
+          Alcotest.test_case "invalidation" `Quick pagecache_invalidation;
+          Alcotest.test_case "bounded eviction" `Quick pagecache_eviction_bounded;
+        ] );
+      ( "btree",
+        [
+          Alcotest.test_case "small insert/find" `Quick btree_insert_find_small;
+          Alcotest.test_case "many keys, splits, sorted scan" `Slow btree_many_keys_sorted;
+          Alcotest.test_case "prefix iteration" `Quick btree_prefix_iteration;
+          QCheck_alcotest.to_alcotest btree_vs_model_property;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "append/fetch" `Quick table_append_fetch;
+          Alcotest.test_case "page spill" `Quick table_spills_pages;
+        ] );
+      ( "db",
+        [
+          Alcotest.test_case "Reg: insert/find" `Quick (db_insert_find_roundtrip Minidb.Db.Reg);
+          Alcotest.test_case "Mem: insert/find" `Quick (db_insert_find_roundtrip Minidb.Db.Mem);
+          Alcotest.test_case "Reg: snapshot" `Quick (db_snapshot Minidb.Db.Reg);
+          Alcotest.test_case "Mem: snapshot" `Quick (db_snapshot Minidb.Db.Mem);
+          Alcotest.test_case "Reg: reopen persists" `Quick db_reg_reopen_persists;
+          Alcotest.test_case "Reg: concurrent inserts" `Quick (db_concurrent_inserts Minidb.Db.Reg);
+          Alcotest.test_case "Mem: concurrent inserts" `Quick (db_concurrent_inserts Minidb.Db.Mem);
+          Alcotest.test_case "Reg: readers with writer" `Quick db_concurrent_readers_writers;
+          Alcotest.test_case "Reg: range rows" `Quick (db_range_rows Minidb.Db.Reg);
+          Alcotest.test_case "Mem: range rows" `Quick (db_range_rows Minidb.Db.Mem);
+        ] );
+      ( "sql_store",
+        [
+          Alcotest.test_case "Reg basics" `Quick
+            (sql_store_basics (module Minidb.Sql_store.Reg) (Minidb.Sql_store.Reg.create ()));
+          Alcotest.test_case "Mem basics" `Quick
+            (sql_store_basics (module Minidb.Sql_store.Mem) (Minidb.Sql_store.Mem.create ()));
+          Alcotest.test_case "Reg restart" `Quick sql_reg_restart_preserves;
+          Alcotest.test_case "range via sql store" `Quick sql_store_range;
+          QCheck_alcotest.to_alcotest sql_agrees_with_pskiplist;
+        ] );
+    ]

@@ -1,0 +1,914 @@
+(* Tests for lib/mvdict: codec, recovery, lazy-tail histories, and the
+   three store implementations (shared conformance suite + PSkipList
+   persistence/crash/restart specifics). *)
+
+module IntMap = Map.Make (Int)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let heap_capacity = 1 lsl 24
+let fresh_heap () = Pmem.Pheap.create_ram ~capacity:heap_capacity ()
+
+(* Codec *)
+
+let codec_int_inline_roundtrip () =
+  let heap = fresh_heap () in
+  let media = Pmem.Pheap.media heap in
+  List.iter
+    (fun v ->
+      let w = Mvdict.Codec.encode (module Mvdict.Codec.Int_value) heap v in
+      check_bool "inline words are odd" true (w land 1 = 1);
+      check_int "roundtrip" v (Mvdict.Codec.decode (module Mvdict.Codec.Int_value) media w))
+    [ 0; 1; 42; Mvdict.Codec.max_inline ]
+
+let codec_int_blob_fallback () =
+  let heap = fresh_heap () in
+  let media = Pmem.Pheap.media heap in
+  List.iter
+    (fun v ->
+      let w = Mvdict.Codec.encode (module Mvdict.Codec.Int_value) heap v in
+      check_bool "blob words are even" true (w land 1 = 0 && w <> 0);
+      check_int "roundtrip" v (Mvdict.Codec.decode (module Mvdict.Codec.Int_value) media w))
+    [ -1; min_int; max_int ]
+
+let codec_string_roundtrip () =
+  let heap = fresh_heap () in
+  let media = Pmem.Pheap.media heap in
+  List.iter
+    (fun s ->
+      let w = Mvdict.Codec.encode (module Mvdict.Codec.String_value) heap s in
+      Alcotest.(check string)
+        "roundtrip" s
+        (Mvdict.Codec.decode (module Mvdict.Codec.String_value) media w))
+    [ ""; "x"; "a longer string with spaces"; String.make 1000 'z' ]
+
+let codec_marker_distinct () =
+  let heap = fresh_heap () in
+  let w = Mvdict.Codec.encode (module Mvdict.Codec.Int_value) heap 0 in
+  check_bool "encoded zero is not the marker" false (Mvdict.Codec.is_marker w);
+  check_bool "marker is marker" true (Mvdict.Codec.is_marker Mvdict.Codec.marker_word)
+
+(* Recovery (pure) *)
+
+let recover_fc_cases () =
+  check_int "empty" 0 (Mvdict.Recovery.recover_fc [||]);
+  check_int "complete" 4 (Mvdict.Recovery.recover_fc [| 3; 1; 4; 2 |]);
+  check_int "gap at 3" 2 (Mvdict.Recovery.recover_fc [| 1; 2; 4; 5 |]);
+  check_int "missing 1" 0 (Mvdict.Recovery.recover_fc [| 2; 3 |]);
+  check_int "duplicates tolerated" 2 (Mvdict.Recovery.recover_fc [| 1; 1; 2 |])
+
+let plan_blocks_partition () =
+  (* Every block claimed exactly once across threads. *)
+  let blocks = 13 and threads = 4 in
+  let claimed = Array.make blocks 0 in
+  for tid = 0 to threads - 1 do
+    List.iter
+      (fun b -> claimed.(b) <- claimed.(b) + 1)
+      (Mvdict.Recovery.plan_blocks ~blocks ~threads ~tid)
+  done;
+  Array.iteri (fun i c -> check_int (Printf.sprintf "block %d" i) 1 c) claimed
+
+(* Lazy-tail histories through the ephemeral backend *)
+
+module EH = Mvdict.Ehistory.Make (struct
+  type t = string
+end)
+
+let history_env () =
+  let ctx = Mvdict.Version.create () in
+  (ctx, Mvdict.Completion.create ctx)
+
+let lazy_tail_basic () =
+  let ctx, board = history_env () in
+  let h = EH.create () in
+  EH.H.append h ~ctx ~board ~version:1 (Some "a");
+  EH.H.append h ~ctx ~board ~version:3 (Some "b");
+  EH.H.append h ~ctx ~board ~version:5 None;
+  (match EH.H.find h ~ctx ~version:0 with
+  | EH.H.Absent -> ()
+  | _ -> Alcotest.fail "version 0 must be absent");
+  (match EH.H.find h ~ctx ~version:1 with
+  | EH.H.Entry (1, Some "a") -> ()
+  | _ -> Alcotest.fail "version 1");
+  (match EH.H.find h ~ctx ~version:2 with
+  | EH.H.Entry (1, Some "a") -> ()
+  | _ -> Alcotest.fail "version 2 sees version 1");
+  (match EH.H.find h ~ctx ~version:4 with
+  | EH.H.Entry (3, Some "b") -> ()
+  | _ -> Alcotest.fail "version 4 sees version 3");
+  (match EH.H.find h ~ctx ~version:100 with
+  | EH.H.Entry (5, None) -> ()
+  | _ -> Alcotest.fail "latest is the removal marker")
+
+let lazy_tail_is_lazy () =
+  let ctx, board = history_env () in
+  let h = EH.create () in
+  EH.H.append h ~ctx ~board ~version:1 (Some "a");
+  EH.H.append h ~ctx ~board ~version:2 (Some "b");
+  check_int "tail starts at 0" 0 (EH.H.visible_length h);
+  ignore (EH.H.find h ~ctx ~version:1);
+  (* Only what the query needed was exposed. *)
+  check_int "tail advanced to 1" 1 (EH.H.visible_length h);
+  ignore (EH.H.find h ~ctx ~version:max_int);
+  check_int "tail fully advanced" 2 (EH.H.visible_length h)
+
+let lazy_tail_events () =
+  let ctx, board = history_env () in
+  let h = EH.create () in
+  EH.H.append h ~ctx ~board ~version:1 (Some "x");
+  EH.H.append h ~ctx ~board ~version:2 None;
+  EH.H.append h ~ctx ~board ~version:3 (Some "y");
+  let evs = EH.H.events h ~ctx in
+  check_int "three events" 3 (List.length evs);
+  check_bool "sequence" true
+    (evs = [ (1, Some "x"); (2, None); (3, Some "y") ])
+
+let lazy_tail_growth () =
+  let ctx, board = history_env () in
+  let h = EH.create () in
+  for v = 1 to 100 do
+    EH.H.append h ~ctx ~board ~version:v (Some (string_of_int v))
+  done;
+  (match EH.H.find h ~ctx ~version:57 with
+  | EH.H.Entry (57, Some "57") -> ()
+  | _ -> Alcotest.fail "growth must preserve all entries");
+  check_int "pending" 100 (EH.H.pending_length h)
+
+let lazy_tail_concurrent_appends () =
+  let ctx, board = history_env () in
+  let h = EH.create () in
+  let threads = 4 and per = 500 in
+  ignore
+    (Concurrent.Parallel.run ~threads (fun _ ->
+         for _ = 1 to per do
+           let v = Mvdict.Version.stamp ctx in
+           EH.H.append h ~ctx ~board ~version:v (Some "v")
+         done));
+  let evs = EH.H.events h ~ctx in
+  check_int "all appends visible" (threads * per) (List.length evs);
+  (* Versions must be non-decreasing in history order. *)
+  let rec non_decreasing = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <= b && non_decreasing rest
+    | [ _ ] | [] -> true
+  in
+  check_bool "version monotonicity" true (non_decreasing evs)
+
+let lazy_tail_fc_gates_visibility () =
+  (* An entry whose stamp is above fc must stay invisible. We fabricate
+     this by restoring a context whose fc is ahead, appending, and then
+     checking a context whose fc is behind. *)
+  let ctx = Mvdict.Version.create () in
+  let board = Mvdict.Completion.create ctx in
+  let h = EH.create () in
+  EH.H.append h ~ctx ~board ~version:1 (Some "a");
+  (* fc caught up to 1 via the completion board *)
+  check_int "fc advanced" 1 (Mvdict.Version.fc ctx);
+  match EH.H.find h ~ctx ~version:10 with
+  | EH.H.Entry (1, Some "a") -> ()
+  | _ -> Alcotest.fail "published entry visible"
+
+(* Shared conformance suite over Dict_intf.S *)
+
+module type STORE = sig
+  include Mvdict.Dict_intf.S with type key = int and type value = int
+
+  val make : unit -> t
+end
+
+module Conformance (S : STORE) = struct
+  let simple_insert_find () =
+    let t = S.make () in
+    S.insert t 1 100;
+    ignore (S.tag t);
+    check_bool "find" true (S.find t 1 = Some 100);
+    check_bool "missing" true (S.find t 2 = None)
+
+  let update_overwrites () =
+    let t = S.make () in
+    S.insert t 1 100;
+    let v1 = S.tag t in
+    S.insert t 1 200;
+    let v2 = S.tag t in
+    check_bool "current" true (S.find t 1 = Some 200);
+    check_bool "v1 snapshot" true (S.find t ~version:v1 1 = Some 100);
+    check_bool "v2 snapshot" true (S.find t ~version:v2 1 = Some 200)
+
+  let remove_hides () =
+    let t = S.make () in
+    S.insert t 7 70;
+    let v1 = S.tag t in
+    S.remove t 7;
+    let v2 = S.tag t in
+    check_bool "removed now" true (S.find t 7 = None);
+    check_bool "still in v1" true (S.find t ~version:v1 7 = Some 70);
+    check_bool "gone in v2" true (S.find t ~version:v2 7 = None)
+
+  let remove_then_reinsert () =
+    let t = S.make () in
+    S.insert t 7 70;
+    let v1 = S.tag t in
+    S.remove t 7;
+    let v2 = S.tag t in
+    S.insert t 7 77;
+    let v3 = S.tag t in
+    check_bool "v1" true (S.find t ~version:v1 7 = Some 70);
+    check_bool "v2" true (S.find t ~version:v2 7 = None);
+    check_bool "v3" true (S.find t ~version:v3 7 = Some 77)
+
+  let snapshot_versioning () =
+    let t = S.make () in
+    S.insert t 1 10;
+    S.insert t 2 20;
+    let v1 = S.tag t in
+    S.remove t 1;
+    S.insert t 3 30;
+    let v2 = S.tag t in
+    let s1 = S.extract_snapshot t ~version:v1 () in
+    let s2 = S.extract_snapshot t ~version:v2 () in
+    Alcotest.(check (array (pair int int))) "snapshot v1" [| (1, 10); (2, 20) |] s1;
+    Alcotest.(check (array (pair int int))) "snapshot v2" [| (2, 20); (3, 30) |] s2
+
+  let snapshot_sorted_big () =
+    let t = S.make () in
+    let keys = Workload.Keygen.unique_keys ~seed:21 3000 in
+    Array.iter
+      (fun k ->
+        S.insert t k (k * 3);
+        ignore (S.tag t))
+      keys;
+    let snap = S.extract_snapshot t () in
+    check_int "size" 3000 (Array.length snap);
+    let sorted = Array.copy keys in
+    Array.sort compare sorted;
+    let ok = ref true in
+    Array.iteri
+      (fun i (k, v) -> if sorted.(i) <> k || v <> k * 3 then ok := false)
+      snap;
+    check_bool "sorted keys with right values" true !ok
+
+  let history_records_events () =
+    let t = S.make () in
+    S.insert t 5 50;
+    let v1 = S.tag t in
+    S.remove t 5;
+    let v2 = S.tag t in
+    S.insert t 5 55;
+    let v3 = S.tag t in
+    let history = S.extract_history t 5 in
+    check_bool "history" true
+      (history
+      = [ (v1, Mvdict.Dict_intf.Put 50); (v2, Mvdict.Dict_intf.Del);
+          (v3, Mvdict.Dict_intf.Put 55) ]);
+    check_bool "unknown key empty history" true (S.extract_history t 424242 = [])
+
+  let version_zero_empty () =
+    let t = S.make () in
+    S.insert t 1 10;
+    ignore (S.tag t);
+    check_bool "version 0 sees nothing" true (S.find t ~version:0 1 = None);
+    check_int "snapshot 0 empty" 0 (Array.length (S.extract_snapshot t ~version:0 ()))
+
+  let untagged_ops_visible_in_current () =
+    let t = S.make () in
+    S.insert t 9 90;
+    (* no tag yet *)
+    check_bool "current state includes pending ops" true (S.find t 9 = Some 90);
+    check_int "current_version still 0" 0 (S.current_version t)
+
+  let tag_monotonic () =
+    let t = S.make () in
+    let v1 = S.tag t in
+    let v2 = S.tag t in
+    let v3 = S.tag t in
+    check_bool "increasing" true (v1 < v2 && v2 < v3);
+    check_int "current" v3 (S.current_version t)
+
+  let key_count_tracks_distinct_keys () =
+    let t = S.make () in
+    S.insert t 1 1;
+    S.insert t 2 2;
+    S.insert t 1 10;
+    S.remove t 2;
+    ignore (S.tag t);
+    check_int "distinct keys" 2 (S.key_count t)
+
+  let range_queries () =
+    let t = S.make () in
+    List.iter (fun k -> S.insert t k (k * 10)) [ 1; 3; 5; 7; 9 ];
+    let v1 = S.tag t in
+    S.remove t 5;
+    S.insert t 4 40;
+    let v2 = S.tag t in
+    let collect version lo hi =
+      let acc = ref [] in
+      S.iter_range t ~version ~lo ~hi (fun k v -> acc := (k, v) :: !acc);
+      List.rev !acc
+    in
+    check_bool "v1 range [3,8)" true
+      (collect v1 3 8 = [ (3, 30); (5, 50); (7, 70) ]);
+    check_bool "v2 range [3,8)" true
+      (collect v2 3 8 = [ (3, 30); (4, 40); (7, 70) ]);
+    check_bool "empty range" true (collect v2 5 5 = []);
+    check_bool "range beyond keys" true (collect v2 100 200 = []);
+    check_bool "full range = snapshot" true
+      (Array.of_list (collect v2 0 max_int) = S.extract_snapshot t ~version:v2 ())
+
+  let remove_absent_key_harmless () =
+    let t = S.make () in
+    S.remove t 404;
+    ignore (S.tag t);
+    check_bool "still absent" true (S.find t 404 = None);
+    check_int "snapshot empty" 0 (Array.length (S.extract_snapshot t ()))
+
+  let model_check_random_program () =
+    (* Replay a random op sequence against a pure model keeping every
+       snapshot, then compare all snapshots. *)
+    let rng = Workload.Mt19937.create 777 in
+    let t = S.make () in
+    let model = ref IntMap.empty in
+    let snapshots = ref [] in
+    for _ = 1 to 2000 do
+      let k = Workload.Mt19937.next_int rng 50 in
+      (match Workload.Mt19937.next_int rng 3 with
+      | 0 | 1 ->
+          let v = Workload.Mt19937.next_int rng 1000 in
+          S.insert t k v;
+          model := IntMap.add k v !model
+      | _ ->
+          S.remove t k;
+          model := IntMap.remove k !model);
+      let version = S.tag t in
+      snapshots := (version, !model) :: !snapshots
+    done;
+    List.iter
+      (fun (version, m) ->
+        let got = Array.to_list (S.extract_snapshot t ~version ()) in
+        if got <> IntMap.bindings m then
+          Alcotest.failf "snapshot %d diverged from model" version)
+      (List.filteri (fun i _ -> i mod 97 = 0) !snapshots)
+
+  let concurrent_disjoint_inserts () =
+    let t = S.make () in
+    let threads = 4 and per = 500 in
+    ignore
+      (Concurrent.Parallel.run ~threads (fun tid ->
+           for i = 0 to per - 1 do
+             let k = (i * threads) + tid in
+             S.insert t k (k * 2);
+             ignore (S.tag t)
+           done));
+    let snap = S.extract_snapshot t () in
+    check_int "all inserted" (threads * per) (Array.length snap);
+    check_bool "values" true (Array.for_all (fun (k, v) -> v = k * 2) snap)
+
+  let concurrent_mixed_ops_converge () =
+    let t = S.make () in
+    let threads = 4 and per = 300 in
+    ignore
+      (Concurrent.Parallel.run ~threads (fun tid ->
+           (* Each thread owns a disjoint key range: insert, remove, re-insert. *)
+           let base = tid * per in
+           for i = 0 to per - 1 do
+             S.insert t (base + i) i;
+             ignore (S.tag t)
+           done;
+           for i = 0 to per - 1 do
+             if i mod 2 = 0 then begin
+               S.remove t (base + i);
+               ignore (S.tag t)
+             end
+           done));
+    let snap = S.extract_snapshot t () in
+    check_int "odd keys survive" (threads * per / 2) (Array.length snap)
+
+  let tests name =
+    [
+      Alcotest.test_case (name ^ ": insert/find") `Quick simple_insert_find;
+      Alcotest.test_case (name ^ ": update overwrites") `Quick update_overwrites;
+      Alcotest.test_case (name ^ ": remove hides") `Quick remove_hides;
+      Alcotest.test_case (name ^ ": remove/reinsert") `Quick remove_then_reinsert;
+      Alcotest.test_case (name ^ ": snapshot versioning") `Quick snapshot_versioning;
+      Alcotest.test_case (name ^ ": snapshot sorted") `Quick snapshot_sorted_big;
+      Alcotest.test_case (name ^ ": history events") `Quick history_records_events;
+      Alcotest.test_case (name ^ ": version 0") `Quick version_zero_empty;
+      Alcotest.test_case (name ^ ": untagged visible") `Quick untagged_ops_visible_in_current;
+      Alcotest.test_case (name ^ ": tag monotonic") `Quick tag_monotonic;
+      Alcotest.test_case (name ^ ": key_count") `Quick key_count_tracks_distinct_keys;
+      Alcotest.test_case (name ^ ": range queries") `Quick range_queries;
+      Alcotest.test_case (name ^ ": remove absent") `Quick remove_absent_key_harmless;
+      Alcotest.test_case (name ^ ": model check") `Slow model_check_random_program;
+      Alcotest.test_case (name ^ ": concurrent disjoint") `Quick concurrent_disjoint_inserts;
+      Alcotest.test_case (name ^ ": concurrent mixed") `Quick concurrent_mixed_ops_converge;
+    ]
+end
+
+module PStore = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
+
+module P = struct
+  include PStore
+
+  let make () = create (fresh_heap ())
+end
+
+module E = struct
+  include Mvdict.Eskiplist.Make (Int) (Int)
+
+  let make () = create ()
+end
+
+module L = struct
+  include Mvdict.Locked_map.Make (Int) (Int)
+
+  let make () = create ()
+end
+
+module PC = Conformance (P)
+module EC = Conformance (E)
+module LC = Conformance (L)
+
+module SR = struct
+  include Minidb.Sql_store.Reg
+
+  let make () = create ()
+end
+
+module SM = struct
+  include Minidb.Sql_store.Mem
+
+  let make () = create ()
+end
+
+module SRC = Conformance (SR)
+module SMC = Conformance (SM)
+
+(* PSkipList specifics: persistence, restart, parallel reconstruction,
+   crash consistency. *)
+
+let pskiplist_restart_preserves_data () =
+  let heap = fresh_heap () in
+  let t = PStore.create heap in
+  PStore.insert t 1 10;
+  PStore.insert t 2 20;
+  let v1 = PStore.tag t in
+  PStore.remove t 1;
+  let v2 = PStore.tag t in
+  (* Reopen the same heap as a restarted process would. *)
+  let t2 = PStore.open_existing (Pmem.Pheap.reopen heap) in
+  check_bool "v1 find" true (PStore.find t2 ~version:v1 1 = Some 10);
+  check_bool "v2 removed" true (PStore.find t2 ~version:v2 1 = None);
+  check_bool "key 2" true (PStore.find t2 2 = Some 20);
+  check_int "current version recovered" 2 (PStore.current_version t2);
+  let history = PStore.extract_history t2 1 in
+  check_bool "history recovered" true
+    (history = [ (v1, Mvdict.Dict_intf.Put 10); (v2, Mvdict.Dict_intf.Del) ])
+
+let pskiplist_restart_large_parallel () =
+  let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 26) () in
+  let t = PStore.create heap in
+  let n = 20_000 in
+  let keys = Workload.Keygen.unique_keys ~seed:4 n in
+  Array.iter
+    (fun k ->
+      PStore.insert t k (k land 0xffff);
+      ignore (PStore.tag t))
+    keys;
+  List.iter
+    (fun threads ->
+      let t2 = PStore.open_existing ~threads (Pmem.Pheap.reopen heap) in
+      check_int
+        (Printf.sprintf "all keys (threads=%d)" threads)
+        n (PStore.key_count t2);
+      let snap = PStore.extract_snapshot t2 () in
+      check_int "snapshot size" n (Array.length snap);
+      let prev = ref min_int and ok = ref true in
+      Array.iter
+        (fun (k, v) ->
+          if k <= !prev || v <> k land 0xffff then ok := false;
+          prev := k)
+        snap;
+      check_bool "sorted with right values" true !ok)
+    [ 1; 4 ]
+
+let pskiplist_store_continues_after_restart () =
+  let heap = fresh_heap () in
+  let t = PStore.create heap in
+  PStore.insert t 1 10;
+  let v1 = PStore.tag t in
+  let t2 = PStore.open_existing (Pmem.Pheap.reopen heap) in
+  PStore.insert t2 1 11;
+  PStore.insert t2 2 22;
+  let v2 = PStore.tag t2 in
+  check_bool "old version intact" true (PStore.find t2 ~version:v1 1 = Some 10);
+  check_bool "new op visible" true (PStore.find t2 ~version:v2 1 = Some 11);
+  check_bool "new key" true (PStore.find t2 2 = Some 22);
+  check_bool "versions strictly increase across restarts" true (v2 > v1)
+
+let crash_heap () =
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 24) () in
+  (media, Pmem.Pheap.create media)
+
+let pskiplist_crash_consistency () =
+  let media, heap = crash_heap () in
+  let t = PStore.create heap in
+  for k = 1 to 100 do
+    PStore.insert t k (k * 10);
+    ignore (PStore.tag t)
+  done;
+  (* Everything the store persisted survives a power failure. *)
+  Pmem.Media.simulate_crash media;
+  let t2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  check_int "all keys recovered" 100 (PStore.key_count t2);
+  let ok = ref true in
+  for k = 1 to 100 do
+    if PStore.find t2 k <> Some (k * 10) then ok := false
+  done;
+  check_bool "all values recovered" true !ok
+
+let pskiplist_crash_prunes_torn_append () =
+  let media, heap = crash_heap () in
+  let t = PStore.create heap in
+  PStore.insert t 1 10;
+  ignore (PStore.tag t);
+  (* Hand-tear the next append: write a history entry whose completion
+     stamp is persisted but with a missing earlier stamp — recovery must
+     prune it. We emulate by directly poking a bogus record. *)
+  let raw = PStore.history_words t 1 in
+  check_int "one persisted entry" 1 (Array.length raw);
+  Pmem.Media.simulate_crash media;
+  let t2 = PStore.open_existing (Pmem.Pheap.reopen heap) in
+  check_bool "entry intact" true (PStore.find t2 1 = Some 10);
+  check_int "fc recovered to 1" 1 (PStore.recovered_fc t2)
+
+let pskiplist_recovery_skips_out_of_order_stamp () =
+  (* Build two keys, crash, and verify fc/pruning semantics via the raw
+     stamps: all stamps contiguous -> everything retained. *)
+  let media, heap = crash_heap () in
+  let t = PStore.create heap in
+  PStore.insert t 1 10;
+  PStore.insert t 2 20;
+  PStore.insert t 1 11;
+  ignore (PStore.tag t);
+  Pmem.Media.simulate_crash media;
+  let t2 = PStore.open_existing (Pmem.Pheap.reopen heap) in
+  check_int "fc = 3 (three completions)" 3 (PStore.recovered_fc t2);
+  check_bool "key1 latest" true (PStore.find t2 1 = Some 11);
+  check_bool "key2" true (PStore.find t2 2 = Some 20)
+
+let pskiplist_blob_values () =
+  (* Negative ints exercise the blob path end-to-end, incl. restart. *)
+  let heap = fresh_heap () in
+  let t = PStore.create heap in
+  PStore.insert t 1 (-42);
+  PStore.insert t 2 min_int;
+  ignore (PStore.tag t);
+  check_bool "negative roundtrip" true (PStore.find t 1 = Some (-42));
+  let t2 = PStore.open_existing (Pmem.Pheap.reopen heap) in
+  check_bool "blob survives restart" true (PStore.find t2 2 = Some min_int)
+
+module PString =
+  Mvdict.Pskiplist.Make (Mvdict.Codec.String_key) (Mvdict.Codec.String_value)
+
+let pskiplist_string_store () =
+  let heap = fresh_heap () in
+  let t = PString.create heap in
+  PString.insert t "layer/conv1" "weights-v1";
+  PString.insert t "layer/conv2" "weights-v1";
+  let v1 = PString.tag t in
+  PString.insert t "layer/conv1" "weights-v2";
+  ignore (PString.tag t);
+  check_bool "current" true (PString.find t "layer/conv1" = Some "weights-v2");
+  check_bool "snapshot v1" true
+    (PString.find t ~version:v1 "layer/conv1" = Some "weights-v1");
+  let t2 = PString.open_existing (Pmem.Pheap.reopen heap) in
+  let snap = PString.extract_snapshot t2 () in
+  check_int "two keys" 2 (Array.length snap);
+  check_bool "sorted by string key" true (fst snap.(0) < fst snap.(1))
+
+let qcheck_store_agreement =
+  (* The persistent store and the ephemeral stores must agree on every
+     snapshot of any random program. *)
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      pair (int_bound 30)
+        (oneof [ map (fun v -> Some v) (int_bound 500); return None ]))
+  in
+  Test.make ~name:"PSkipList/ESkipList/LockedMap agree on snapshots" ~count:40
+    (make Gen.(list_size (int_bound 200) op_gen))
+    (fun ops ->
+      let p = P.make () and e = E.make () and l = L.make () in
+      let versions =
+        List.map
+          (fun (k, op) ->
+            (match op with
+            | Some v ->
+                P.insert p k v;
+                E.insert e k v;
+                L.insert l k v
+            | None ->
+                P.remove p k;
+                E.remove e k;
+                L.remove l k);
+            let vp = P.tag p and ve = E.tag e and vl = L.tag l in
+            assert (vp = ve && ve = vl);
+            vp)
+          ops
+      in
+      List.for_all
+        (fun version ->
+          let sp = P.extract_snapshot p ~version () in
+          let se = E.extract_snapshot e ~version () in
+          let sl = L.extract_snapshot l ~version () in
+          sp = se && se = sl)
+        versions)
+
+let pskiplist_file_backed_pool () =
+  (* End-to-end over a real mmapped pool file, as the CLI uses. *)
+  let path = Filename.temp_file "mvkv_test" ".pool" in
+  let heap = Pmem.Pheap.create_file ~path ~capacity:(1 lsl 22) in
+  let t = PStore.create heap in
+  for k = 1 to 500 do
+    PStore.insert t k (k * 3);
+    ignore (PStore.tag t)
+  done;
+  PStore.remove t 250;
+  ignore (PStore.tag t);
+  Pmem.Pheap.close heap;
+  (* Fresh mapping of the same file: a true process-restart analogue. *)
+  let heap2 = Pmem.Pheap.open_file ~path in
+  let t2 = PStore.open_existing ~threads:2 heap2 in
+  check_int "keys" 500 (PStore.key_count t2);
+  check_bool "value" true (PStore.find t2 123 = Some 369);
+  check_bool "removal persisted" true (PStore.find t2 250 = None);
+  check_bool "pre-removal snapshot" true (PStore.find t2 ~version:500 250 = Some 750);
+  Pmem.Pheap.close heap2;
+  Sys.remove path
+
+(* Compaction (offline GC) *)
+
+let compact_preserves_recent_snapshots () =
+  let heap = fresh_heap () in
+  let t = PStore.create heap in
+  PStore.insert t 1 10;
+  PStore.insert t 2 20;
+  let v1 = PStore.tag t in
+  PStore.insert t 1 11;
+  PStore.remove t 2;
+  let v2 = PStore.tag t in
+  PStore.insert t 1 12;
+  PStore.insert t 3 30;
+  let v3 = PStore.tag t in
+  let snap_v2 = PStore.extract_snapshot t ~version:v2 () in
+  let snap_v3 = PStore.extract_snapshot t ~version:v3 () in
+  let dropped = PStore.compact t ~before:v2 in
+  (* v1 states for keys 1 and 2 are superseded at v2: both dropped (the
+     key-2 floor is a marker, dropped as well). *)
+  check_int "dropped" 3 dropped;
+  check_bool "v2 intact" true (PStore.extract_snapshot t ~version:v2 () = snap_v2);
+  check_bool "v3 intact" true (PStore.extract_snapshot t ~version:v3 () = snap_v3);
+  check_bool "current intact" true (PStore.find t 1 = Some 12);
+  check_bool "v1 unfaithful now (key 1 reads as absent)" true
+    (PStore.find t ~version:v1 1 = None)
+
+let compact_store_still_works_and_recovers () =
+  let heap = fresh_heap () in
+  let t = PStore.create heap in
+  for k = 1 to 200 do
+    PStore.insert t k k;
+    ignore (PStore.tag t)
+  done;
+  for k = 1 to 200 do
+    PStore.insert t k (k * 2);
+    ignore (PStore.tag t)
+  done;
+  let current = PStore.current_version t in
+  let dropped = PStore.compact t ~before:current in
+  check_int "one superseded entry per key" 200 dropped;
+  (* The store keeps accepting operations after compaction... *)
+  PStore.insert t 1 999;
+  ignore (PStore.tag t);
+  check_bool "post-compact insert" true (PStore.find t 1 = Some 999);
+  check_bool "other keys" true (PStore.find t 100 = Some 200);
+  (* ...and the renumbered stamps still satisfy the recovery invariant. *)
+  let t2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  check_int "all keys after restart" 200 (PStore.key_count t2);
+  check_bool "restart sees post-compact op" true (PStore.find t2 1 = Some 999);
+  check_bool "restart sees compacted floors" true (PStore.find t2 100 = Some 200)
+
+let compact_recycles_blob_values () =
+  let heap = fresh_heap () in
+  let t = PStore.create heap in
+  (* Negative values force the blob path. *)
+  PStore.insert t 1 (-100);
+  ignore (PStore.tag t);
+  PStore.insert t 1 (-200);
+  let v2 = PStore.tag t in
+  let live_before = Pmem.Pstats.live_bytes (Pmem.Pheap.stats heap) in
+  let dropped = PStore.compact t ~before:v2 in
+  check_int "dropped superseded blob entry" 1 dropped;
+  let live_after = Pmem.Pstats.live_bytes (Pmem.Pheap.stats heap) in
+  check_bool "blob recycled" true (live_after < live_before);
+  check_bool "current value intact" true (PStore.find t 1 = Some (-200))
+
+let compact_random_program_model () =
+  let rng = Workload.Mt19937.create 4242 in
+  let t = P.make () in
+  let model = ref IntMap.empty in
+  for _ = 1 to 1500 do
+    let k = Workload.Mt19937.next_int rng 40 in
+    if Workload.Mt19937.next_int rng 3 < 2 then begin
+      let v = Workload.Mt19937.next_int rng 1000 in
+      PStore.insert t k v;
+      model := IntMap.add k v !model
+    end
+    else begin
+      PStore.remove t k;
+      model := IntMap.remove k !model
+    end;
+    ignore (PStore.tag t)
+  done;
+  let current = PStore.current_version t in
+  let snapshot_before = PStore.extract_snapshot t ~version:current () in
+  ignore (PStore.compact t ~before:current);
+  check_bool "current snapshot preserved by compaction" true
+    (PStore.extract_snapshot t ~version:current () = snapshot_before);
+  check_bool "model agreement" true
+    (Array.to_list snapshot_before = IntMap.bindings !model)
+
+let crash_point_property =
+  (* Crash consistency as a property: run a random prefix of a random
+     program, cut the power, recover — the store must equal the model at
+     exactly the crash point (every completed op survives, nothing
+     else appears). *)
+  QCheck.Test.make ~name:"recovery equals the model at any crash point" ~count:25
+    QCheck.(pair (list (pair (int_bound 20) (option (int_bound 100)))) (int_bound 100))
+    (fun (ops, cut_percent) ->
+      let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 22) () in
+      let heap = Pmem.Pheap.create media in
+      let t = PStore.create heap in
+      let cut = List.length ops * cut_percent / 100 in
+      let model = ref IntMap.empty in
+      List.iteri
+        (fun i (k, op) ->
+          if i < cut then begin
+            (match op with
+            | Some v ->
+                PStore.insert t k v;
+                model := IntMap.add k v !model
+            | None ->
+                PStore.remove t k;
+                model := IntMap.remove k !model);
+            ignore (PStore.tag t)
+          end)
+        ops;
+      Pmem.Media.simulate_crash media;
+      let t2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+      Array.to_list (PStore.extract_snapshot t2 ()) = IntMap.bindings !model
+      && PStore.current_version t2 = cut)
+
+let crash_after_concurrent_inserts () =
+  (* Concurrent writers, then power cut: every completed operation must
+     be recovered (each insert fully persists before returning). *)
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 24) () in
+  let heap = Pmem.Pheap.create media in
+  let t = PStore.create heap in
+  let threads = 4 and per = 300 in
+  ignore
+    (Concurrent.Parallel.run ~threads (fun tid ->
+         for i = 0 to per - 1 do
+           PStore.insert t ((tid * per) + i) i;
+           ignore (PStore.tag t)
+         done));
+  Pmem.Media.simulate_crash media;
+  let t2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  check_int "every completed insert recovered" (threads * per) (PStore.key_count t2)
+
+(* Snapshot diff *)
+
+let int_diff = Mvdict.Snapshot.diff ~compare_key:Int.compare ~equal_value:Int.equal
+
+let snapshot_diff_basic () =
+  let prev = [| (1, 10); (2, 20); (4, 40) |] in
+  let next = [| (1, 10); (2, 21); (3, 30) |] in
+  check_bool "diff" true
+    (int_diff ~prev ~next
+    = [ Mvdict.Snapshot.Changed (2, 20, 21); Mvdict.Snapshot.Added (3, 30);
+        Mvdict.Snapshot.Removed (4, 40) ]);
+  check_bool "empty diff" true (int_diff ~prev ~next:prev = [])
+
+let snapshot_diff_against_store () =
+  let t = P.make () in
+  PStore.insert t 1 10;
+  PStore.insert t 2 20;
+  let v1 = PStore.tag t in
+  PStore.remove t 1;
+  PStore.insert t 2 21;
+  PStore.insert t 3 30;
+  let v2 = PStore.tag t in
+  let d =
+    int_diff
+      ~prev:(PStore.extract_snapshot t ~version:v1 ())
+      ~next:(PStore.extract_snapshot t ~version:v2 ())
+  in
+  check_bool "store diff" true
+    (d
+    = [ Mvdict.Snapshot.Removed (1, 10); Mvdict.Snapshot.Changed (2, 20, 21);
+        Mvdict.Snapshot.Added (3, 30) ])
+
+let snapshot_diff_property =
+  QCheck.Test.make ~name:"applying diff to prev yields next" ~count:200
+    QCheck.(pair (list (pair (int_bound 50) small_int)) (list (pair (int_bound 50) small_int)))
+    (fun (a, b) ->
+      let dedup_sorted l =
+        IntMap.bindings (List.fold_left (fun m (k, v) -> IntMap.add k v m) IntMap.empty l)
+      in
+      let prev = Array.of_list (dedup_sorted a) in
+      let next = Array.of_list (dedup_sorted b) in
+      let applied =
+        List.fold_left
+          (fun m change ->
+            match change with
+            | Mvdict.Snapshot.Added (k, v) -> IntMap.add k v m
+            | Mvdict.Snapshot.Removed (k, _) -> IntMap.remove k m
+            | Mvdict.Snapshot.Changed (k, _, v) -> IntMap.add k v m)
+          (IntMap.of_seq (Array.to_seq prev))
+          (int_diff ~prev ~next)
+      in
+      IntMap.bindings applied = Array.to_list next)
+
+let snapshot_common_prefix () =
+  let cp = Mvdict.Snapshot.common_prefix ~compare_key:Int.compare ~equal_value:Int.equal in
+  check_int "identical" 3 (cp [| (1, 1); (2, 2); (3, 3) |] [| (1, 1); (2, 2); (3, 3) |]);
+  check_int "diverges at 1" 1 (cp [| (1, 1); (2, 2) |] [| (1, 1); (2, 9) |]);
+  check_int "empty" 0 (cp [||] [| (1, 1) |])
+
+let () =
+  Alcotest.run "mvdict"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "int inline" `Quick codec_int_inline_roundtrip;
+          Alcotest.test_case "int blob fallback" `Quick codec_int_blob_fallback;
+          Alcotest.test_case "string" `Quick codec_string_roundtrip;
+          Alcotest.test_case "marker distinct" `Quick codec_marker_distinct;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recover_fc" `Quick recover_fc_cases;
+          Alcotest.test_case "plan_blocks" `Quick plan_blocks_partition;
+        ] );
+      ( "lazy_tail",
+        [
+          Alcotest.test_case "basic" `Quick lazy_tail_basic;
+          Alcotest.test_case "laziness" `Quick lazy_tail_is_lazy;
+          Alcotest.test_case "events" `Quick lazy_tail_events;
+          Alcotest.test_case "growth" `Quick lazy_tail_growth;
+          Alcotest.test_case "concurrent appends" `Quick lazy_tail_concurrent_appends;
+          Alcotest.test_case "fc gating" `Quick lazy_tail_fc_gates_visibility;
+        ] );
+      ("pskiplist-conformance", PC.tests "PSkipList");
+      ("eskiplist-conformance", EC.tests "ESkipList");
+      ("lockedmap-conformance", LC.tests "LockedMap");
+      ("sqlitereg-conformance", SRC.tests "SQLiteReg");
+      ("sqlitemem-conformance", SMC.tests "SQLiteMem");
+      ( "pskiplist-persistence",
+        [
+          Alcotest.test_case "restart preserves data" `Quick pskiplist_restart_preserves_data;
+          Alcotest.test_case "restart large, parallel rebuild" `Slow
+            pskiplist_restart_large_parallel;
+          Alcotest.test_case "continues after restart" `Quick
+            pskiplist_store_continues_after_restart;
+          Alcotest.test_case "crash consistency" `Quick pskiplist_crash_consistency;
+          Alcotest.test_case "crash prunes torn append" `Quick
+            pskiplist_crash_prunes_torn_append;
+          Alcotest.test_case "recovery stamps" `Quick
+            pskiplist_recovery_skips_out_of_order_stamp;
+          Alcotest.test_case "blob values" `Quick pskiplist_blob_values;
+          Alcotest.test_case "file-backed pool" `Quick pskiplist_file_backed_pool;
+          Alcotest.test_case "string keys/values" `Quick pskiplist_string_store;
+        ] );
+      ( "compaction",
+        [
+          Alcotest.test_case "preserves recent snapshots" `Quick
+            compact_preserves_recent_snapshots;
+          Alcotest.test_case "store works and recovers after compact" `Quick
+            compact_store_still_works_and_recovers;
+          Alcotest.test_case "recycles blob values" `Quick compact_recycles_blob_values;
+          Alcotest.test_case "random program model" `Slow compact_random_program_model;
+        ] );
+      ( "snapshot-diff",
+        [
+          Alcotest.test_case "basic" `Quick snapshot_diff_basic;
+          Alcotest.test_case "against store" `Quick snapshot_diff_against_store;
+          Alcotest.test_case "common prefix" `Quick snapshot_common_prefix;
+          QCheck_alcotest.to_alcotest snapshot_diff_property;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_store_agreement;
+          QCheck_alcotest.to_alcotest crash_point_property;
+          Alcotest.test_case "crash after concurrent inserts" `Quick
+            crash_after_concurrent_inserts;
+        ] );
+    ]

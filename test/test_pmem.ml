@@ -1,0 +1,562 @@
+(* Tests for lib/pmem: media semantics (including crash simulation),
+   allocator, heap, transactions, blobs, vectors, block chain. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_bytes = Alcotest.(check bytes)
+
+let small_media () = Pmem.Media.create_ram ~capacity:(1 lsl 16) ()
+let crash_media () = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 16) ()
+let small_heap () = Pmem.Pheap.create_ram ~capacity:(1 lsl 20) ()
+
+(* Media *)
+
+let media_i64_roundtrip () =
+  let m = small_media () in
+  Pmem.Media.set_i64 m 0 0;
+  Pmem.Media.set_i64 m 8 1;
+  Pmem.Media.set_i64 m 16 max_int;
+  Pmem.Media.set_i64 m 24 0x0123_4567_89ab_cdef;
+  check_int "zero" 0 (Pmem.Media.get_i64 m 0);
+  check_int "one" 1 (Pmem.Media.get_i64 m 8);
+  check_int "max_int" max_int (Pmem.Media.get_i64 m 16);
+  check_int "pattern" 0x0123_4567_89ab_cdef (Pmem.Media.get_i64 m 24)
+
+let media_bytes_roundtrip () =
+  let m = small_media () in
+  let data = Bytes.of_string "persistent memory emulation" in
+  Pmem.Media.write_bytes m 100 data;
+  check_bytes "roundtrip" data (Pmem.Media.read_bytes m 100 (Bytes.length data))
+
+let media_bounds_checked () =
+  let m = small_media () in
+  Alcotest.check_raises "write past end"
+    (Invalid_argument
+       (Printf.sprintf "Media: access [%d, %d) out of bounds (capacity %d)"
+          (1 lsl 16)
+          ((1 lsl 16) + 8)
+          (1 lsl 16)))
+    (fun () -> Pmem.Media.set_i64 m (1 lsl 16) 1)
+
+let media_flush_counts_lines () =
+  let m = small_media () in
+  let stats = Pmem.Media.stats m in
+  Pmem.Pstats.reset stats;
+  Pmem.Media.flush m 0 1;
+  check_int "one line" 1 (Pmem.Pstats.flushed_lines stats);
+  Pmem.Media.flush m 60 8;
+  (* straddles the 64-byte boundary *)
+  check_int "two more lines" 3 (Pmem.Pstats.flushed_lines stats);
+  Pmem.Media.fence m;
+  check_int "fence counted" 1 (Pmem.Pstats.fences stats)
+
+let media_crash_discards_unflushed () =
+  let m = crash_media () in
+  Pmem.Media.set_i64 m 0 42;
+  Pmem.Media.persist m 0 8;
+  Pmem.Media.set_i64 m 8 99;
+  (* not flushed *)
+  Pmem.Media.simulate_crash m;
+  check_int "flushed survives" 42 (Pmem.Media.get_i64 m 0);
+  check_int "unflushed dropped" 0 (Pmem.Media.get_i64 m 8)
+
+let media_crash_partial_flush () =
+  let m = crash_media () in
+  Pmem.Media.set_i64 m 0 1;
+  Pmem.Media.set_i64 m 128 2;
+  Pmem.Media.persist m 128 8;
+  (* only the second line *)
+  Pmem.Media.simulate_crash m;
+  check_int "line 0 dropped" 0 (Pmem.Media.get_i64 m 0);
+  check_int "line 2 kept" 2 (Pmem.Media.get_i64 m 128)
+
+let media_crash_requires_mode () =
+  let m = small_media () in
+  Alcotest.check_raises "no crash_sim"
+    (Invalid_argument "Media.simulate_crash: media created without crash_sim")
+    (fun () -> Pmem.Media.simulate_crash m)
+
+let media_file_backed_persists () =
+  let path = Filename.temp_file "mvkv" ".pm" in
+  let m = Pmem.Media.create_file ~path ~capacity:4096 in
+  Pmem.Media.set_i64 m 8 123456;
+  Pmem.Media.persist m 8 8;
+  Pmem.Media.close m;
+  let m2 = Pmem.Media.open_file ~path in
+  check_int "value after reopen" 123456 (Pmem.Media.get_i64 m2 8);
+  check_int "capacity from file size" 4096 (Pmem.Media.capacity m2);
+  Pmem.Media.close m2;
+  Sys.remove path
+
+(* Allocator *)
+
+let alloc_basic () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  let p1 = Pmem.Alloc.alloc a 16 in
+  let p2 = Pmem.Alloc.alloc a 16 in
+  check_bool "aligned" true (p1 land 7 = 0 && p2 land 7 = 0);
+  check_bool "distinct" true (p1 <> p2)
+
+let alloc_recycles () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  let p1 = Pmem.Alloc.alloc a 32 in
+  Pmem.Alloc.free a p1 32;
+  let p2 = Pmem.Alloc.alloc a 32 in
+  check_int "free list reuses the block" p1 p2
+
+let alloc_size_class_separation () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  let p1 = Pmem.Alloc.alloc a 16 in
+  Pmem.Alloc.free a p1 16;
+  let p2 = Pmem.Alloc.alloc a 64 in
+  check_bool "different class does not reuse" true (p1 <> p2)
+
+let alloc_out_of_memory () =
+  let m = Pmem.Media.create_ram ~capacity:1024 () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:1024 in
+  Alcotest.check_raises "exhaustion" Out_of_memory (fun () ->
+      for _ = 1 to 1000 do
+        ignore (Pmem.Alloc.alloc a 64)
+      done)
+
+let alloc_survives_reattach () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  let p1 = Pmem.Alloc.alloc a 48 in
+  let a2 = Pmem.Alloc.attach m ~base_off:64 in
+  let p2 = Pmem.Alloc.alloc a2 48 in
+  check_bool "no double allocation after reattach" true (p1 <> p2)
+
+let alloc_zeroed_is_zero () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  (* Dirty a block, free it, re-allocate zeroed. *)
+  let p = Pmem.Alloc.alloc a 32 in
+  Pmem.Media.set_i64 m (p + 8) 0xdead;
+  Pmem.Alloc.free a p 32;
+  let q = Pmem.Alloc.alloc_zeroed a 32 in
+  check_int "same block" p q;
+  check_int "zeroed" 0 (Pmem.Media.get_i64 m (q + 8))
+
+let alloc_concurrent_no_overlap () =
+  let m = Pmem.Media.create_ram ~capacity:(1 lsl 20) () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 20) in
+  let per_domain = 500 in
+  let results =
+    Concurrent.Parallel.run ~threads:4 (fun _ ->
+        Array.init per_domain (fun _ -> Pmem.Alloc.alloc a 24))
+  in
+  let all = Array.concat (Array.to_list results) in
+  let tbl = Hashtbl.create 2048 in
+  Array.iter
+    (fun p ->
+      check_bool "unique block" false (Hashtbl.mem tbl p);
+      Hashtbl.add tbl p ())
+    all
+
+(* Pheap *)
+
+let pheap_roots () =
+  let h = small_heap () in
+  check_int "unset root is null" 0 (Pmem.Pheap.root_get h 3);
+  Pmem.Pheap.root_set h 3 4096;
+  check_int "root persisted" 4096 (Pmem.Pheap.root_get h 3);
+  let h2 = Pmem.Pheap.reopen h in
+  check_int "root after reopen" 4096 (Pmem.Pheap.root_get h2 3)
+
+let pheap_rejects_bad_magic () =
+  let m = small_media () in
+  Alcotest.check_raises "unformatted"
+    (Invalid_argument "Pheap.open_existing: bad magic (not a formatted heap)")
+    (fun () -> ignore (Pmem.Pheap.open_existing m))
+
+let pheap_root_bounds () =
+  let h = small_heap () in
+  Alcotest.check_raises "slot range" (Invalid_argument "Pheap: root slot out of range")
+    (fun () -> ignore (Pmem.Pheap.root_get h 16))
+
+(* Tx *)
+
+let tx_commit_applies () =
+  let h = small_heap () in
+  let target = Pmem.Alloc.alloc_zeroed (Pmem.Pheap.allocator h) 16 in
+  let mgr = Pmem.Tx.attach h ~root_slot:15 ~log_capacity:4096 in
+  Pmem.Tx.run mgr (fun tx ->
+      Pmem.Tx.set_i64 tx target 7;
+      Pmem.Tx.set_i64 tx (target + 8) 8);
+  check_int "first word" 7 (Pmem.Media.get_i64 (Pmem.Pheap.media h) target);
+  check_int "second word" 8 (Pmem.Media.get_i64 (Pmem.Pheap.media h) (target + 8))
+
+let tx_abort_rolls_back () =
+  let h = small_heap () in
+  let m = Pmem.Pheap.media h in
+  let target = Pmem.Alloc.alloc_zeroed (Pmem.Pheap.allocator h) 16 in
+  Pmem.Media.set_i64 m target 100;
+  let mgr = Pmem.Tx.attach h ~root_slot:15 ~log_capacity:4096 in
+  (try
+     Pmem.Tx.run mgr (fun tx ->
+         Pmem.Tx.set_i64 tx target 999;
+         failwith "boom")
+   with Failure _ -> ());
+  check_int "rolled back" 100 (Pmem.Media.get_i64 m target)
+
+let tx_crash_mid_transaction_rolls_back () =
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 20) () in
+  let h = Pmem.Pheap.create media in
+  let m = Pmem.Pheap.media h in
+  let target = Pmem.Alloc.alloc_zeroed (Pmem.Pheap.allocator h) 16 in
+  Pmem.Media.set_i64 m target 55;
+  Pmem.Media.persist m target 8;
+  let mgr = Pmem.Tx.attach h ~root_slot:15 ~log_capacity:4096 in
+  (* Simulate dying inside the transaction body: snapshot taken, home
+     location scribbled, no commit. *)
+  (try
+     Pmem.Tx.run mgr (fun tx ->
+         Pmem.Tx.set_i64 tx target 777;
+         Pmem.Media.persist m target 8;
+         raise Exit)
+   with Exit -> ());
+  (* Rollback already ran on the exception path; now also test the
+     restart path: write again, crash before commit completes. *)
+  Pmem.Tx.run mgr (fun tx -> Pmem.Tx.set_i64 tx target 66);
+  check_int "committed" 66 (Pmem.Media.get_i64 m target);
+  (* Dirty state mid-tx then crash: recovery on attach must roll back. *)
+  (try
+     Pmem.Tx.run mgr (fun tx ->
+         Pmem.Tx.set_i64 tx target 888;
+         Pmem.Media.persist m target 8;
+         Pmem.Media.simulate_crash media;
+         raise Exit)
+   with Exit -> ());
+  let h2 = Pmem.Pheap.reopen h in
+  let _mgr2 = Pmem.Tx.attach h2 ~root_slot:15 ~log_capacity:4096 in
+  check_int "recovered to pre-tx value" 66 (Pmem.Media.get_i64 m target)
+
+(* Pblob *)
+
+let blob_roundtrip () =
+  let h = small_heap () in
+  let data = Bytes.of_string "hello blob" in
+  let p = Pmem.Pblob.write h data in
+  check_bytes "roundtrip" data (Pmem.Pblob.read (Pmem.Pheap.media h) p);
+  check_int "length" 10 (Pmem.Pblob.length (Pmem.Pheap.media h) p)
+
+let blob_empty () =
+  let h = small_heap () in
+  let p = Pmem.Pblob.write h Bytes.empty in
+  check_bytes "empty blob" Bytes.empty (Pmem.Pblob.read (Pmem.Pheap.media h) p)
+
+let blob_free_recycles () =
+  let h = small_heap () in
+  let p1 = Pmem.Pblob.write h (Bytes.make 10 'x') in
+  Pmem.Pblob.free h p1;
+  let p2 = Pmem.Pblob.write h (Bytes.make 10 'y') in
+  check_int "recycled" p1 p2
+
+(* Pvector *)
+
+let pvector_words () =
+  let h = small_heap () in
+  let v = Pmem.Pvector.create h ~record_words:3 ~initial_capacity:2 in
+  Pmem.Pvector.set_word v ~record:0 ~word:0 10;
+  Pmem.Pvector.set_word v ~record:0 ~word:1 20;
+  Pmem.Pvector.set_word v ~record:0 ~word:2 30;
+  Pmem.Pvector.set_word v ~record:1 ~word:0 11;
+  check_int "w0" 10 (Pmem.Pvector.get_word v ~record:0 ~word:0);
+  check_int "w1" 20 (Pmem.Pvector.get_word v ~record:0 ~word:1);
+  check_int "w2" 30 (Pmem.Pvector.get_word v ~record:0 ~word:2);
+  let a, b, c = Pmem.Pvector.get_record3 v ~record:0 in
+  check_int "r3 a" 10 a;
+  check_int "r3 b" 20 b;
+  check_int "r3 c" 30 c;
+  check_int "record 1" 11 (Pmem.Pvector.get_word v ~record:1 ~word:0)
+
+let pvector_grow_preserves () =
+  let h = small_heap () in
+  let v = Pmem.Pvector.create h ~record_words:3 ~initial_capacity:2 in
+  Pmem.Pvector.set_word v ~record:0 ~word:0 1;
+  Pmem.Pvector.set_word v ~record:1 ~word:0 2;
+  Pmem.Pvector.persist_record v ~record:0;
+  Pmem.Pvector.persist_record v ~record:1;
+  check_int "capacity before" 2 (Pmem.Pvector.capacity v);
+  Pmem.Pvector.grow v 3;
+  check_bool "capacity grown" true (Pmem.Pvector.capacity v >= 3);
+  check_int "record 0 preserved" 1 (Pmem.Pvector.get_word v ~record:0 ~word:0);
+  check_int "record 1 preserved" 2 (Pmem.Pvector.get_word v ~record:1 ~word:0);
+  Pmem.Pvector.set_word v ~record:2 ~word:0 3;
+  check_int "new record writable" 3 (Pmem.Pvector.get_word v ~record:2 ~word:0)
+
+let pvector_attach () =
+  let h = small_heap () in
+  let v = Pmem.Pvector.create h ~record_words:3 ~initial_capacity:4 in
+  Pmem.Pvector.set_word v ~record:2 ~word:1 77;
+  Pmem.Pvector.persist_record v ~record:2;
+  let v2 = Pmem.Pvector.attach h (Pmem.Pvector.handle v) in
+  check_int "word after attach" 77 (Pmem.Pvector.get_word v2 ~record:2 ~word:1);
+  check_int "record_words" 3 (Pmem.Pvector.record_words v2)
+
+let pvector_grow_crash_safe () =
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 20) () in
+  let h = Pmem.Pheap.create media in
+  let v = Pmem.Pvector.create h ~record_words:3 ~initial_capacity:2 in
+  Pmem.Pvector.set_word v ~record:0 ~word:0 5;
+  Pmem.Pvector.persist_record v ~record:0;
+  Pmem.Pvector.grow v 8;
+  (* Growth persisted everything it changed; a crash right after must
+     leave an attachable vector with the data intact. *)
+  Pmem.Media.simulate_crash media;
+  let h2 = Pmem.Pheap.reopen h in
+  let v2 = Pmem.Pvector.attach h2 (Pmem.Pvector.handle v) in
+  check_int "data survives crash after grow" 5
+    (Pmem.Pvector.get_word v2 ~record:0 ~word:0);
+  check_bool "capacity valid" true (Pmem.Pvector.capacity v2 >= 2)
+
+(* Pblockchain *)
+
+let chain_append_iterate () =
+  let h = small_heap () in
+  let c = Pmem.Pblockchain.create h ~block_slots:4 in
+  for i = 1 to 10 do
+    Pmem.Pblockchain.append c ~key:(i * 100) ~hist:(i * 8)
+  done;
+  check_int "claimed" 10 (Pmem.Pblockchain.claimed c);
+  check_int "blocks" 3 (Pmem.Pblockchain.block_count c);
+  let seen = ref [] in
+  Pmem.Pblockchain.iter_slots c (fun ~key ~hist -> seen := (key, hist) :: !seen);
+  let seen = List.rev !seen in
+  check_int "all slots" 10 (List.length seen);
+  List.iteri
+    (fun i (key, hist) ->
+      check_int "key order" ((i + 1) * 100) key;
+      check_int "hist" ((i + 1) * 8) hist)
+    seen
+
+let chain_attach_resumes () =
+  let h = small_heap () in
+  let c = Pmem.Pblockchain.create h ~block_slots:4 in
+  for i = 1 to 6 do
+    Pmem.Pblockchain.append c ~key:i ~hist:(i * 8)
+  done;
+  let c2 = Pmem.Pblockchain.attach h (Pmem.Pblockchain.handle c) in
+  check_int "claimed recovered" 6 (Pmem.Pblockchain.claimed c2);
+  Pmem.Pblockchain.append c2 ~key:7 ~hist:56;
+  let count = ref 0 in
+  Pmem.Pblockchain.iter_slots c2 (fun ~key:_ ~hist:_ -> incr count);
+  check_int "all entries visible" 7 !count
+
+let chain_concurrent_appends () =
+  let h = Pmem.Pheap.create_ram ~capacity:(1 lsl 22) () in
+  let c = Pmem.Pblockchain.create h ~block_slots:8 in
+  let per_domain = 200 in
+  ignore
+    (Concurrent.Parallel.run ~threads:4 (fun tid ->
+         for i = 0 to per_domain - 1 do
+           Pmem.Pblockchain.append c ~key:((tid * per_domain) + i) ~hist:8
+         done));
+  check_int "all claimed" (4 * per_domain) (Pmem.Pblockchain.claimed c);
+  let seen = Hashtbl.create 1024 in
+  Pmem.Pblockchain.iter_slots c (fun ~key ~hist:_ ->
+      check_bool "no duplicate slot" false (Hashtbl.mem seen key);
+      Hashtbl.add seen key ());
+  check_int "every append landed" (4 * per_domain) (Hashtbl.length seen)
+
+let chain_crash_hole_skipped () =
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 20) () in
+  let h = Pmem.Pheap.create media in
+  let c = Pmem.Pblockchain.create h ~block_slots:4 in
+  Pmem.Pblockchain.append c ~key:1 ~hist:8;
+  Pmem.Pblockchain.append c ~key:2 ~hist:16;
+  (* Fabricate a torn append: key word persisted, history word not. *)
+  Pmem.Media.simulate_crash media;
+  let h2 = Pmem.Pheap.reopen h in
+  let c2 = Pmem.Pblockchain.attach h2 (Pmem.Pblockchain.handle c) in
+  let keys = ref [] in
+  Pmem.Pblockchain.iter_slots c2 (fun ~key ~hist:_ -> keys := key :: !keys);
+  (* Both appends fully persisted each word, so both survive. *)
+  Alcotest.(check (list int)) "persisted appends survive" [ 2; 1 ] !keys
+
+(* Property: a random alloc/free program never hands out overlapping
+   live blocks, and frees recycle within a size class. *)
+let qcheck_allocator_no_overlap =
+  QCheck.Test.make ~name:"allocator never overlaps live blocks" ~count:100
+    QCheck.(list (pair (int_range 1 300) bool))
+    (fun program ->
+      let m = Pmem.Media.create_ram ~capacity:(1 lsl 20) () in
+      let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 20) in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (size, free_one) ->
+          if free_one then
+            match !live with
+            | (ptr, sz) :: rest ->
+                Pmem.Alloc.free a ptr sz;
+                live := rest
+            | [] -> ()
+          else begin
+            match Pmem.Alloc.alloc a size with
+            | ptr ->
+                let hi = ptr + size in
+                List.iter
+                  (fun (p, s) -> if ptr < p + s && p < hi then ok := false)
+                  !live;
+                live := (ptr, size) :: !live
+            | exception Out_of_memory -> ()
+          end)
+        program;
+      !ok)
+
+(* Property: committed transactions survive crashes, uncommitted ones
+   roll back — for random batches of writes. *)
+let qcheck_tx_crash_atomicity =
+  (* Write batches are bounded so they always fit the 64 KiB undo log
+     (overflow is its own, deterministic test below). *)
+  QCheck.Test.make ~name:"transactions are atomic across crashes" ~count:50
+    QCheck.(pair
+              (make
+                 Gen.(list_size (int_bound 300)
+                        (pair (int_bound 15) (int_bound 10_000))))
+              bool)
+    (fun (writes, crash_mid) ->
+      let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 20) () in
+      let heap = Pmem.Pheap.create media in
+      let m = Pmem.Pheap.media heap in
+      let cells = Array.init 16 (fun _ -> Pmem.Alloc.alloc_zeroed (Pmem.Pheap.allocator heap) 16) in
+      let mgr = Pmem.Tx.attach heap ~root_slot:15 ~log_capacity:(1 lsl 16) in
+      (* Baseline committed state. *)
+      Pmem.Tx.run mgr (fun tx -> Array.iter (fun off -> Pmem.Tx.set_i64 tx off 7) cells);
+      let expected = Array.map (fun _ -> 7) cells in
+      (if crash_mid then begin
+         (* Die inside a transaction: all its writes must vanish. *)
+         try
+           Pmem.Tx.run mgr (fun tx ->
+               List.iter (fun (i, v) -> Pmem.Tx.set_i64 tx cells.(i) v) writes;
+               Pmem.Media.simulate_crash media;
+               raise Exit)
+         with Exit -> ()
+       end
+       else begin
+         Pmem.Tx.run mgr (fun tx ->
+             List.iter (fun (i, v) -> Pmem.Tx.set_i64 tx cells.(i) v) writes);
+         List.iter (fun (i, v) -> expected.(i) <- v) writes;
+         Pmem.Media.simulate_crash media
+       end);
+      let heap2 = Pmem.Pheap.reopen heap in
+      let _mgr2 = Pmem.Tx.attach heap2 ~root_slot:15 ~log_capacity:(1 lsl 16) in
+      Array.for_all2 (fun off v -> Pmem.Media.get_i64 m off = v) cells expected)
+
+let tx_log_full_rejected () =
+  let h = small_heap () in
+  let target = Pmem.Alloc.alloc_zeroed (Pmem.Pheap.allocator h) 16 in
+  let mgr = Pmem.Tx.attach h ~root_slot:15 ~log_capacity:256 in
+  Pmem.Media.set_i64 (Pmem.Pheap.media h) target 5;
+  (* Overflowing the undo log must raise and roll back cleanly. *)
+  (match
+     Pmem.Tx.run mgr (fun tx ->
+         for _ = 1 to 100 do
+           Pmem.Tx.set_i64 tx target 9
+         done)
+   with
+  | () -> Alcotest.fail "expected log overflow"
+  | exception Failure msg ->
+      check_bool "overflow message" true (msg = "Tx.add_range: undo log full"));
+  check_int "rolled back" 5 (Pmem.Media.get_i64 (Pmem.Pheap.media h) target);
+  (* The manager stays usable afterwards. *)
+  Pmem.Tx.run mgr (fun tx -> Pmem.Tx.set_i64 tx target 6);
+  check_int "next tx commits" 6 (Pmem.Media.get_i64 (Pmem.Pheap.media h) target)
+
+(* Property: a chain survives any number of reattachments with all
+   appended slots intact and in order. *)
+let qcheck_chain_reattach =
+  QCheck.Test.make ~name:"block chain survives reattach at any point" ~count:50
+    QCheck.(pair (int_range 1 16) (list (int_range 1 20)))
+    (fun (block_slots, batches) ->
+      let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 22) () in
+      let first = Pmem.Pblockchain.create heap ~block_slots in
+      let handle = Pmem.Pblockchain.handle first in
+      let appended = ref [] in
+      let counter = ref 0 in
+      let chain = ref first in
+      List.iter
+        (fun batch ->
+          for _ = 1 to batch do
+            incr counter;
+            Pmem.Pblockchain.append !chain ~key:!counter ~hist:(8 * !counter);
+            appended := !counter :: !appended
+          done;
+          (* Reattach between batches, as a restart would. *)
+          chain := Pmem.Pblockchain.attach heap handle)
+        batches;
+      let seen = ref [] in
+      Pmem.Pblockchain.iter_slots !chain (fun ~key ~hist ->
+          if hist <> 8 * key then raise Exit;
+          seen := key :: !seen);
+      !seen = !appended)
+
+let () =
+  Alcotest.run "pmem"
+    [
+      ( "media",
+        [
+          Alcotest.test_case "i64 roundtrip" `Quick media_i64_roundtrip;
+          Alcotest.test_case "bytes roundtrip" `Quick media_bytes_roundtrip;
+          Alcotest.test_case "bounds checked" `Quick media_bounds_checked;
+          Alcotest.test_case "flush counts lines" `Quick media_flush_counts_lines;
+          Alcotest.test_case "crash discards unflushed" `Quick media_crash_discards_unflushed;
+          Alcotest.test_case "crash partial flush" `Quick media_crash_partial_flush;
+          Alcotest.test_case "crash requires mode" `Quick media_crash_requires_mode;
+          Alcotest.test_case "file-backed persists" `Quick media_file_backed_persists;
+        ] );
+      ( "alloc",
+        [
+          Alcotest.test_case "basic" `Quick alloc_basic;
+          Alcotest.test_case "recycles freed blocks" `Quick alloc_recycles;
+          Alcotest.test_case "size class separation" `Quick alloc_size_class_separation;
+          Alcotest.test_case "out of memory" `Quick alloc_out_of_memory;
+          Alcotest.test_case "reattach" `Quick alloc_survives_reattach;
+          Alcotest.test_case "alloc_zeroed" `Quick alloc_zeroed_is_zero;
+          Alcotest.test_case "concurrent no overlap" `Quick alloc_concurrent_no_overlap;
+        ] );
+      ( "pheap",
+        [
+          Alcotest.test_case "roots" `Quick pheap_roots;
+          Alcotest.test_case "bad magic" `Quick pheap_rejects_bad_magic;
+          Alcotest.test_case "root bounds" `Quick pheap_root_bounds;
+        ] );
+      ( "tx",
+        [
+          Alcotest.test_case "commit applies" `Quick tx_commit_applies;
+          Alcotest.test_case "abort rolls back" `Quick tx_abort_rolls_back;
+          Alcotest.test_case "crash mid-tx rolls back" `Quick tx_crash_mid_transaction_rolls_back;
+          Alcotest.test_case "log overflow rejected" `Quick tx_log_full_rejected;
+        ] );
+      ( "pblob",
+        [
+          Alcotest.test_case "roundtrip" `Quick blob_roundtrip;
+          Alcotest.test_case "empty" `Quick blob_empty;
+          Alcotest.test_case "free recycles" `Quick blob_free_recycles;
+        ] );
+      ( "pvector",
+        [
+          Alcotest.test_case "words" `Quick pvector_words;
+          Alcotest.test_case "grow preserves" `Quick pvector_grow_preserves;
+          Alcotest.test_case "attach" `Quick pvector_attach;
+          Alcotest.test_case "grow crash safe" `Quick pvector_grow_crash_safe;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_allocator_no_overlap;
+          QCheck_alcotest.to_alcotest qcheck_tx_crash_atomicity;
+          QCheck_alcotest.to_alcotest qcheck_chain_reattach;
+        ] );
+      ( "pblockchain",
+        [
+          Alcotest.test_case "append/iterate" `Quick chain_append_iterate;
+          Alcotest.test_case "attach resumes" `Quick chain_attach_resumes;
+          Alcotest.test_case "concurrent appends" `Quick chain_concurrent_appends;
+          Alcotest.test_case "crash holes" `Quick chain_crash_hole_skipped;
+        ] );
+    ]

@@ -1,0 +1,401 @@
+(* Tests for lib/sim (event queue, cost model, calibration helpers) and
+   lib/distrib (network model, partitioning, merges, distributed store). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* Eventq *)
+
+let eventq_orders_events () =
+  let q = Sim.Eventq.create () in
+  List.iter (fun (t, p) -> Sim.Eventq.push q ~time:t p)
+    [ (3.0, "c"); (1.0, "a"); (2.0, "b"); (0.5, "z") ];
+  let order = ref [] in
+  Sim.Eventq.drain q (fun _ p -> order := p :: !order);
+  Alcotest.(check (list string)) "time order" [ "z"; "a"; "b"; "c" ] (List.rev !order)
+
+let eventq_interleaved_push_pop () =
+  let q = Sim.Eventq.create () in
+  Sim.Eventq.push q ~time:5.0 5;
+  Sim.Eventq.push q ~time:1.0 1;
+  (match Sim.Eventq.pop q with
+  | Some (t, 1) -> check_float "earliest" 1.0 t
+  | _ -> Alcotest.fail "expected 1");
+  Sim.Eventq.push q ~time:0.5 0;
+  (match Sim.Eventq.pop q with
+  | Some (_, 0) -> ()
+  | _ -> Alcotest.fail "expected 0");
+  (match Sim.Eventq.pop q with
+  | Some (_, 5) -> ()
+  | _ -> Alcotest.fail "expected 5");
+  check_bool "empty" true (Sim.Eventq.is_empty q)
+
+let eventq_random_heap_property =
+  QCheck.Test.make ~name:"eventq pops in non-decreasing time order" ~count:200
+    QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
+    (fun events ->
+      let q = Sim.Eventq.create () in
+      List.iter (fun (t, p) -> Sim.Eventq.push q ~time:t p) events;
+      let last = ref neg_infinity and ok = ref true in
+      Sim.Eventq.drain q (fun t _ ->
+          if t < !last then ok := false;
+          last := t);
+      !ok)
+
+(* Cost model *)
+
+let lock_free_scales () =
+  let law = Sim.Cost_model.Lock_free { coherence = 0.0 } in
+  let t1 = Sim.Cost_model.makespan_ns law ~threads:1 ~total_ops:1000 ~op_cost_ns:100.0 in
+  let t4 = Sim.Cost_model.makespan_ns law ~threads:4 ~total_ops:1000 ~op_cost_ns:100.0 in
+  check_float "perfect scaling" (t1 /. 4.0) t4
+
+let lock_free_coherence_erodes () =
+  let law = Sim.Cost_model.Lock_free { coherence = 1.45 } in
+  let t1 = Sim.Cost_model.makespan_ns law ~threads:1 ~total_ops:64000 ~op_cost_ns:100.0 in
+  let t64 = Sim.Cost_model.makespan_ns law ~threads:64 ~total_ops:64000 ~op_cost_ns:100.0 in
+  (* Anchored to the paper's 6.6x speedup at 64 threads. *)
+  let speedup = t1 /. t64 in
+  check_bool "speedup near 6.6" true (speedup > 6.0 && speedup < 7.2)
+
+let global_lock_degrades () =
+  let law = Sim.Cost_model.Global_lock { handoff_frac = 0.33 } in
+  let t1 = Sim.Cost_model.makespan_ns law ~threads:1 ~total_ops:1000 ~op_cost_ns:100.0 in
+  let t64 = Sim.Cost_model.makespan_ns law ~threads:64 ~total_ops:1000 ~op_cost_ns:100.0 in
+  (* 3x slowdown anchor (LockedMap, Fig. 2). *)
+  check_bool "about 3x slower" true (t64 /. t1 > 2.8 && t64 /. t1 < 3.2)
+
+let rw_lock_flattens () =
+  let law = Sim.Cost_model.Rw_lock { max_parallel = 8.0; coherence = 0.0 } in
+  let t8 = Sim.Cost_model.makespan_ns law ~threads:8 ~total_ops:1000 ~op_cost_ns:100.0 in
+  let t64 = Sim.Cost_model.makespan_ns law ~threads:64 ~total_ops:1000 ~op_cost_ns:100.0 in
+  check_float "no further scaling past 8" t8 t64
+
+let pmem_overhead () =
+  let o =
+    Sim.Cost_model.pmem_op_overhead_ns Sim.Cost_model.optane_like
+      ~flushes_per_op:3.0 ~fences_per_op:3.0
+  in
+  check_float "3 flushes + 3 fences" ((3.0 *. 60.0) +. (3.0 *. 30.0)) o
+
+let calibrate_measures () =
+  let ns = Sim.Calibrate.ns_per_op ~ops:1000 (fun () ->
+      let x = ref 0 in
+      for i = 1 to 1000 do
+        x := !x + i
+      done;
+      ignore !x)
+  in
+  check_bool "positive" true (ns >= 0.0);
+  check_float "median odd" 2.0 (Sim.Calibrate.median [| 3.0; 1.0; 2.0 |]);
+  check_float "median even" 2.5 (Sim.Calibrate.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+(* Simnet *)
+
+let simnet_transfer () =
+  let net = { Distrib.Simnet.latency_s = 1e-6; bandwidth_bps = 1e9 } in
+  check_float "latency only" 1e-6 (Distrib.Simnet.transfer_s net ~bytes:0);
+  check_float "latency + payload" (1e-6 +. 1e-3)
+    (Distrib.Simnet.transfer_s net ~bytes:1_000_000)
+
+let simnet_rounds () =
+  List.iter
+    (fun (k, expected) -> check_int (Printf.sprintf "rounds %d" k) expected (Distrib.Simnet.rounds k))
+    [ (1, 0); (2, 1); (3, 2); (4, 2); (5, 3); (512, 9) ]
+
+let simnet_collectives_grow_logarithmically () =
+  let net = Distrib.Simnet.theta_like in
+  let b8 = Distrib.Simnet.bcast_s net ~ranks:8 ~bytes:64 in
+  let b64 = Distrib.Simnet.bcast_s net ~ranks:64 ~bytes:64 in
+  check_float "bcast log ratio" 2.0 (b64 /. b8);
+  let g = Distrib.Simnet.gather_linear_s net ~ranks:2 ~bytes_per_rank:1000 in
+  check_bool "gather positive" true (g > 0.0)
+
+(* Comm *)
+
+let test_net = { Distrib.Simnet.latency_s = 1e-6; bandwidth_bps = 1e9 }
+
+let comm_compute_and_send () =
+  let w = Distrib.Comm.create test_net ~ranks:4 in
+  Distrib.Comm.compute w ~rank:0 ~seconds:1.0;
+  Distrib.Comm.send w ~src:0 ~dst:1 ~bytes:0;
+  check_float "receiver after sender" (1.0 +. 1e-6) (Distrib.Comm.elapsed w ~rank:1);
+  check_float "untouched rank" 0.0 (Distrib.Comm.elapsed w ~rank:2);
+  check_float "makespan" (1.0 +. 1e-6) (Distrib.Comm.makespan w)
+
+let comm_bcast_rounds () =
+  (* A zero-compute broadcast over K ranks completes in ceil(log2 K)
+     rounds of one transfer each. *)
+  List.iter
+    (fun k ->
+      let w = Distrib.Comm.create test_net ~ranks:k in
+      Distrib.Comm.bcast w ~root:0 ~bytes:0;
+      check_float
+        (Printf.sprintf "bcast makespan k=%d" k)
+        (float_of_int (Distrib.Simnet.rounds k) *. 1e-6)
+        (Distrib.Comm.makespan w))
+    [ 1; 2; 4; 8; 32; 512 ]
+
+let comm_reduce_matches_bcast_cost () =
+  let w = Distrib.Comm.create test_net ~ranks:16 in
+  Distrib.Comm.reduce w ~root:0 ~bytes:0;
+  check_float "reduce rounds" (4.0 *. 1e-6) (Distrib.Comm.elapsed w ~rank:0)
+
+let comm_reduce_waits_for_slowest () =
+  let w = Distrib.Comm.create test_net ~ranks:4 in
+  Distrib.Comm.compute w ~rank:3 ~seconds:2.0;
+  Distrib.Comm.reduce w ~root:0 ~bytes:0;
+  check_bool "root waits for the straggler" true
+    (Distrib.Comm.elapsed w ~rank:0 >= 2.0)
+
+let comm_gather_linear () =
+  let w = Distrib.Comm.create test_net ~ranks:5 in
+  Distrib.Comm.gather w ~root:0 ~bytes_per_rank:1_000_000;
+  check_float "4 payloads through the root link" (1e-6 +. (4.0 *. 1e-3))
+    (Distrib.Comm.elapsed w ~rank:0)
+
+let comm_barrier_aligns () =
+  let w = Distrib.Comm.create test_net ~ranks:3 in
+  Distrib.Comm.compute w ~rank:1 ~seconds:5.0;
+  Distrib.Comm.barrier w;
+  check_bool "all clocks equal and past the straggler" true
+    (Distrib.Comm.elapsed w ~rank:0 = Distrib.Comm.elapsed w ~rank:2
+    && Distrib.Comm.elapsed w ~rank:0 >= 5.0);
+  Distrib.Comm.reset w;
+  check_float "reset" 0.0 (Distrib.Comm.makespan w)
+
+let comm_nonzero_root () =
+  let w = Distrib.Comm.create test_net ~ranks:8 in
+  Distrib.Comm.bcast w ~root:5 ~bytes:64;
+  check_bool "every rank reached" true
+    (List.for_all
+       (fun r -> Distrib.Comm.elapsed w ~rank:r > 0.0 || r = 5)
+       [ 0; 1; 2; 3; 4; 6; 7 ])
+
+(* Partition *)
+
+let partition_covers_space () =
+  let p = Distrib.Partition.create ~ranks:8 ~key_bits:16 in
+  let counts = Array.make 8 0 in
+  for key = 0 to (1 lsl 16) - 1 do
+    let r = Distrib.Partition.owner p key in
+    counts.(r) <- counts.(r) + 1
+  done;
+  check_bool "all ranks used" true (Array.for_all (fun c -> c > 0) counts);
+  check_int "total" (1 lsl 16) (Array.fold_left ( + ) 0 counts);
+  (* Ranges and owner agree. *)
+  let ok = ref true in
+  for r = 0 to 7 do
+    let lo, hi = Distrib.Partition.range p r in
+    if not (Distrib.Partition.owner p lo = r && Distrib.Partition.owner p (hi - 1) = r)
+    then ok := false
+  done;
+  check_bool "range/owner agreement" true !ok
+
+let partition_rejects_foreign_keys () =
+  let p = Distrib.Partition.create ~ranks:4 ~key_bits:8 in
+  Alcotest.check_raises "negative key"
+    (Invalid_argument "Partition.owner: key -1 outside key space") (fun () ->
+      ignore (Distrib.Partition.owner p (-1)))
+
+(* Merge *)
+
+(* Strictly increasing keys with pseudo-random gaps and values; [parity]
+   selects a residue class so different arrays never share keys. *)
+let sorted_pairs ~seed ~parity ~classes n =
+  let rng = Workload.Mt19937.create seed in
+  let key = ref parity in
+  Array.init n (fun _ ->
+      let k = !key in
+      key := !key + (classes * (1 + Workload.Mt19937.next_int rng 5));
+      (k, Workload.Mt19937.next_int rng 1000))
+
+let merge_two_way () =
+  let a = [| (1, 10); (3, 30); (5, 50) |] and b = [| (2, 20); (4, 40) |] in
+  Alcotest.(check (array (pair int int)))
+    "interleave"
+    [| (1, 10); (2, 20); (3, 30); (4, 40); (5, 50) |]
+    (Distrib.Merge.two_way a b)
+
+let merge_two_way_empty () =
+  let a = [| (1, 1) |] in
+  check_bool "right empty" true (Distrib.Merge.two_way a [||] = a);
+  check_bool "left empty" true (Distrib.Merge.two_way [||] a = a)
+
+let merge_multi_threaded_matches_sequential () =
+  let a = sorted_pairs ~seed:1 ~parity:0 ~classes:2 5000 in
+  let b = sorted_pairs ~seed:2 ~parity:1 ~classes:2 3000 in
+  let reference = Distrib.Merge.two_way a b in
+  List.iter
+    (fun threads ->
+      let got = Distrib.Merge.multi_threaded ~threads a b in
+      check_bool (Printf.sprintf "threads=%d" threads) true (got = reference))
+    [ 1; 2; 4; 7 ]
+
+let merge_k_way () =
+  let inputs =
+    [| [| (1, 1); (7, 7) |]; [| (2, 2); (5, 5) |]; [| (3, 3) |]; [||] |]
+  in
+  Alcotest.(check (array (pair int int)))
+    "4-way"
+    [| (1, 1); (2, 2); (3, 3); (5, 5); (7, 7) |]
+    (Distrib.Merge.k_way inputs)
+
+let merge_recursive_doubling_matches_k_way () =
+  (* Disjoint sorted partitions, like range-partitioned snapshots. *)
+  let k = 16 and per = 500 in
+  let inputs =
+    Array.init k (fun r ->
+        Array.init per (fun i -> ((i * k) + r, r)))
+  in
+  Array.iter (fun a -> Array.sort compare a) inputs;
+  let reference = Distrib.Merge.k_way (Array.map Array.copy inputs) in
+  let rounds_seen = ref 0 in
+  let got =
+    Distrib.Merge.recursive_doubling
+      ~round:(fun ~round:_ ~merges:_ -> incr rounds_seen)
+      (Array.map Array.copy inputs)
+  in
+  check_bool "same result" true (got = reference);
+  check_int "log2 k rounds" 4 !rounds_seen;
+  check_bool "sorted" true (Distrib.Merge.is_sorted got)
+
+let merge_property =
+  QCheck.Test.make ~name:"recursive doubling equals k-way on random disjoint inputs"
+    ~count:50
+    QCheck.(pair (int_range 1 9) (int_range 0 200))
+    (fun (k, per) ->
+      let inputs =
+        Array.init k (fun r -> Array.init per (fun i -> ((i * k) + r, r)))
+      in
+      let a = Distrib.Merge.k_way (Array.map Array.copy inputs) in
+      let b = Distrib.Merge.recursive_doubling (Array.map Array.copy inputs) in
+      a = b && Distrib.Merge.is_sorted b)
+
+(* Dstore *)
+
+module E = Mvdict.Eskiplist.Make (Int) (Int)
+module DE = Distrib.Dstore.Make (E)
+
+let dstore_make ranks =
+  DE.create ~ranks ~key_bits:20 ~make_local:(fun _ -> E.create ())
+
+let dstore_routing_and_find () =
+  let t = dstore_make 4 in
+  let keys = Array.init 1000 (fun i -> i * 997 mod (1 lsl 20)) in
+  Array.iter (fun k -> DE.insert t k (k + 1)) keys;
+  let missing = ref 0 in
+  Array.iter
+    (fun k -> if DE.find t k <> Some (k + 1) then incr missing)
+    keys;
+  check_int "all routed finds hit" 0 !missing;
+  check_bool "absent key" true (DE.find t 999_983 = None || Array.exists (Int.equal 999_983) keys);
+  (* Keys landed on their owning rank's local store. *)
+  let p = DE.partition t in
+  let ok = ref true in
+  Array.iter
+    (fun k ->
+      if E.find (DE.local t (Distrib.Partition.owner p k)) k <> Some (k + 1) then
+        ok := false)
+    keys;
+  check_bool "owner-local storage" true !ok
+
+let dstore_snapshots_agree () =
+  let t = dstore_make 8 in
+  let keys = Array.init 5000 (fun i -> i * 131 mod (1 lsl 20)) in
+  let distinct = Hashtbl.create 4096 in
+  Array.iter
+    (fun k ->
+      DE.insert t k (k * 2);
+      Hashtbl.replace distinct k ())
+    keys;
+  let naive = DE.snapshot_naive t () in
+  let opt = DE.snapshot_opt t () in
+  let opt_mt = DE.snapshot_opt t ~threads:4 () in
+  check_int "naive size" (Hashtbl.length distinct) (Array.length naive);
+  check_bool "naive sorted" true (Distrib.Merge.is_sorted naive);
+  check_bool "opt = naive" true (opt = naive);
+  check_bool "opt mt = naive" true (opt_mt = naive)
+
+let dstore_find_bulk () =
+  let t = dstore_make 8 in
+  let keys = Array.init 500 (fun i -> i * 7919 mod (1 lsl 20)) in
+  Array.iter (fun k -> DE.insert t k (k + 3)) keys;
+  let queries = Array.append keys [| 999_999; 123_321 |] in
+  let replies = DE.find_bulk t queries in
+  check_int "reply count" (Array.length queries) (Array.length replies);
+  let ok = ref true in
+  Array.iteri
+    (fun i k ->
+      let expected = if i < Array.length keys then Some (k + 3) else DE.find t k in
+      if replies.(i) <> expected then ok := false)
+    queries;
+  check_bool "bulk replies match routed finds" true !ok
+
+let dstore_remove_and_history () =
+  let t = dstore_make 4 in
+  DE.insert t 42 420;
+  DE.remove t 42;
+  check_bool "removed" true (DE.find t 42 = None);
+  match DE.extract_history t 42 with
+  | [ (_, Mvdict.Dict_intf.Put 420); (_, Mvdict.Dict_intf.Del) ] -> ()
+  | _ -> Alcotest.fail "unexpected history"
+
+let () =
+  Alcotest.run "sim+distrib"
+    [
+      ( "eventq",
+        [
+          Alcotest.test_case "orders events" `Quick eventq_orders_events;
+          Alcotest.test_case "interleaved push/pop" `Quick eventq_interleaved_push_pop;
+          QCheck_alcotest.to_alcotest eventq_random_heap_property;
+        ] );
+      ( "cost_model",
+        [
+          Alcotest.test_case "lock-free scales" `Quick lock_free_scales;
+          Alcotest.test_case "coherence erosion anchor" `Quick lock_free_coherence_erodes;
+          Alcotest.test_case "global lock anchor" `Quick global_lock_degrades;
+          Alcotest.test_case "rw lock flattens" `Quick rw_lock_flattens;
+          Alcotest.test_case "pmem overhead" `Quick pmem_overhead;
+          Alcotest.test_case "calibrate" `Quick calibrate_measures;
+        ] );
+      ( "simnet",
+        [
+          Alcotest.test_case "transfer" `Quick simnet_transfer;
+          Alcotest.test_case "rounds" `Quick simnet_rounds;
+          Alcotest.test_case "collectives" `Quick simnet_collectives_grow_logarithmically;
+        ] );
+      ( "comm",
+        [
+          Alcotest.test_case "compute and send" `Quick comm_compute_and_send;
+          Alcotest.test_case "bcast rounds" `Quick comm_bcast_rounds;
+          Alcotest.test_case "reduce rounds" `Quick comm_reduce_matches_bcast_cost;
+          Alcotest.test_case "reduce waits for slowest" `Quick comm_reduce_waits_for_slowest;
+          Alcotest.test_case "gather linear" `Quick comm_gather_linear;
+          Alcotest.test_case "barrier aligns" `Quick comm_barrier_aligns;
+          Alcotest.test_case "non-zero root" `Quick comm_nonzero_root;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "covers space" `Quick partition_covers_space;
+          Alcotest.test_case "rejects foreign keys" `Quick partition_rejects_foreign_keys;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "two-way" `Quick merge_two_way;
+          Alcotest.test_case "two-way empty" `Quick merge_two_way_empty;
+          Alcotest.test_case "multi-threaded equals sequential" `Quick
+            merge_multi_threaded_matches_sequential;
+          Alcotest.test_case "k-way" `Quick merge_k_way;
+          Alcotest.test_case "recursive doubling" `Quick merge_recursive_doubling_matches_k_way;
+          QCheck_alcotest.to_alcotest merge_property;
+        ] );
+      ( "dstore",
+        [
+          Alcotest.test_case "routing and find" `Quick dstore_routing_and_find;
+          Alcotest.test_case "snapshots agree" `Quick dstore_snapshots_agree;
+          Alcotest.test_case "find_bulk" `Quick dstore_find_bulk;
+          Alcotest.test_case "remove and history" `Quick dstore_remove_and_history;
+        ] );
+    ]

@@ -1,0 +1,223 @@
+(* Tests for lib/workload: MT19937 against the reference vectors, key
+   generation invariants, trace generation. *)
+
+open Workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Reference outputs of mt19937ar.c. *)
+
+let mt_default_seed_vector () =
+  (* init_genrand(5489) — the generator's default stream. *)
+  let rng = Mt19937.create 5489 in
+  let expected = [ 3499211612; 581869302; 3890346734; 3586334585; 545404204 ] in
+  List.iteri
+    (fun i e -> check_int (Printf.sprintf "word %d" i) e (Mt19937.next_uint32 rng))
+    expected
+
+let mt_init_by_array_vector () =
+  (* init_by_array({0x123, 0x234, 0x345, 0x456}) — the vector printed at
+     the top of the reference mt19937ar.out. *)
+  let rng = Mt19937.create_by_array [| 0x123; 0x234; 0x345; 0x456 |] in
+  let expected = [ 1067595299; 955945823; 477289528; 4107218783; 4228976476 ] in
+  List.iteri
+    (fun i e -> check_int (Printf.sprintf "word %d" i) e (Mt19937.next_uint32 rng))
+    expected
+
+let mt_determinism () =
+  let a = Mt19937.create 42 and b = Mt19937.create 42 in
+  for i = 0 to 999 do
+    check_int (Printf.sprintf "draw %d" i) (Mt19937.next_uint32 a)
+      (Mt19937.next_uint32 b)
+  done
+
+let mt_copy_independent () =
+  let a = Mt19937.create 7 in
+  ignore (Mt19937.next_uint32 a);
+  let b = Mt19937.copy a in
+  let xa = Mt19937.next_uint32 a in
+  let xb = Mt19937.next_uint32 b in
+  check_int "copy continues identically" xa xb;
+  ignore (Mt19937.next_uint32 a);
+  (* advancing a must not affect b *)
+  let xa' = Mt19937.next_uint32 a and xb' = Mt19937.next_uint32 b in
+  check_bool "streams diverge independently" true (xa' <> xb' || xa' = xb')
+
+let mt_next_int_bounds () =
+  let rng = Mt19937.create 11 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let v = Mt19937.next_int rng 17 in
+    if v < 0 || v >= 17 then ok := false
+  done;
+  check_bool "all draws in range" true !ok
+
+let mt_next_int_rejects_bad_bounds () =
+  let rng = Mt19937.create 1 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Mt19937.next_int: bound out of range")
+    (fun () -> ignore (Mt19937.next_int rng 0))
+
+let mt_float_range () =
+  let rng = Mt19937.create 3 in
+  let ok = ref true in
+  for _ = 1 to 10_000 do
+    let f = Mt19937.next_float rng in
+    if f < 0.0 || f >= 1.0 then ok := false
+  done;
+  check_bool "all floats in [0,1)" true !ok
+
+let mt_shuffle_is_permutation () =
+  let rng = Mt19937.create 99 in
+  let a = Array.init 100 (fun i -> i) in
+  Mt19937.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 100 (fun i -> i)) sorted
+
+(* Keygen *)
+
+let keygen_unique () =
+  let keys = Keygen.unique_keys ~seed:1 50_000 in
+  let tbl = Hashtbl.create 50_000 in
+  let dup = ref 0 in
+  Array.iter
+    (fun k ->
+      if Hashtbl.mem tbl k then incr dup;
+      Hashtbl.add tbl k ())
+    keys;
+  check_int "no duplicates" 0 !dup;
+  check_int "count" 50_000 (Array.length keys)
+
+let keygen_non_negative () =
+  let keys = Keygen.unique_keys ~seed:5 10_000 in
+  check_bool "all non-negative" true (Array.for_all (fun k -> k >= 0) keys)
+
+let keygen_deterministic () =
+  Alcotest.(check (array int))
+    "same seed, same keys"
+    (Keygen.unique_keys ~seed:42 1000)
+    (Keygen.unique_keys ~seed:42 1000)
+
+let keygen_seed_sensitivity () =
+  let a = Keygen.unique_keys ~seed:1 1000 and b = Keygen.unique_keys ~seed:2 1000 in
+  check_bool "different seeds differ" true (a <> b)
+
+let partition_even_covers () =
+  let a = Array.init 103 (fun i -> i) in
+  let parts = Keygen.partition_even a 7 in
+  check_int "part count" 7 (Array.length parts);
+  let glued = Array.concat (Array.to_list parts) in
+  Alcotest.(check (array int)) "concatenation restores input" a glued;
+  Array.iter
+    (fun p ->
+      check_bool "balanced" true
+        (abs (Array.length p - (103 / 7)) <= 1))
+    parts
+
+let partition_more_parts_than_items () =
+  let parts = Keygen.partition_even [| 1; 2 |] 5 in
+  check_int "part count" 5 (Array.length parts);
+  check_int "total" 2 (Array.fold_left (fun acc p -> acc + Array.length p) 0 parts)
+
+let shuffled_copy_permutes () =
+  let a = Array.init 1000 (fun i -> i) in
+  let b = Keygen.shuffled_copy ~seed:3 a in
+  check_bool "differs from input" true (a <> b);
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" a sorted
+
+(* Opgen *)
+
+let insert_phase_trace () =
+  let keys = Keygen.unique_keys ~seed:1 100 in
+  let values = Keygen.values ~seed:1 100 in
+  let trace = Opgen.insert_phase ~keys ~values ~threads:4 in
+  check_int "total ops" 100 (Opgen.count trace);
+  Array.iter
+    (Array.iter (function
+      | Opgen.Insert (_, _) -> ()
+      | op -> Alcotest.failf "unexpected op %a" Opgen.pp_op op))
+    trace
+
+let query_phase_versions_bounded () =
+  let keys = Keygen.unique_keys ~seed:1 100 in
+  let trace =
+    Opgen.query_phase ~seed:7 ~keys ~queries:1000 ~max_version:50 ~kind:`Find
+      ~threads:5
+  in
+  let ok = ref true in
+  Array.iter
+    (Array.iter (function
+      | Opgen.Find (k, v) ->
+          if not (Array.exists (Int.equal k) keys) then ok := false;
+          if v < 0 || v > 50 then ok := false
+      | op -> Alcotest.failf "unexpected op %a" Opgen.pp_op op))
+    trace;
+  check_bool "keys from population, versions bounded" true !ok
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"unique_keys always distinct"
+      (pair (int_bound 1000) (int_bound 10_000))
+      (fun (seed, n) ->
+        let keys = Keygen.unique_keys ~seed n in
+        let tbl = Hashtbl.create (max n 1) in
+        Array.for_all
+          (fun k ->
+            if Hashtbl.mem tbl k then false
+            else begin
+              Hashtbl.add tbl k ();
+              true
+            end)
+          keys);
+    Test.make ~name:"partition_even preserves order and content"
+      (pair (list small_int) (int_range 1 16))
+      (fun (l, t) ->
+        let a = Array.of_list l in
+        Array.concat (Array.to_list (Keygen.partition_even a t)) = a);
+    Test.make ~name:"next_int uniform draws stay in range"
+      (pair (int_bound 5000) (int_range 1 1000))
+      (fun (seed, bound) ->
+        let rng = Mt19937.create seed in
+        let ok = ref true in
+        for _ = 1 to 100 do
+          let v = Mt19937.next_int rng bound in
+          if v < 0 || v >= bound then ok := false
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "mt19937",
+        [
+          Alcotest.test_case "reference vector (seed 5489)" `Quick mt_default_seed_vector;
+          Alcotest.test_case "reference vector (init_by_array)" `Quick mt_init_by_array_vector;
+          Alcotest.test_case "determinism" `Quick mt_determinism;
+          Alcotest.test_case "copy independence" `Quick mt_copy_independent;
+          Alcotest.test_case "next_int bounds" `Quick mt_next_int_bounds;
+          Alcotest.test_case "next_int bad bounds" `Quick mt_next_int_rejects_bad_bounds;
+          Alcotest.test_case "next_float range" `Quick mt_float_range;
+          Alcotest.test_case "shuffle permutes" `Quick mt_shuffle_is_permutation;
+        ] );
+      ( "keygen",
+        [
+          Alcotest.test_case "unique keys" `Quick keygen_unique;
+          Alcotest.test_case "non-negative" `Quick keygen_non_negative;
+          Alcotest.test_case "deterministic" `Quick keygen_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick keygen_seed_sensitivity;
+          Alcotest.test_case "partition covers input" `Quick partition_even_covers;
+          Alcotest.test_case "partition with few items" `Quick partition_more_parts_than_items;
+          Alcotest.test_case "shuffled copy permutes" `Quick shuffled_copy_permutes;
+        ] );
+      ( "opgen",
+        [
+          Alcotest.test_case "insert phase" `Quick insert_phase_trace;
+          Alcotest.test_case "query phase bounds" `Quick query_phase_versions_bounded;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
