@@ -2,9 +2,15 @@
    paper's evaluation (Sec. V). See DESIGN.md for the per-experiment
    index and EXPERIMENTS.md for paper-vs-measured.
 
+   Each figure run also dumps the lib/obs metrics registry (op
+   counters, latency histogram percentiles, pmem flush/fence totals) as
+   BENCH_<fig>.json next to the printed tables.
+
    Usage:
      dune exec bench/main.exe                    # all figures, default sizes
      dune exec bench/main.exe -- --fig 2 -n 500000
+     dune exec bench/main.exe -- --fig smoke     # miniature end-to-end sweep
+                                                 # + metrics JSON validation
      dune exec bench/main.exe -- --real          # add real-domain cross-checks
      dune exec bench/main.exe -- --bechamel      # add OLS microbenchmarks *)
 
@@ -16,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -26,25 +32,64 @@ let parse_args () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "mvkv benchmarks";
   (!fig, !n, !dist_n, !real, !bechamel)
 
+(* Miniature end-to-end sweep attached to `dune runtest`: one
+   single-node figure and one distributed figure at toy sizes, then
+   validate that the emitted metrics JSON parses and carries the
+   expected op histograms — so the bench wiring cannot silently rot. *)
+let smoke () =
+  let n = 2_000 in
+  Approaches.heap_capacity := 1 lsl 26;
+  Metrics.with_report ~fig:"smoke" (fun () ->
+      Fig2.run ~n ~real:false;
+      Fig8.run ~n);
+  let problems =
+    Metrics.validate ~fig:"smoke"
+      ~expect_histograms:
+        [
+          "mvdict.pskiplist.insert.ns";
+          "mvdict.pskiplist.remove.ns";
+          "mvdict.eskiplist.insert.ns";
+          "mvdict.lockedmap.insert.ns";
+          "minidb.sqlitereg.insert.ns";
+          "minidb.sqlitemem.insert.ns";
+          "distrib.merge.k_way.ns";
+          "span.distrib.dstore.snapshot_naive";
+          "span.distrib.merge.round";
+        ]
+  in
+  match problems with
+  | [] -> print_endline "smoke: metrics report OK"
+  | ps ->
+      List.iter prerr_endline ps;
+      prerr_endline "smoke: metrics report INVALID";
+      exit 1
+
 let () =
   let fig, n, dist_n, real, bechamel = parse_args () in
-  (* Size the persistent heap for the largest single-node state
-     (3N history entries + 2N chain slots + index blobs + slack). *)
-  Approaches.heap_capacity := max (1 lsl 26) (n * 160);
-  let want f = fig = "all" || fig = f in
-  Printf.printf "mvkv benchmark harness — N=%d (single node), N=%d per rank (distributed)\n"
-    n dist_n;
-  print_endline
-    "Single-node sweeps are projections of measured 1-thread costs onto a\n\
-     64-core node (this container has 1 core); distributed sweeps combine\n\
-     measured local costs with a Theta-like network model. See DESIGN.md.";
-  if want "2" then Fig2.run ~n ~real;
-  if want "3" then Fig3.run ~n;
-  if want "4" then Fig4.run ~n;
-  if want "5" then Fig5.run ~n:(n / 2);
-  if want "6" then Fig6.run ~n:dist_n;
-  if want "7" then Fig7.run ~n:dist_n;
-  if want "8" then Fig8.run ~n:dist_n;
-  if want "ablations" then Ablations.run ~n:(min n 50_000);
-  if bechamel then Microbench.run ~n:(min n 20_000);
-  print_endline "\nbench: done."
+  (* Timed instrumentation wants a monotonic clock; bechamel ships the
+     CLOCK_MONOTONIC stub. *)
+  Obs.Clock.set_source (fun () -> Int64.to_int (Monotonic_clock.now ()));
+  if fig = "smoke" then smoke ()
+  else begin
+    (* Size the persistent heap for the largest single-node state
+       (3N history entries + 2N chain slots + index blobs + slack). *)
+    Approaches.heap_capacity := max (1 lsl 26) (n * 160);
+    let want f = fig = "all" || fig = f in
+    Printf.printf "mvkv benchmark harness — N=%d (single node), N=%d per rank (distributed)\n"
+      n dist_n;
+    print_endline
+      "Single-node sweeps are projections of measured 1-thread costs onto a\n\
+       64-core node (this container has 1 core); distributed sweeps combine\n\
+       measured local costs with a Theta-like network model. See DESIGN.md.";
+    if want "2" then Metrics.with_report ~fig:"fig2" (fun () -> Fig2.run ~n ~real);
+    if want "3" then Metrics.with_report ~fig:"fig3" (fun () -> Fig3.run ~n);
+    if want "4" then Metrics.with_report ~fig:"fig4" (fun () -> Fig4.run ~n);
+    if want "5" then Metrics.with_report ~fig:"fig5" (fun () -> Fig5.run ~n:(n / 2));
+    if want "6" then Metrics.with_report ~fig:"fig6" (fun () -> Fig6.run ~n:dist_n);
+    if want "7" then Metrics.with_report ~fig:"fig7" (fun () -> Fig7.run ~n:dist_n);
+    if want "8" then Metrics.with_report ~fig:"fig8" (fun () -> Fig8.run ~n:dist_n);
+    if want "ablations" then
+      Metrics.with_report ~fig:"ablations" (fun () -> Ablations.run ~n:(min n 50_000));
+    if bechamel then Microbench.run ~n:(min n 20_000);
+    print_endline "\nbench: done."
+  end

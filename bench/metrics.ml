@@ -1,0 +1,74 @@
+(* Metrics report plumbing for the benchmark harness: after each figure
+   the whole lib/obs registry (op counters, latency histogram
+   percentiles, pmem flush/fence totals) is dumped as BENCH_<fig>.json
+   next to the printed tables, seeding the benchmark trajectory that
+   future perf PRs diff against. *)
+
+let path ~fig = Printf.sprintf "BENCH_%s.json" fig
+
+let write ~fig =
+  let report =
+    match Obs.Registry.to_json () with
+    | Obs.Json.Obj fields -> Obs.Json.Obj (("figure", Obs.Json.String fig) :: fields)
+    | other -> other
+  in
+  let file = path ~fig in
+  let oc = open_out file in
+  output_string oc (Obs.Json.to_string ~indent:true report);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "metrics: wrote %s\n%!" file
+
+(* Run one figure with a clean registry and report it. *)
+let with_report ~fig f =
+  Obs.Registry.reset ();
+  f ();
+  write ~fig
+
+(* Validation used by the runtest smoke rule: the emitted report must
+   parse back and contain the expected histogram entries with the
+   percentile keys. Returns the list of problems (empty = good). *)
+let validate ~fig ~expect_histograms =
+  let file = path ~fig in
+  match
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  with
+  | exception Sys_error e -> [ Printf.sprintf "%s: unreadable (%s)" file e ]
+  | text -> (
+      match Obs.Json.of_string text with
+      | Error e -> [ Printf.sprintf "%s: JSON parse error: %s" file e ]
+      | Ok json ->
+          let problems = ref [] in
+          let push p = problems := p :: !problems in
+          (match Obs.Json.member "figure" json with
+          | Some (Obs.Json.String f) when f = fig -> ()
+          | _ -> push (file ^ ": missing/incorrect \"figure\""));
+          (match Obs.Json.member "counters" json with
+          | Some (Obs.Json.Obj (_ :: _)) -> ()
+          | _ -> push (file ^ ": no counters recorded"));
+          (match Obs.Json.member "histograms" json with
+          | Some (Obs.Json.Obj _ as hists) ->
+              List.iter
+                (fun name ->
+                  match Obs.Json.member name hists with
+                  | None -> push (Printf.sprintf "%s: histogram %s missing" file name)
+                  | Some h ->
+                      List.iter
+                        (fun key ->
+                          match Obs.Json.member key h with
+                          | Some (Obs.Json.Int _ | Obs.Json.Float _) -> ()
+                          | _ ->
+                              push
+                                (Printf.sprintf "%s: histogram %s lacks %s" file name key))
+                        [ "count"; "mean_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "max_ns" ];
+                      (match Obs.Json.member "count" h with
+                      | Some (Obs.Json.Int n) when n > 0 -> ()
+                      | _ ->
+                          push (Printf.sprintf "%s: histogram %s is empty" file name)))
+                expect_histograms
+          | _ -> push (file ^ ": no histograms object"));
+          List.rev !problems)

@@ -66,10 +66,21 @@ let tests ~n =
         [ insert_test; find_test; history_test; snapshot_test ])
       Approaches.all
   in
-  Test.make_grouped ~name:"mvkv" (List.concat groups)
+  (* Disabled-path instrumentation overhead: lib/obs timed tracking is
+     switched off for the OLS runs below, so this measures exactly what
+     an instrumented op pays when observability is disabled — one
+     atomic load plus one counter add, expected low single-digit ns
+     (i.e. not measurable against any store op). *)
+  let obs_op = Obs.Instr.op "microbench.disabled_noop" in
+  let obs_test =
+    Test.make ~name:"obs/disabled-instr"
+      (Staged.stage (fun () -> Obs.Instr.finish obs_op (Obs.Instr.start ())))
+  in
+  Test.make_grouped ~name:"mvkv" (obs_test :: List.concat groups)
 
 let run ~n =
   Report.header (Printf.sprintf "Bechamel microbenchmarks (store prefilled with %d keys)" n);
+  Obs.Control.disable ();
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in
@@ -88,4 +99,5 @@ let run ~n =
         | Some [] | None -> "(no estimate)"
       in
       Printf.printf "  %-28s %s\n" name estimate)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  Obs.Control.enable ()

@@ -40,6 +40,16 @@ let size_arg =
   let doc = "Heap capacity in bytes (init only)." in
   Arg.(value & opt int (1 lsl 24) & info [ "size" ] ~docv:"BYTES" ~doc)
 
+let stats_arg =
+  let doc = "Dump the observability registry (op counters, latency \
+             histograms, pmem totals) after the command." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* Every command runs under this wrapper so `--stats` can report the
+   registry populated by the single operation this invocation did. *)
+let maybe_stats dump =
+  if dump then Format.printf "-- observability registry --@.%a" Obs.Registry.pp ()
+
 let open_store pool threads =
   let heap = Pmem.Pheap.open_file ~path:pool in
   Store.open_existing ~threads heap
@@ -47,59 +57,71 @@ let open_store pool threads =
 (* The tag clock is recovered from persisted versions, so mutating
    commands tag explicitly to commit their snapshot. *)
 
-let init pool size =
+let init pool size dump =
   let heap = Pmem.Pheap.create_file ~path:pool ~capacity:size in
   let _store = Store.create heap in
   Pmem.Pheap.close heap;
-  Printf.printf "initialised %s (%d bytes)\n" pool size
+  Printf.printf "initialised %s (%d bytes)\n" pool size;
+  maybe_stats dump
 
-let insert pool threads key value =
+let insert pool threads key value dump =
   let store = open_store pool threads in
   Store.insert store key value;
   let version = Store.tag store in
-  Printf.printf "inserted %d -> %d at version %d\n" key value version
+  Printf.printf "inserted %d -> %d at version %d\n" key value version;
+  maybe_stats dump
 
-let remove pool threads key =
+let remove pool threads key dump =
   let store = open_store pool threads in
   Store.remove store key;
   let version = Store.tag store in
-  Printf.printf "removed %d at version %d\n" key version
+  Printf.printf "removed %d at version %d\n" key version;
+  maybe_stats dump
 
-let tag pool threads =
+let tag pool threads dump =
   let store = open_store pool threads in
-  Printf.printf "version %d\n" (Store.tag store)
+  Printf.printf "version %d\n" (Store.tag store);
+  maybe_stats dump
 
-let find pool threads key version =
+let find pool threads key version dump =
   let store = open_store pool threads in
-  match Store.find store ?version key with
+  (match Store.find store ?version key with
   | Some value -> Printf.printf "%d\n" value
   | None ->
+      maybe_stats dump;
       prerr_endline "(absent)";
-      exit 1
+      exit 1);
+  maybe_stats dump
 
-let history pool threads key =
+let history pool threads key dump =
   let store = open_store pool threads in
   List.iter
     (fun (version, event) ->
       match event with
       | Mvdict.Dict_intf.Put v -> Printf.printf "v%d\tput\t%d\n" version v
       | Mvdict.Dict_intf.Del -> Printf.printf "v%d\tdel\n" version)
-    (Store.extract_history store key)
+    (Store.extract_history store key);
+  maybe_stats dump
 
-let snapshot pool threads version =
+let snapshot pool threads version dump =
   let store = open_store pool threads in
   let pairs = match version with
     | Some version -> Store.extract_snapshot store ~version ()
     | None -> Store.extract_snapshot store ()
   in
-  Array.iter (fun (k, v) -> Printf.printf "%d\t%d\n" k v) pairs
+  Array.iter (fun (k, v) -> Printf.printf "%d\t%d\n" k v) pairs;
+  maybe_stats dump
 
 let stats pool threads =
   let store = open_store pool threads in
   let heap_stats = Pmem.Pheap.stats (Store.heap store) in
   Printf.printf "keys: %d\ncurrent version: %d\n" (Store.key_count store)
     (Store.current_version store);
-  Format.printf "pmem: %a@." Pmem.Pstats.pp heap_stats
+  Format.printf "pmem: %a@." Pmem.Pstats.pp heap_stats;
+  (* The same registry `--stats` dumps after any command: op counters
+     and latency histograms from this invocation (including the
+     recovery rebuild span) plus the global pmem totals. *)
+  Format.printf "-- observability registry --@.%a" Obs.Registry.pp ()
 
 let cmd_of name doc term = Cmd.v (Cmd.info name ~doc) term
 
@@ -107,19 +129,19 @@ let () =
   let cmds =
     [
       cmd_of "init" "Create and format a pool file."
-        Term.(const init $ pool_arg $ size_arg);
+        Term.(const init $ pool_arg $ size_arg $ stats_arg);
       cmd_of "insert" "Insert or update a key."
-        Term.(const insert $ pool_arg $ threads_arg $ key_arg $ value_arg);
+        Term.(const insert $ pool_arg $ threads_arg $ key_arg $ value_arg $ stats_arg);
       cmd_of "remove" "Remove a key."
-        Term.(const remove $ pool_arg $ threads_arg $ key_arg);
+        Term.(const remove $ pool_arg $ threads_arg $ key_arg $ stats_arg);
       cmd_of "tag" "Commit a snapshot and print its version."
-        Term.(const tag $ pool_arg $ threads_arg);
+        Term.(const tag $ pool_arg $ threads_arg $ stats_arg);
       cmd_of "find" "Look a key up (optionally in a past snapshot)."
-        Term.(const find $ pool_arg $ threads_arg $ key_arg $ version_arg);
+        Term.(const find $ pool_arg $ threads_arg $ key_arg $ version_arg $ stats_arg);
       cmd_of "history" "Print the evolution of a key."
-        Term.(const history $ pool_arg $ threads_arg $ key_arg);
+        Term.(const history $ pool_arg $ threads_arg $ key_arg $ stats_arg);
       cmd_of "snapshot" "Print all live pairs of a snapshot in key order."
-        Term.(const snapshot $ pool_arg $ threads_arg $ version_arg);
+        Term.(const snapshot $ pool_arg $ threads_arg $ version_arg $ stats_arg);
       cmd_of "stats" "Pool statistics."
         Term.(const stats $ pool_arg $ threads_arg);
     ]

@@ -4,6 +4,10 @@ end) =
 struct
   type t = { partition : Partition.t; locals : S.t array }
 
+  (* Per-store routing metrics; local-store costs are measured by the
+     local implementations themselves (lib/obs). *)
+  let m_find_bulk = Obs.Instr.op "distrib.dstore.find_bulk"
+
   let create ~ranks ~key_bits ~make_local =
     {
       partition = Partition.create ~ranks ~key_bits;
@@ -28,6 +32,7 @@ struct
   let find t ?version key = S.find (owner t key) ?version key
 
   let find_bulk t ?version keys =
+    let t0 = Obs.Instr.start () in
     (* Group by owning rank (one "message" per rank), answer per rank,
        scatter the replies back into input order. *)
     let k = ranks t in
@@ -43,15 +48,20 @@ struct
         let s = t.locals.(r) in
         List.iter (fun (i, key) -> out.(i) <- S.find s ?version key) batch)
       by_rank;
+    Obs.Instr.finish m_find_bulk t0;
     out
+
   let extract_history t key = S.extract_history (owner t key) key
 
   let local_snapshots t ?version () =
-    Array.map (fun s -> S.extract_snapshot s ?version ()) t.locals
+    Obs.Span.with_ "distrib.dstore.local_snapshots" (fun () ->
+        Array.map (fun s -> S.extract_snapshot s ?version ()) t.locals)
 
   let snapshot_naive t ?version () =
-    Merge.k_way (local_snapshots t ?version ())
+    Obs.Span.with_ "distrib.dstore.snapshot_naive" (fun () ->
+        Merge.k_way (local_snapshots t ?version ()))
 
   let snapshot_opt t ?(threads = 1) ?version () =
-    Merge.recursive_doubling ~threads (local_snapshots t ?version ())
+    Obs.Span.with_ "distrib.dstore.snapshot_opt" (fun () ->
+        Merge.recursive_doubling ~threads (local_snapshots t ?version ()))
 end

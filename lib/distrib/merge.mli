@@ -18,8 +18,15 @@ val two_way : (int * int) array -> (int * int) array -> (int * int) array
 
 val multi_threaded :
   threads:int -> (int * int) array -> (int * int) array -> (int * int) array
+(** [threads] is clamped to [Array.length a] so partitions are never
+    empty — asking for more threads than A elements used to read
+    [a.(-1)] and raise. *)
 
 val k_way : (int * int) array array -> (int * int) array
+(** Exact integer key comparisons (safe for keys >= 2^53, which the
+    former float-keyed heap collapsed); duplicate keys across inputs
+    come out in input-index order, so the merge is deterministic and
+    stable even when the disjointness precondition is violated. *)
 
 val recursive_doubling :
   ?threads:int ->

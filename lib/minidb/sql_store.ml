@@ -16,6 +16,15 @@ struct
 
   let name = M.name
 
+  (* Per-statement op metrics (lib/obs); one namespace per backend
+     ("minidb.sqlitereg", "minidb.sqlitemem"). *)
+  let prefix = "minidb." ^ String.lowercase_ascii M.name
+  let m_insert = Obs.Instr.op (prefix ^ ".insert")
+  let m_remove = Obs.Instr.op (prefix ^ ".remove")
+  let m_find = Obs.Instr.op (prefix ^ ".find")
+  let m_history = Obs.Instr.op (prefix ^ ".history")
+  let m_snapshot = Obs.Instr.op (prefix ^ ".snapshot")
+
   let wrap db ~clock =
     {
       db;
@@ -29,27 +38,41 @@ struct
 
   let insert t key value =
     if value = marker then invalid_arg (name ^ ": value out of allowable range");
+    let t0 = Obs.Instr.start () in
     let version = Mvdict.Version.stamp t.ctx in
-    Db.insert_row (conn t) ~version ~key ~value
+    Db.insert_row (conn t) ~version ~key ~value;
+    Obs.Instr.finish m_insert t0
 
   let remove t key =
+    let t0 = Obs.Instr.start () in
     let version = Mvdict.Version.stamp t.ctx in
-    Db.insert_row (conn t) ~version ~key ~value:marker
+    Db.insert_row (conn t) ~version ~key ~value:marker;
+    Obs.Instr.finish m_remove t0
 
   let tag t = Mvdict.Version.tag t.ctx
   let current_version t = Mvdict.Version.current t.ctx
 
   let find t ?(version = max_int) key =
-    match Db.find_row (conn t) ~key ~version with
-    | Some (_, value) when value <> marker -> Some value
-    | Some _ | None -> None
+    let t0 = Obs.Instr.start () in
+    let result =
+      match Db.find_row (conn t) ~key ~version with
+      | Some (_, value) when value <> marker -> Some value
+      | Some _ | None -> None
+    in
+    Obs.Instr.finish m_find t0;
+    result
 
   let extract_history t key =
-    List.map
-      (fun (version, value) ->
-        if value = marker then (version, Mvdict.Dict_intf.Del)
-        else (version, Mvdict.Dict_intf.Put value))
-      (Db.history_rows (conn t) ~key)
+    let t0 = Obs.Instr.start () in
+    let result =
+      List.map
+        (fun (version, value) ->
+          if value = marker then (version, Mvdict.Dict_intf.Del)
+          else (version, Mvdict.Dict_intf.Put value))
+        (Db.history_rows (conn t) ~key)
+    in
+    Obs.Instr.finish m_history t0;
+    result
 
   let iter_snapshot t ?(version = max_int) f =
     Db.iter_snapshot_rows (conn t) ~version (fun key _row_version value ->
@@ -60,11 +83,14 @@ struct
         if value <> marker then f key value)
 
   let extract_snapshot t ?version () =
+    let t0 = Obs.Instr.start () in
     let acc = ref [] in
     iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
     let a = Array.of_list !acc in
     let n = Array.length a in
-    Array.init n (fun i -> a.(n - 1 - i))
+    let result = Array.init n (fun i -> a.(n - 1 - i)) in
+    Obs.Instr.finish m_snapshot t0;
+    result
 
   let key_count t = Db.distinct_keys (conn t)
 

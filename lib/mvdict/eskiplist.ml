@@ -19,6 +19,13 @@ struct
 
   let name = "ESkipList"
 
+  (* Hot-path op metrics (lib/obs); shared across instantiations. *)
+  let m_insert = Obs.Instr.op "mvdict.eskiplist.insert"
+  let m_remove = Obs.Instr.op "mvdict.eskiplist.remove"
+  let m_find = Obs.Instr.op "mvdict.eskiplist.find"
+  let m_history = Obs.Instr.op "mvdict.eskiplist.history"
+  let m_snapshot = Obs.Instr.op "mvdict.eskiplist.snapshot"
+
   let create () =
     let ctx = Version.create () in
     { index = Concurrent.Skiplist.create ~compare:K.compare ();
@@ -37,29 +44,46 @@ struct
     let version = Version.stamp t.ctx in
     EH.H.append (history_of t key) ~ctx:t.ctx ~board:t.board ~version value
 
-  let insert t key value = append t key (Some value)
-  let remove t key = append t key None
+  let insert t key value =
+    let t0 = Obs.Instr.start () in
+    append t key (Some value);
+    Obs.Instr.finish m_insert t0
+
+  let remove t key =
+    let t0 = Obs.Instr.start () in
+    append t key None;
+    Obs.Instr.finish m_remove t0
   let tag t = Version.tag t.ctx
   let current_version t = Version.current t.ctx
 
   let find t ?(version = max_int) key =
-    match Concurrent.Skiplist.find t.index key with
-    | None -> None
-    | Some h -> (
-        match EH.H.find h ~ctx:t.ctx ~version with
-        | EH.H.Absent | EH.H.Entry (_, None) -> None
-        | EH.H.Entry (_, Some v) -> Some v)
+    let t0 = Obs.Instr.start () in
+    let result =
+      match Concurrent.Skiplist.find t.index key with
+      | None -> None
+      | Some h -> (
+          match EH.H.find h ~ctx:t.ctx ~version with
+          | EH.H.Absent | EH.H.Entry (_, None) -> None
+          | EH.H.Entry (_, Some v) -> Some v)
+    in
+    Obs.Instr.finish m_find t0;
+    result
 
   let extract_history t key =
-    match Concurrent.Skiplist.find t.index key with
-    | None -> []
-    | Some h ->
-        List.map
-          (fun (version, value) ->
-            match value with
-            | Some v -> (version, Dict_intf.Put v)
-            | None -> (version, Dict_intf.Del))
-          (EH.H.events h ~ctx:t.ctx)
+    let t0 = Obs.Instr.start () in
+    let result =
+      match Concurrent.Skiplist.find t.index key with
+      | None -> []
+      | Some h ->
+          List.map
+            (fun (version, value) ->
+              match value with
+              | Some v -> (version, Dict_intf.Put v)
+              | None -> (version, Dict_intf.Del))
+            (EH.H.events h ~ctx:t.ctx)
+    in
+    Obs.Instr.finish m_history t0;
+    result
 
   let iter_snapshot t ?(version = max_int) f =
     Concurrent.Skiplist.iter t.index (fun key h ->
@@ -74,12 +98,14 @@ struct
         | EH.H.Entry (_, Some v) -> f key v)
 
   let extract_snapshot t ?version () =
+    let t0 = Obs.Instr.start () in
     let acc = ref [] in
     iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
     let a = Array.of_list !acc in
     (* Collected in descending key order; restore ascending. *)
     let n = Array.length a in
     let sorted = Array.init n (fun i -> a.(n - 1 - i)) in
+    Obs.Instr.finish m_snapshot t0;
     sorted
 
   let key_count t = Concurrent.Skiplist.cardinal t.index

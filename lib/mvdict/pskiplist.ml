@@ -15,6 +15,15 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
   let name = "PSkipList"
   let chain_root_slot = 0
 
+  (* Hot-path op metrics (lib/obs). Registry handles are get-or-create
+     by name, so every functor instantiation shares them. *)
+  let m_insert = Obs.Instr.op "mvdict.pskiplist.insert"
+  let m_remove = Obs.Instr.op "mvdict.pskiplist.remove"
+  let m_find = Obs.Instr.op "mvdict.pskiplist.find"
+  let m_history = Obs.Instr.op "mvdict.pskiplist.history"
+  let m_snapshot = Obs.Instr.op "mvdict.pskiplist.snapshot"
+  let g_recovered_fc = Obs.Registry.gauge "mvdict.pskiplist.recovered_fc"
+
   let make_store heap chain ctx recovered_fc =
     {
       heap;
@@ -58,8 +67,15 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
     Phistory.H.append (history_of t key) ~ctx:t.ctx ~board:t.board ~version
       value_word
 
-  let insert t key value = append t key (Codec.encode (module V) t.heap value)
-  let remove t key = append t key Codec.marker_word
+  let insert t key value =
+    let t0 = Obs.Instr.start () in
+    append t key (Codec.encode (module V) t.heap value);
+    Obs.Instr.finish m_insert t0
+
+  let remove t key =
+    let t0 = Obs.Instr.start () in
+    append t key Codec.marker_word;
+    Obs.Instr.finish m_remove t0
   let tag t = Version.tag t.ctx
   let current_version t = Version.current t.ctx
 
@@ -71,19 +87,29 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
         else Some (Codec.decode (module V) t.media word)
 
   let find t ?(version = max_int) key =
-    match Concurrent.Skiplist.find t.index key with
-    | None -> None
-    | Some h -> lookup_value t h version
+    let t0 = Obs.Instr.start () in
+    let result =
+      match Concurrent.Skiplist.find t.index key with
+      | None -> None
+      | Some h -> lookup_value t h version
+    in
+    Obs.Instr.finish m_find t0;
+    result
 
   let extract_history t key =
-    match Concurrent.Skiplist.find t.index key with
-    | None -> []
-    | Some h ->
-        List.map
-          (fun (version, word) ->
-            if Codec.is_marker word then (version, Dict_intf.Del)
-            else (version, Dict_intf.Put (Codec.decode (module V) t.media word)))
-          (Phistory.H.events h ~ctx:t.ctx)
+    let t0 = Obs.Instr.start () in
+    let result =
+      match Concurrent.Skiplist.find t.index key with
+      | None -> []
+      | Some h ->
+          List.map
+            (fun (version, word) ->
+              if Codec.is_marker word then (version, Dict_intf.Del)
+              else (version, Dict_intf.Put (Codec.decode (module V) t.media word)))
+            (Phistory.H.events h ~ctx:t.ctx)
+    in
+    Obs.Instr.finish m_history t0;
+    result
 
   let iter_snapshot t ?(version = max_int) f =
     Concurrent.Skiplist.iter t.index (fun key h ->
@@ -98,15 +124,19 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
         | None -> ())
 
   let extract_snapshot t ?version () =
+    let t0 = Obs.Instr.start () in
     let acc = ref [] in
     iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
     let a = Array.of_list !acc in
     let n = Array.length a in
-    Array.init n (fun i -> a.(n - 1 - i))
+    let result = Array.init n (fun i -> a.(n - 1 - i)) in
+    Obs.Instr.finish m_snapshot t0;
+    result
 
   let key_count t = Concurrent.Skiplist.cardinal t.index
 
   let open_existing ?(threads = 1) heap =
+    Obs.Span.with_ "mvdict.pskiplist.recover" @@ fun () ->
     let chain_handle = Pmem.Pheap.root_get heap chain_root_slot in
     if Pmem.Pptr.is_null chain_handle then
       invalid_arg "Pskiplist.open_existing: heap holds no store";
@@ -124,6 +154,7 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
     let stamp_array = Array.make !stamp_count 0 in
     List.iteri (fun i s -> stamp_array.(i) <- s) !stamps;
     let fc = Recovery.recover_fc stamp_array in
+    Obs.Metric.set g_recovered_fc fc;
     (* Pass 2 — prune beyond [fc] and rebuild the index in parallel:
        thread [tid] claims the chain blocks with index = tid mod threads
        and bulk-inserts their keys. *)

@@ -1,0 +1,10 @@
+(* Nanosecond clock behind the instrumentation. The default source is
+   [Unix.gettimeofday] (the only clock the stdlib exposes); callers
+   with access to a true monotonic source — e.g. bechamel's
+   [Monotonic_clock] in the benchmark harness — install it with
+   [set_source] at startup. *)
+
+let default_source () = int_of_float (Unix.gettimeofday () *. 1e9)
+let source = ref default_source
+let set_source f = source := f
+let now_ns () = !source ()

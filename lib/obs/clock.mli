@@ -1,0 +1,8 @@
+(** Nanosecond timestamp source for histograms and spans.
+
+    Defaults to [Unix.gettimeofday] scaled to nanoseconds. Install a
+    monotonic source (e.g. bechamel's [Monotonic_clock.now]) with
+    {!set_source} when one is available — the benchmark harness does. *)
+
+val now_ns : unit -> int
+val set_source : (unit -> int) -> unit

@@ -1,0 +1,21 @@
+(* Global on/off switch for the *timed* instrumentation (histograms,
+   spans). Counters are plain atomics and always count — the disabled
+   path only skips the clock reads and histogram updates, and performs
+   no allocation. *)
+
+let flag = Atomic.make true
+
+let enable () = Atomic.set flag true
+let disable () = Atomic.set flag false
+let is_enabled () = Atomic.get flag
+
+let with_disabled f =
+  let was = Atomic.get flag in
+  Atomic.set flag false;
+  match f () with
+  | v ->
+      Atomic.set flag was;
+      v
+  | exception e ->
+      Atomic.set flag was;
+      raise e

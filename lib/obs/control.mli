@@ -1,0 +1,14 @@
+(** Global switch for timed instrumentation.
+
+    When disabled, {!Instr.start} and {!Span.enter} return immediately
+    without reading the clock, and nothing is recorded into histograms.
+    Counters keep counting either way (a single atomic add). The
+    disabled path allocates nothing. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val with_disabled : (unit -> 'a) -> 'a
+(** Run [f] with timed instrumentation off, restoring the previous
+    state afterwards (also on exception). *)

@@ -1,0 +1,15 @@
+(* Hot-path instrumentation helper: one op = one counter bump plus, when
+   timing is enabled, one histogram sample. [start] returns 0 when
+   disabled so [finish] can skip the second clock read — the disabled
+   path is one atomic load, one atomic add, zero allocation. *)
+
+type op = { ops : Metric.counter; latency : Histogram.t }
+
+let op name =
+  { ops = Registry.counter (name ^ ".ops"); latency = Registry.histogram (name ^ ".ns") }
+
+let start () = if Control.is_enabled () then Clock.now_ns () else 0
+
+let finish op t0 =
+  Metric.incr op.ops;
+  if t0 <> 0 then Histogram.record op.latency (Clock.now_ns () - t0)

@@ -1,0 +1,22 @@
+(** Per-operation instrumentation: a counter + latency histogram pair.
+
+    Usage at an instrumentation site:
+    {[
+      let m_insert = Obs.Instr.op "mvdict.pskiplist.insert"  (* module init *)
+
+      let insert t k v =
+        let t0 = Obs.Instr.start () in
+        ...;
+        Obs.Instr.finish m_insert t0
+    ]}
+
+    This registers ["<name>.ops"] (counter) and ["<name>.ns"]
+    (histogram). [start] returns 0 when {!Control} is disabled;
+    [finish] then only bumps the counter — no clock read, no
+    allocation. *)
+
+type op
+
+val op : string -> op
+val start : unit -> int
+val finish : op -> int -> unit

@@ -1,0 +1,114 @@
+(* Global named registry. Registration (get-or-create) takes a mutex;
+   the returned handles are then updated lock-free, so instrumentation
+   sites resolve their metrics once at module initialisation and never
+   touch the table on the hot path. *)
+
+type entry =
+  | Counter of Metric.counter
+  | Gauge of Metric.gauge
+  | Histogram of Histogram.t
+
+let lock = Mutex.create ()
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let get_or_add name ~kind ~make ~cast =
+  locked (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some entry -> (
+          match cast entry with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Obs.Registry: %s already registered as a different kind (wanted %s)"
+                   name kind))
+      | None ->
+          let entry, v = make () in
+          Hashtbl.add table name entry;
+          v)
+
+let counter name =
+  get_or_add name ~kind:"counter"
+    ~make:(fun () ->
+      let c = Metric.make_counter name in
+      (Counter c, c))
+    ~cast:(function Counter c -> Some c | _ -> None)
+
+let gauge name =
+  get_or_add name ~kind:"gauge"
+    ~make:(fun () ->
+      let g = Metric.make_gauge name in
+      (Gauge g, g))
+    ~cast:(function Gauge g -> Some g | _ -> None)
+
+let histogram name =
+  get_or_add name ~kind:"histogram"
+    ~make:(fun () ->
+      let h = Histogram.create name in
+      (Histogram h, h))
+    ~cast:(function Histogram h -> Some h | _ -> None)
+
+let snapshot () =
+  let entries = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []) in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let reset () =
+  List.iter
+    (fun (_, entry) ->
+      match entry with
+      | Counter c -> Metric.reset_counter c
+      | Gauge g -> Metric.reset_gauge g
+      | Histogram h -> Histogram.reset h)
+    (snapshot ())
+
+let percentiles = [ ("p50_ns", 0.50); ("p90_ns", 0.90); ("p99_ns", 0.99) ]
+
+let histogram_json h =
+  Json.Obj
+    ([ ("count", Json.Int (Histogram.count h));
+       ("mean_ns", Json.Float (Histogram.mean h)) ]
+    @ List.map (fun (k, q) -> (k, Json.Int (Histogram.percentile h q))) percentiles
+    @ [ ("max_ns", Json.Int (Histogram.max_value h)) ])
+
+let to_json () =
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Counter c -> counters := (name, Json.Int (Metric.value c)) :: !counters
+      | Gauge g -> gauges := (name, Json.Int (Metric.gauge_value g)) :: !gauges
+      | Histogram h -> histograms := (name, histogram_json h) :: !histograms)
+    (List.rev (snapshot ()));
+  Json.Obj
+    [
+      ("counters", Json.Obj !counters);
+      ("gauges", Json.Obj !gauges);
+      ("histograms", Json.Obj !histograms);
+    ]
+
+let pp fmt () =
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Counter c -> Format.fprintf fmt "%-44s %d@." name (Metric.value c)
+      | Gauge g -> Format.fprintf fmt "%-44s %d@." name (Metric.gauge_value g)
+      | Histogram h ->
+          if Histogram.count h > 0 then
+            Format.fprintf fmt
+              "%-44s n=%d mean=%.0fns p50=%dns p90=%dns p99=%dns max=%dns@." name
+              (Histogram.count h) (Histogram.mean h)
+              (Histogram.percentile h 0.50)
+              (Histogram.percentile h 0.90)
+              (Histogram.percentile h 0.99)
+              (Histogram.max_value h)
+          else Format.fprintf fmt "%-44s n=0@." name)
+    (snapshot ())

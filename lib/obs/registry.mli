@@ -1,0 +1,22 @@
+(** Global metric registry: named counters, gauges and histograms.
+
+    [counter]/[gauge]/[histogram] are get-or-create — the same name
+    always returns the same handle, so functor instantiations and
+    repeated module loads share metrics. Resolve handles once at module
+    initialisation; updates on the returned handles are lock-free.
+    Asking for an existing name as a different kind raises
+    [Invalid_argument]. *)
+
+val counter : string -> Metric.counter
+val gauge : string -> Metric.gauge
+val histogram : string -> Histogram.t
+
+val reset : unit -> unit
+(** Zero every registered metric (registration survives). *)
+
+val to_json : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {count, mean_ns, p50_ns, p90_ns, p99_ns, max_ns}}}], names sorted. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Human-readable dump of the whole registry, one line per metric. *)

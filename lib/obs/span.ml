@@ -1,0 +1,42 @@
+(* Lightweight span tracing: [enter] returns the start timestamp as the
+   token (no allocation), [exit] records the duration into a
+   ["span.<name>"] histogram and reports the event to the pluggable
+   sink. Nesting depth is tracked per domain. When Control is disabled
+   the token is 0 and both calls are no-ops. *)
+
+type event = { name : string; depth : int; start_ns : int; stop_ns : int }
+
+let sink : (event -> unit) option ref = ref None
+let set_sink s = sink := s
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let enter _name =
+  if not (Control.is_enabled ()) then 0
+  else begin
+    let d = Domain.DLS.get depth_key in
+    incr d;
+    Clock.now_ns ()
+  end
+
+let exit name token =
+  if token <> 0 then begin
+    let stop = Clock.now_ns () in
+    let d = Domain.DLS.get depth_key in
+    let depth = !d in
+    if depth > 0 then decr d;
+    Histogram.record (Registry.histogram ("span." ^ name)) (stop - token);
+    match !sink with
+    | None -> ()
+    | Some f -> f { name; depth; start_ns = token; stop_ns = stop }
+  end
+
+let with_ name f =
+  let token = enter name in
+  match f () with
+  | v ->
+      exit name token;
+      v
+  | exception e ->
+      exit name token;
+      raise e

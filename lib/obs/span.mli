@@ -1,0 +1,20 @@
+(** Lightweight span tracing.
+
+    [enter name] reads the monotonic clock and returns it as the span
+    token (an [int] — no allocation); [exit name token] records the
+    elapsed time into the ["span." ^ name] histogram and notifies the
+    sink, if any, with the nesting depth (1 = outermost). Depth is
+    tracked per domain. With {!Control} disabled, [enter] returns 0 and
+    [exit] ignores it. *)
+
+type event = { name : string; depth : int; start_ns : int; stop_ns : int }
+
+val set_sink : (event -> unit) option -> unit
+(** Install (or remove) the span sink. The sink runs inside [exit];
+    keep it cheap. *)
+
+val enter : string -> int
+val exit : string -> int -> unit
+
+val with_ : string -> (unit -> 'a) -> 'a
+(** [with_ name f] wraps [f] in a span, also on exception. *)

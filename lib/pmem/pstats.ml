@@ -19,16 +19,36 @@ let create () =
 
 let add counter n = ignore (Atomic.fetch_and_add counter n)
 
-let record_flush t ~lines = add t.flushed_lines lines
-let record_fence t = add t.fences 1
+(* Global mirrors in the lib/obs registry: per-heap counters stay
+   per-heap (the figures price individual heaps), while the registry
+   aggregates across every heap so one report shows the whole
+   picture. *)
+let g_flushed_lines = Obs.Registry.counter "pmem.flushed_lines"
+let g_fences = Obs.Registry.counter "pmem.fences"
+let g_allocs = Obs.Registry.counter "pmem.allocs"
+let g_alloc_bytes = Obs.Registry.counter "pmem.alloc_bytes"
+let g_frees = Obs.Registry.counter "pmem.frees"
+let g_free_bytes = Obs.Registry.counter "pmem.free_bytes"
+
+let record_flush t ~lines =
+  add t.flushed_lines lines;
+  Obs.Metric.add g_flushed_lines lines
+
+let record_fence t =
+  add t.fences 1;
+  Obs.Metric.incr g_fences
 
 let record_alloc t ~bytes =
   add t.allocs 1;
-  add t.alloc_bytes bytes
+  add t.alloc_bytes bytes;
+  Obs.Metric.incr g_allocs;
+  Obs.Metric.add g_alloc_bytes bytes
 
 let record_free t ~bytes =
   add t.frees 1;
-  add t.free_bytes bytes
+  add t.free_bytes bytes;
+  Obs.Metric.incr g_frees;
+  Obs.Metric.add g_free_bytes bytes
 
 let flushed_lines t = Atomic.get t.flushed_lines
 let fences t = Atomic.get t.fences

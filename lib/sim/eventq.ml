@@ -2,9 +2,15 @@ type 'a t = {
   mutable times : float array;
   mutable payloads : 'a array;
   mutable count : int;
+  (* First payload ever pushed, kept as the filler for vacated and
+     slack slots so popped payloads do not outlive the pop (one
+     retained object for the queue's lifetime instead of arbitrarily
+     many). *)
+  mutable sentinel : 'a option;
 }
 
-let create () = { times = Array.make 16 0.0; payloads = [||]; count = 0 }
+let create () =
+  { times = Array.make 16 0.0; payloads = [||]; count = 0; sentinel = None }
 
 let is_empty t = t.count = 0
 let size t = t.count
@@ -37,12 +43,14 @@ let rec sift_down t i =
   end
 
 let push t ~time payload =
+  (match t.sentinel with None -> t.sentinel <- Some payload | Some _ -> ());
+  let sentinel = match t.sentinel with Some s -> s | None -> payload in
   if t.count = 0 && Array.length t.payloads = 0 then begin
-    t.payloads <- Array.make (Array.length t.times) payload
+    t.payloads <- Array.make (Array.length t.times) sentinel
   end;
   if t.count = Array.length t.times then begin
     let n = 2 * t.count in
-    let times = Array.make n 0.0 and payloads = Array.make n payload in
+    let times = Array.make n 0.0 and payloads = Array.make n sentinel in
     Array.blit t.times 0 times 0 t.count;
     Array.blit t.payloads 0 payloads 0 t.count;
     t.times <- times;
@@ -63,6 +71,12 @@ let pop t =
       t.payloads.(0) <- t.payloads.(t.count);
       sift_down t 0
     end;
+    (* Clear the vacated slot: leaving the popped (or moved) payload in
+       payloads.(count) used to retain its object graph for the queue's
+       lifetime. *)
+    (match t.sentinel with
+    | Some s -> t.payloads.(t.count) <- s
+    | None -> ());
     Some (time, payload)
   end
 

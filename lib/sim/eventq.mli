@@ -13,7 +13,13 @@ val push : 'a t -> time:float -> 'a -> unit
 
 val pop : 'a t -> (float * 'a) option
 (** Earliest event, or [None] when empty. Ties pop in unspecified
-    order. *)
+    order.
+
+    Popping overwrites the vacated array slot with a sentinel (the
+    first payload ever pushed): a regression fix — the queue used to
+    keep a live reference to every popped payload in its backing
+    array, retaining arbitrary object graphs for the queue's
+    lifetime. Only that single sentinel payload is retained now. *)
 
 val peek_time : 'a t -> float option
 

@@ -1,0 +1,277 @@
+(* Tests for lib/obs: counters/gauges under concurrent domains,
+   histogram bucketing and percentiles, span nesting, registry JSON
+   round-trip, and the disabled-path zero-allocation guarantee. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Counters / gauges *)
+
+let counter_basics () =
+  let c = Obs.Registry.counter "test.counter.basics" in
+  Obs.Metric.reset_counter c;
+  Obs.Metric.incr c;
+  Obs.Metric.add c 41;
+  check_int "incr + add" 42 (Obs.Metric.value c);
+  check_bool "same handle for same name" true
+    (Obs.Registry.counter "test.counter.basics" == c);
+  Obs.Metric.reset_counter c;
+  check_int "reset" 0 (Obs.Metric.value c)
+
+let counter_concurrent_domains () =
+  let c = Obs.Registry.counter "test.counter.concurrent" in
+  Obs.Metric.reset_counter c;
+  let per_domain = 20_000 and domains = 4 in
+  ignore
+    (Concurrent.Parallel.run ~threads:domains (fun _ ->
+         for _ = 1 to per_domain do
+           Obs.Metric.incr c
+         done));
+  check_int "no lost updates" (per_domain * domains) (Obs.Metric.value c)
+
+let gauge_basics () =
+  let g = Obs.Registry.gauge "test.gauge.basics" in
+  Obs.Metric.set g 17;
+  check_int "set/get" 17 (Obs.Metric.gauge_value g);
+  Obs.Metric.set g 3;
+  check_int "last write wins" 3 (Obs.Metric.gauge_value g)
+
+let registry_kind_mismatch () =
+  ignore (Obs.Registry.counter "test.kind.clash");
+  Alcotest.check_raises "counter reused as histogram"
+    (Invalid_argument
+       "Obs.Registry: test.kind.clash already registered as a different kind (wanted histogram)")
+    (fun () -> ignore (Obs.Registry.histogram "test.kind.clash"))
+
+(* Histogram *)
+
+let histogram_buckets_monotone () =
+  (* index_of is monotone and bucket_lo inverts it to the right range. *)
+  let ok = ref true in
+  let last = ref (-1) in
+  List.iter
+    (fun v ->
+      let i = Obs.Histogram.index_of v in
+      if i < !last then ok := false;
+      last := i;
+      if Obs.Histogram.bucket_lo i > v then ok := false)
+    [ 0; 1; 15; 16; 17; 31; 32; 100; 1_000; 65_536; 1_000_000; 1 lsl 40; 1 lsl 61 ];
+  check_bool "monotone buckets containing their values" true !ok
+
+let histogram_percentiles () =
+  let h = Obs.Registry.histogram "test.histogram.percentiles" in
+  Obs.Histogram.reset h;
+  for v = 1 to 1000 do
+    Obs.Histogram.record h v
+  done;
+  check_int "count" 1000 (Obs.Histogram.count h);
+  check_int "max exact" 1000 (Obs.Histogram.max_value h);
+  Alcotest.(check (float 0.5)) "mean" 500.5 (Obs.Histogram.mean h);
+  let within q lo hi =
+    let p = Obs.Histogram.percentile h q in
+    check_bool
+      (Printf.sprintf "p%.0f=%d in [%d,%d]" (q *. 100.0) p lo hi)
+      true
+      (p >= lo && p <= hi)
+  in
+  (* Bucket resolution is 1/16 per octave; allow ~10% slack. *)
+  within 0.50 450 560;
+  within 0.90 830 990;
+  within 0.99 900 1000;
+  check_int "empty percentile" 0
+    (Obs.Histogram.percentile (Obs.Histogram.create "test.histogram.empty") 0.5)
+
+let histogram_concurrent_domains () =
+  let h = Obs.Registry.histogram "test.histogram.concurrent" in
+  Obs.Histogram.reset h;
+  let per_domain = 10_000 and domains = 4 in
+  ignore
+    (Concurrent.Parallel.run ~threads:domains (fun tid ->
+         for i = 1 to per_domain do
+           Obs.Histogram.record h ((tid * per_domain) + i)
+         done));
+  check_int "count" (per_domain * domains) (Obs.Histogram.count h);
+  check_int "max" (domains * per_domain) (Obs.Histogram.max_value h)
+
+(* Spans *)
+
+let span_nesting_and_sink () =
+  let events = ref [] in
+  Obs.Span.set_sink (Some (fun e -> events := e :: !events));
+  let result =
+    Obs.Span.with_ "test.outer" (fun () ->
+        Obs.Span.with_ "test.inner" (fun () -> 7))
+  in
+  Obs.Span.set_sink None;
+  check_int "body result" 7 result;
+  match List.rev !events with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner name" "test.inner" inner.Obs.Span.name;
+      Alcotest.(check string) "outer name" "test.outer" outer.Obs.Span.name;
+      check_int "inner depth" 2 inner.Obs.Span.depth;
+      check_int "outer depth" 1 outer.Obs.Span.depth;
+      check_bool "inner nested in outer" true
+        (inner.Obs.Span.start_ns >= outer.Obs.Span.start_ns
+        && inner.Obs.Span.stop_ns <= outer.Obs.Span.stop_ns);
+      check_bool "histogram recorded" true
+        (Obs.Histogram.count (Obs.Registry.histogram "span.test.outer") >= 1)
+  | events -> Alcotest.failf "expected 2 span events, got %d" (List.length events)
+
+let span_disabled_is_noop () =
+  let events = ref 0 in
+  Obs.Span.set_sink (Some (fun _ -> incr events));
+  Obs.Control.with_disabled (fun () ->
+      Obs.Span.with_ "test.disabled.span" (fun () -> ()));
+  Obs.Span.set_sink None;
+  check_int "no events while disabled" 0 !events
+
+(* Disabled path: no allocation, histogram untouched, counter counts. *)
+
+let disabled_path_allocates_nothing () =
+  let op = Obs.Instr.op "test.disabled.op" in
+  let c = Obs.Registry.counter "test.disabled.op.ops" in
+  Obs.Metric.reset_counter c;
+  let h = Obs.Registry.histogram "test.disabled.op.ns" in
+  Obs.Histogram.reset h;
+  let iterations = 100_000 in
+  Obs.Control.with_disabled (fun () ->
+      let w0 = Gc.minor_words () in
+      for _ = 1 to iterations do
+        Obs.Instr.finish op (Obs.Instr.start ())
+      done;
+      let w1 = Gc.minor_words () in
+      (* The two Gc.minor_words calls may box a handful of words; any
+         per-op allocation would show up as >= [iterations] words. *)
+      check_bool "no per-op allocation" true (w1 -. w0 < 64.0));
+  check_int "counter still counts when disabled" iterations (Obs.Metric.value c);
+  check_int "histogram untouched when disabled" 0 (Obs.Histogram.count h)
+
+let enabled_path_records () =
+  let op = Obs.Instr.op "test.enabled.op" in
+  let h = Obs.Registry.histogram "test.enabled.op.ns" in
+  Obs.Histogram.reset h;
+  for _ = 1 to 100 do
+    Obs.Instr.finish op (Obs.Instr.start ())
+  done;
+  check_int "histogram samples" 100 (Obs.Histogram.count h)
+
+(* JSON *)
+
+let json_roundtrip () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.String "he\"llo\n");
+        ("i", Obs.Json.Int (-42));
+        ("f", Obs.Json.Float 1.5);
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Obj [] ]);
+      ]
+  in
+  (match Obs.Json.of_string (Obs.Json.to_string v) with
+  | Ok v' -> check_bool "compact roundtrip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  (match Obs.Json.of_string (Obs.Json.to_string ~indent:true v) with
+  | Ok v' -> check_bool "indented roundtrip" true (v = v')
+  | Error e -> Alcotest.fail e);
+  check_bool "trailing garbage rejected" true
+    (match Obs.Json.of_string "{} x" with Error _ -> true | Ok _ -> false);
+  check_bool "truncated rejected" true
+    (match Obs.Json.of_string "[1, 2" with Error _ -> true | Ok _ -> false)
+
+let registry_json_shape () =
+  let c = Obs.Registry.counter "test.json.counter" in
+  Obs.Metric.reset_counter c;
+  Obs.Metric.add c 5;
+  let h = Obs.Registry.histogram "test.json.hist" in
+  Obs.Histogram.reset h;
+  Obs.Histogram.record h 1234;
+  let text = Obs.Json.to_string ~indent:true (Obs.Registry.to_json ()) in
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok json ->
+      (match Obs.Json.member "counters" json with
+      | Some counters ->
+          check_bool "counter present with value" true
+            (Obs.Json.member "test.json.counter" counters = Some (Obs.Json.Int 5))
+      | None -> Alcotest.fail "no counters object");
+      (match Obs.Json.member "histograms" json with
+      | Some hists -> (
+          match Obs.Json.member "test.json.hist" hists with
+          | Some hist ->
+              check_bool "count key" true
+                (Obs.Json.member "count" hist = Some (Obs.Json.Int 1));
+              List.iter
+                (fun key ->
+                    check_bool (key ^ " present") true
+                      (Obs.Json.member key hist <> None))
+                [ "mean_ns"; "p50_ns"; "p90_ns"; "p99_ns"; "max_ns" ]
+          | None -> Alcotest.fail "histogram missing from JSON")
+      | None -> Alcotest.fail "no histograms object");
+      check_bool "pmem counters folded into the same registry" true
+        (match Obs.Json.member "counters" json with
+        | Some counters -> Obs.Json.member "pmem.flushed_lines" counters <> None
+        | None -> false)
+
+(* Instrumented stores feed the registry end to end. *)
+
+let stores_feed_registry () =
+  let module E = Mvdict.Eskiplist.Make (Int) (Int) in
+  let h = Obs.Registry.histogram "mvdict.eskiplist.insert.ns" in
+  let c = Obs.Registry.counter "mvdict.eskiplist.insert.ops" in
+  let h0 = Obs.Histogram.count h and c0 = Obs.Metric.value c in
+  let store = E.create () in
+  for i = 1 to 500 do
+    E.insert store i (i * 2)
+  done;
+  ignore (E.tag store);
+  check_int "insert ops counted" (c0 + 500) (Obs.Metric.value c);
+  check_int "insert latencies recorded" (h0 + 500) (Obs.Histogram.count h);
+  (* pmem flush/fence counters flow into the same registry. *)
+  let flushed = Obs.Registry.counter "pmem.flushed_lines" in
+  let f0 = Obs.Metric.value flushed in
+  let module P = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value) in
+  let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 22) () in
+  let pstore = P.create heap in
+  for i = 1 to 100 do
+    P.insert pstore i i
+  done;
+  ignore (P.tag pstore);
+  check_bool "pmem flushes recorded in registry" true (Obs.Metric.value flushed > f0)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metric",
+        [
+          Alcotest.test_case "counter basics" `Quick counter_basics;
+          Alcotest.test_case "counter under domains" `Quick counter_concurrent_domains;
+          Alcotest.test_case "gauge basics" `Quick gauge_basics;
+          Alcotest.test_case "kind mismatch" `Quick registry_kind_mismatch;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "bucket monotonicity" `Quick histogram_buckets_monotone;
+          Alcotest.test_case "percentiles" `Quick histogram_percentiles;
+          Alcotest.test_case "under domains" `Quick histogram_concurrent_domains;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting and sink" `Quick span_nesting_and_sink;
+          Alcotest.test_case "disabled is a no-op" `Quick span_disabled_is_noop;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "disabled path allocates nothing" `Quick
+            disabled_path_allocates_nothing;
+          Alcotest.test_case "enabled path records" `Quick enabled_path_records;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+          Alcotest.test_case "registry shape" `Quick registry_json_shape;
+        ] );
+      ( "integration",
+        [ Alcotest.test_case "stores feed registry" `Quick stores_feed_registry ] );
+    ]

@@ -31,6 +31,21 @@ let eventq_interleaved_push_pop () =
   | _ -> Alcotest.fail "expected 5");
   check_bool "empty" true (Sim.Eventq.is_empty q)
 
+let eventq_pop_releases_payload () =
+  (* Regression: pop used to leave the popped payload reachable from
+     payloads.(count) for the queue's lifetime; only the single
+     sentinel (first payload ever pushed) may be retained now. *)
+  let q = Sim.Eventq.create () in
+  Sim.Eventq.push q ~time:1.0 (Bytes.create 8);
+  let w = Weak.create 1 in
+  let payload = Bytes.create 4096 in
+  Weak.set w 0 (Some payload);
+  Sim.Eventq.push q ~time:2.0 payload;
+  ignore (Sim.Eventq.pop q);
+  ignore (Sim.Eventq.pop q);
+  Gc.full_major ();
+  check_bool "popped payload was collected" false (Weak.check w 0)
+
 let eventq_random_heap_property =
   QCheck.Test.make ~name:"eventq pops in non-decreasing time order" ~count:200
     QCheck.(list (pair (float_bound_exclusive 1000.0) small_int))
@@ -233,6 +248,91 @@ let merge_multi_threaded_matches_sequential () =
       check_bool (Printf.sprintf "threads=%d" threads) true (got = reference))
     [ 1; 2; 4; 7 ]
 
+let merge_multi_threaded_more_threads_than_elements () =
+  (* Regression: threads > |a| used to probe a.(-1) and raise
+     Invalid_argument "index out of bounds" (na=3, threads=8 gives
+     a_bound 1 = 0) — the exact path recursive_doubling ~threads
+     drives for Fig. 8. *)
+  let a = [| (1, 10); (3, 30); (5, 50) |] in
+  let b = [| (2, 20); (4, 40); (6, 60); (8, 80) |] in
+  let reference = Distrib.Merge.two_way a b in
+  List.iter
+    (fun threads ->
+      check_bool
+        (Printf.sprintf "threads=%d over |a|=3" threads)
+        true
+        (Distrib.Merge.multi_threaded ~threads a b = reference))
+    [ 4; 8; 16; 100 ]
+
+let merge_multi_threaded_property =
+  QCheck.Test.make
+    ~name:"multi_threaded agrees with two_way for all (threads, |a|, |b|)"
+    ~count:300
+    QCheck.(triple (int_range 1 16) (int_range 0 40) (int_range 0 40))
+    (fun (threads, la, lb) ->
+      let a = sorted_pairs ~seed:(la + 1) ~parity:0 ~classes:2 la in
+      let b = sorted_pairs ~seed:(lb + 101) ~parity:1 ~classes:2 lb in
+      Distrib.Merge.multi_threaded ~threads a b = Distrib.Merge.two_way a b)
+
+let merge_k_way_huge_keys () =
+  (* Keys >= 2^53 collide once routed through a float; the int-keyed
+     heap must round-trip them in exact order. *)
+  let base = 1 lsl 60 in
+  let inputs =
+    [|
+      [| (base, 0); (base + 2, 0); (base + 4, 0) |];
+      [| (base + 1, 1); (base + 3, 1); (base + 5, 1) |];
+    |]
+  in
+  let expected = Array.init 6 (fun i -> (base + i, i land 1)) in
+  Alcotest.(check (array (pair int int)))
+    "exact order above 2^53" expected
+    (Distrib.Merge.k_way inputs);
+  check_bool "float would collide (sanity)" true
+    (float_of_int base = float_of_int (base + 1))
+
+let merge_k_way_duplicates_stable () =
+  (* Duplicate keys across inputs come out in input-index order. *)
+  let inputs = [| [| (5, 100); (7, 101) |]; [| (5, 200) |]; [| (5, 300); (6, 301) |] |] in
+  Alcotest.(check (array (pair int int)))
+    "input-index tie-break"
+    [| (5, 100); (5, 200); (5, 300); (6, 301); (7, 101) |]
+    (Distrib.Merge.k_way inputs)
+
+let merge_k_way_property =
+  (* Sorted (possibly duplicate-keyed, possibly huge-keyed) inputs:
+     k_way output is sorted, a permutation of the input multiset, and
+     stable (equal keys ordered by input index). *)
+  let gen =
+    QCheck.(
+      list_of_size Gen.(int_range 0 6)
+        (list_of_size Gen.(int_range 0 30) (pair small_nat small_nat)))
+  in
+  QCheck.Test.make ~name:"k_way sorted and stable on random sorted inputs" ~count:200 gen
+    (fun raw ->
+      let huge = 1 lsl 60 in
+      let inputs =
+        Array.of_list
+          (List.map
+             (fun l ->
+               let a = Array.of_list (List.map (fun (k, v) -> (k * (huge / 64), v)) l) in
+               Array.sort (fun x y -> Int.compare (fst x) (fst y)) a;
+               a)
+             raw)
+      in
+      let tagged =
+        Array.to_list inputs
+        |> List.mapi (fun i a -> Array.to_list (Array.map (fun (k, v) -> (k, i, v)) a))
+        |> List.concat
+      in
+      let expected = List.stable_sort (fun (k1, i1, _) (k2, i2, _) -> compare (k1, i1) (k2, i2)) tagged in
+      let got = Distrib.Merge.k_way inputs in
+      Array.length got = List.length expected
+      && List.for_all2
+           (fun (k, _, v) (k', v') -> k = k' && v = v')
+           expected
+           (Array.to_list got))
+
 let merge_k_way () =
   let inputs =
     [| [| (1, 1); (7, 7) |]; [| (2, 2); (5, 5) |]; [| (3, 3) |]; [||] |]
@@ -349,6 +449,7 @@ let () =
         [
           Alcotest.test_case "orders events" `Quick eventq_orders_events;
           Alcotest.test_case "interleaved push/pop" `Quick eventq_interleaved_push_pop;
+          Alcotest.test_case "pop releases payload" `Quick eventq_pop_releases_payload;
           QCheck_alcotest.to_alcotest eventq_random_heap_property;
         ] );
       ( "cost_model",
@@ -387,7 +488,14 @@ let () =
           Alcotest.test_case "two-way empty" `Quick merge_two_way_empty;
           Alcotest.test_case "multi-threaded equals sequential" `Quick
             merge_multi_threaded_matches_sequential;
+          Alcotest.test_case "more threads than elements (a.(-1) repro)" `Quick
+            merge_multi_threaded_more_threads_than_elements;
+          QCheck_alcotest.to_alcotest merge_multi_threaded_property;
           Alcotest.test_case "k-way" `Quick merge_k_way;
+          Alcotest.test_case "k-way huge keys (>= 2^53)" `Quick merge_k_way_huge_keys;
+          Alcotest.test_case "k-way duplicate keys stable" `Quick
+            merge_k_way_duplicates_stable;
+          QCheck_alcotest.to_alcotest merge_k_way_property;
           Alcotest.test_case "recursive doubling" `Quick merge_recursive_doubling_matches_k_way;
           QCheck_alcotest.to_alcotest merge_property;
         ] );
