@@ -22,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|smoke");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -57,7 +57,30 @@ let smoke () =
           "span.distrib.merge.round";
         ]
   in
-  match problems with
+  (* The serving layer: a tiny loopback sweep regenerates BENCH_net.json
+     on every runtest and must show batching winning (B >= 8 does an
+     eighth of the syscall round trips, so an inversion means the
+     server-side batch path rotted, not noise). *)
+  let net_results = ref [] in
+  Metrics.with_report ~fig:"net" (fun () -> net_results := Fig_net.run ~n:3_000);
+  let net_problems =
+    Metrics.validate ~fig:"net"
+      ~expect_histograms:[ "net.insert.ns"; "net.find.ns"; "net.batch_size" ]
+  in
+  let base = List.assoc 1 !net_results in
+  let net_problems =
+    net_problems
+    @ List.filter_map
+        (fun (batch, ops) ->
+          if batch >= 8 && ops <= base then
+            Some
+              (Printf.sprintf
+                 "BENCH_net.json: batch=%d throughput %.0f not above unbatched %.0f"
+                 batch ops base)
+          else None)
+        !net_results
+  in
+  match problems @ net_problems with
   | [] -> print_endline "smoke: metrics report OK"
   | ps ->
       List.iter prerr_endline ps;
@@ -90,6 +113,8 @@ let () =
     if want "8" then Metrics.with_report ~fig:"fig8" (fun () -> Fig8.run ~n:dist_n);
     if want "ablations" then
       Metrics.with_report ~fig:"ablations" (fun () -> Ablations.run ~n:(min n 50_000));
+    if want "net" then
+      Metrics.with_report ~fig:"net" (fun () -> ignore (Fig_net.run ~n:(min n 50_000)));
     if bechamel then Microbench.run ~n:(min n 20_000);
     print_endline "\nbench: done."
   end

@@ -11,7 +11,16 @@
      mvkv find     --pool /tmp/pool.mvkv --key 10 [--at 3]
      mvkv history  --pool /tmp/pool.mvkv --key 10
      mvkv snapshot --pool /tmp/pool.mvkv [--at 3]
-     mvkv stats    --pool /tmp/pool.mvkv *)
+     mvkv stats    --pool /tmp/pool.mvkv
+
+   `mvkv serve` instead keeps the heap open and serves the whole dict
+   API over a socket (lib/net wire protocol); `mvkv client <op>` is the
+   matching remote front end:
+
+     mvkv serve           --pool /tmp/pool.mvkv --port 7787
+     mvkv client insert   --port 7787 --key 10 --value 100
+     mvkv client find     --port 7787 --key 10 [--at 3]
+     mvkv client stats    --port 7787 *)
 
 module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
 open Cmdliner
@@ -50,19 +59,39 @@ let stats_arg =
 let maybe_stats dump =
   if dump then Format.printf "-- observability registry --@.%a" Obs.Registry.pp ()
 
+(* A missing or corrupt pool is an expected user error: one line on
+   stderr and a nonzero exit, never an exception backtrace. *)
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
 let open_store pool threads =
-  let heap = Pmem.Pheap.open_file ~path:pool in
-  Store.open_existing ~threads heap
+  match
+    let heap = Pmem.Pheap.open_file ~path:pool in
+    Store.open_existing ~threads heap
+  with
+  | store -> store
+  | exception Unix.Unix_error (e, _, _) ->
+      die "mvkv: cannot open pool %s: %s" pool (Unix.error_message e)
+  | exception Sys_error msg -> die "mvkv: cannot open pool %s: %s" pool msg
+  | exception (Invalid_argument msg | Failure msg) ->
+      die "mvkv: pool %s is not a usable mvkv heap: %s" pool msg
 
 (* The tag clock is recovered from persisted versions, so mutating
    commands tag explicitly to commit their snapshot. *)
 
 let init pool size dump =
-  let heap = Pmem.Pheap.create_file ~path:pool ~capacity:size in
-  let _store = Store.create heap in
-  Pmem.Pheap.close heap;
-  Printf.printf "initialised %s (%d bytes)\n" pool size;
-  maybe_stats dump
+  match
+    let heap = Pmem.Pheap.create_file ~path:pool ~capacity:size in
+    let _store = Store.create heap in
+    Pmem.Pheap.close heap
+  with
+  | () ->
+      Printf.printf "initialised %s (%d bytes)\n" pool size;
+      maybe_stats dump
+  | exception Unix.Unix_error (e, _, _) ->
+      die "mvkv: cannot create pool %s: %s" pool (Unix.error_message e)
+  | exception Sys_error msg -> die "mvkv: cannot create pool %s: %s" pool msg
+  | exception (Invalid_argument msg | Failure msg) ->
+      die "mvkv: cannot create pool %s: %s" pool msg
 
 let insert pool threads key value dump =
   let store = open_store pool threads in
@@ -112,6 +141,143 @@ let snapshot pool threads version dump =
   Array.iter (fun (k, v) -> Printf.printf "%d\t%d\n" k v) pairs;
   maybe_stats dump
 
+(* ---- serving over the network (lib/net) ---- *)
+
+module Server = Net.Server.Make (Store)
+
+let socket_arg =
+  let doc = "Serve/connect on a Unix-domain socket at $(docv) instead of TCP." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let host_arg =
+  let doc = "TCP host to serve/connect on." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let port_arg =
+  let doc = "TCP port to serve/connect on (0 picks an ephemeral port)." in
+  Arg.(value & opt int 7787 & info [ "port" ] ~docv:"PORT" ~doc)
+
+let workers_arg =
+  let doc = "Worker domains serving connections." in
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"W" ~doc)
+
+let batch_arg =
+  let doc = "Max pipelined requests applied per batch." in
+  Arg.(value & opt int 64 & info [ "batch" ] ~docv:"B" ~doc)
+
+let max_conns_arg =
+  let doc = "Connection limit; excess connects are refused with a busy frame." in
+  Arg.(value & opt int 256 & info [ "max-conns" ] ~docv:"N" ~doc)
+
+let timeout_arg =
+  let doc = "Per-request timeout (seconds) for completing a started frame." in
+  Arg.(value & opt float 5.0 & info [ "timeout" ] ~docv:"SECONDS" ~doc)
+
+let addr_of socket host port =
+  match socket with
+  | Some path -> Net.Sockaddr.Unix_sock path
+  | None -> Net.Sockaddr.Tcp (host, port)
+
+let serve pool threads socket host port workers batch max_conns timeout =
+  let store = open_store pool threads in
+  let server =
+    match
+      Server.start ~store ~workers ~batch ~max_conns ~request_timeout:timeout
+        ~listen:(addr_of socket host port) ()
+    with
+    | server -> server
+    | exception Unix.Unix_error (e, _, _) ->
+        die "mvkv: cannot listen on %s: %s"
+          (Net.Sockaddr.to_string (addr_of socket host port))
+          (Unix.error_message e)
+  in
+  Format.printf "mvkv: serving %s on %a (workers=%d, batch=%d, max-conns=%d)@." pool
+    Net.Sockaddr.pp (Server.addr server) workers batch max_conns;
+  let stop = ref false in
+  let handler = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigint handler;
+  Sys.set_signal Sys.sigterm handler;
+  while not !stop do
+    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  Format.printf "mvkv: draining connections and shutting down@.";
+  Server.stop server
+
+let with_client socket host port f =
+  let addr = addr_of socket host port in
+  match Net.Client.connect ~retries:3 addr with
+  | exception Unix.Unix_error (e, _, _) ->
+      die "mvkv: cannot connect to %s: %s" (Net.Sockaddr.to_string addr)
+        (Unix.error_message e)
+  | client -> (
+      match f client with
+      | () -> Net.Client.close client
+      | exception Net.Client.Remote_error (code, msg) ->
+          Net.Client.close client;
+          die "mvkv: server error (%s): %s" (Net.Wire.error_code_name code) msg
+      | exception Net.Client.Protocol_error msg ->
+          Net.Client.close client;
+          die "mvkv: protocol error: %s" msg
+      | exception Unix.Unix_error (e, _, _) ->
+          Net.Client.close client;
+          die "mvkv: connection lost: %s" (Unix.error_message e)
+      | exception End_of_file ->
+          Net.Client.close client;
+          die "mvkv: server closed the connection")
+
+let client_ping socket host port =
+  with_client socket host port (fun c ->
+      Net.Client.ping c;
+      print_endline "pong")
+
+let client_insert socket host port key value =
+  with_client socket host port (fun c ->
+      Net.Client.insert c ~key ~value;
+      let version = Net.Client.tag c in
+      Printf.printf "inserted %d -> %d at version %d\n" key value version)
+
+let client_remove socket host port key =
+  with_client socket host port (fun c ->
+      Net.Client.remove c ~key;
+      let version = Net.Client.tag c in
+      Printf.printf "removed %d at version %d\n" key version)
+
+let client_tag socket host port =
+  with_client socket host port (fun c -> Printf.printf "version %d\n" (Net.Client.tag c))
+
+let client_find socket host port key version =
+  with_client socket host port (fun c ->
+      match Net.Client.find c ?version key with
+      | Some value -> Printf.printf "%d\n" value
+      | None ->
+          prerr_endline "(absent)";
+          exit 1)
+
+let client_history socket host port key =
+  with_client socket host port (fun c ->
+      List.iter
+        (fun (version, event) ->
+          match event with
+          | Mvdict.Dict_intf.Put v -> Printf.printf "v%d\tput\t%d\n" version v
+          | Mvdict.Dict_intf.Del -> Printf.printf "v%d\tdel\n" version)
+        (Net.Client.history c key))
+
+let client_snapshot socket host port version =
+  with_client socket host port (fun c ->
+      Array.iter
+        (fun (k, v) -> Printf.printf "%d\t%d\n" k v)
+        (Net.Client.snapshot c ?version ()))
+
+(* The server's whole lib/obs registry, fetched over the wire. The
+   reply is validated through Obs.Json before printing, so a garbled
+   stats payload exits nonzero instead of echoing junk. *)
+let client_stats socket host port =
+  with_client socket host port (fun c ->
+      let text = Net.Client.stats c in
+      match Obs.Json.of_string text with
+      | Ok json -> print_endline (Obs.Json.to_string ~indent:true json)
+      | Error e -> die "mvkv: server returned invalid stats JSON: %s" e)
+
 let stats pool threads =
   let store = open_store pool threads in
   let heap_stats = Pmem.Pheap.stats (Store.heap store) in
@@ -144,6 +310,35 @@ let () =
         Term.(const snapshot $ pool_arg $ threads_arg $ version_arg $ stats_arg);
       cmd_of "stats" "Pool statistics."
         Term.(const stats $ pool_arg $ threads_arg);
+      cmd_of "serve"
+        "Serve the pool's dict API over a socket until SIGINT/SIGTERM."
+        Term.(
+          const serve $ pool_arg $ threads_arg $ socket_arg $ host_arg $ port_arg
+          $ workers_arg $ batch_arg $ max_conns_arg $ timeout_arg);
+      Cmd.group
+        (Cmd.info "client" ~doc:"Drive a running mvkv server over the wire protocol.")
+        [
+          cmd_of "ping" "Round-trip liveness check."
+            Term.(const client_ping $ socket_arg $ host_arg $ port_arg);
+          cmd_of "insert" "Insert or update a key remotely."
+            Term.(
+              const client_insert $ socket_arg $ host_arg $ port_arg $ key_arg
+              $ value_arg);
+          cmd_of "remove" "Remove a key remotely."
+            Term.(const client_remove $ socket_arg $ host_arg $ port_arg $ key_arg);
+          cmd_of "tag" "Commit a snapshot remotely and print its version."
+            Term.(const client_tag $ socket_arg $ host_arg $ port_arg);
+          cmd_of "find" "Look a key up remotely (optionally in a past snapshot)."
+            Term.(
+              const client_find $ socket_arg $ host_arg $ port_arg $ key_arg
+              $ version_arg);
+          cmd_of "history" "Print the evolution of a key remotely."
+            Term.(const client_history $ socket_arg $ host_arg $ port_arg $ key_arg);
+          cmd_of "snapshot" "Print all live pairs of a snapshot remotely."
+            Term.(const client_snapshot $ socket_arg $ host_arg $ port_arg $ version_arg);
+          cmd_of "stats" "Fetch the server's observability registry as JSON."
+            Term.(const client_stats $ socket_arg $ host_arg $ port_arg);
+        ];
     ]
   in
   let info =

@@ -11,3 +11,8 @@ let once t =
   t.current <- Stdlib.min t.max (t.current * 2)
 
 let reset t = t.current <- t.min
+
+let current t = t.current
+(* Exposed so callers that wait by sleeping (e.g. a network client's
+   reconnect loop) can reuse the doubling schedule as a duration
+   instead of a spin count. *)

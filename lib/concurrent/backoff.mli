@@ -14,4 +14,9 @@ val create : ?min:int -> ?max:int -> unit -> t
 val once : t -> unit
 (** Pause, then double the next pause up to [max]. *)
 
+val current : t -> int
+(** The next pause length. Callers that wait by sleeping rather than
+    spinning (e.g. a network client's reconnect loop) reuse the
+    doubling schedule as a duration. *)
+
 val reset : t -> unit

@@ -1,0 +1,202 @@
+(* Blocking client for the wire protocol.
+
+   One request/response round trip per {!call}, or a pipelined batch
+   per {!call_batch}: every request frame is written in a single
+   buffered write, then the matching responses are read back in order —
+   the client-side half of the batching the server amortises on.
+
+   Connection loss (refused connect, reset, server restart) is retried
+   with the doubling schedule from [Concurrent.Backoff], reused as a
+   sleep duration in milliseconds. A batch interrupted mid-flight is
+   retried whole on the fresh connection, so mutating requests are
+   at-least-once under reconnect — callers needing exactly-once must
+   not enable retries across mutations (set [retries] to 0). *)
+
+exception Remote_error of Wire.error_code * string
+(** The server answered with an error frame. *)
+
+exception Protocol_error of string
+(** The byte stream from the server is not a valid response. *)
+
+let () =
+  Printexc.register_printer (function
+    | Remote_error (code, msg) ->
+        Some (Printf.sprintf "Net.Client.Remote_error(%s, %s)" (Wire.error_code_name code) msg)
+    | Protocol_error msg -> Some (Printf.sprintf "Net.Client.Protocol_error(%s)" msg)
+    | _ -> None)
+
+type t = {
+  addr : Sockaddr.t;
+  retries : int;
+  mutable fd : Unix.file_descr option;
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable fill : int;
+  out : Buffer.t;
+}
+
+let recv_chunk = 65536
+
+let transient = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT
+        | Unix.EAGAIN | Unix.ETIMEDOUT ),
+        _,
+        _ )
+  | End_of_file ->
+      true
+  | _ -> false
+
+let connect_with_backoff addr ~retries =
+  let b = Concurrent.Backoff.create ~min:1 ~max:512 () in
+  let rec attempt k =
+    match Sockaddr.connect addr with
+    | fd -> fd
+    | exception e when transient e && k < retries ->
+        Unix.sleepf (float_of_int (Concurrent.Backoff.current b) *. 1e-3);
+        Concurrent.Backoff.once b;
+        attempt (k + 1)
+  in
+  attempt 0
+
+let connect ?(retries = 5) addr =
+  {
+    addr;
+    retries;
+    fd = Some (connect_with_backoff addr ~retries);
+    buf = Bytes.create recv_chunk;
+    start = 0;
+    fill = 0;
+    out = Buffer.create recv_chunk;
+  }
+
+let disconnect t =
+  (match t.fd with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ());
+  t.fd <- None;
+  t.start <- 0;
+  t.fill <- 0
+
+let close = disconnect
+
+let ensure_connected t =
+  match t.fd with
+  | Some fd -> fd
+  | None ->
+      let fd = connect_with_backoff t.addr ~retries:t.retries in
+      t.fd <- Some fd;
+      fd
+
+(* ---- response stream ---- *)
+
+let read_more t fd =
+  if Bytes.length t.buf - t.fill < recv_chunk then begin
+    if t.start > 0 then begin
+      Bytes.blit t.buf t.start t.buf 0 (t.fill - t.start);
+      t.fill <- t.fill - t.start;
+      t.start <- 0
+    end;
+    if Bytes.length t.buf - t.fill < recv_chunk then begin
+      let bigger = Bytes.create (max (2 * Bytes.length t.buf) (t.fill + recv_chunk)) in
+      Bytes.blit t.buf 0 bigger 0 t.fill;
+      t.buf <- bigger
+    end
+  end;
+  match Unix.read fd t.buf t.fill recv_chunk with
+  | 0 -> raise End_of_file
+  | n -> t.fill <- t.fill + n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let rec read_response t fd =
+  match Wire.scan t.buf ~off:t.start ~len:(t.fill - t.start) with
+  | `Oversize n ->
+      raise (Protocol_error (Printf.sprintf "server declared a %d-byte frame" n))
+  | `Partial ->
+      read_more t fd;
+      read_response t fd
+  | `Frame (off, len, consumed) -> (
+      match Wire.decode_response t.buf ~off ~len with
+      | Ok resp ->
+          t.start <- t.start + consumed;
+          resp
+      | Error (code, msg) ->
+          raise
+            (Protocol_error
+               (Printf.sprintf "undecodable response (%s: %s)"
+                  (Wire.error_code_name code) msg)))
+
+let read_responses t fd n = List.init n (fun _ -> read_response t fd)
+
+(* ---- calls ---- *)
+
+let call_batch t (reqs : Wire.request list) : Wire.response list =
+  if reqs = [] then []
+  else begin
+    Buffer.clear t.out;
+    List.iter (Wire.add_request t.out) reqs;
+    let payload = Buffer.contents t.out in
+    let b = Concurrent.Backoff.create ~min:1 ~max:512 () in
+    let rec attempt k =
+      let fd = ensure_connected t in
+      match
+        Sockaddr.write_string fd payload;
+        read_responses t fd (List.length reqs)
+      with
+      | resps -> resps
+      | exception e when transient e && k < t.retries ->
+          disconnect t;
+          Unix.sleepf (float_of_int (Concurrent.Backoff.current b) *. 1e-3);
+          Concurrent.Backoff.once b;
+          attempt (k + 1)
+    in
+    attempt 0
+  end
+
+let call t req =
+  match call_batch t [ req ] with
+  | [ resp ] -> resp
+  | _ -> raise (Protocol_error "response count mismatch")
+
+(* ---- typed helpers ---- *)
+
+let unexpected what resp =
+  match resp with
+  | Wire.Error { code; message } -> raise (Remote_error (code, message))
+  | resp ->
+      raise
+        (Protocol_error
+           (Format.asprintf "unexpected response to %s: %a" what Wire.pp_response resp))
+
+let ping t = match call t Wire.Ping with Wire.Pong -> () | r -> unexpected "ping" r
+
+let insert t ~key ~value =
+  match call t (Wire.Insert { key; value }) with
+  | Wire.Ack -> ()
+  | r -> unexpected "insert" r
+
+let remove t ~key =
+  match call t (Wire.Remove { key }) with
+  | Wire.Ack -> ()
+  | r -> unexpected "remove" r
+
+let find t ?version key =
+  match call t (Wire.Find { key; version }) with
+  | Wire.Value v -> v
+  | r -> unexpected "find" r
+
+let tag t =
+  match call t Wire.Tag with Wire.Version v -> v | r -> unexpected "tag" r
+
+let history t key =
+  match call t (Wire.History { key }) with
+  | Wire.Events evs -> evs
+  | r -> unexpected "history" r
+
+let snapshot t ?version () =
+  match call t (Wire.Snapshot { version }) with
+  | Wire.Pairs pairs -> pairs
+  | r -> unexpected "snapshot" r
+
+let stats t =
+  match call t Wire.Stats with
+  | Wire.Stats_json s -> s
+  | r -> unexpected "stats" r

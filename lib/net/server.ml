@@ -1,0 +1,388 @@
+(* Concurrent socket server dispatching the wire protocol onto any
+   int/int multi-version dict.
+
+   Topology: one acceptor plus a pool of worker domains (fork-join via
+   [Concurrent.Parallel]), all supervised by a single spawned domain so
+   [start] returns immediately and [stop] has one thing to join.
+   Accepted connections flow through a bounded handoff queue; each
+   worker owns one connection at a time and runs its whole read →
+   decode → apply → reply loop.
+
+   Batching: a worker drains up to [batch] complete frames from the
+   connection buffer before touching the store, applies them back to
+   back, and answers with one buffered write. A pipelining client
+   therefore pays one syscall pair and one index-cache warmup per
+   batch instead of per request — this is the server-side half of the
+   batch-update idea (Jiffy, arXiv:2102.01044) and what `bench
+   --fig net` measures.
+
+   Robustness: per-frame decode errors are answered in-stream with an
+   error frame and the connection stays usable (the length prefix
+   keeps the stream in sync). An oversize length prefix or a stalled
+   partial frame ([request_timeout]) is fatal for that connection
+   only. When the configured connection limit is reached, new
+   connections are refused with a [Busy] error frame. [stop] performs
+   a graceful drain: the acceptor quits, workers keep serving while
+   requests keep arriving, then flush and close when their connection
+   goes idle. *)
+
+(* ---- obs handles (shared across functor instantiations) ---- *)
+
+let c_requests = Obs.Registry.counter "net.requests"
+let c_errors = Obs.Registry.counter "net.errors"
+let c_connections = Obs.Registry.counter "net.connections"
+let c_rejected = Obs.Registry.counter "net.rejected"
+let c_bytes_in = Obs.Registry.counter "net.bytes_in"
+let c_bytes_out = Obs.Registry.counter "net.bytes_out"
+let g_active = Obs.Registry.gauge "net.active_connections"
+let h_batch = Obs.Registry.histogram "net.batch_size"
+
+let op_metrics =
+  List.map (fun label -> (label, Obs.Instr.op ("net." ^ label))) Wire.request_labels
+
+(* ---- bounded connection handoff queue ---- *)
+
+module Handoff = struct
+  type t = {
+    m : Mutex.t;
+    nonempty : Condition.t;
+    items : Unix.file_descr Queue.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    {
+      m = Mutex.create ();
+      nonempty = Condition.create ();
+      items = Queue.create ();
+      closed = false;
+    }
+
+  let push t fd =
+    Mutex.lock t.m;
+    Queue.push fd t.items;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+
+  (* [None] once closed and drained — the worker's signal to exit. *)
+  let pop t =
+    Mutex.lock t.m;
+    let rec wait () =
+      match Queue.take_opt t.items with
+      | Some fd -> Some fd
+      | None ->
+          if t.closed then None
+          else begin
+            Condition.wait t.nonempty t.m;
+            wait ()
+          end
+    in
+    let r = wait () in
+    Mutex.unlock t.m;
+    r
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+end
+
+let recv_chunk = 65536
+
+(* How often blocked acceptor/worker loops wake up to look at the stop
+   flag; bounds shutdown latency without any cross-domain signalling. *)
+let poll_interval = 0.05
+
+module Make (S : Mvdict.Dict_intf.S with type key = int and type value = int) =
+struct
+  type t = {
+    store : S.t;
+    listen_fd : Unix.file_descr;
+    addr : Sockaddr.t;  (** actually bound (ephemeral TCP port resolved) *)
+    batch : int;
+    max_conns : int;
+    request_timeout : float;
+    stop_flag : bool Atomic.t;
+    active : int Atomic.t;
+    queue : Handoff.t;
+    mutable supervisor : unit Domain.t option;
+  }
+
+  let addr t = t.addr
+  let is_stopping t = Atomic.get t.stop_flag
+
+  (* ---- request dispatch ---- *)
+
+  let apply store (req : Wire.request) : Wire.response =
+    match req with
+    | Wire.Ping -> Wire.Pong
+    | Wire.Insert { key; value } ->
+        S.insert store key value;
+        Wire.Ack
+    | Wire.Remove { key } ->
+        S.remove store key;
+        Wire.Ack
+    | Wire.Find { key; version } -> Wire.Value (S.find store ?version key)
+    | Wire.Tag -> Wire.Version (S.tag store)
+    | Wire.History { key } -> Wire.Events (S.extract_history store key)
+    | Wire.Snapshot { version } ->
+        Wire.Pairs
+          (match version with
+          | Some version -> S.extract_snapshot store ~version ()
+          | None -> S.extract_snapshot store ())
+    | Wire.Stats ->
+        Wire.Stats_json (Obs.Json.to_string (Obs.Registry.to_json ()))
+
+  let dispatch store req =
+    let metrics = List.assoc (Wire.request_label req) op_metrics in
+    let t0 = Obs.Instr.start () in
+    let resp =
+      match apply store req with
+      | resp -> resp
+      | exception e ->
+          Obs.Metric.incr c_errors;
+          Wire.Error { code = Wire.Server_error; message = Printexc.to_string e }
+    in
+    Obs.Instr.finish metrics t0;
+    resp
+
+  (* ---- per-connection state ---- *)
+
+  type conn = {
+    fd : Unix.file_descr;
+    mutable buf : Bytes.t;
+    mutable start : int;  (** first unconsumed byte *)
+    mutable fill : int;  (** end of valid data *)
+    out : Buffer.t;
+    mutable partial_since : float;  (** -1. = no incomplete frame pending *)
+    mutable eof : bool;
+  }
+
+  exception Close_conn
+  exception Fatal_frame of Wire.error_code * string
+
+  let flush_out conn =
+    if Buffer.length conn.out > 0 then begin
+      let payload = Buffer.contents conn.out in
+      Buffer.clear conn.out;
+      match Sockaddr.write_string conn.fd payload with
+      | () -> Obs.Metric.add c_bytes_out (String.length payload)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          raise Close_conn
+    end
+
+  (* Drain up to [batch] complete frames; decode failures become
+     in-stream error replies so one garbled request cannot poison the
+     requests around it. *)
+  let collect t conn =
+    let items = ref [] and n = ref 0 in
+    let continue = ref true in
+    while !continue && !n < t.batch do
+      match Wire.scan conn.buf ~off:conn.start ~len:(conn.fill - conn.start) with
+      | `Oversize declared ->
+          raise
+            (Fatal_frame
+               ( Wire.Too_large,
+                 Printf.sprintf "declared frame length %d exceeds max %d" declared
+                   Wire.max_frame ))
+      | `Partial ->
+          if conn.fill = conn.start then conn.partial_since <- -1.
+          else if conn.partial_since < 0. then
+            conn.partial_since <- Unix.gettimeofday ();
+          continue := false
+      | `Frame (off, len, consumed) ->
+          conn.partial_since <- -1.;
+          (match Wire.decode_request conn.buf ~off ~len with
+          | Ok req -> items := `Req req :: !items
+          | Error (code, message) -> items := `Err (Wire.Error { code; message }) :: !items);
+          conn.start <- conn.start + consumed;
+          incr n
+    done;
+    List.rev !items
+
+  let process t conn items =
+    Obs.Histogram.record h_batch (List.length items);
+    List.iter
+      (fun item ->
+        Obs.Metric.incr c_requests;
+        let resp =
+          match item with
+          | `Req req -> dispatch t.store req
+          | `Err resp ->
+              Obs.Metric.incr c_errors;
+              resp
+        in
+        Wire.add_response conn.out resp)
+      items;
+    flush_out conn
+
+  let read_more conn =
+    (* Make room: compact the consumed prefix, then grow if a pipelined
+       burst still does not fit. *)
+    if Bytes.length conn.buf - conn.fill < recv_chunk then begin
+      if conn.start > 0 then begin
+        Bytes.blit conn.buf conn.start conn.buf 0 (conn.fill - conn.start);
+        conn.fill <- conn.fill - conn.start;
+        conn.start <- 0
+      end;
+      if Bytes.length conn.buf - conn.fill < recv_chunk then begin
+        let bigger =
+          Bytes.create (max (2 * Bytes.length conn.buf) (conn.fill + recv_chunk))
+        in
+        Bytes.blit conn.buf 0 bigger 0 conn.fill;
+        conn.buf <- bigger
+      end
+    end;
+    match Unix.read conn.fd conn.buf conn.fill recv_chunk with
+    | 0 -> conn.eof <- true
+    | n ->
+        Obs.Metric.add c_bytes_in n;
+        conn.fill <- conn.fill + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        conn.eof <- true
+
+  let readable fd timeout =
+    match Unix.select [ fd ] [] [] timeout with
+    | [], _, _ -> false
+    | _ -> true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+  let fatal_close conn code message =
+    Wire.add_response conn.out (Wire.Error { code; message });
+    Obs.Metric.incr c_errors;
+    (try flush_out conn with Close_conn -> ())
+
+  let serve_conn t fd =
+    let conn =
+      {
+        fd;
+        buf = Bytes.create recv_chunk;
+        start = 0;
+        fill = 0;
+        out = Buffer.create recv_chunk;
+        partial_since = -1.;
+        eof = false;
+      }
+    in
+    let rec loop () =
+      match collect t conn with
+      | exception Fatal_frame (code, message) -> fatal_close conn code message
+      | [] ->
+          if conn.eof then ()
+          else if
+            conn.partial_since >= 0.
+            && Unix.gettimeofday () -. conn.partial_since > t.request_timeout
+          then
+            fatal_close conn Wire.Timeout
+              (Printf.sprintf "gave up waiting for the rest of a frame after %.1fs"
+                 t.request_timeout)
+          else if readable conn.fd poll_interval then begin
+            read_more conn;
+            loop ()
+          end
+          else if Atomic.get t.stop_flag then
+            (* Stopping and the connection is idle: drain is complete. *)
+            ()
+          else loop ()
+      | items ->
+          process t conn items;
+          loop ()
+    in
+    (try loop () with Close_conn -> ());
+    (try Unix.close fd with _ -> ());
+    Atomic.decr t.active;
+    Obs.Metric.set g_active (Atomic.get t.active)
+
+  (* ---- acceptor / workers ---- *)
+
+  let reject fd =
+    Obs.Metric.incr c_rejected;
+    let out = Buffer.create 64 in
+    Wire.add_response out
+      (Wire.Error { code = Wire.Busy; message = "server at connection limit" });
+    (try Sockaddr.write_string fd (Buffer.contents out) with _ -> ());
+    try Unix.close fd with _ -> ()
+
+  let acceptor t =
+    while not (Atomic.get t.stop_flag) do
+      if readable t.listen_fd poll_interval then
+        match Unix.accept t.listen_fd with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | exception Unix.Unix_error (_, _, _) -> Atomic.set t.stop_flag true
+        | fd, _peer ->
+            Obs.Metric.incr c_connections;
+            Sockaddr.nodelay fd;
+            if Atomic.get t.stop_flag then (try Unix.close fd with _ -> ())
+            else if Atomic.fetch_and_add t.active 1 >= t.max_conns then begin
+              Atomic.decr t.active;
+              reject fd
+            end
+            else begin
+              Obs.Metric.set g_active (Atomic.get t.active);
+              Handoff.push t.queue fd
+            end
+    done
+
+  let worker t =
+    let rec go () =
+      match Handoff.pop t.queue with
+      | None -> ()
+      | Some fd ->
+          serve_conn t fd;
+          go ()
+    in
+    go ()
+
+  let guarded name f =
+    try f ()
+    with e ->
+      Printf.eprintf "net.server: %s died: %s\n%!" name (Printexc.to_string e)
+
+  let run t ~workers =
+    ignore
+      (Concurrent.Parallel.run ~threads:(workers + 1) (fun tid ->
+           if tid = 0 then begin
+             guarded "acceptor" (fun () -> acceptor t);
+             (* No more handoffs: workers drain what is queued, then exit. *)
+             Handoff.close t.queue
+           end
+           else guarded "worker" (fun () -> worker t)))
+
+  let start ~store ?(workers = 4) ?(batch = 64) ?(max_conns = 256)
+      ?(request_timeout = 5.0) ~listen () =
+    if workers < 1 then invalid_arg "Server.start: need at least one worker";
+    if batch < 1 then invalid_arg "Server.start: batch must be positive";
+    let listen_fd = Sockaddr.listen listen in
+    let t =
+      {
+        store;
+        listen_fd;
+        addr = Sockaddr.bound listen listen_fd;
+        batch;
+        max_conns;
+        request_timeout;
+        stop_flag = Atomic.make false;
+        active = Atomic.make 0;
+        queue = Handoff.create ();
+        supervisor = None;
+      }
+    in
+    t.supervisor <- Some (Domain.spawn (fun () -> run t ~workers));
+    t
+
+  (* Graceful: stop accepting, let workers drain in-flight requests,
+     join everything. Safe to call more than once. *)
+  let stop t =
+    Atomic.set t.stop_flag true;
+    (match t.supervisor with
+    | Some d ->
+        t.supervisor <- None;
+        Domain.join d
+    | None -> ());
+    (try Unix.close t.listen_fd with _ -> ());
+    match t.addr with
+    | Sockaddr.Unix_sock path -> ( try Sys.remove path with _ -> ())
+    | _ -> ()
+end

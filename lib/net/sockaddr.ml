@@ -1,0 +1,79 @@
+(* Listen/connect endpoints shared by the server and the client, plus
+   the few socket helpers both sides need. TCP is for real deployments
+   (port 0 binds an ephemeral port, handy for tests); Unix-domain
+   sockets avoid the port namespace entirely for same-host serving. *)
+
+type t =
+  | Tcp of string * int  (** host (name or dotted quad), port *)
+  | Unix_sock of string  (** filesystem path *)
+
+let pp fmt = function
+  | Tcp (host, port) -> Format.fprintf fmt "tcp://%s:%d" host port
+  | Unix_sock path -> Format.fprintf fmt "unix://%s" path
+
+let to_string t = Format.asprintf "%a" pp t
+
+let socket_domain = function Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX
+
+let resolve = function
+  | Unix_sock path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try Unix.inet_addr_of_string host
+        with _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = addrs; _ } when Array.length addrs > 0 -> addrs.(0)
+          | _ | (exception Not_found) ->
+              invalid_arg (Printf.sprintf "Sockaddr: cannot resolve host %s" host))
+      in
+      Unix.ADDR_INET (ip, port)
+
+(* Writes to a peer that went away must surface as EPIPE, not kill the
+   process. Idempotent; called from both listen and connect paths. *)
+let ignore_sigpipe () =
+  match Sys.signal Sys.sigpipe Sys.Signal_ignore with
+  | _ -> ()
+  | exception _ -> ()
+
+let nodelay fd =
+  (* Round-trip-heavy unbatched traffic must not sit behind Nagle.
+     Raises on non-TCP sockets, where it is meaningless anyway. *)
+  try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ()
+
+let listen ?(backlog = 64) t =
+  ignore_sigpipe ();
+  let fd = Unix.socket (socket_domain t) Unix.SOCK_STREAM 0 in
+  (try
+     (match t with
+     | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+     | Unix_sock path -> if Sys.file_exists path then Sys.remove path);
+     Unix.bind fd (resolve t);
+     Unix.listen fd backlog
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  fd
+
+(* The address actually bound — resolves port 0 to the ephemeral port. *)
+let bound t fd =
+  match (t, Unix.getsockname fd) with
+  | Tcp (host, _), Unix.ADDR_INET (_, port) -> Tcp (host, port)
+  | t, _ -> t
+
+let connect t =
+  ignore_sigpipe ();
+  let fd = Unix.socket (socket_domain t) Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (resolve t)
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  nodelay fd;
+  fd
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+let write_string fd s = write_all fd s 0 (String.length s)

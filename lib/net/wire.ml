@@ -1,0 +1,367 @@
+(* Wire protocol for serving the multi-version dict API over a socket.
+
+   Framing: every message is [4-byte big-endian body length][body].
+   The body starts with a protocol version byte and an opcode byte,
+   followed by an opcode-specific payload. Integers travel as 8-byte
+   little-endian words (values may be negative, so no varint games);
+   options are a presence byte; sequences are a count followed by the
+   elements. The frame length is bounded by {!max_frame} so a corrupt
+   or hostile length prefix cannot make a peer allocate unbounded
+   memory.
+
+   Errors are first-class response frames carrying a stable numeric
+   code plus a human-readable message, so a server can reject one bad
+   request (unknown opcode, wrong protocol version, garbled payload)
+   and keep the connection alive: the frame boundary is still known
+   from the length prefix. *)
+
+let protocol_version = 1
+
+(* Largest accepted body, in bytes. Generous enough for a snapshot of
+   ~500k pairs in one frame; small enough that a garbage length prefix
+   is rejected instead of honoured. *)
+let max_frame = 8 * 1024 * 1024
+
+let header_bytes = 4
+
+(* ---- messages ---- *)
+
+type error_code =
+  | Bad_version  (** frame's protocol version byte is not ours *)
+  | Bad_opcode  (** unknown request/response opcode *)
+  | Malformed  (** opcode known but the payload does not parse *)
+  | Too_large  (** declared frame length exceeds {!max_frame} *)
+  | Timeout  (** server gave up waiting for the rest of a frame *)
+  | Busy  (** server is at its connection limit *)
+  | Server_error  (** the store raised while applying the request *)
+
+type request =
+  | Ping
+  | Insert of { key : int; value : int }
+  | Remove of { key : int }
+  | Find of { key : int; version : int option }
+  | Tag
+  | History of { key : int }
+  | Snapshot of { version : int option }
+  | Stats
+
+type response =
+  | Pong
+  | Ack  (** insert/remove applied *)
+  | Version of int  (** tag result *)
+  | Value of int option  (** find result *)
+  | Events of (int * int Mvdict.Dict_intf.event) list  (** history result *)
+  | Pairs of (int * int) array  (** snapshot result *)
+  | Stats_json of string  (** the lib/obs registry as JSON text *)
+  | Error of { code : error_code; message : string }
+
+let error_code_to_int = function
+  | Bad_version -> 1
+  | Bad_opcode -> 2
+  | Malformed -> 3
+  | Too_large -> 4
+  | Timeout -> 5
+  | Busy -> 6
+  | Server_error -> 7
+
+let error_code_of_int = function
+  | 1 -> Some Bad_version
+  | 2 -> Some Bad_opcode
+  | 3 -> Some Malformed
+  | 4 -> Some Too_large
+  | 5 -> Some Timeout
+  | 6 -> Some Busy
+  | 7 -> Some Server_error
+  | _ -> None
+
+let error_code_name = function
+  | Bad_version -> "bad_version"
+  | Bad_opcode -> "bad_opcode"
+  | Malformed -> "malformed"
+  | Too_large -> "too_large"
+  | Timeout -> "timeout"
+  | Busy -> "busy"
+  | Server_error -> "server_error"
+
+(* Stable per-op label: metric names and the serve log both key on it. *)
+let request_label = function
+  | Ping -> "ping"
+  | Insert _ -> "insert"
+  | Remove _ -> "remove"
+  | Find _ -> "find"
+  | Tag -> "tag"
+  | History _ -> "history"
+  | Snapshot _ -> "snapshot"
+  | Stats -> "stats"
+
+let request_labels =
+  [ "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats" ]
+
+(* ---- equality / printing (tests, error messages) ---- *)
+
+let equal_request (a : request) (b : request) = a = b
+
+let equal_response a b =
+  match (a, b) with
+  | Pairs x, Pairs y -> x = y
+  | a, b -> a = b
+
+let pp_response fmt = function
+  | Pong -> Format.pp_print_string fmt "pong"
+  | Ack -> Format.pp_print_string fmt "ack"
+  | Version v -> Format.fprintf fmt "version %d" v
+  | Value None -> Format.pp_print_string fmt "value none"
+  | Value (Some v) -> Format.fprintf fmt "value %d" v
+  | Events evs -> Format.fprintf fmt "events(%d)" (List.length evs)
+  | Pairs ps -> Format.fprintf fmt "pairs(%d)" (Array.length ps)
+  | Stats_json s -> Format.fprintf fmt "stats(%d bytes)" (String.length s)
+  | Error { code; message } ->
+      Format.fprintf fmt "error %s: %s" (error_code_name code) message
+
+(* ---- encoding ---- *)
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_int buf v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.of_int v);
+  Buffer.add_bytes buf b
+
+let put_opt_int buf = function
+  | None -> put_u8 buf 0
+  | Some v ->
+      put_u8 buf 1;
+      put_int buf v
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let request_opcode = function
+  | Ping -> 1
+  | Insert _ -> 2
+  | Remove _ -> 3
+  | Find _ -> 4
+  | Tag -> 5
+  | History _ -> 6
+  | Snapshot _ -> 7
+  | Stats -> 8
+
+let encode_request_body (r : request) =
+  let buf = Buffer.create 32 in
+  put_u8 buf protocol_version;
+  put_u8 buf (request_opcode r);
+  (match r with
+  | Ping | Tag | Stats -> ()
+  | Insert { key; value } ->
+      put_int buf key;
+      put_int buf value
+  | Remove { key } | History { key } -> put_int buf key
+  | Find { key; version } ->
+      put_int buf key;
+      put_opt_int buf version
+  | Snapshot { version } -> put_opt_int buf version);
+  Buffer.contents buf
+
+let response_opcode = function
+  | Pong -> 1
+  | Ack -> 2
+  | Version _ -> 3
+  | Value _ -> 4
+  | Events _ -> 5
+  | Pairs _ -> 6
+  | Stats_json _ -> 7
+  | Error _ -> 8
+
+let encode_response_body (r : response) =
+  let buf = Buffer.create 32 in
+  put_u8 buf protocol_version;
+  put_u8 buf (response_opcode r);
+  (match r with
+  | Pong | Ack -> ()
+  | Version v -> put_int buf v
+  | Value v -> put_opt_int buf v
+  | Events evs ->
+      put_int buf (List.length evs);
+      List.iter
+        (fun (version, event) ->
+          put_int buf version;
+          match event with
+          | Mvdict.Dict_intf.Del -> put_u8 buf 0
+          | Mvdict.Dict_intf.Put v ->
+              put_u8 buf 1;
+              put_int buf v)
+        evs
+  | Pairs pairs ->
+      put_int buf (Array.length pairs);
+      Array.iter
+        (fun (k, v) ->
+          put_int buf k;
+          put_int buf v)
+        pairs
+  | Stats_json s -> put_string buf s
+  | Error { code; message } ->
+      put_u8 buf (error_code_to_int code);
+      put_string buf message);
+  Buffer.contents buf
+
+(* Append [body] to [buf] as one frame: 4-byte big-endian length prefix
+   then the body verbatim. *)
+let add_frame buf body =
+  let n = String.length body in
+  put_u8 buf (n lsr 24);
+  put_u8 buf (n lsr 16);
+  put_u8 buf (n lsr 8);
+  put_u8 buf n;
+  Buffer.add_string buf body
+
+let add_request buf r = add_frame buf (encode_request_body r)
+let add_response buf r = add_frame buf (encode_response_body r)
+
+(* ---- frame scanning ---- *)
+
+(* Locate one frame inside [b.(off .. off+len)].
+   [`Frame (body_off, body_len, consumed)]: a whole frame is present;
+   [`Partial]: the length prefix or body is still incomplete (a
+   truncated prefix is indistinguishable from one that has not arrived
+   yet — the connection-level read timeout is what bounds it);
+   [`Oversize n]: the prefix declares [n > max_frame] bytes, which a
+   peer must treat as fatal for the connection (the stream cannot be
+   re-synchronised without trusting the bogus length). *)
+let scan b ~off ~len =
+  if len < header_bytes then `Partial
+  else
+    let u8 i = Char.code (Bytes.get b (off + i)) in
+    let n = (u8 0 lsl 24) lor (u8 1 lsl 16) lor (u8 2 lsl 8) lor u8 3 in
+    if n > max_frame then `Oversize n
+    else if len - header_bytes < n then `Partial
+    else `Frame (off + header_bytes, n, header_bytes + n)
+
+(* ---- decoding ---- *)
+
+exception Bad of error_code * string
+
+type cursor = { b : Bytes.t; limit : int; mutable pos : int }
+
+let need c n what =
+  if c.limit - c.pos < n then
+    raise (Bad (Malformed, Printf.sprintf "truncated payload reading %s" what))
+
+let get_u8 c what =
+  need c 1 what;
+  let v = Char.code (Bytes.get c.b c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_int c what =
+  need c 8 what;
+  let v = Int64.to_int (Bytes.get_int64_le c.b c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let get_opt_int c what =
+  match get_u8 c what with
+  | 0 -> None
+  | 1 -> Some (get_int c what)
+  | t -> raise (Bad (Malformed, Printf.sprintf "bad option tag %d in %s" t what))
+
+let get_string c what =
+  let n = get_int c what in
+  if n < 0 || n > c.limit - c.pos then
+    raise (Bad (Malformed, Printf.sprintf "bad string length %d in %s" n what));
+  let s = Bytes.sub_string c.b c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_count c what =
+  let n = get_int c what in
+  if n < 0 || n > max_frame then
+    raise (Bad (Malformed, Printf.sprintf "bad count %d in %s" n what));
+  n
+
+let finish c (v : 'a) : ('a, error_code * string) result =
+  if c.pos <> c.limit then
+    Result.Error (Malformed, Printf.sprintf "%d trailing bytes" (c.limit - c.pos))
+  else Result.Ok v
+
+let open_cursor b ~off ~len what =
+  let c = { b; limit = off + len; pos = off } in
+  let version = get_u8 c "version" in
+  if version <> protocol_version then
+    raise
+      (Bad
+         ( Bad_version,
+           Printf.sprintf "protocol version %d, expected %d (%s)" version
+             protocol_version what ));
+  c
+
+let decode_request b ~off ~len : (request, error_code * string) result =
+  match
+    let c = open_cursor b ~off ~len "request" in
+    match get_u8 c "opcode" with
+    | 1 -> finish c Ping
+    | 2 ->
+        let key = get_int c "insert.key" in
+        let value = get_int c "insert.value" in
+        finish c (Insert { key; value })
+    | 3 -> finish c (Remove { key = get_int c "remove.key" })
+    | 4 ->
+        let key = get_int c "find.key" in
+        let version = get_opt_int c "find.version" in
+        finish c (Find { key; version })
+    | 5 -> finish c Tag
+    | 6 -> finish c (History { key = get_int c "history.key" })
+    | 7 -> finish c (Snapshot { version = get_opt_int c "snapshot.version" })
+    | 8 -> finish c Stats
+    | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
+  with
+  | r -> r
+  | exception Bad (code, msg) -> Result.Error (code, msg)
+
+let decode_response b ~off ~len : (response, error_code * string) result =
+  match
+    let c = open_cursor b ~off ~len "response" in
+    match get_u8 c "opcode" with
+    | 1 -> finish c Pong
+    | 2 -> finish c Ack
+    | 3 -> finish c (Version (get_int c "version"))
+    | 4 -> finish c (Value (get_opt_int c "value"))
+    | 5 ->
+        let n = get_count c "events.count" in
+        let evs = ref [] in
+        for _ = 1 to n do
+          let version = get_int c "events.version" in
+          let event =
+            match get_u8 c "events.tag" with
+            | 0 -> Mvdict.Dict_intf.Del
+            | 1 -> Mvdict.Dict_intf.Put (get_int c "events.value")
+            | t -> raise (Bad (Malformed, Printf.sprintf "bad event tag %d" t))
+          in
+          evs := (version, event) :: !evs
+        done;
+        finish c (Events (List.rev !evs))
+    | 6 ->
+        let n = get_count c "pairs.count" in
+        (* 16 bytes per pair: reject counts the payload cannot hold. *)
+        if n > (c.limit - c.pos) / 16 then
+          raise (Bad (Malformed, Printf.sprintf "pair count %d overruns frame" n));
+        finish c
+          (Pairs
+             (Array.init n (fun _ ->
+                  let k = get_int c "pairs.key" in
+                  let v = get_int c "pairs.value" in
+                  (k, v))))
+    | 7 -> finish c (Stats_json (get_string c "stats"))
+    | 8 ->
+        let code_byte = get_u8 c "error.code" in
+        let message = get_string c "error.message" in
+        let code =
+          match error_code_of_int code_byte with
+          | Some c -> c
+          | None -> Server_error
+        in
+        finish c (Error { code; message })
+    | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown response opcode %d" op)
+  with
+  | r -> r
+  | exception Bad (code, msg) -> Result.Error (code, msg)

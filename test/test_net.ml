@@ -1,0 +1,530 @@
+(* Tests for lib/net: wire codec round-trips (qcheck over every
+   request/response constructor), malformed-frame handling, and
+   loopback end-to-end server lifecycle — pipelined batches, error
+   frames that keep the connection usable, backpressure, per-request
+   timeouts, concurrent clients from two domains, reconnect with
+   backoff, and graceful-shutdown drain. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ---- wire codec: qcheck round-trips ---- *)
+
+let gen_key_value = QCheck.Gen.(oneof [ int; small_signed_int; return 0; return min_int; return max_int ])
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        return Net.Wire.Ping;
+        map2 (fun key value -> Net.Wire.Insert { key; value }) gen_key_value gen_key_value;
+        map (fun key -> Net.Wire.Remove { key }) gen_key_value;
+        map2 (fun key version -> Net.Wire.Find { key; version }) gen_key_value
+          (opt small_nat);
+        return Net.Wire.Tag;
+        map (fun key -> Net.Wire.History { key }) gen_key_value;
+        map (fun version -> Net.Wire.Snapshot { version }) (opt small_nat);
+        return Net.Wire.Stats;
+      ])
+
+let gen_error_code =
+  QCheck.Gen.oneofl
+    Net.Wire.
+      [ Bad_version; Bad_opcode; Malformed; Too_large; Timeout; Busy; Server_error ]
+
+let gen_event =
+  QCheck.Gen.(
+    oneof
+      [
+        return Mvdict.Dict_intf.Del;
+        map (fun v -> Mvdict.Dict_intf.Put v) gen_key_value;
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    oneof
+      [
+        return Net.Wire.Pong;
+        return Net.Wire.Ack;
+        map (fun v -> Net.Wire.Version v) small_nat;
+        map (fun v -> Net.Wire.Value v) (opt gen_key_value);
+        map (fun evs -> Net.Wire.Events evs)
+          (small_list (pair small_nat gen_event));
+        map (fun ps -> Net.Wire.Pairs (Array.of_list ps))
+          (small_list (pair gen_key_value gen_key_value));
+        map (fun s -> Net.Wire.Stats_json s) string_printable;
+        map2 (fun code message -> Net.Wire.Error { code; message }) gen_error_code
+          string_printable;
+      ])
+
+(* Round-trip through the full framing path: encode into a buffer as a
+   frame, scan the frame out, decode the body. *)
+let roundtrip_request req =
+  let buf = Buffer.create 64 in
+  Net.Wire.add_request buf req;
+  let bytes = Buffer.to_bytes buf in
+  match Net.Wire.scan bytes ~off:0 ~len:(Bytes.length bytes) with
+  | `Frame (off, len, consumed) when consumed = Bytes.length bytes -> (
+      match Net.Wire.decode_request bytes ~off ~len with
+      | Ok req' -> Net.Wire.equal_request req req'
+      | Error _ -> false)
+  | _ -> false
+
+let roundtrip_response resp =
+  let buf = Buffer.create 64 in
+  Net.Wire.add_response buf resp;
+  let bytes = Buffer.to_bytes buf in
+  match Net.Wire.scan bytes ~off:0 ~len:(Bytes.length bytes) with
+  | `Frame (off, len, consumed) when consumed = Bytes.length bytes -> (
+      match Net.Wire.decode_response bytes ~off ~len with
+      | Ok resp' -> Net.Wire.equal_response resp resp'
+      | Error _ -> false)
+  | _ -> false
+
+let request_roundtrip_property =
+  QCheck.Test.make ~name:"wire request frames round-trip" ~count:1000
+    (QCheck.make gen_request) roundtrip_request
+
+let response_roundtrip_property =
+  QCheck.Test.make ~name:"wire response frames round-trip" ~count:1000
+    (QCheck.make gen_response) roundtrip_response
+
+(* Pipelined frames concatenated in one buffer scan out one by one. *)
+let pipelined_scan_property =
+  QCheck.Test.make ~name:"wire pipelined frames scan in order" ~count:200
+    QCheck.(make Gen.(list_size (int_range 1 20) gen_request))
+    (fun reqs ->
+      let buf = Buffer.create 256 in
+      List.iter (Net.Wire.add_request buf) reqs;
+      let bytes = Buffer.to_bytes buf in
+      let decoded = ref [] in
+      let off = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match Net.Wire.scan bytes ~off:!off ~len:(Bytes.length bytes - !off) with
+        | `Frame (boff, blen, consumed) ->
+            (match Net.Wire.decode_request bytes ~off:boff ~len:blen with
+            | Ok r -> decoded := r :: !decoded
+            | Error _ -> continue := false);
+            off := !off + consumed
+        | `Partial | `Oversize _ -> continue := false
+      done;
+      !off = Bytes.length bytes && List.rev !decoded = reqs)
+
+(* ---- wire codec: malformed frames ---- *)
+
+let explain = function
+  | Ok _ -> "ok"
+  | Error (code, _) -> Net.Wire.error_code_name code
+
+let scan_truncated_prefix () =
+  (* 0-3 bytes can never hold the length prefix. *)
+  List.iter
+    (fun len ->
+      match Net.Wire.scan (Bytes.make len '\x00') ~off:0 ~len with
+      | `Partial -> ()
+      | _ -> Alcotest.fail "truncated prefix must scan as `Partial")
+    [ 0; 1; 2; 3 ]
+
+let scan_truncated_body () =
+  let buf = Buffer.create 16 in
+  Net.Wire.add_request buf Net.Wire.Tag;
+  let whole = Buffer.to_bytes buf in
+  for len = Net.Wire.header_bytes to Bytes.length whole - 1 do
+    match Net.Wire.scan whole ~off:0 ~len with
+    | `Partial -> ()
+    | _ -> Alcotest.fail "truncated body must scan as `Partial"
+  done
+
+let scan_oversize () =
+  let b = Bytes.create 4 in
+  let declared = Net.Wire.max_frame + 1 in
+  Bytes.set b 0 (Char.chr ((declared lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((declared lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((declared lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (declared land 0xff));
+  match Net.Wire.scan b ~off:0 ~len:4 with
+  | `Oversize n -> check_int "declared length" declared n
+  | _ -> Alcotest.fail "oversize prefix must scan as `Oversize"
+
+let body_of_string s = (Bytes.of_string s, String.length s)
+
+let decode_bad_version () =
+  let b, len = body_of_string "\x63\x01" in
+  check_string "bad version" "bad_version"
+    (explain (Net.Wire.decode_request b ~off:0 ~len));
+  check_string "bad version (response)" "bad_version"
+    (explain (Net.Wire.decode_response b ~off:0 ~len))
+
+let decode_bad_opcode () =
+  let b, len = body_of_string "\x01\x63" in
+  check_string "bad opcode" "bad_opcode"
+    (explain (Net.Wire.decode_request b ~off:0 ~len));
+  check_string "bad opcode (response)" "bad_opcode"
+    (explain (Net.Wire.decode_response b ~off:0 ~len))
+
+let decode_truncated_payload () =
+  (* insert opcode with only 4 of the 16 payload bytes *)
+  let b, len = body_of_string "\x01\x02ABCD" in
+  check_string "truncated payload" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_trailing_garbage () =
+  let body = Net.Wire.encode_request_body Net.Wire.Tag ^ "junk" in
+  let b, len = body_of_string body in
+  check_string "trailing bytes" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_empty_body () =
+  check_string "empty body" "malformed"
+    (explain (Net.Wire.decode_request (Bytes.create 0) ~off:0 ~len:0))
+
+let decode_bad_option_tag () =
+  (* find(key, version) with an option tag of 7 *)
+  let b, len = body_of_string ("\x01\x04" ^ String.make 8 '\x00' ^ "\x07") in
+  check_string "bad option tag" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_bad_event_tag () =
+  (* events response: count=1, version=0, event tag=9 *)
+  let b, len =
+    body_of_string
+      ("\x01\x05" ^ "\x01" ^ String.make 7 '\x00' ^ String.make 8 '\x00' ^ "\x09")
+  in
+  check_string "bad event tag" "malformed"
+    (explain (Net.Wire.decode_response b ~off:0 ~len))
+
+let decode_pair_count_overrun () =
+  (* pairs response declaring 1000 pairs with no payload behind it *)
+  let b, len = body_of_string ("\x01\x06" ^ "\xe8\x03" ^ String.make 6 '\x00') in
+  check_string "pair count overrun" "malformed"
+    (explain (Net.Wire.decode_response b ~off:0 ~len))
+
+let decode_negative_string_length () =
+  (* stats response with length -1 *)
+  let b, len = body_of_string ("\x01\x07" ^ String.make 8 '\xff') in
+  check_string "negative string length" "malformed"
+    (explain (Net.Wire.decode_response b ~off:0 ~len))
+
+(* ---- loopback end-to-end ---- *)
+
+module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
+module Server = Net.Server.Make (Store)
+
+let with_server ?(workers = 2) ?batch ?max_conns ?request_timeout
+    ?(listen = Net.Sockaddr.Tcp ("127.0.0.1", 0)) f =
+  let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 24) () in
+  let store = Store.create heap in
+  let server =
+    Server.start ~store ~workers ?batch ?max_conns ?request_timeout ~listen ()
+  in
+  match f store server (Server.addr server) with
+  | v ->
+      Server.stop server;
+      v
+  | exception e ->
+      Server.stop server;
+      raise e
+
+let e2e_full_api () =
+  with_server (fun store _server addr ->
+      let client = Net.Client.connect addr in
+      Net.Client.ping client;
+      for k = 1 to 20 do
+        Net.Client.insert client ~key:k ~value:(100 + k)
+      done;
+      let v1 = Net.Client.tag client in
+      check_int "first tagged version" 1 v1;
+      Net.Client.insert client ~key:7 ~value:777;
+      Net.Client.remove client ~key:8;
+      let v2 = Net.Client.tag client in
+      check_int "second tagged version" 2 v2;
+      (* reads, current and historical *)
+      check_bool "find current updated" true (Net.Client.find client 7 = Some 777);
+      check_bool "find current removed" true (Net.Client.find client 8 = None);
+      check_bool "find v1" true (Net.Client.find client ~version:v1 7 = Some 107);
+      check_bool "find v1 not yet removed" true
+        (Net.Client.find client ~version:v1 8 = Some 108);
+      (* history *)
+      (match Net.Client.history client 7 with
+      | [ (1, Mvdict.Dict_intf.Put 107); (2, Mvdict.Dict_intf.Put 777) ] -> ()
+      | evs -> Alcotest.failf "unexpected history (%d events)" (List.length evs));
+      (* snapshots *)
+      let snap1 = Net.Client.snapshot client ~version:v1 () in
+      check_int "snapshot v1 size" 20 (Array.length snap1);
+      let snap2 = Net.Client.snapshot client () in
+      check_int "snapshot v2 size" 19 (Array.length snap2);
+      check_bool "snapshot sorted" true
+        (Array.for_all2
+           (fun (k, _) (k', _) -> k <= k')
+           (Array.sub snap2 0 (Array.length snap2 - 1))
+           (Array.sub snap2 1 (Array.length snap2 - 1)));
+      (* the server really is backed by the same store *)
+      check_int "server store key count" 20 (Store.key_count store);
+      Net.Client.close client)
+
+let e2e_pipelined_batch () =
+  with_server (fun _store _server addr ->
+      let client = Net.Client.connect addr in
+      let reqs =
+        List.concat_map
+          (fun k ->
+            [ Net.Wire.Insert { key = k; value = k * 2 }; Net.Wire.Find { key = k; version = None } ])
+          (List.init 50 (fun i -> i))
+      in
+      let resps = Net.Client.call_batch client (reqs @ [ Net.Wire.Tag ]) in
+      check_int "response count" 101 (List.length resps);
+      List.iteri
+        (fun i resp ->
+          if i = 100 then
+            check_bool "tag response" true (resp = Net.Wire.Version 1)
+          else if i mod 2 = 0 then check_bool "ack in order" true (resp = Net.Wire.Ack)
+          else
+            let k = i / 2 in
+            check_bool "pipelined find sees its insert" true
+              (resp = Net.Wire.Value (Some (k * 2))))
+        resps;
+      Net.Client.close client)
+
+let e2e_stats_json () =
+  with_server (fun _store _server addr ->
+      let client = Net.Client.connect addr in
+      Net.Client.insert client ~key:1 ~value:1;
+      let text = Net.Client.stats client in
+      (match Obs.Json.of_string text with
+      | Error e -> Alcotest.failf "stats JSON does not parse: %s" e
+      | Ok json -> (
+          match Obs.Json.member "counters" json with
+          | Some counters -> (
+              match Obs.Json.member "net.requests" counters with
+              | Some (Obs.Json.Int n) ->
+                  check_bool "net.requests counted" true (n >= 2)
+              | _ -> Alcotest.fail "stats lacks counters/net.requests")
+          | None -> Alcotest.fail "stats lacks counters object"));
+      Net.Client.close client)
+
+(* A raw socket speaking deliberately broken frames: the server must
+   answer each with an error frame and keep serving the connection. *)
+type raw = { fd : Unix.file_descr; buf : Bytes.t; mutable fill : int; mutable start : int }
+
+let raw_connect addr = { fd = Net.Sockaddr.connect addr; buf = Bytes.create (1 lsl 20); fill = 0; start = 0 }
+
+let raw_write raw s = Net.Sockaddr.write_string raw.fd s
+let raw_close raw = Unix.close raw.fd
+
+(* Responses may arrive many frames per [read]; keep the leftover. *)
+let raw_read_response raw =
+  let rec go () =
+    match Net.Wire.scan raw.buf ~off:raw.start ~len:(raw.fill - raw.start) with
+    | `Frame (off, len, consumed) -> (
+        raw.start <- raw.start + consumed;
+        match Net.Wire.decode_response raw.buf ~off ~len with
+        | Ok r -> r
+        | Error (c, m) -> Alcotest.failf "undecodable response: %s %s" (Net.Wire.error_code_name c) m)
+    | `Oversize _ -> Alcotest.fail "oversize response"
+    | `Partial -> (
+        if raw.start > 0 then begin
+          Bytes.blit raw.buf raw.start raw.buf 0 (raw.fill - raw.start);
+          raw.fill <- raw.fill - raw.start;
+          raw.start <- 0
+        end;
+        match Unix.read raw.fd raw.buf raw.fill (Bytes.length raw.buf - raw.fill) with
+        | 0 -> raise End_of_file
+        | n ->
+            raw.fill <- raw.fill + n;
+            go ())
+  in
+  go ()
+
+let frame_of_body body =
+  let buf = Buffer.create 64 in
+  Net.Wire.add_frame buf body;
+  Buffer.contents buf
+
+let expect_error what code resp =
+  match resp with
+  | Net.Wire.Error { code = c; _ } when c = code -> ()
+  | resp ->
+      Alcotest.failf "%s: expected %s error, got %a" what
+        (Net.Wire.error_code_name code) Net.Wire.pp_response resp
+
+let e2e_error_frames_keep_connection () =
+  with_server (fun _store _server addr ->
+      let fd = raw_connect addr in
+      (* 1. wrong protocol version *)
+      raw_write fd (frame_of_body "\x63\x01");
+      expect_error "bad version" Net.Wire.Bad_version (raw_read_response fd);
+      (* 2. unknown opcode *)
+      raw_write fd (frame_of_body "\x01\x63");
+      expect_error "bad opcode" Net.Wire.Bad_opcode (raw_read_response fd);
+      (* 3. garbled payload *)
+      raw_write fd (frame_of_body "\x01\x02AB");
+      expect_error "malformed" Net.Wire.Malformed (raw_read_response fd);
+      (* ... and the connection is still perfectly usable *)
+      raw_write fd
+        (frame_of_body (Net.Wire.encode_request_body Net.Wire.Ping));
+      check_bool "ping after errors" true (raw_read_response fd = Net.Wire.Pong);
+      (* 4. an oversize declared length is fatal: error frame, then EOF *)
+      let b = Bytes.create 4 in
+      let declared = Net.Wire.max_frame + 1 in
+      Bytes.set b 0 (Char.chr ((declared lsr 24) land 0xff));
+      Bytes.set b 1 (Char.chr ((declared lsr 16) land 0xff));
+      Bytes.set b 2 (Char.chr ((declared lsr 8) land 0xff));
+      Bytes.set b 3 (Char.chr (declared land 0xff));
+      raw_write fd (Bytes.to_string b);
+      expect_error "oversize" Net.Wire.Too_large (raw_read_response fd);
+      check_bool "connection closed after oversize" true
+        (match raw_read_response fd with
+        | exception End_of_file -> true
+        | _ -> false);
+      raw_close fd)
+
+let e2e_request_timeout () =
+  with_server ~request_timeout:0.2 (fun _store _server addr ->
+      let fd = raw_connect addr in
+      (* header promising 10 body bytes, then only 2 — the server must
+         give up after request_timeout, answer Timeout and close. *)
+      raw_write fd "\x00\x00\x00\x0a\x01\x05";
+      expect_error "stalled frame" Net.Wire.Timeout (raw_read_response fd);
+      check_bool "connection closed after timeout" true
+        (match raw_read_response fd with
+        | exception End_of_file -> true
+        | _ -> false);
+      raw_close fd)
+
+let e2e_backpressure_busy () =
+  with_server ~workers:1 ~max_conns:1 (fun _store _server addr ->
+      let c1 = Net.Client.connect addr in
+      Net.Client.ping c1;
+      (* second concurrent connection is over the limit *)
+      let fd = raw_connect addr in
+      expect_error "over limit" Net.Wire.Busy (raw_read_response fd);
+      raw_close fd;
+      Net.Client.close c1;
+      (* once the first connection drains, new clients are welcome *)
+      let rec retry n =
+        let c2 = Net.Client.connect addr in
+        match Net.Client.ping c2 with
+        | () -> Net.Client.close c2
+        | exception _ when n > 0 ->
+            Net.Client.close c2;
+            Unix.sleepf 0.05;
+            retry (n - 1)
+      in
+      retry 40)
+
+let e2e_concurrent_clients () =
+  with_server ~workers:3 (fun store _server addr ->
+      let per_domain = 300 in
+      let domains =
+        Array.init 2 (fun d ->
+            Domain.spawn (fun () ->
+                let client = Net.Client.connect addr in
+                let base = d * per_domain in
+                List.init per_domain (fun i -> base + i)
+                |> List.iter (fun k -> Net.Client.insert client ~key:k ~value:(k * 10));
+                (* batched reads of our own writes *)
+                let resps =
+                  Net.Client.call_batch client
+                    (List.init per_domain (fun i ->
+                         Net.Wire.Find { key = base + i; version = None }))
+                in
+                Net.Client.close client;
+                List.for_all2
+                  (fun i resp -> resp = Net.Wire.Value (Some ((base + i) * 10)))
+                  (List.init per_domain (fun i -> i))
+                  resps))
+      in
+      Array.iter (fun d -> check_bool "domain saw its writes" true (Domain.join d)) domains;
+      check_int "all keys present" (2 * per_domain) (Store.key_count store))
+
+let e2e_graceful_drain () =
+  with_server (fun _store server addr ->
+      let fd = raw_connect addr in
+      (* make sure the connection is attached to a worker *)
+      raw_write fd
+        (frame_of_body (Net.Wire.encode_request_body Net.Wire.Ping));
+      check_bool "warmup ping" true (raw_read_response fd = Net.Wire.Pong);
+      (* pipeline a burst, then stop: every queued request must still
+         get its response before the server closes the connection *)
+      let n = 100 in
+      let buf = Buffer.create 4096 in
+      for k = 1 to n do
+        Net.Wire.add_request buf (Net.Wire.Insert { key = k; value = k })
+      done;
+      raw_write fd (Buffer.contents buf);
+      Server.stop server;
+      for _ = 1 to n do
+        check_bool "drained ack" true (raw_read_response fd = Net.Wire.Ack)
+      done;
+      check_bool "closed after drain" true
+        (match raw_read_response fd with
+        | exception End_of_file -> true
+        | _ -> false);
+      raw_close fd;
+      (* and the listener is really gone *)
+      check_bool "listener closed" true
+        (match Net.Client.connect ~retries:0 addr with
+        | exception _ -> true
+        | c ->
+            Net.Client.close c;
+            false))
+
+let e2e_unix_socket_reconnect () =
+  let path = "test_net_reconnect.sock" in
+  let listen = Net.Sockaddr.Unix_sock path in
+  let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 22) () in
+  let store = Store.create heap in
+  let server = ref (Server.start ~store ~workers:1 ~listen ()) in
+  let client = Net.Client.connect ~retries:8 listen in
+  Net.Client.insert client ~key:1 ~value:11;
+  (* bounce the server on the same path; the client's next call must
+     reconnect with backoff and succeed *)
+  Server.stop !server;
+  server := Server.start ~store ~workers:1 ~listen ();
+  check_bool "find after reconnect" true (Net.Client.find client 1 = Some 11);
+  Net.Client.close client;
+  Server.stop !server
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "wire-roundtrip",
+        [
+          QCheck_alcotest.to_alcotest request_roundtrip_property;
+          QCheck_alcotest.to_alcotest response_roundtrip_property;
+          QCheck_alcotest.to_alcotest pipelined_scan_property;
+        ] );
+      ( "wire-malformed",
+        [
+          Alcotest.test_case "truncated length prefix" `Quick scan_truncated_prefix;
+          Alcotest.test_case "truncated body" `Quick scan_truncated_body;
+          Alcotest.test_case "oversize declared length" `Quick scan_oversize;
+          Alcotest.test_case "bad protocol version" `Quick decode_bad_version;
+          Alcotest.test_case "unknown opcode" `Quick decode_bad_opcode;
+          Alcotest.test_case "truncated payload" `Quick decode_truncated_payload;
+          Alcotest.test_case "trailing bytes" `Quick decode_trailing_garbage;
+          Alcotest.test_case "empty body" `Quick decode_empty_body;
+          Alcotest.test_case "bad option tag" `Quick decode_bad_option_tag;
+          Alcotest.test_case "bad event tag" `Quick decode_bad_event_tag;
+          Alcotest.test_case "pair count overrun" `Quick decode_pair_count_overrun;
+          Alcotest.test_case "negative string length" `Quick decode_negative_string_length;
+        ] );
+      ( "server-e2e",
+        [
+          Alcotest.test_case "full dict API over loopback" `Quick e2e_full_api;
+          Alcotest.test_case "pipelined batch" `Quick e2e_pipelined_batch;
+          Alcotest.test_case "stats returns registry JSON" `Quick e2e_stats_json;
+          Alcotest.test_case "error frames keep the connection usable" `Quick
+            e2e_error_frames_keep_connection;
+          Alcotest.test_case "per-request timeout" `Quick e2e_request_timeout;
+          Alcotest.test_case "busy backpressure" `Quick e2e_backpressure_busy;
+          Alcotest.test_case "concurrent clients (2 domains)" `Quick
+            e2e_concurrent_clients;
+          Alcotest.test_case "graceful shutdown drains in-flight requests" `Quick
+            e2e_graceful_drain;
+          Alcotest.test_case "unix socket + reconnect with backoff" `Quick
+            e2e_unix_socket_reconnect;
+        ] );
+    ]
