@@ -22,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|smoke");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|obs|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -80,7 +80,28 @@ let smoke () =
           else None)
         !net_results
   in
-  match problems @ net_problems with
+  (* The observability layer itself: BENCH_obs.json prices each
+     instrumentation regime; the gate holds the disabled-probe path
+     (counters mode) within 5% of the uninstrumented baseline. *)
+  let obs_results = ref [] in
+  Metrics.with_report ~fig:"obs" (fun () -> obs_results := Fig_obs.run ~n:5_000);
+  let obs_problems =
+    Metrics.validate ~fig:"obs" ~expect_histograms:[ "obs.bench.op.ns" ]
+  in
+  let obs_problems =
+    obs_problems
+    @
+    let base = List.assoc "baseline" !obs_results in
+    let counters = List.assoc "counters" !obs_results in
+    if counters > base *. 1.05 then
+      [
+        Printf.sprintf
+          "BENCH_obs.json: counters-only path %.1f ns/op exceeds baseline %.1f ns/op by >5%%"
+          counters base;
+      ]
+    else []
+  in
+  match problems @ net_problems @ obs_problems with
   | [] -> print_endline "smoke: metrics report OK"
   | ps ->
       List.iter prerr_endline ps;
@@ -115,6 +136,8 @@ let () =
       Metrics.with_report ~fig:"ablations" (fun () -> Ablations.run ~n:(min n 50_000));
     if want "net" then
       Metrics.with_report ~fig:"net" (fun () -> ignore (Fig_net.run ~n:(min n 50_000)));
+    if want "obs" then
+      Metrics.with_report ~fig:"obs" (fun () -> ignore (Fig_obs.run ~n:(min n 20_000)));
     if bechamel then Microbench.run ~n:(min n 20_000);
     print_endline "\nbench: done."
   end

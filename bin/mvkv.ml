@@ -25,6 +25,12 @@
 module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
 open Cmdliner
 
+(* Latencies in the registry, the slowlog, and `partial_since` timeouts
+   all read [Obs.Clock]; back it with a real monotonic clock so they
+   survive wall-clock jumps. *)
+let () =
+  Obs.Clock.set_source (fun () -> Int64.to_int (Monotonic_clock.now ()))
+
 let pool_arg =
   let doc = "Path of the persistent heap file." in
   Arg.(required & opt (some string) None & info [ "pool"; "p" ] ~docv:"FILE" ~doc)
@@ -178,12 +184,46 @@ let addr_of socket host port =
   | Some path -> Net.Sockaddr.Unix_sock path
   | None -> Net.Sockaddr.Tcp (host, port)
 
-let serve pool threads socket host port workers batch max_conns timeout =
+let slowlog_ms_arg =
+  let doc =
+    "Slow-op log threshold in milliseconds; requests at or above it are \
+     kept in a ring fetchable with $(b,mvkv slowlog). 0 disables."
+  in
+  Arg.(value & opt float 10.0 & info [ "slowlog-ms" ] ~docv:"MS" ~doc)
+
+let trace_cap_arg =
+  let doc = "Span trace ring capacity (overwrite-oldest); dump with $(b,mvkv trace)." in
+  Arg.(value & opt int 4096 & info [ "trace-cap" ] ~docv:"N" ~doc)
+
+let interval_arg =
+  let doc = "Seconds between refreshes." in
+  Arg.(value & opt float 2.0 & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc)
+
+let count_arg =
+  let doc = "Stop after this many refreshes (default: run until interrupted)." in
+  Arg.(value & opt (some int) None & info [ "count" ] ~docv:"N" ~doc)
+
+let trace_out_arg =
+  let doc = "Write the Chrome trace JSON to $(docv) instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let entries_arg =
+  let doc = "Number of slowlog entries to fetch (newest first)." in
+  Arg.(value & opt int 32 & info [ "entries"; "n" ] ~docv:"N" ~doc)
+
+let serve pool threads socket host port workers batch max_conns timeout slowlog_ms
+    trace_cap =
+  (* Install the trace ring before opening the store, so the recovery
+     rebuild's spans are already in it when the first `mvkv trace`
+     arrives. *)
+  let trace = Obs.Tracebuf.create ~capacity:trace_cap in
+  Obs.Tracebuf.install trace;
   let store = open_store pool threads in
   let server =
     match
       Server.start ~store ~workers ~batch ~max_conns ~request_timeout:timeout
-        ~listen:(addr_of socket host port) ()
+        ~slowlog_threshold_ns:(int_of_float (slowlog_ms *. 1e6))
+        ~trace ~listen:(addr_of socket host port) ()
     with
     | server -> server
     | exception Unix.Unix_error (e, _, _) ->
@@ -278,6 +318,172 @@ let client_stats socket host port =
       | Ok json -> print_endline (Obs.Json.to_string ~indent:true json)
       | Error e -> die "mvkv: server returned invalid stats JSON: %s" e)
 
+(* ---- live inspection: metrics / trace / slowlog / top ---- *)
+
+let metrics socket host port =
+  with_client socket host port (fun c -> print_string (Net.Client.metrics c))
+
+let trace socket host port out =
+  with_client socket host port (fun c ->
+      let text = Net.Client.trace_dump c in
+      (* Validate before writing: a garbled trace exits nonzero instead
+         of leaving an unloadable file behind. *)
+      match Obs.Json.of_string text with
+      | Error e -> die "mvkv: server returned invalid trace JSON: %s" e
+      | Ok json -> (
+          let n =
+            match Obs.Json.member "traceEvents" json with
+            | Some (Obs.Json.List evs) -> List.length evs
+            | _ -> 0
+          in
+          match out with
+          | None -> print_endline text
+          | Some path ->
+              let oc = open_out path in
+              output_string oc text;
+              output_char oc '\n';
+              close_out oc;
+              Printf.printf "wrote %d span(s) to %s (open in chrome://tracing or ui.perfetto.dev)\n"
+                n path))
+
+let slowlog socket host port n =
+  with_client socket host port (fun c ->
+      let text = Net.Client.slowlog c ~n in
+      match Obs.Json.of_string text with
+      | Error e -> die "mvkv: server returned invalid slowlog JSON: %s" e
+      | Ok (Obs.Json.List entries) ->
+          if entries = [] then print_endline "(slowlog empty)"
+          else begin
+            Printf.printf "%-24s %-10s %-12s %s\n" "wall time" "op" "latency" "key";
+            List.iter
+              (fun e ->
+                let str k =
+                  match Obs.Json.member k e with
+                  | Some (Obs.Json.String s) -> s
+                  | _ -> "?"
+                in
+                let num k =
+                  match Obs.Json.member k e with
+                  | Some (Obs.Json.Int n) -> float_of_int n
+                  | Some (Obs.Json.Float f) -> f
+                  | _ -> nan
+                in
+                let ts = num "wall_ts" in
+                let tm = Unix.localtime ts in
+                Printf.printf "%04d-%02d-%02d %02d:%02d:%02d.%03d  %-10s %9.3fms %s\n"
+                  (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+                  tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+                  (int_of_float (Float.rem ts 1.0 *. 1000.))
+                  (str "op")
+                  (num "latency_ns" /. 1e6)
+                  (match Obs.Json.member "key" e with
+                  | Some (Obs.Json.Int k) -> string_of_int k
+                  | _ -> "-"))
+              entries
+          end
+      | Ok _ -> die "mvkv: server returned a non-list slowlog payload")
+
+(* `mvkv top`: poll the stats endpoint and render a refreshing
+   per-operation table — rates from counter deltas between polls,
+   percentiles from the live histograms, plus the server-side sliding
+   windows and pmem flush/fence deltas. *)
+
+let json_section json section name =
+  match Obs.Json.member section json with
+  | Some obj -> Obs.Json.member name obj
+  | None -> None
+
+let counter_of json name =
+  match json_section json "counters" name with
+  | Some (Obs.Json.Int n) -> n
+  | _ -> 0
+
+let gauge_of json name =
+  match json_section json "gauges" name with
+  | Some (Obs.Json.Int n) -> n
+  | _ -> 0
+
+let hist_field json name field =
+  match json_section json "histograms" name with
+  | Some h -> (
+      match Obs.Json.member field h with
+      | Some (Obs.Json.Int n) -> Some n
+      | _ -> None)
+  | _ -> None
+
+let window_rate json name field =
+  match json_section json "windows" name with
+  | Some w -> (
+      match Obs.Json.member field w with
+      | Some (Obs.Json.Float f) -> f
+      | Some (Obs.Json.Int n) -> float_of_int n
+      | _ -> 0.)
+  | _ -> 0.
+
+let render_top ~prev ~now json =
+  (* Home the cursor and clear to the end of the screen: a flicker-free
+     refresh for a table of constant height. *)
+  print_string "\027[H\027[J";
+  let tm = Unix.localtime now in
+  Printf.printf "mvkv top — %02d:%02d:%02d   active conns %d   reqs/s %.1f (10s)   in %.0f B/s   out %.0f B/s\n"
+    tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+    (gauge_of json "net.active_connections")
+    (window_rate json "net.rate.requests" "rate_10s")
+    (window_rate json "net.rate.bytes_in" "rate_10s")
+    (window_rate json "net.rate.bytes_out" "rate_10s");
+  Printf.printf "\n%-10s %12s %10s %12s %12s\n" "op" "total" "ops/s" "p50" "p99";
+  let dt = match prev with Some (t0, _) when now > t0 -> now -. t0 | _ -> 0. in
+  List.iter
+    (fun op ->
+      let total = counter_of json (Printf.sprintf "net.%s.ops" op) in
+      let rate =
+        match prev with
+        | Some (_, j0) when dt > 0. ->
+            float_of_int (total - counter_of j0 (Printf.sprintf "net.%s.ops" op)) /. dt
+        | _ -> 0.
+      in
+      let pct field =
+        match hist_field json (Printf.sprintf "net.%s.ns" op) field with
+        | Some ns -> Printf.sprintf "%.1fus" (float_of_int ns /. 1e3)
+        | None -> "-"
+      in
+      if total > 0 then
+        Printf.printf "%-10s %12d %10.1f %12s %12s\n" op total rate
+          (pct "p50_ns") (pct "p99_ns"))
+    Net.Wire.request_labels;
+  let delta name =
+    let v = counter_of json name in
+    match prev with
+    | Some (_, j0) when dt > 0. -> float_of_int (v - counter_of j0 name) /. dt
+    | _ -> 0.
+  in
+  Printf.printf "\npmem: %d lines flushed (%.0f/s)   %d fences (%.0f/s)\n"
+    (counter_of json "pmem.flushed_lines")
+    (delta "pmem.flushed_lines")
+    (counter_of json "pmem.fences")
+    (delta "pmem.fences");
+  Printf.printf "%!"
+
+let top socket host port interval count =
+  if interval <= 0. then die "mvkv: --interval must be positive";
+  with_client socket host port (fun c ->
+      let rounds = match count with Some n -> n | None -> max_int in
+      let prev = ref None in
+      let i = ref 0 in
+      while !i < rounds do
+        incr i;
+        let text = Net.Client.stats c in
+        (match Obs.Json.of_string text with
+        | Error e -> die "mvkv: server returned invalid stats JSON: %s" e
+        | Ok json ->
+            let now = Unix.gettimeofday () in
+            render_top ~prev:!prev ~now json;
+            prev := Some (now, json));
+        if !i < rounds then
+          try Unix.sleepf interval
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done)
+
 let stats pool threads =
   let store = open_store pool threads in
   let heap_stats = Pmem.Pheap.stats (Store.heap store) in
@@ -314,7 +520,17 @@ let () =
         "Serve the pool's dict API over a socket until SIGINT/SIGTERM."
         Term.(
           const serve $ pool_arg $ threads_arg $ socket_arg $ host_arg $ port_arg
-          $ workers_arg $ batch_arg $ max_conns_arg $ timeout_arg);
+          $ workers_arg $ batch_arg $ max_conns_arg $ timeout_arg $ slowlog_ms_arg
+          $ trace_cap_arg);
+      cmd_of "top" "Live per-operation dashboard for a running server."
+        Term.(const top $ socket_arg $ host_arg $ port_arg $ interval_arg $ count_arg);
+      cmd_of "metrics" "Dump a running server's metrics in Prometheus text format."
+        Term.(const metrics $ socket_arg $ host_arg $ port_arg);
+      cmd_of "trace"
+        "Fetch (and clear) a running server's span ring as Chrome trace JSON."
+        Term.(const trace $ socket_arg $ host_arg $ port_arg $ trace_out_arg);
+      cmd_of "slowlog" "Print a running server's slowest recent requests."
+        Term.(const slowlog $ socket_arg $ host_arg $ port_arg $ entries_arg);
       Cmd.group
         (Cmd.info "client" ~doc:"Drive a running mvkv server over the wire protocol.")
         [

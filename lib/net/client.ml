@@ -200,3 +200,18 @@ let stats t =
   match call t Wire.Stats with
   | Wire.Stats_json s -> s
   | r -> unexpected "stats" r
+
+let metrics t =
+  match call t Wire.Metrics_prom with
+  | Wire.Prom_text s -> s
+  | r -> unexpected "metrics" r
+
+let trace_dump t =
+  match call t Wire.Trace_dump with
+  | Wire.Trace_json s -> s
+  | r -> unexpected "trace" r
+
+let slowlog t ~n =
+  match call t (Wire.Slowlog { n }) with
+  | Wire.Slowlog_json s -> s
+  | r -> unexpected "slowlog" r

@@ -24,7 +24,14 @@
    connections are refused with a [Busy] error frame. [stop] performs
    a graceful drain: the acceptor quits, workers keep serving while
    requests keep arriving, then flush and close when their connection
-   goes idle. *)
+   goes idle.
+
+   Live inspection: besides the JSON [Stats] blob, the server answers
+   [Metrics_prom] (registry as Prometheus text), [Trace_dump] (the span
+   ring as Chrome trace JSON, drained on read) and [Slowlog] (the
+   newest threshold-gated slow operations). Per-server state for the
+   latter two lives in [t.trace] / [t.slow]; the trace ring doubles as
+   the process-wide span sink. *)
 
 (* ---- obs handles (shared across functor instantiations) ---- *)
 
@@ -36,6 +43,13 @@ let c_bytes_in = Obs.Registry.counter "net.bytes_in"
 let c_bytes_out = Obs.Registry.counter "net.bytes_out"
 let g_active = Obs.Registry.gauge "net.active_connections"
 let h_batch = Obs.Registry.histogram "net.batch_size"
+
+(* Sliding-window rates maintained server-side, so ops/s and bytes/s
+   are readable straight off one stats/metrics fetch instead of being
+   re-derived from counter deltas by every scraper. *)
+let w_requests = Obs.Registry.window "net.rate.requests"
+let w_bytes_in = Obs.Registry.window "net.rate.bytes_in"
+let w_bytes_out = Obs.Registry.window "net.rate.bytes_out"
 
 let op_metrics =
   List.map (fun label -> (label, Obs.Instr.op ("net." ^ label))) Wire.request_labels
@@ -103,6 +117,9 @@ struct
     batch : int;
     max_conns : int;
     request_timeout : float;
+    timeout_ns : int;  (** request_timeout on the Obs.Clock scale *)
+    slow : Obs.Slowlog.t;
+    trace : Obs.Tracebuf.t;
     stop_flag : bool Atomic.t;
     active : int Atomic.t;
     queue : Handoff.t;
@@ -111,40 +128,58 @@ struct
 
   let addr t = t.addr
   let is_stopping t = Atomic.get t.stop_flag
+  let slowlog t = t.slow
+  let tracebuf t = t.trace
 
   (* ---- request dispatch ---- *)
 
-  let apply store (req : Wire.request) : Wire.response =
+  let apply t (req : Wire.request) : Wire.response =
     match req with
     | Wire.Ping -> Wire.Pong
     | Wire.Insert { key; value } ->
-        S.insert store key value;
+        S.insert t.store key value;
         Wire.Ack
     | Wire.Remove { key } ->
-        S.remove store key;
+        S.remove t.store key;
         Wire.Ack
-    | Wire.Find { key; version } -> Wire.Value (S.find store ?version key)
-    | Wire.Tag -> Wire.Version (S.tag store)
-    | Wire.History { key } -> Wire.Events (S.extract_history store key)
+    | Wire.Find { key; version } -> Wire.Value (S.find t.store ?version key)
+    | Wire.Tag -> Wire.Version (S.tag t.store)
+    | Wire.History { key } -> Wire.Events (S.extract_history t.store key)
     | Wire.Snapshot { version } ->
-        Wire.Pairs
-          (match version with
-          | Some version -> S.extract_snapshot store ~version ()
-          | None -> S.extract_snapshot store ())
+        (* The one request that walks the whole store: span it so a
+           snapshot round-trip shows up in the trace ring. *)
+        Obs.Span.with_ "net.snapshot" (fun () ->
+            Wire.Pairs
+              (match version with
+              | Some version -> S.extract_snapshot t.store ~version ()
+              | None -> S.extract_snapshot t.store ()))
     | Wire.Stats ->
         Wire.Stats_json (Obs.Json.to_string (Obs.Registry.to_json ()))
+    | Wire.Metrics_prom -> Wire.Prom_text (Obs.Expo.to_prometheus ())
+    | Wire.Trace_dump ->
+        (* Dump-and-clear, so each fetch is a fresh window and a
+           monitoring loop never re-reports the same spans. *)
+        let events = Obs.Tracebuf.dump t.trace in
+        Obs.Tracebuf.clear t.trace;
+        Wire.Trace_json (Obs.Json.to_string (Obs.Tracebuf.chrome_json events))
+    | Wire.Slowlog { n } ->
+        Wire.Slowlog_json
+          (Obs.Json.to_string (Obs.Slowlog.to_json (Obs.Slowlog.newest t.slow ~n)))
 
-  let dispatch store req =
+  let dispatch t req =
     let metrics = List.assoc (Wire.request_label req) op_metrics in
     let t0 = Obs.Instr.start () in
     let resp =
-      match apply store req with
+      match apply t req with
       | resp -> resp
       | exception e ->
           Obs.Metric.incr c_errors;
           Wire.Error { code = Wire.Server_error; message = Printexc.to_string e }
     in
-    Obs.Instr.finish metrics t0;
+    let elapsed = Obs.Instr.finish_elapsed metrics t0 in
+    if elapsed > 0 then
+      Obs.Slowlog.note t.slow ~op:(Wire.request_label req)
+        ?key:(Wire.request_key req) ~latency_ns:elapsed ();
     resp
 
   (* ---- per-connection state ---- *)
@@ -155,7 +190,11 @@ struct
     mutable start : int;  (** first unconsumed byte *)
     mutable fill : int;  (** end of valid data *)
     out : Buffer.t;
-    mutable partial_since : float;  (** -1. = no incomplete frame pending *)
+    mutable partial_since : int;
+        (** Obs.Clock ns when the pending incomplete frame was first
+            seen; -1 = none. Monotonic (when a monotonic source is
+            installed), never wall clock — an NTP step must not fire or
+            suppress request timeouts. *)
     mutable eof : bool;
   }
 
@@ -167,7 +206,9 @@ struct
       let payload = Buffer.contents conn.out in
       Buffer.clear conn.out;
       match Sockaddr.write_string conn.fd payload with
-      | () -> Obs.Metric.add c_bytes_out (String.length payload)
+      | () ->
+          Obs.Metric.add c_bytes_out (String.length payload);
+          Obs.Window.add w_bytes_out (String.length payload)
       | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
           raise Close_conn
     end
@@ -187,12 +228,12 @@ struct
                  Printf.sprintf "declared frame length %d exceeds max %d" declared
                    Wire.max_frame ))
       | `Partial ->
-          if conn.fill = conn.start then conn.partial_since <- -1.
-          else if conn.partial_since < 0. then
-            conn.partial_since <- Unix.gettimeofday ();
+          if conn.fill = conn.start then conn.partial_since <- -1
+          else if conn.partial_since < 0 then
+            conn.partial_since <- Obs.Clock.now_ns ();
           continue := false
       | `Frame (off, len, consumed) ->
-          conn.partial_since <- -1.;
+          conn.partial_since <- -1;
           (match Wire.decode_request conn.buf ~off ~len with
           | Ok req -> items := `Req req :: !items
           | Error (code, message) -> items := `Err (Wire.Error { code; message }) :: !items);
@@ -203,12 +244,13 @@ struct
 
   let process t conn items =
     Obs.Histogram.record h_batch (List.length items);
+    Obs.Window.add w_requests (List.length items);
     List.iter
       (fun item ->
         Obs.Metric.incr c_requests;
         let resp =
           match item with
-          | `Req req -> dispatch t.store req
+          | `Req req -> dispatch t req
           | `Err resp ->
               Obs.Metric.incr c_errors;
               resp
@@ -238,6 +280,7 @@ struct
     | 0 -> conn.eof <- true
     | n ->
         Obs.Metric.add c_bytes_in n;
+        Obs.Window.add w_bytes_in n;
         conn.fill <- conn.fill + n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
@@ -262,7 +305,7 @@ struct
         start = 0;
         fill = 0;
         out = Buffer.create recv_chunk;
-        partial_since = -1.;
+        partial_since = -1;
         eof = false;
       }
     in
@@ -272,8 +315,8 @@ struct
       | [] ->
           if conn.eof then ()
           else if
-            conn.partial_since >= 0.
-            && Unix.gettimeofday () -. conn.partial_since > t.request_timeout
+            conn.partial_since >= 0
+            && Obs.Clock.now_ns () - conn.partial_since > t.timeout_ns
           then
             fatal_close conn Wire.Timeout
               (Printf.sprintf "gave up waiting for the rest of a frame after %.1fs"
@@ -351,10 +394,22 @@ struct
            else guarded "worker" (fun () -> worker t)))
 
   let start ~store ?(workers = 4) ?(batch = 64) ?(max_conns = 256)
-      ?(request_timeout = 5.0) ~listen () =
+      ?(request_timeout = 5.0) ?(slowlog_threshold_ns = 10_000_000)
+      ?(trace_capacity = 4096) ?trace ~listen () =
     if workers < 1 then invalid_arg "Server.start: need at least one worker";
     if batch < 1 then invalid_arg "Server.start: batch must be positive";
     let listen_fd = Sockaddr.listen listen in
+    let trace =
+      (* Callers that already own a ring (e.g. one installed before
+         recovery so the rebuild spans are captured) pass it in;
+         otherwise we create one and install it as the span sink. *)
+      match trace with
+      | Some trace -> trace
+      | None ->
+          let trace = Obs.Tracebuf.create ~capacity:trace_capacity in
+          Obs.Tracebuf.install trace;
+          trace
+    in
     let t =
       {
         store;
@@ -363,6 +418,9 @@ struct
         batch;
         max_conns;
         request_timeout;
+        timeout_ns = int_of_float (request_timeout *. 1e9);
+        slow = Obs.Slowlog.create ~threshold_ns:slowlog_threshold_ns ();
+        trace;
         stop_flag = Atomic.make false;
         active = Atomic.make 0;
         queue = Handoff.create ();

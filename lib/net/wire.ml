@@ -44,6 +44,9 @@ type request =
   | History of { key : int }
   | Snapshot of { version : int option }
   | Stats
+  | Metrics_prom  (** registry in Prometheus text exposition format *)
+  | Trace_dump  (** drain the span ring as Chrome trace JSON *)
+  | Slowlog of { n : int }  (** newest [n] slow-op log entries *)
 
 type response =
   | Pong
@@ -53,6 +56,9 @@ type response =
   | Events of (int * int Mvdict.Dict_intf.event) list  (** history result *)
   | Pairs of (int * int) array  (** snapshot result *)
   | Stats_json of string  (** the lib/obs registry as JSON text *)
+  | Prom_text of string  (** Prometheus exposition text *)
+  | Trace_json of string  (** Chrome trace_event JSON text *)
+  | Slowlog_json of string  (** slow-op log entries as JSON text *)
   | Error of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -93,9 +99,23 @@ let request_label = function
   | History _ -> "history"
   | Snapshot _ -> "snapshot"
   | Stats -> "stats"
+  | Metrics_prom -> "metrics"
+  | Trace_dump -> "trace"
+  | Slowlog _ -> "slowlog"
 
 let request_labels =
-  [ "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats" ]
+  [
+    "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats";
+    "metrics"; "trace"; "slowlog";
+  ]
+
+(* The key a request touches, when it names one — slow-op log entries
+   carry it so a hot key is identifiable from the log alone. *)
+let request_key = function
+  | Insert { key; _ } | Remove { key } | Find { key; _ } | History { key } ->
+      Some key
+  | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump | Slowlog _ ->
+      None
 
 (* ---- equality / printing (tests, error messages) ---- *)
 
@@ -115,6 +135,9 @@ let pp_response fmt = function
   | Events evs -> Format.fprintf fmt "events(%d)" (List.length evs)
   | Pairs ps -> Format.fprintf fmt "pairs(%d)" (Array.length ps)
   | Stats_json s -> Format.fprintf fmt "stats(%d bytes)" (String.length s)
+  | Prom_text s -> Format.fprintf fmt "metrics(%d bytes)" (String.length s)
+  | Trace_json s -> Format.fprintf fmt "trace(%d bytes)" (String.length s)
+  | Slowlog_json s -> Format.fprintf fmt "slowlog(%d bytes)" (String.length s)
   | Error { code; message } ->
       Format.fprintf fmt "error %s: %s" (error_code_name code) message
 
@@ -146,13 +169,16 @@ let request_opcode = function
   | History _ -> 6
   | Snapshot _ -> 7
   | Stats -> 8
+  | Metrics_prom -> 9
+  | Trace_dump -> 10
+  | Slowlog _ -> 11
 
 let encode_request_body (r : request) =
   let buf = Buffer.create 32 in
   put_u8 buf protocol_version;
   put_u8 buf (request_opcode r);
   (match r with
-  | Ping | Tag | Stats -> ()
+  | Ping | Tag | Stats | Metrics_prom | Trace_dump -> ()
   | Insert { key; value } ->
       put_int buf key;
       put_int buf value
@@ -160,7 +186,8 @@ let encode_request_body (r : request) =
   | Find { key; version } ->
       put_int buf key;
       put_opt_int buf version
-  | Snapshot { version } -> put_opt_int buf version);
+  | Snapshot { version } -> put_opt_int buf version
+  | Slowlog { n } -> put_int buf n);
   Buffer.contents buf
 
 let response_opcode = function
@@ -172,6 +199,9 @@ let response_opcode = function
   | Pairs _ -> 6
   | Stats_json _ -> 7
   | Error _ -> 8
+  | Prom_text _ -> 9
+  | Trace_json _ -> 10
+  | Slowlog_json _ -> 11
 
 let encode_response_body (r : response) =
   let buf = Buffer.create 32 in
@@ -199,7 +229,7 @@ let encode_response_body (r : response) =
           put_int buf k;
           put_int buf v)
         pairs
-  | Stats_json s -> put_string buf s
+  | Stats_json s | Prom_text s | Trace_json s | Slowlog_json s -> put_string buf s
   | Error { code; message } ->
       put_u8 buf (error_code_to_int code);
       put_string buf message);
@@ -313,6 +343,13 @@ let decode_request b ~off ~len : (request, error_code * string) result =
     | 6 -> finish c (History { key = get_int c "history.key" })
     | 7 -> finish c (Snapshot { version = get_opt_int c "snapshot.version" })
     | 8 -> finish c Stats
+    | 9 -> finish c Metrics_prom
+    | 10 -> finish c Trace_dump
+    | 11 ->
+        let n = get_int c "slowlog.n" in
+        if n < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative slowlog count %d" n));
+        finish c (Slowlog { n })
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
   with
   | r -> r
@@ -361,6 +398,9 @@ let decode_response b ~off ~len : (response, error_code * string) result =
           | None -> Server_error
         in
         finish c (Error { code; message })
+    | 9 -> finish c (Prom_text (get_string c "metrics"))
+    | 10 -> finish c (Trace_json (get_string c "trace"))
+    | 11 -> finish c (Slowlog_json (get_string c "slowlog"))
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown response opcode %d" op)
   with
   | r -> r

@@ -1,0 +1,13 @@
+(** Prometheus text-format exposition of the {!Registry}.
+
+    Counters and gauges are single series; histograms are cumulative
+    [_bucket] series keyed by the log-bucket upper bounds as [le]
+    labels plus [_sum]/[_count]; windows are [<name>_per_sec] gauge
+    series labelled by [window_s]. Registry names are sanitized to the
+    Prometheus grammar (every non-[[a-zA-Z0-9_:]] character becomes
+    ['_']); the original name travels in the [# HELP] line. *)
+
+val sanitize : string -> string
+
+val to_prometheus : unit -> string
+(** The whole registry in Prometheus exposition format 0.0.4. *)

@@ -20,3 +20,7 @@ type op
 val op : string -> op
 val start : unit -> int
 val finish : op -> int -> unit
+
+val finish_elapsed : op -> int -> int
+(** As [finish], returning the recorded latency in ns (0 when timing
+    was disabled at [start]). *)

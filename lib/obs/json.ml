@@ -37,7 +37,11 @@ let rec write buf ~indent ~level v =
   | Bool b -> Buffer.add_string buf (string_of_bool b)
   | Int i -> Buffer.add_string buf (string_of_int i)
   | Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
+      (* JSON has no nan/inf literals; %.17g would emit them and break
+         every strict consumer (including our own parser). Null is the
+         only faithful encoding. *)
+      if not (Float.is_finite f) then Buffer.add_string buf "null"
+      else if Float.is_integer f && Float.abs f < 1e15 then
         Buffer.add_string buf (Printf.sprintf "%.1f" f)
       else Buffer.add_string buf (Printf.sprintf "%.17g" f)
   | String s -> escape buf s

@@ -11,6 +11,8 @@ type t =
   | Obj of (string * t) list
 
 val to_string : ?indent:bool -> t -> string
+(** Non-finite [Float]s (nan, infinities) are emitted as [null] — JSON
+    has no literal for them and strict parsers reject [nan]/[inf]. *)
 
 val of_string : string -> (t, string) result
 (** Strict parse of a complete document (trailing garbage is an

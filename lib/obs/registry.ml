@@ -7,6 +7,7 @@ type entry =
   | Counter of Metric.counter
   | Gauge of Metric.gauge
   | Histogram of Histogram.t
+  | Window of Window.t
 
 let lock = Mutex.create ()
 let table : (string, entry) Hashtbl.t = Hashtbl.create 64
@@ -57,6 +58,13 @@ let histogram name =
       (Histogram h, h))
     ~cast:(function Histogram h -> Some h | _ -> None)
 
+let window name =
+  get_or_add name ~kind:"window"
+    ~make:(fun () ->
+      let w = Window.create name in
+      (Window w, w))
+    ~cast:(function Window w -> Some w | _ -> None)
+
 let snapshot () =
   let entries = locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []) in
   List.sort (fun (a, _) (b, _) -> String.compare a b) entries
@@ -67,7 +75,8 @@ let reset () =
       match entry with
       | Counter c -> Metric.reset_counter c
       | Gauge g -> Metric.reset_gauge g
-      | Histogram h -> Histogram.reset h)
+      | Histogram h -> Histogram.reset h
+      | Window w -> Window.reset w)
     (snapshot ())
 
 let percentiles = [ ("p50_ns", 0.50); ("p90_ns", 0.90); ("p99_ns", 0.99) ]
@@ -79,20 +88,33 @@ let histogram_json h =
     @ List.map (fun (k, q) -> (k, Json.Int (Histogram.percentile h q))) percentiles
     @ [ ("max_ns", Json.Int (Histogram.max_value h)) ])
 
+let rate_windows = [ ("rate_1s", 1); ("rate_10s", 10); ("rate_60s", 60) ]
+
+let window_json w =
+  Json.Obj
+    (List.map
+       (fun (k, window_s) -> (k, Json.Float (Window.rate w ~window_s)))
+       rate_windows)
+
 let to_json () =
-  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  let counters = ref []
+  and gauges = ref []
+  and histograms = ref []
+  and windows = ref [] in
   List.iter
     (fun (name, entry) ->
       match entry with
       | Counter c -> counters := (name, Json.Int (Metric.value c)) :: !counters
       | Gauge g -> gauges := (name, Json.Int (Metric.gauge_value g)) :: !gauges
-      | Histogram h -> histograms := (name, histogram_json h) :: !histograms)
+      | Histogram h -> histograms := (name, histogram_json h) :: !histograms
+      | Window w -> windows := (name, window_json w) :: !windows)
     (List.rev (snapshot ()));
   Json.Obj
     [
       ("counters", Json.Obj !counters);
       ("gauges", Json.Obj !gauges);
       ("histograms", Json.Obj !histograms);
+      ("windows", Json.Obj !windows);
     ]
 
 let pp fmt () =
@@ -110,5 +132,10 @@ let pp fmt () =
               (Histogram.percentile h 0.90)
               (Histogram.percentile h 0.99)
               (Histogram.max_value h)
-          else Format.fprintf fmt "%-44s n=0@." name)
+          else Format.fprintf fmt "%-44s n=0@." name
+      | Window w ->
+          Format.fprintf fmt "%-44s %.1f/s (1s) %.1f/s (10s) %.1f/s (60s)@." name
+            (Window.rate w ~window_s:1)
+            (Window.rate w ~window_s:10)
+            (Window.rate w ~window_s:60))
     (snapshot ())

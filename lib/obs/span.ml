@@ -4,7 +4,7 @@
    sink. Nesting depth is tracked per domain. When Control is disabled
    the token is 0 and both calls are no-ops. *)
 
-type event = { name : string; depth : int; start_ns : int; stop_ns : int }
+type event = { name : string; depth : int; start_ns : int; stop_ns : int; dom : int }
 
 let sink : (event -> unit) option ref = ref None
 let set_sink s = sink := s
@@ -28,7 +28,15 @@ let exit name token =
     Histogram.record (Registry.histogram ("span." ^ name)) (stop - token);
     match !sink with
     | None -> ()
-    | Some f -> f { name; depth; start_ns = token; stop_ns = stop }
+    | Some f ->
+        f
+          {
+            name;
+            depth;
+            start_ns = token;
+            stop_ns = stop;
+            dom = (Domain.self () :> int);
+          }
   end
 
 let with_ name f =

@@ -7,7 +7,9 @@
     tracked per domain. With {!Control} disabled, [enter] returns 0 and
     [exit] ignores it. *)
 
-type event = { name : string; depth : int; start_ns : int; stop_ns : int }
+type event = { name : string; depth : int; start_ns : int; stop_ns : int; dom : int }
+(** [dom] is the recording domain's id — trace exporters use it as the
+    thread lane. *)
 
 val set_sink : (event -> unit) option -> unit
 (** Install (or remove) the span sink. The sink runs inside [exit];

@@ -1,0 +1,73 @@
+(* Bounded overwrite-oldest ring buffer of span events, installable as
+   the {!Span} sink — "flight recorder" tracing: always on, fixed
+   memory, the last [capacity] spans are available for dumping at any
+   moment.
+
+   Writers claim a slot with one fetch-and-add on a monotone ticket and
+   store the (immutable) event into it; the ring position is the ticket
+   modulo capacity, so the oldest event is overwritten once the ring is
+   full. [dump] is a best-effort snapshot: a writer racing it can
+   replace an old event with a newer one mid-read, which skews the
+   window by at most the number of in-flight writers — never tears an
+   event. *)
+
+type t = { slots : Span.event option Atomic.t array; ticket : int Atomic.t }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Obs.Tracebuf.create: capacity must be positive";
+  { slots = Array.init capacity (fun _ -> Atomic.make None); ticket = Atomic.make 0 }
+
+let capacity t = Array.length t.slots
+
+(* Events ever recorded (not clamped to capacity). *)
+let total t = Atomic.get t.ticket
+let length t = min (total t) (capacity t)
+
+let record t (e : Span.event) =
+  let k = Atomic.fetch_and_add t.ticket 1 in
+  Atomic.set t.slots.(k mod Array.length t.slots) (Some e)
+
+let install t = Span.set_sink (Some (record t))
+
+let clear t =
+  Array.iter (fun slot -> Atomic.set slot None) t.slots;
+  Atomic.set t.ticket 0
+
+(* Oldest-first snapshot of the current window. *)
+let dump t =
+  let n = Atomic.get t.ticket in
+  let cap = Array.length t.slots in
+  let first = max 0 (n - cap) in
+  List.filter_map
+    (fun k -> Atomic.get t.slots.(k mod cap))
+    (List.init (n - first) (fun j -> first + j))
+
+(* Chrome trace_event JSON (the "X" complete-event form), loadable
+   directly by chrome://tracing and Perfetto. Timestamps are in
+   microseconds per the format; we keep sub-microsecond precision by
+   emitting fractional ts/dur. *)
+let chrome_json (events : Span.event list) =
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List
+          (List.map
+             (fun (e : Span.event) ->
+               Json.Obj
+                 [
+                   ("ph", Json.String "X");
+                   ("name", Json.String e.Span.name);
+                   ("cat", Json.String "span");
+                   ("ts", Json.Float (float_of_int e.Span.start_ns /. 1e3));
+                   ( "dur",
+                     Json.Float
+                       (float_of_int (e.Span.stop_ns - e.Span.start_ns) /. 1e3) );
+                   ("pid", Json.Int 1);
+                   ("tid", Json.Int e.Span.dom);
+                   ("args", Json.Obj [ ("depth", Json.Int e.Span.depth) ]);
+                 ])
+             events) );
+      ("displayTimeUnit", Json.String "ns");
+    ]
+
+let to_chrome_json t = chrome_json (dump t)

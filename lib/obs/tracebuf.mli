@@ -1,0 +1,35 @@
+(** Bounded overwrite-oldest ring buffer of {!Span.event}s plus a
+    Chrome [trace_event] JSON exporter.
+
+    Install one as the span sink with {!install} and the last
+    [capacity] spans are always available: [dump] snapshots them
+    oldest-first, [to_chrome_json] renders a document that opens
+    directly in [chrome://tracing] / Perfetto (one lane per domain,
+    span depth in [args]). Recording is one fetch-and-add plus one
+    atomic store; safe under concurrent [Domain]s. *)
+
+type t
+
+val create : capacity:int -> t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever recorded, including overwritten ones. *)
+
+val length : t -> int
+(** Events currently held: [min total capacity]. *)
+
+val record : t -> Span.event -> unit
+
+val install : t -> unit
+(** [Span.set_sink] this buffer's [record]. *)
+
+val clear : t -> unit
+
+val dump : t -> Span.event list
+(** Best-effort snapshot of the current window, oldest-first. *)
+
+val chrome_json : Span.event list -> Json.t
+val to_chrome_json : t -> Json.t

@@ -1,0 +1,78 @@
+(* Sliding-window rate tracking: a ring of per-second buckets so ops/s
+   and bytes/s are first-class server-side quantities instead of
+   something every scraper re-derives from counter deltas.
+
+   Each slot packs (second, count) into one atomic int — seconds
+   relative to the window's creation in the high 31 bits, the count in
+   the low 32 — so rolling a slot over to a new second and adding to it
+   cannot be torn apart. The common record path is one atomic
+   fetch-and-add; only the first event of each second pays a CAS to
+   claim the slot. A record racing a concurrent rollover can attribute
+   its count to the adjacent second, which under-/over-reports one
+   sample per roll at worst. *)
+
+let slot_count = 128
+let max_window_s = slot_count - 8 (* slack so queries never read the slot being rolled *)
+let count_bits = 32
+let count_mask = (1 lsl count_bits) - 1
+
+type t = { name : string; epoch0 : int Atomic.t; slots : int Atomic.t array }
+
+let create name =
+  {
+    name;
+    epoch0 = Atomic.make (Clock.now_ns () / 1_000_000_000);
+    slots = Array.init slot_count (fun _ -> Atomic.make 0);
+  }
+
+let name t = t.name
+
+(* Seconds since the window's anchor. A window created before
+   [Clock.set_source] swaps in a monotonic source (module-init windows
+   in a CLI that installs the clock at startup) would see the clock run
+   *behind* its creation-time anchor forever; re-anchor at the current
+   second instead, dropping whatever was recorded under the old one. *)
+let rel_now t =
+  let sec = Clock.now_ns () / 1_000_000_000 in
+  let e0 = Atomic.get t.epoch0 in
+  let rel = sec - e0 in
+  if rel >= 0 then rel
+  else begin
+    if Atomic.compare_and_set t.epoch0 e0 sec then
+      Array.iter (fun cell -> Atomic.set cell 0) t.slots;
+    0
+  end
+
+let pack ~rel ~n = (rel lsl count_bits) lor (n land count_mask)
+
+let rec roll_and_add cell ~rel n =
+  let cur = Atomic.get cell in
+  if cur lsr count_bits = rel then ignore (Atomic.fetch_and_add cell n)
+  else if not (Atomic.compare_and_set cell cur (pack ~rel ~n)) then
+    roll_and_add cell ~rel n
+
+let add t n =
+  let rel = rel_now t in
+  roll_and_add t.slots.(rel mod slot_count) ~rel n
+
+let incr t = add t 1
+
+(* Events in the trailing [window_s] seconds, the running second
+   included (so a burst is visible immediately, not a second late). *)
+let sum t ~window_s =
+  if window_s < 1 || window_s > max_window_s then
+    invalid_arg
+      (Printf.sprintf "Obs.Window.sum: window_s %d outside [1, %d]" window_s
+         max_window_s);
+  let now_rel = rel_now t in
+  let lo = now_rel - window_s + 1 in
+  Array.fold_left
+    (fun acc cell ->
+      let v = Atomic.get cell in
+      let rel = v lsr count_bits in
+      if rel >= lo && rel <= now_rel then acc + (v land count_mask) else acc)
+    0 t.slots
+
+let rate t ~window_s = float_of_int (sum t ~window_s) /. float_of_int window_s
+
+let reset t = Array.iter (fun cell -> Atomic.set cell 0) t.slots

@@ -1,0 +1,26 @@
+(** Sliding-window event rates over a ring of per-second buckets.
+
+    [add]/[incr] cost one atomic fetch-and-add on the hot path (plus a
+    CAS for the first event of each second) and are safe under
+    concurrent [Domain]s. [rate ~window_s] reports events per second
+    over the trailing [window_s] seconds, including the running second.
+    Windows use {!Clock} seconds, so the same pluggable source as the
+    histograms. Create named instances through {!Registry} so they show
+    up in reports. *)
+
+type t
+
+val create : string -> t
+val name : t -> string
+
+val add : t -> int -> unit
+val incr : t -> unit
+
+val sum : t -> window_s:int -> int
+(** Total events in the trailing window. Raises [Invalid_argument] for
+    windows outside [1, 120] seconds. *)
+
+val rate : t -> window_s:int -> float
+(** [sum /. window_s], events per second. *)
+
+val reset : t -> unit

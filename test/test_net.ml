@@ -26,6 +26,9 @@ let gen_request =
         map (fun key -> Net.Wire.History { key }) gen_key_value;
         map (fun version -> Net.Wire.Snapshot { version }) (opt small_nat);
         return Net.Wire.Stats;
+        return Net.Wire.Metrics_prom;
+        return Net.Wire.Trace_dump;
+        map (fun n -> Net.Wire.Slowlog { n }) small_nat;
       ])
 
 let gen_error_code =
@@ -54,6 +57,9 @@ let gen_response =
         map (fun ps -> Net.Wire.Pairs (Array.of_list ps))
           (small_list (pair gen_key_value gen_key_value));
         map (fun s -> Net.Wire.Stats_json s) string_printable;
+        map (fun s -> Net.Wire.Prom_text s) string_printable;
+        map (fun s -> Net.Wire.Trace_json s) string_printable;
+        map (fun s -> Net.Wire.Slowlog_json s) string_printable;
         map2 (fun code message -> Net.Wire.Error { code; message }) gen_error_code
           string_printable;
       ])
@@ -213,11 +219,13 @@ module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_va
 module Server = Net.Server.Make (Store)
 
 let with_server ?(workers = 2) ?batch ?max_conns ?request_timeout
+    ?slowlog_threshold_ns ?trace_capacity
     ?(listen = Net.Sockaddr.Tcp ("127.0.0.1", 0)) f =
   let heap = Pmem.Pheap.create_ram ~capacity:(1 lsl 24) () in
   let store = Store.create heap in
   let server =
-    Server.start ~store ~workers ?batch ?max_conns ?request_timeout ~listen ()
+    Server.start ~store ~workers ?batch ?max_conns ?request_timeout
+      ?slowlog_threshold_ns ?trace_capacity ~listen ()
   in
   match f store server (Server.addr server) with
   | v ->
@@ -302,6 +310,119 @@ let e2e_stats_json () =
                   check_bool "net.requests counted" true (n >= 2)
               | _ -> Alcotest.fail "stats lacks counters/net.requests")
           | None -> Alcotest.fail "stats lacks counters object"));
+      Net.Client.close client)
+
+(* ---- live-inspection opcodes ---- *)
+
+let e2e_metrics_prom () =
+  with_server (fun _store _server addr ->
+      let client = Net.Client.connect addr in
+      Net.Client.insert client ~key:1 ~value:1;
+      ignore (Net.Client.find client 1);
+      let text = Net.Client.metrics client in
+      Net.Client.close client;
+      let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+      check_bool "exposition non-empty" true (lines <> []);
+      let mentions prefix =
+        List.exists
+          (fun l ->
+            String.length l >= String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          lines
+      in
+      (* Dotted registry names arrive sanitized, with preambles. *)
+      check_bool "# TYPE present" true (mentions "# TYPE ");
+      check_bool "insert op counter series" true (mentions "net_insert_ops ");
+      check_bool "latency histogram buckets" true (mentions "net_insert_ns_bucket{le=");
+      check_bool "histogram count series" true (mentions "net_insert_ns_count ");
+      let series_name l =
+        let stop =
+          match (String.index_opt l '{', String.index_opt l ' ') with
+          | Some b, Some sp -> min b sp
+          | Some b, None -> b
+          | None, Some sp -> sp
+          | None, None -> String.length l
+        in
+        String.sub l 0 stop
+      in
+      check_bool "no raw dotted names in series" true
+        (List.filter (fun l -> l.[0] <> '#') lines
+        |> List.for_all (fun l -> not (String.contains (series_name l) '.'))))
+
+let trace_event_names text =
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+  | Ok json -> (
+      match Obs.Json.member "traceEvents" json with
+      | Some (Obs.Json.List evs) ->
+          List.map
+            (fun e ->
+              match Obs.Json.member "name" e with
+              | Some (Obs.Json.String n) -> n
+              | _ -> Alcotest.fail "trace event without a name")
+            evs
+      | _ -> Alcotest.fail "no traceEvents list")
+
+let e2e_trace_dump () =
+  (* The server installs its ring as the global span sink, so spans
+     emitted anywhere in the process (recovery, store internals, the
+     server's own dispatch) land in it; emit a controlled batch from
+     here and read it back over the wire. *)
+  with_server ~trace_capacity:4 (fun _store _server addr ->
+      Fun.protect ~finally:(fun () -> Obs.Span.set_sink None) @@ fun () ->
+      let client = Net.Client.connect addr in
+      for i = 1 to 6 do
+        Obs.Span.with_ (Printf.sprintf "test.span.%d" i) (fun () -> ())
+      done;
+      let names = trace_event_names (Net.Client.trace_dump client) in
+      check_bool "ring overwrote the oldest two spans" true
+        (names = [ "test.span.3"; "test.span.4"; "test.span.5"; "test.span.6" ]);
+      (* Trace_dump clears the ring: a second dump is empty. *)
+      check_bool "second dump empty" true (trace_event_names (Net.Client.trace_dump client) = []);
+      (* ...and the ring keeps recording after the clear. *)
+      Obs.Span.with_ "test.span.after" (fun () -> ());
+      check_bool "ring live after clear" true
+        (trace_event_names (Net.Client.trace_dump client) = [ "test.span.after" ]);
+      Net.Client.close client)
+
+let slowlog_entries text =
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.failf "slowlog JSON does not parse: %s" e
+  | Ok (Obs.Json.List entries) ->
+      List.map
+        (fun e ->
+          match (Obs.Json.member "op" e, Obs.Json.member "key" e) with
+          | Some (Obs.Json.String op), Some (Obs.Json.Int k) -> (op, Some k)
+          | Some (Obs.Json.String op), Some Obs.Json.Null -> (op, None)
+          | _ -> Alcotest.fail "slowlog entry missing op/key")
+        entries
+  | Ok _ -> Alcotest.fail "slowlog payload is not a list"
+
+let e2e_slowlog () =
+  (* threshold 1ns: every request is "slow" and must be captured. *)
+  with_server ~slowlog_threshold_ns:1 (fun _store _server addr ->
+      let client = Net.Client.connect addr in
+      Net.Client.insert client ~key:42 ~value:1;
+      ignore (Net.Client.find client 42);
+      (match slowlog_entries (Net.Client.slowlog client ~n:2) with
+      | [ ("find", Some 42); ("insert", Some 42) ] -> ()
+      | entries ->
+          Alcotest.failf "unexpected slowlog entries: %s"
+            (String.concat ";"
+               (List.map
+                  (fun (op, k) ->
+                    op ^ match k with Some k -> "/" ^ string_of_int k | None -> "")
+                  entries)));
+      (* n caps the result *)
+      check_int "n=1 returns one entry" 1
+        (List.length (slowlog_entries (Net.Client.slowlog client ~n:1)));
+      Net.Client.close client);
+  (* an unreachable threshold filters everything out *)
+  with_server ~slowlog_threshold_ns:max_int (fun _store _server addr ->
+      let client = Net.Client.connect addr in
+      Net.Client.insert client ~key:1 ~value:1;
+      check_bool "nothing below threshold" true
+        (slowlog_entries (Net.Client.slowlog client ~n:10) = []);
       Net.Client.close client)
 
 (* A raw socket speaking deliberately broken frames: the server must
@@ -516,6 +637,11 @@ let () =
           Alcotest.test_case "full dict API over loopback" `Quick e2e_full_api;
           Alcotest.test_case "pipelined batch" `Quick e2e_pipelined_batch;
           Alcotest.test_case "stats returns registry JSON" `Quick e2e_stats_json;
+          Alcotest.test_case "metrics returns Prometheus text" `Quick e2e_metrics_prom;
+          Alcotest.test_case "trace dump returns and clears the span ring" `Quick
+            e2e_trace_dump;
+          Alcotest.test_case "slowlog captures and filters by threshold" `Quick
+            e2e_slowlog;
           Alcotest.test_case "error frames keep the connection usable" `Quick
             e2e_error_frames_keep_connection;
           Alcotest.test_case "per-request timeout" `Quick e2e_request_timeout;

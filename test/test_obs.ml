@@ -180,6 +180,38 @@ let json_roundtrip () =
   check_bool "truncated rejected" true
     (match Obs.Json.of_string "[1, 2" with Error _ -> true | Ok _ -> false)
 
+let json_non_finite_floats () =
+  (* NaN/inf have no JSON spelling; the writer must degrade them to
+     null so every document we emit stays parseable. *)
+  let v =
+    Obs.Json.Obj
+      [
+        ("a", Obs.Json.Float Float.nan);
+        ("b", Obs.Json.Float Float.infinity);
+        ("c", Obs.Json.Float Float.neg_infinity);
+        ("d", Obs.Json.Float 2.5);
+      ]
+  in
+  let text = String.lowercase_ascii (Obs.Json.to_string v) in
+  let has sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  check_bool "no bare nan/inf spelling in output" true (not (has "nan" || has "inf"));
+  match Obs.Json.of_string text with
+  | Error e -> Alcotest.fail e
+  | Ok v' ->
+      check_bool "non-finite floats become null" true
+        (v'
+        = Obs.Json.Obj
+            [
+              ("a", Obs.Json.Null);
+              ("b", Obs.Json.Null);
+              ("c", Obs.Json.Null);
+              ("d", Obs.Json.Float 2.5);
+            ])
+
 let registry_json_shape () =
   let c = Obs.Registry.counter "test.json.counter" in
   Obs.Metric.reset_counter c;
@@ -213,6 +245,297 @@ let registry_json_shape () =
         (match Obs.Json.member "counters" json with
         | Some counters -> Obs.Json.member "pmem.flushed_lines" counters <> None
         | None -> false)
+
+(* Histogram percentile laws, property-checked. *)
+
+let percentile_properties =
+  QCheck.Test.make ~name:"percentile monotone in q and bounded by max" ~count:200
+    QCheck.(make Gen.(list_size (int_range 1 200) (int_range 0 (1 lsl 40))))
+    (fun samples ->
+      let h = Obs.Histogram.create "test.histogram.qcheck" in
+      List.iter (fun v -> Obs.Histogram.record h v) samples;
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let ps = List.map (fun q -> Obs.Histogram.percentile h q) qs in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      monotone ps
+      && List.for_all (fun p -> p <= Obs.Histogram.max_value h) ps
+      && Obs.Histogram.count h = List.length samples)
+
+(* Sliding windows, on a fake clock so seconds advance on demand. *)
+
+let with_fake_clock f =
+  let now = ref 1_000_000_000_000 in
+  Obs.Clock.set_source (fun () -> !now);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.set_source (fun () -> int_of_float (Unix.gettimeofday () *. 1e9)))
+    (fun () -> f (fun s -> now := !now + (s * 1_000_000_000)))
+
+let window_rates () =
+  with_fake_clock (fun advance ->
+      let w = Obs.Window.create "test.window.rates" in
+      Obs.Window.add w 10;
+      check_int "running second counts" 10 (Obs.Window.sum w ~window_s:1);
+      advance 1;
+      Obs.Window.add w 20;
+      check_int "two-second sum" 30 (Obs.Window.sum w ~window_s:2);
+      check_int "one-second sum sees only the running second" 20
+        (Obs.Window.sum w ~window_s:1);
+      Alcotest.(check (float 0.001)) "rate averages over the window" 15.0
+        (Obs.Window.rate w ~window_s:2);
+      (* Old seconds fall out of the window. *)
+      advance 60;
+      check_int "stale buckets expire" 0 (Obs.Window.sum w ~window_s:10);
+      check_bool "bad window rejected" true
+        (match Obs.Window.sum w ~window_s:0 with
+        | exception Invalid_argument _ -> true
+        | _ -> false))
+
+let window_clock_swap () =
+  (* A window created under one clock source must keep working after
+     the source is swapped to one that reads *behind* the creation
+     anchor — the CLI installs a monotonic source at startup, after
+     module-init windows were created under the wall clock. *)
+  let now = ref 4_000_000_000_000_000_000 in
+  Obs.Clock.set_source (fun () -> !now);
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Clock.set_source (fun () -> int_of_float (Unix.gettimeofday () *. 1e9)))
+    (fun () ->
+      let w = Obs.Window.create "test.window.clockswap" in
+      now := 1_000_000_000_000;
+      Obs.Window.add w 7;
+      check_int "events visible after the clock runs behind the anchor" 7
+        (Obs.Window.sum w ~window_s:10))
+
+let window_concurrent () =
+  let w = Obs.Window.create "test.window.concurrent" in
+  let per_domain = 20_000 and domains = 4 in
+  ignore
+    (Concurrent.Parallel.run ~threads:domains (fun _ ->
+         for _ = 1 to per_domain do
+           Obs.Window.incr w
+         done));
+  (* The whole run takes well under the max window; every event must be
+     in the trailing-120s sum. *)
+  check_int "no lost events under domains" (per_domain * domains)
+    (Obs.Window.sum w ~window_s:120)
+
+(* Trace ring *)
+
+let mkspan ?(dom = 0) name i =
+  { Obs.Span.name; depth = 1; start_ns = i * 100; stop_ns = (i * 100) + 50; dom }
+
+let tracebuf_overwrites_oldest () =
+  let t = Obs.Tracebuf.create ~capacity:4 in
+  for i = 1 to 10 do
+    Obs.Tracebuf.record t (mkspan "s" i)
+  done;
+  check_int "total counts everything" 10 (Obs.Tracebuf.total t);
+  check_int "length capped" 4 (Obs.Tracebuf.length t);
+  (match Obs.Tracebuf.dump t with
+  | [ a; b; c; d ] ->
+      check_int "oldest surviving span first" 700 a.Obs.Span.start_ns;
+      check_int "then 8" 800 b.Obs.Span.start_ns;
+      check_int "then 9" 900 c.Obs.Span.start_ns;
+      check_int "newest last" 1000 d.Obs.Span.start_ns
+  | l -> Alcotest.failf "expected 4 spans, got %d" (List.length l));
+  Obs.Tracebuf.clear t;
+  check_int "clear empties" 0 (Obs.Tracebuf.length t);
+  check_bool "dump after clear" true (Obs.Tracebuf.dump t = [])
+
+let tracebuf_as_sink () =
+  let t = Obs.Tracebuf.create ~capacity:16 in
+  Obs.Tracebuf.install t;
+  Obs.Span.with_ "test.sink.outer" (fun () ->
+      Obs.Span.with_ "test.sink.inner" (fun () -> ()));
+  Obs.Span.set_sink None;
+  match Obs.Tracebuf.dump t with
+  | [ inner; outer ] ->
+      Alcotest.(check string) "inner exits first" "test.sink.inner" inner.Obs.Span.name;
+      Alcotest.(check string) "outer exits last" "test.sink.outer" outer.Obs.Span.name
+  | l -> Alcotest.failf "expected 2 spans in ring, got %d" (List.length l)
+
+let tracebuf_chrome_json () =
+  let events = [ mkspan "a" 1; mkspan ~dom:3 "b" 2 ] in
+  let json = Obs.Tracebuf.chrome_json events in
+  (* Must round-trip through our own parser... *)
+  (match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  (* ...and carry the trace_event shape chrome://tracing needs. *)
+  match Obs.Json.member "traceEvents" json with
+  | Some (Obs.Json.List [ a; b ]) ->
+      check_bool "complete events" true
+        (Obs.Json.member "ph" a = Some (Obs.Json.String "X"));
+      check_bool "name" true (Obs.Json.member "name" a = Some (Obs.Json.String "a"));
+      check_bool "dur in us" true
+        (match Obs.Json.member "dur" a with
+        | Some (Obs.Json.Float d) -> Float.abs (d -. 0.05) < 1e-9
+        | _ -> false);
+      check_bool "domain becomes the tid lane" true
+        (Obs.Json.member "tid" b = Some (Obs.Json.Int 3))
+  | _ -> Alcotest.fail "no traceEvents list"
+
+let tracebuf_concurrent () =
+  let t = Obs.Tracebuf.create ~capacity:64 in
+  let per_domain = 5_000 and domains = 4 in
+  ignore
+    (Concurrent.Parallel.run ~threads:domains (fun dom ->
+         for i = 1 to per_domain do
+           Obs.Tracebuf.record t (mkspan ~dom "s" i)
+         done));
+  check_int "every record counted" (per_domain * domains) (Obs.Tracebuf.total t);
+  check_int "ring stays full" 64 (Obs.Tracebuf.length t);
+  check_int "dump returns a full window" 64 (List.length (Obs.Tracebuf.dump t))
+
+(* Slowlog *)
+
+let slowlog_threshold_and_order () =
+  let s = Obs.Slowlog.create ~capacity:8 ~threshold_ns:1000 ()  in
+  Obs.Slowlog.note s ~op:"fast" ~latency_ns:999 ();
+  check_int "below threshold filtered" 0 (Obs.Slowlog.total s);
+  Obs.Slowlog.note s ~op:"edge" ~latency_ns:1000 ();
+  Obs.Slowlog.note s ~op:"slow" ~key:7 ~latency_ns:5000 ();
+  check_int "at/above threshold kept" 2 (Obs.Slowlog.total s);
+  (match Obs.Slowlog.newest s ~n:10 with
+  | [ a; b ] ->
+      Alcotest.(check string) "newest first" "slow" a.Obs.Slowlog.op;
+      check_bool "key kept" true (a.Obs.Slowlog.key = Some 7);
+      Alcotest.(check string) "then older" "edge" b.Obs.Slowlog.op;
+      check_bool "no key is None" true (b.Obs.Slowlog.key = None)
+  | l -> Alcotest.failf "expected 2 entries, got %d" (List.length l));
+  Obs.Slowlog.set_threshold s 0;
+  Obs.Slowlog.note s ~op:"ignored" ~latency_ns:max_int ();
+  check_int "threshold 0 disables" 2 (Obs.Slowlog.total s)
+
+let slowlog_capacity () =
+  let s = Obs.Slowlog.create ~capacity:4 ~threshold_ns:1 () in
+  for i = 1 to 10 do
+    Obs.Slowlog.note s ~op:(string_of_int i) ~latency_ns:i ()
+  done;
+  check_int "total counts everything" 10 (Obs.Slowlog.total s);
+  let ops = List.map (fun e -> e.Obs.Slowlog.op) (Obs.Slowlog.newest s ~n:100) in
+  check_bool "only the newest capacity entries survive, newest first" true
+    (ops = [ "10"; "9"; "8"; "7" ]);
+  (* to_json emits one parseable object per entry. *)
+  let json = Obs.Slowlog.to_json (Obs.Slowlog.newest s ~n:2) in
+  match Obs.Json.of_string (Obs.Json.to_string json) with
+  | Ok (Obs.Json.List [ a; _ ]) ->
+      check_bool "op field" true (Obs.Json.member "op" a = Some (Obs.Json.String "10"));
+      check_bool "latency field" true
+        (Obs.Json.member "latency_ns" a = Some (Obs.Json.Int 10))
+  | Ok _ -> Alcotest.fail "expected a 2-element list"
+  | Error e -> Alcotest.fail e
+
+(* Prometheus exposition: every line of the whole-registry dump must
+   parse under the text-format grammar, and each histogram's +Inf
+   bucket must equal its _count series. *)
+
+let prom_name_ok s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       s
+
+(* Parse one sample line into (metric_name, labels, value). *)
+let parse_series line =
+  let name_end =
+    match (String.index_opt line '{', String.index_opt line ' ') with
+    | Some b, _ -> b
+    | None, Some sp -> sp
+    | None, None -> -1
+  in
+  if name_end < 0 then None
+  else
+    let name = String.sub line 0 name_end in
+    let labels, rest =
+      if line.[name_end] = '{' then
+        match String.index_opt line '}' with
+        | Some e ->
+            ( String.sub line (name_end + 1) (e - name_end - 1),
+              String.sub line (e + 1) (String.length line - e - 1) )
+        | None -> ("", "<unterminated>")
+      else ("", String.sub line name_end (String.length line - name_end))
+    in
+    let rest = String.trim rest in
+    match float_of_string_opt rest with
+    | Some v when rest <> "<unterminated>" -> Some (name, labels, v)
+    | _ -> None
+
+let label_value labels key =
+  (* labels is `k="v",k2="v2"`; good enough for our own output. *)
+  String.split_on_char ',' labels
+  |> List.find_map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some eq when String.sub kv 0 eq = key ->
+             let v = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+             Some (String.sub v 1 (String.length v - 2))
+         | _ -> None)
+
+let expo_line_format () =
+  Obs.Metric.add (Obs.Registry.counter "test.expo.counter") 3;
+  Obs.Metric.set (Obs.Registry.gauge "test.expo.gauge") (-4);
+  let h = Obs.Registry.histogram "test.expo.hist" in
+  List.iter (fun v -> Obs.Histogram.record h v) [ 5; 50; 500; 5_000; 50_000 ];
+  Obs.Window.add (Obs.Registry.window "test.expo.window") 9;
+  let text = Obs.Expo.to_prometheus () in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  check_bool "non-empty exposition" true (lines <> []);
+  let buckets = Hashtbl.create 16 and counts = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      if String.length line > 1 && line.[0] = '#' then begin
+        (match String.split_on_char ' ' line with
+        | "#" :: ("HELP" | "TYPE") :: name :: _ :: _ ->
+            check_bool (name ^ " well-formed in preamble") true (prom_name_ok name)
+        | _ -> Alcotest.failf "bad preamble line: %s" line);
+        match String.split_on_char ' ' line with
+        | "#" :: "TYPE" :: _ :: [ kind ] ->
+            check_bool ("known type " ^ kind) true
+              (List.mem kind [ "counter"; "gauge"; "histogram" ])
+        | _ -> ()
+      end
+      else
+        match parse_series line with
+        | None -> Alcotest.failf "unparseable series line: %s" line
+        | Some (name, labels, v) ->
+            check_bool (name ^ " is a valid metric name") true (prom_name_ok name);
+            let strip suffix =
+              let n = String.length name and m = String.length suffix in
+              if n > m && String.sub name (n - m) m = suffix then
+                Some (String.sub name 0 (n - m))
+              else None
+            in
+            (match strip "_bucket" with
+            | Some base -> (
+                match label_value labels "le" with
+                | Some "+Inf" -> Hashtbl.replace buckets base v
+                | Some le ->
+                    check_bool (base ^ " finite le parses") true
+                      (float_of_string_opt le <> None)
+                | None -> Alcotest.failf "%s_bucket without le label" base)
+            | None -> ());
+            (match strip "_count" with
+            | Some base -> Hashtbl.replace counts base v
+            | None -> ()))
+    lines;
+  check_bool "at least one histogram exposed" true (Hashtbl.length buckets > 0);
+  Hashtbl.iter
+    (fun base inf ->
+      match Hashtbl.find_opt counts base with
+      | Some c ->
+          check_bool (base ^ ": +Inf bucket equals _count") true (Float.equal inf c)
+      | None -> Alcotest.failf "%s has buckets but no _count" base)
+    buckets;
+  (* Sanitization: dotted registry names must not leak into series. *)
+  check_bool "sanitize maps dots" true (Obs.Expo.sanitize "a.b-c" = "a_b_c");
+  check_bool "sanitize guards leading digit" true
+    (prom_name_ok (Obs.Expo.sanitize "9lives"))
 
 (* Instrumented stores feed the registry end to end. *)
 
@@ -255,7 +578,28 @@ let () =
           Alcotest.test_case "bucket monotonicity" `Quick histogram_buckets_monotone;
           Alcotest.test_case "percentiles" `Quick histogram_percentiles;
           Alcotest.test_case "under domains" `Quick histogram_concurrent_domains;
+          QCheck_alcotest.to_alcotest percentile_properties;
         ] );
+      ( "window",
+        [
+          Alcotest.test_case "rates over fake clock" `Quick window_rates;
+          Alcotest.test_case "survives a clock source swap" `Quick window_clock_swap;
+          Alcotest.test_case "under domains" `Quick window_concurrent;
+        ] );
+      ( "tracebuf",
+        [
+          Alcotest.test_case "overwrites oldest" `Quick tracebuf_overwrites_oldest;
+          Alcotest.test_case "as span sink" `Quick tracebuf_as_sink;
+          Alcotest.test_case "chrome trace shape" `Quick tracebuf_chrome_json;
+          Alcotest.test_case "under domains" `Quick tracebuf_concurrent;
+        ] );
+      ( "slowlog",
+        [
+          Alcotest.test_case "threshold and order" `Quick slowlog_threshold_and_order;
+          Alcotest.test_case "capacity and json" `Quick slowlog_capacity;
+        ] );
+      ( "expo",
+        [ Alcotest.test_case "prometheus line format" `Quick expo_line_format ] );
       ( "span",
         [
           Alcotest.test_case "nesting and sink" `Quick span_nesting_and_sink;
@@ -270,6 +614,7 @@ let () =
       ( "json",
         [
           Alcotest.test_case "roundtrip" `Quick json_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick json_non_finite_floats;
           Alcotest.test_case "registry shape" `Quick registry_json_shape;
         ] );
       ( "integration",
