@@ -22,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|obs|smoke");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|cluster|obs|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -80,6 +80,47 @@ let smoke () =
           else None)
         !net_results
   in
+  (* The sharded serving layer: a miniature K in {1,2,4,8} sweep over
+     real Unix sockets regenerates BENCH_cluster.json. The gate wants
+     both snapshot modes present with positive latency at every K —
+     a zero or a missing gauge means the router's merge path or the
+     shard servers rotted. *)
+  let cluster_results = ref [] in
+  Metrics.with_report ~fig:"cluster" (fun () ->
+      cluster_results := Fig_cluster.run ~n:1_000);
+  let cluster_problems =
+    Metrics.validate ~fig:"cluster"
+      ~expect_histograms:
+        [
+          "cluster.insert.ns";
+          "cluster.find_bulk.ns";
+          "cluster.snapshot.naive.ns";
+          "cluster.snapshot.opt.ns";
+        ]
+  in
+  let cluster_problems =
+    cluster_problems
+    @ List.concat_map
+        (fun (k, ins, _bulk, naive, opt) ->
+          List.filter_map
+            (fun (what, v) ->
+              if v <= 0. then
+                Some
+                  (Printf.sprintf "BENCH_cluster.json: k=%d %s not positive (%f)" k
+                     what v)
+              else None)
+            [
+              ("insert ops/s", ins);
+              ("naive snapshot latency", naive);
+              ("opt snapshot latency", opt);
+            ])
+        !cluster_results
+  in
+  let cluster_problems =
+    if List.map (fun (k, _, _, _, _) -> k) !cluster_results <> [ 1; 2; 4; 8 ] then
+      "BENCH_cluster.json: expected shard counts 1,2,4,8" :: cluster_problems
+    else cluster_problems
+  in
   (* The observability layer itself: BENCH_obs.json prices each
      instrumentation regime; the gate holds the disabled-probe path
      (counters mode) within 5% of the uninstrumented baseline. *)
@@ -101,7 +142,7 @@ let smoke () =
       ]
     else []
   in
-  match problems @ net_problems @ obs_problems with
+  match problems @ net_problems @ cluster_problems @ obs_problems with
   | [] -> print_endline "smoke: metrics report OK"
   | ps ->
       List.iter prerr_endline ps;
@@ -136,6 +177,9 @@ let () =
       Metrics.with_report ~fig:"ablations" (fun () -> Ablations.run ~n:(min n 50_000));
     if want "net" then
       Metrics.with_report ~fig:"net" (fun () -> ignore (Fig_net.run ~n:(min n 50_000)));
+    if want "cluster" then
+      Metrics.with_report ~fig:"cluster" (fun () ->
+          ignore (Fig_cluster.run ~n:(min n 20_000)));
     if want "obs" then
       Metrics.with_report ~fig:"obs" (fun () -> ignore (Fig_obs.run ~n:(min n 20_000)));
     if bechamel then Microbench.run ~n:(min n 20_000);

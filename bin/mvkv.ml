@@ -20,7 +20,15 @@
      mvkv serve           --pool /tmp/pool.mvkv --port 7787
      mvkv client insert   --port 7787 --key 10 --value 100
      mvkv client find     --port 7787 --key 10 [--at 3]
-     mvkv client stats    --port 7787 *)
+     mvkv client stats    --port 7787
+
+   `mvkv cluster` scales that to K shard processes: each shard is a
+   `serve` bound to its slot in a shared topology file, and the client
+   side routes through lib/cluster's coordinator:
+
+     mvkv cluster serve            --topology topo.txt --shard 0 --pool s0.mvkv
+     mvkv cluster client insert    --topology topo.txt --key 10 --value 100
+     mvkv cluster client snapshot  --topology topo.txt --mode opt *)
 
 module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
 open Cmdliner
@@ -211,8 +219,10 @@ let entries_arg =
   let doc = "Number of slowlog entries to fetch (newest first)." in
   Arg.(value & opt int 32 & info [ "entries"; "n" ] ~docv:"N" ~doc)
 
-let serve pool threads socket host port workers batch max_conns timeout slowlog_ms
-    trace_cap =
+(* Shared by `mvkv serve` and `mvkv cluster serve`: open the pool,
+   listen on [listen], and block until SIGINT/SIGTERM. *)
+let run_server ~banner pool threads listen workers batch max_conns timeout
+    slowlog_ms trace_cap =
   (* Install the trace ring before opening the store, so the recovery
      rebuild's spans are already in it when the first `mvkv trace`
      arrives. *)
@@ -223,16 +233,15 @@ let serve pool threads socket host port workers batch max_conns timeout slowlog_
     match
       Server.start ~store ~workers ~batch ~max_conns ~request_timeout:timeout
         ~slowlog_threshold_ns:(int_of_float (slowlog_ms *. 1e6))
-        ~trace ~listen:(addr_of socket host port) ()
+        ~trace ~listen ()
     with
     | server -> server
     | exception Unix.Unix_error (e, _, _) ->
-        die "mvkv: cannot listen on %s: %s"
-          (Net.Sockaddr.to_string (addr_of socket host port))
+        die "mvkv: cannot listen on %s: %s" (Net.Sockaddr.to_string listen)
           (Unix.error_message e)
   in
-  Format.printf "mvkv: serving %s on %a (workers=%d, batch=%d, max-conns=%d)@." pool
-    Net.Sockaddr.pp (Server.addr server) workers batch max_conns;
+  Format.printf "mvkv: serving %s%s on %a (workers=%d, batch=%d, max-conns=%d)@."
+    pool banner Net.Sockaddr.pp (Server.addr server) workers batch max_conns;
   let stop = ref false in
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigint handler;
@@ -243,9 +252,26 @@ let serve pool threads socket host port workers batch max_conns timeout slowlog_
   Format.printf "mvkv: draining connections and shutting down@.";
   Server.stop server
 
-let with_client socket host port f =
+let serve pool threads socket host port workers batch max_conns timeout slowlog_ms
+    trace_cap =
+  run_server ~banner:"" pool threads (addr_of socket host port) workers batch
+    max_conns timeout slowlog_ms trace_cap
+
+let timeout_ms_arg =
+  let doc =
+    "Per-call socket timeout in milliseconds. A reply not arriving in \
+     time counts against the retry budget; when that is exhausted the \
+     command exits 2 with a one-line message."
+  in
+  Arg.(value & opt (some int) None & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+
+let retries_arg =
+  let doc = "Connect/retry budget before giving up on a server." in
+  Arg.(value & opt int 3 & info [ "retries" ] ~docv:"N" ~doc)
+
+let with_client ?timeout_ms ?(retries = 3) socket host port f =
   let addr = addr_of socket host port in
-  match Net.Client.connect ~retries:3 addr with
+  match Net.Client.connect ~retries ?timeout_ms addr with
   | exception Unix.Unix_error (e, _, _) ->
       die "mvkv: cannot connect to %s: %s" (Net.Sockaddr.to_string addr)
         (Unix.error_message e)
@@ -258,6 +284,14 @@ let with_client socket host port f =
       | exception Net.Client.Protocol_error msg ->
           Net.Client.close client;
           die "mvkv: protocol error: %s" msg
+      (* EAGAIN/EWOULDBLOCK surface when --timeout-ms expires and the
+         retry budget is spent; name the cause rather than the errno. *)
+      | exception
+          Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+        ->
+          Net.Client.close client;
+          die "mvkv: request timed out after %d retr%s" retries
+            (if retries = 1 then "y" else "ies")
       | exception Unix.Unix_error (e, _, _) ->
           Net.Client.close client;
           die "mvkv: connection lost: %s" (Unix.error_message e)
@@ -265,36 +299,37 @@ let with_client socket host port f =
           Net.Client.close client;
           die "mvkv: server closed the connection")
 
-let client_ping socket host port =
-  with_client socket host port (fun c ->
+let client_ping socket host port timeout_ms retries =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
       Net.Client.ping c;
       print_endline "pong")
 
-let client_insert socket host port key value =
-  with_client socket host port (fun c ->
+let client_insert socket host port timeout_ms retries key value =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
       Net.Client.insert c ~key ~value;
       let version = Net.Client.tag c in
       Printf.printf "inserted %d -> %d at version %d\n" key value version)
 
-let client_remove socket host port key =
-  with_client socket host port (fun c ->
+let client_remove socket host port timeout_ms retries key =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
       Net.Client.remove c ~key;
       let version = Net.Client.tag c in
       Printf.printf "removed %d at version %d\n" key version)
 
-let client_tag socket host port =
-  with_client socket host port (fun c -> Printf.printf "version %d\n" (Net.Client.tag c))
+let client_tag socket host port timeout_ms retries =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
+      Printf.printf "version %d\n" (Net.Client.tag c))
 
-let client_find socket host port key version =
-  with_client socket host port (fun c ->
+let client_find socket host port timeout_ms retries key version =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
       match Net.Client.find c ?version key with
       | Some value -> Printf.printf "%d\n" value
       | None ->
           prerr_endline "(absent)";
           exit 1)
 
-let client_history socket host port key =
-  with_client socket host port (fun c ->
+let client_history socket host port timeout_ms retries key =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
       List.iter
         (fun (version, event) ->
           match event with
@@ -302,8 +337,8 @@ let client_history socket host port key =
           | Mvdict.Dict_intf.Del -> Printf.printf "v%d\tdel\n" version)
         (Net.Client.history c key))
 
-let client_snapshot socket host port version =
-  with_client socket host port (fun c ->
+let client_snapshot socket host port timeout_ms retries version =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
       Array.iter
         (fun (k, v) -> Printf.printf "%d\t%d\n" k v)
         (Net.Client.snapshot c ?version ()))
@@ -311,12 +346,137 @@ let client_snapshot socket host port version =
 (* The server's whole lib/obs registry, fetched over the wire. The
    reply is validated through Obs.Json before printing, so a garbled
    stats payload exits nonzero instead of echoing junk. *)
-let client_stats socket host port =
-  with_client socket host port (fun c ->
+let client_stats socket host port timeout_ms retries =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
       let text = Net.Client.stats c in
       match Obs.Json.of_string text with
       | Ok json -> print_endline (Obs.Json.to_string ~indent:true json)
       | Error e -> die "mvkv: server returned invalid stats JSON: %s" e)
+
+(* ---- sharded cluster (lib/cluster) ---- *)
+
+let topology_arg =
+  let doc = "Cluster topology spec file (key_bits + shard endpoints)." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "topology"; "T" ] ~docv:"FILE" ~doc)
+
+let shard_arg =
+  let doc = "Which shard of the topology this process serves." in
+  Arg.(required & opt (some int) None & info [ "shard" ] ~docv:"I" ~doc)
+
+let mode_arg =
+  let doc =
+    "Distributed snapshot merge: $(b,naive) (one K-way heap merge) or \
+     $(b,opt) (recursive-doubling OptMerge rounds)."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("naive", `Naive); ("opt", `Opt) ]) `Naive
+    & info [ "mode" ] ~docv:"MODE" ~doc)
+
+let merge_threads_arg =
+  let doc = "Threads per pairwise merge in $(b,--mode opt)." in
+  Arg.(value & opt int 2 & info [ "merge-threads" ] ~docv:"T" ~doc)
+
+let load_topology file =
+  match Cluster.Topology.of_file file with
+  | Ok topo -> topo
+  | Error msg -> die "mvkv: %s: %s" file msg
+  | exception Sys_error msg -> die "mvkv: cannot read topology: %s" msg
+
+let cluster_serve topo_file shard pool threads workers batch max_conns timeout
+    slowlog_ms trace_cap =
+  let topo = load_topology topo_file in
+  if shard < 0 || shard >= Cluster.Topology.shards topo then
+    die "mvkv: no shard %d in %s (%d shards)" shard topo_file
+      (Cluster.Topology.shards topo);
+  run_server
+    ~banner:
+      (Printf.sprintf " as shard %d/%d" shard (Cluster.Topology.shards topo))
+    pool threads
+    (Cluster.Topology.endpoint topo shard)
+    workers batch max_conns timeout slowlog_ms trace_cap
+
+(* Router errors are expected operational conditions (a shard down, a
+   key off the map): one line and exit 2, same contract as `die`. *)
+let with_router topo_file timeout_ms retries f =
+  let topo = load_topology topo_file in
+  let router = Cluster.Router.create ?timeout_ms ~retries topo in
+  let result = f router in
+  Cluster.Router.close router;
+  match result with
+  | Ok () -> ()
+  | Error e -> die "mvkv: %s" (Cluster.Router.error_to_string e)
+
+let ( let* ) = Result.bind
+
+let cluster_ping topo timeout_ms retries =
+  with_router topo timeout_ms retries (fun r ->
+      let* () = Cluster.Router.ping r in
+      print_endline "pong";
+      Ok ())
+
+let cluster_versions topo timeout_ms retries =
+  with_router topo timeout_ms retries (fun r ->
+      let* versions = Cluster.Router.versions r in
+      Array.iteri (fun shard v -> Printf.printf "shard %d\tversion %d\n" shard v)
+        versions;
+      Ok ())
+
+let cluster_insert topo timeout_ms retries key value =
+  with_router topo timeout_ms retries (fun r ->
+      let* () = Cluster.Router.insert r ~key ~value in
+      let* version = Cluster.Router.tag r in
+      Printf.printf "inserted %d -> %d at cluster version %d\n" key value version;
+      Ok ())
+
+let cluster_remove topo timeout_ms retries key =
+  with_router topo timeout_ms retries (fun r ->
+      let* () = Cluster.Router.remove r ~key in
+      let* version = Cluster.Router.tag r in
+      Printf.printf "removed %d at cluster version %d\n" key version;
+      Ok ())
+
+let cluster_tag topo timeout_ms retries =
+  with_router topo timeout_ms retries (fun r ->
+      let* version = Cluster.Router.tag r in
+      Printf.printf "version %d\n" version;
+      Ok ())
+
+let cluster_find topo timeout_ms retries key version =
+  with_router topo timeout_ms retries (fun r ->
+      let* found = Cluster.Router.find r ?version key in
+      match found with
+      | Some value ->
+          Printf.printf "%d\n" value;
+          Ok ()
+      | None ->
+          prerr_endline "(absent)";
+          exit 1)
+
+let cluster_history topo timeout_ms retries key =
+  with_router topo timeout_ms retries (fun r ->
+      let* events = Cluster.Router.history r key in
+      List.iter
+        (fun (version, event) ->
+          match event with
+          | Mvdict.Dict_intf.Put v -> Printf.printf "v%d\tput\t%d\n" version v
+          | Mvdict.Dict_intf.Del -> Printf.printf "v%d\tdel\n" version)
+        events;
+      Ok ())
+
+let cluster_snapshot topo timeout_ms retries version mode merge_threads =
+  with_router topo timeout_ms retries (fun r ->
+      let mode =
+        match mode with
+        | `Naive -> Cluster.Router.Naive
+        | `Opt -> Cluster.Router.Opt { threads = merge_threads }
+      in
+      let* pairs = Cluster.Router.snapshot r ?version ~mode () in
+      Array.iter (fun (k, v) -> Printf.printf "%d\t%d\n" k v) pairs;
+      Ok ())
 
 (* ---- live inspection: metrics / trace / slowlog / top ---- *)
 
@@ -535,25 +695,83 @@ let () =
         (Cmd.info "client" ~doc:"Drive a running mvkv server over the wire protocol.")
         [
           cmd_of "ping" "Round-trip liveness check."
-            Term.(const client_ping $ socket_arg $ host_arg $ port_arg);
+            Term.(
+              const client_ping $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg);
           cmd_of "insert" "Insert or update a key remotely."
             Term.(
-              const client_insert $ socket_arg $ host_arg $ port_arg $ key_arg
-              $ value_arg);
+              const client_insert $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg $ key_arg $ value_arg);
           cmd_of "remove" "Remove a key remotely."
-            Term.(const client_remove $ socket_arg $ host_arg $ port_arg $ key_arg);
+            Term.(
+              const client_remove $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg $ key_arg);
           cmd_of "tag" "Commit a snapshot remotely and print its version."
-            Term.(const client_tag $ socket_arg $ host_arg $ port_arg);
+            Term.(
+              const client_tag $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg);
           cmd_of "find" "Look a key up remotely (optionally in a past snapshot)."
             Term.(
-              const client_find $ socket_arg $ host_arg $ port_arg $ key_arg
-              $ version_arg);
+              const client_find $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg $ key_arg $ version_arg);
           cmd_of "history" "Print the evolution of a key remotely."
-            Term.(const client_history $ socket_arg $ host_arg $ port_arg $ key_arg);
+            Term.(
+              const client_history $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg $ key_arg);
           cmd_of "snapshot" "Print all live pairs of a snapshot remotely."
-            Term.(const client_snapshot $ socket_arg $ host_arg $ port_arg $ version_arg);
+            Term.(
+              const client_snapshot $ socket_arg $ host_arg $ port_arg
+              $ timeout_ms_arg $ retries_arg $ version_arg);
           cmd_of "stats" "Fetch the server's observability registry as JSON."
-            Term.(const client_stats $ socket_arg $ host_arg $ port_arg);
+            Term.(
+              const client_stats $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg);
+        ];
+      Cmd.group
+        (Cmd.info "cluster"
+           ~doc:
+             "Sharded serving: one pool per shard, key-range routing and \
+              distributed snapshots through a topology file.")
+        [
+          cmd_of "serve"
+            "Serve one shard of a topology (listens on the shard's endpoint)."
+            Term.(
+              const cluster_serve $ topology_arg $ shard_arg $ pool_arg
+              $ threads_arg $ workers_arg $ batch_arg $ max_conns_arg
+              $ timeout_arg $ slowlog_ms_arg $ trace_cap_arg);
+          Cmd.group
+            (Cmd.info "client" ~doc:"Drive a running sharded cluster.")
+            [
+              cmd_of "ping" "Round-trip every shard."
+                Term.(const cluster_ping $ topology_arg $ timeout_ms_arg $ retries_arg);
+              cmd_of "versions" "Print every shard's current version."
+                Term.(
+                  const cluster_versions $ topology_arg $ timeout_ms_arg
+                  $ retries_arg);
+              cmd_of "insert" "Insert on the owning shard and cut a cluster tag."
+                Term.(
+                  const cluster_insert $ topology_arg $ timeout_ms_arg $ retries_arg
+                  $ key_arg $ value_arg);
+              cmd_of "remove" "Remove on the owning shard and cut a cluster tag."
+                Term.(
+                  const cluster_remove $ topology_arg $ timeout_ms_arg $ retries_arg
+                  $ key_arg);
+              cmd_of "tag" "Cut a cluster-wide snapshot version on every shard."
+                Term.(const cluster_tag $ topology_arg $ timeout_ms_arg $ retries_arg);
+              cmd_of "find" "Route a lookup to the owning shard."
+                Term.(
+                  const cluster_find $ topology_arg $ timeout_ms_arg $ retries_arg
+                  $ key_arg $ version_arg);
+              cmd_of "history" "Gather a key's history across shards."
+                Term.(
+                  const cluster_history $ topology_arg $ timeout_ms_arg $ retries_arg
+                  $ key_arg);
+              cmd_of "snapshot"
+                "Gather and merge a snapshot from every shard (naive or opt)."
+                Term.(
+                  const cluster_snapshot $ topology_arg $ timeout_ms_arg
+                  $ retries_arg $ version_arg $ mode_arg $ merge_threads_arg);
+            ];
         ];
     ]
   in

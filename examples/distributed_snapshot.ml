@@ -3,6 +3,11 @@
    paper's optimised recursive-doubling + multi-threaded merge
    (Sec. IV-A), with wire time accounted by the network model.
 
+   The ranks here live in one process and the wire is *modelled* (the
+   lib/sim network prices each transfer); sharded_cluster.ml is the
+   same experiment over real shard servers and real sockets via
+   lib/cluster.
+
    Run with: dune exec examples/distributed_snapshot.exe *)
 
 module Local = Mvdict.Eskiplist.Make (Int) (Int)

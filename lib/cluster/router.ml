@@ -1,0 +1,298 @@
+(* See router.mli. The router is deliberately a plain blocking client:
+   shard fan-outs are sequential over shards but pipelined within each
+   shard, which on a single-core host is within noise of a threaded
+   fan-out and keeps every failure path synchronous and typed. *)
+
+type error =
+  | Shard_down of { shard : int; endpoint : string; reason : string }
+  | Tag_mismatch of { shard : int; expected : int; got : int }
+  | Bad_key of { key : int; key_bits : int }
+
+let error_to_string = function
+  | Shard_down { shard; endpoint; reason } ->
+      Printf.sprintf "shard %d (%s) is down: %s" shard endpoint reason
+  | Tag_mismatch { shard; expected; got } ->
+      Printf.sprintf "shard %d acked version %d for a cluster tag at %d" shard got
+        expected
+  | Bad_key { key; key_bits } ->
+      Printf.sprintf "key %d outside the %d-bit cluster key space" key key_bits
+
+type snapshot_mode = Naive | Opt of { threads : int }
+
+type t = {
+  topo : Topology.t;
+  timeout_ms : int option;
+  retries : int;
+  conns : Net.Client.t option array;  (** lazily dialled, index = shard id *)
+}
+
+(* ---- observability ---- *)
+
+let c_requests = Obs.Registry.counter "cluster.requests"
+let c_shard_down = Obs.Registry.counter "cluster.shard_down"
+let c_snapshot_pairs = Obs.Registry.counter "cluster.snapshot.pairs"
+let c_merge_rounds = Obs.Registry.counter "cluster.merge.rounds"
+let c_merge_bytes = Obs.Registry.counter "cluster.merge.bytes_moved"
+let h_bulk_keys = Obs.Registry.histogram "cluster.find_bulk.keys"
+let m_insert = Obs.Instr.op "cluster.insert"
+let m_remove = Obs.Instr.op "cluster.remove"
+let m_find = Obs.Instr.op "cluster.find"
+let m_find_bulk = Obs.Instr.op "cluster.find_bulk"
+let m_history = Obs.Instr.op "cluster.history"
+let m_tag = Obs.Instr.op "cluster.tag"
+let m_snap_naive = Obs.Instr.op "cluster.snapshot.naive"
+let m_snap_opt = Obs.Instr.op "cluster.snapshot.opt"
+
+(* ---- connections ---- *)
+
+let create ?timeout_ms ?(retries = 2) topo =
+  { topo; timeout_ms; retries; conns = Array.make (Topology.shards topo) None }
+
+let topology t = t.topo
+
+let close t =
+  Array.iteri
+    (fun i c ->
+      (match c with Some c -> ( try Net.Client.close c with _ -> ()) | None -> ());
+      t.conns.(i) <- None)
+    t.conns
+
+(* Human-readable failure cause: "connect: No such file or directory"
+   beats the raw exception constructor in CLI errors and logs. *)
+let describe_exn = function
+  | Unix.Unix_error (e, fn, _) ->
+      if fn = "" then Unix.error_message e
+      else Printf.sprintf "%s: %s" fn (Unix.error_message e)
+  | End_of_file -> "connection closed by shard"
+  | Failure msg -> msg
+  | e -> Printexc.to_string e
+
+let shard_down t shard reason =
+  Obs.Metric.incr c_shard_down;
+  (* Tear the cached connection down so the next call re-dials from
+     scratch instead of reusing a half-dead fd. *)
+  (match t.conns.(shard) with
+  | Some c ->
+      (try Net.Client.close c with _ -> ());
+      t.conns.(shard) <- None
+  | None -> ());
+  Error
+    (Shard_down
+       { shard; endpoint = Net.Sockaddr.to_string (Topology.endpoint t.topo shard); reason })
+
+(* Run [f client] against [shard]; every way the shard can fail to
+   answer — dial failure, connection loss beyond the client's retry
+   budget, receive timeout, protocol garbage, error frame — lands in
+   one typed [Shard_down]. *)
+let on_shard t shard f =
+  Obs.Metric.incr c_requests;
+  let conn =
+    match t.conns.(shard) with
+    | Some c -> Ok c
+    | None -> (
+        match
+          Net.Client.connect ~retries:t.retries ?timeout_ms:t.timeout_ms
+            (Topology.endpoint t.topo shard)
+        with
+        | c ->
+            t.conns.(shard) <- Some c;
+            Ok c
+        | exception e -> shard_down t shard (describe_exn e))
+  in
+  match conn with
+  | Error _ as e -> e
+  | Ok c -> (
+      match f c with
+      | v -> Ok v
+      | exception Net.Client.Remote_error (code, msg) ->
+          shard_down t shard
+            (Printf.sprintf "error frame %s: %s" (Net.Wire.error_code_name code) msg)
+      | exception Net.Client.Protocol_error msg ->
+          shard_down t shard (Printf.sprintf "protocol error: %s" msg)
+      | exception ((Unix.Unix_error _ | End_of_file | Failure _) as e) ->
+          shard_down t shard (describe_exn e))
+
+(* Left-to-right fan-out, first shard failure wins. *)
+let each_shard t f =
+  let k = Topology.shards t.topo in
+  let rec go i acc =
+    if i >= k then Ok (List.rev acc)
+    else
+      match on_shard t i (f i) with
+      | Ok v -> go (i + 1) (v :: acc)
+      | Error _ as e -> e
+  in
+  go 0 []
+
+let check_key t key =
+  if Topology.in_key_space t.topo key then Ok (Topology.owner t.topo key)
+  else Error (Bad_key { key; key_bits = Topology.key_bits t.topo })
+
+let timed m f =
+  let t0 = Obs.Instr.start () in
+  let r = f () in
+  Obs.Instr.finish m t0;
+  r
+
+(* ---- routed single-key ops ---- *)
+
+let insert t ~key ~value =
+  timed m_insert (fun () ->
+      Result.bind (check_key t key) (fun shard ->
+          on_shard t shard (fun c -> Net.Client.insert c ~key ~value)))
+
+let remove t ~key =
+  timed m_remove (fun () ->
+      Result.bind (check_key t key) (fun shard ->
+          on_shard t shard (fun c -> Net.Client.remove c ~key)))
+
+let find t ?version key =
+  timed m_find (fun () ->
+      Result.bind (check_key t key) (fun shard ->
+          on_shard t shard (fun c -> Net.Client.find c ?version key)))
+
+(* ---- broadcast ops ---- *)
+
+let ping t = Result.map (fun _ -> ()) (each_shard t (fun _ c -> Net.Client.ping c))
+
+let versions t =
+  Result.map Array.of_list (each_shard t (fun _ c -> Net.Client.tag_at c ~version:0))
+
+(* ---- find_bulk: per-shard batches, answers in input order ---- *)
+
+(* Keys per Find_bulk frame. 8 KiB of keys per frame keeps frames far
+   below max_frame while still amortising the round trip. *)
+let bulk_chunk = 1024
+
+let find_bulk t ?version keys =
+  timed m_find_bulk (fun () ->
+      Obs.Histogram.record h_bulk_keys (Array.length keys);
+      let k = Topology.shards t.topo in
+      (* positions of each shard's keys, in input order *)
+      let buckets = Array.make k [] in
+      let bad = ref None in
+      Array.iteri
+        (fun pos key ->
+          if !bad = None then
+            match check_key t key with
+            | Ok shard -> buckets.(shard) <- pos :: buckets.(shard)
+            | Error e -> bad := Some e)
+        keys;
+      match !bad with
+      | Some e -> Error e
+      | None ->
+          let out = Array.make (Array.length keys) None in
+          let rec per_shard shard =
+            if shard >= k then Ok out
+            else
+              let positions = Array.of_list (List.rev buckets.(shard)) in
+              if Array.length positions = 0 then per_shard (shard + 1)
+              else begin
+                (* one pipelined call_batch of <=bulk_chunk-key frames *)
+                let n = Array.length positions in
+                let chunks =
+                  List.init
+                    ((n + bulk_chunk - 1) / bulk_chunk)
+                    (fun c ->
+                      let lo = c * bulk_chunk in
+                      let len = min bulk_chunk (n - lo) in
+                      Array.init len (fun j -> keys.(positions.(lo + j))))
+                in
+                let reqs =
+                  List.map (fun chunk -> Net.Wire.Find_bulk { keys = chunk; version }) chunks
+                in
+                match
+                  on_shard t shard (fun c ->
+                      let resps = Net.Client.call_batch c reqs in
+                      let filled = ref 0 in
+                      List.iter
+                        (fun resp ->
+                          match resp with
+                          | Net.Wire.Values vs ->
+                              Array.iter
+                                (fun v ->
+                                  out.(positions.(!filled)) <- v;
+                                  incr filled)
+                                vs
+                          | Net.Wire.Error { code; message } ->
+                              raise (Net.Client.Remote_error (code, message))
+                          | r ->
+                              raise
+                                (Net.Client.Protocol_error
+                                   (Format.asprintf "unexpected find_bulk response: %a"
+                                      Net.Wire.pp_response r)))
+                        resps;
+                      if !filled <> n then
+                        raise (Net.Client.Protocol_error "find_bulk value count mismatch"))
+                with
+                | Ok () -> per_shard (shard + 1)
+                | Error _ as e -> e
+              end
+          in
+          per_shard 0)
+
+(* ---- cluster-wide tag ---- *)
+
+let tag t =
+  timed m_tag (fun () ->
+      match versions t with
+      | Error _ as e -> e
+      | Ok vs ->
+          let target = Array.fold_left max 0 vs + 1 in
+          let rec verify shard = function
+            | [] -> Ok target
+            | ack :: rest ->
+                if ack = target then verify (shard + 1) rest
+                else Error (Tag_mismatch { shard; expected = target; got = ack })
+          in
+          Result.bind
+            (each_shard t (fun _ c -> Net.Client.tag_at c ~version:target))
+            (verify 0))
+
+(* ---- scatter-gather history ---- *)
+
+let history t key =
+  timed m_history (fun () ->
+      Result.bind (check_key t key) (fun _owner ->
+          Result.map
+            (fun per_shard ->
+              (* Ranges are disjoint, so normally one shard answers and
+                 the rest are empty; merging by version keeps the result
+                 well-defined even if ownership ever moved. *)
+              List.concat per_shard
+              |> List.stable_sort (fun (v1, _) (v2, _) -> compare v1 v2))
+            (each_shard t (fun _ c -> Net.Client.history c key))))
+
+(* ---- distributed extract_snapshot ---- *)
+
+let gather_parts t ?version () =
+  Obs.Span.with_ "cluster.snapshot.gather" (fun () ->
+      Result.map Array.of_list
+        (each_shard t (fun _ c -> Net.Client.snapshot c ?version ())))
+
+let snapshot t ?version ~mode () =
+  let merge parts =
+    match mode with
+    | Naive ->
+        (* NaiveMerge: everything converges on the router, one K-way
+           heap merge (the paper's baseline). *)
+        Distrib.Merge.k_way parts
+    | Opt { threads } ->
+        (* OptMerge: the router plays the recursive-doubling schedule —
+           log2 K rounds of pairwise multi-threaded merges; per-round
+           spans come from Distrib.Merge, byte accounting lands in the
+           cluster.* counters. *)
+        Distrib.Merge.recursive_doubling ~threads
+          ~round:(fun ~round:_ ~merges ->
+            Obs.Metric.incr c_merge_rounds;
+            List.iter (fun (_, _, bytes) -> Obs.Metric.add c_merge_bytes bytes) merges)
+          parts
+  in
+  let m = match mode with Naive -> m_snap_naive | Opt _ -> m_snap_opt in
+  timed m (fun () ->
+      Result.map
+        (fun parts ->
+          let merged = merge parts in
+          Obs.Metric.add c_snapshot_pairs (Array.length merged);
+          merged)
+        (gather_parts t ?version ()))

@@ -1,0 +1,82 @@
+(** Client-side coordinator for a sharded mvkv cluster (Sec. IV-A /
+    V-H made real: the key space is range-partitioned over K shard
+    {e processes} speaking the lib/net wire protocol, and the paper's
+    NaiveMerge / OptMerge snapshot strategies run over real sockets).
+
+    One pipelined {!Net.Client} per shard, connected lazily and
+    re-connected with backoff after a shard bounce. Nothing here
+    raises for a dead shard: every operation returns a [result] whose
+    {!error} names the shard, and the cached connection is torn down so
+    the next call re-dials — a shard coming back is picked up
+    automatically.
+
+    Consistency note: single-key operations are linearizable per shard
+    (the shard's store provides that); cluster-wide {!tag} cuts the
+    {e same} version number on every shard by broadcasting
+    [Tag_at (max shard versions + 1)], so a snapshot at a tagged
+    version is a consistent cut provided writers pause around [tag]
+    (the same external-coordination contract the in-process
+    [Distrib.Dstore] has). *)
+
+type error =
+  | Shard_down of { shard : int; endpoint : string; reason : string }
+      (** The shard did not answer: connect/send/receive failed after
+          the client's retry budget, the reply timed out, or the server
+          answered an error frame. *)
+  | Tag_mismatch of { shard : int; expected : int; got : int }
+      (** A cluster-wide tag asked every shard for version [expected]
+          but this shard acked [got] — a concurrent tagger or an
+          out-of-band write moved its clock. *)
+  | Bad_key of { key : int; key_bits : int }
+      (** [key] is outside the topology's key space. *)
+
+val error_to_string : error -> string
+
+type snapshot_mode =
+  | Naive  (** gather all shards, one K-way heap merge at the router *)
+  | Opt of { threads : int }
+      (** gather, then the recursive-doubling OptMerge schedule run at
+          the router, each pairwise merge via
+          [Distrib.Merge.multi_threaded ~threads] *)
+
+type t
+
+val create : ?timeout_ms:int -> ?retries:int -> Topology.t -> t
+(** [timeout_ms]/[retries] are handed to every per-shard
+    {!Net.Client.connect} (defaults: no timeout, 2 retries). *)
+
+val topology : t -> Topology.t
+
+val close : t -> unit
+(** Drop every cached shard connection (the router stays usable; the
+    next operation re-dials). *)
+
+val ping : t -> (unit, error) result
+(** Round-trip every shard. *)
+
+val versions : t -> (int array, error) result
+(** Every shard's current version, probed with [Tag_at 0]. *)
+
+val insert : t -> key:int -> value:int -> (unit, error) result
+val remove : t -> key:int -> (unit, error) result
+val find : t -> ?version:int -> int -> (int option, error) result
+
+val find_bulk : t -> ?version:int -> int array -> (int option array, error) result
+(** Bulk lookup: keys are bucketed per owning shard, each bucket goes
+    out as pipelined [Find_bulk] frames ([Net.Client.call_batch]), and
+    the answers are reassembled in input order. *)
+
+val tag : t -> (int, error) result
+(** Cluster-wide tag: probe every shard's version, broadcast
+    [Tag_at (max + 1)], verify every ack equals the target, return it. *)
+
+val history : t -> int -> ((int * int Mvdict.Dict_intf.event) list, error) result
+(** Scatter-gather [extract_history] across all shards (non-owners
+    contribute nothing), merged in version order. *)
+
+val snapshot :
+  t -> ?version:int -> mode:snapshot_mode -> unit -> ((int * int) array, error) result
+(** Distributed [extract_snapshot]: gather every shard's snapshot of
+    [version] and merge at the router per [mode]. Both modes are
+    spanned ([cluster.snapshot.gather], plus [distrib.merge.round] per
+    OptMerge round) and fill the [cluster.*] counters/histograms. *)

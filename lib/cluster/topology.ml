@@ -1,0 +1,102 @@
+type t = {
+  key_bits : int;
+  endpoints : Net.Sockaddr.t array;
+  partition : Distrib.Partition.t;
+}
+
+let create ~key_bits endpoints =
+  if Array.length endpoints = 0 then invalid_arg "Topology.create: no shards";
+  (* Partition.create validates key_bits. *)
+  let partition = Distrib.Partition.create ~ranks:(Array.length endpoints) ~key_bits in
+  { key_bits; endpoints = Array.copy endpoints; partition }
+
+let key_bits t = t.key_bits
+let shards t = Array.length t.endpoints
+
+let endpoint t i =
+  if i < 0 || i >= Array.length t.endpoints then
+    invalid_arg (Printf.sprintf "Topology.endpoint: shard %d of %d" i (Array.length t.endpoints));
+  t.endpoints.(i)
+
+let partition t = t.partition
+let owner t key = Distrib.Partition.owner t.partition key
+let in_key_space t key = key >= 0 && key < 1 lsl t.key_bits
+
+(* ---- spec parsing ---- *)
+
+let strip s =
+  let s = match String.index_opt s '#' with Some i -> String.sub s 0 i | None -> s in
+  String.trim s
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let of_string text =
+  let err lineno msg = Error (Printf.sprintf "topology line %d: %s" lineno msg) in
+  let rec scan lineno lines key_bits shards =
+    match lines with
+    | [] -> (
+        match key_bits with
+        | None -> Error "topology: missing \"key_bits N\" directive"
+        | Some key_bits -> (
+            match shards with
+            | [] -> Error "topology: no \"shard I ENDPOINT\" directives"
+            | shards ->
+                let k = List.length shards in
+                let endpoints = Array.make k None in
+                let rec place = function
+                  | [] -> Ok ()
+                  | (lineno, i, ep) :: rest ->
+                      if i < 0 || i >= k then
+                        err lineno (Printf.sprintf "shard id %d out of range for %d shard(s)" i k)
+                      else if endpoints.(i) <> None then
+                        err lineno (Printf.sprintf "duplicate shard id %d" i)
+                      else begin
+                        endpoints.(i) <- Some ep;
+                        place rest
+                      end
+                in
+                Result.bind (place shards) (fun () ->
+                    match create ~key_bits (Array.map Option.get endpoints) with
+                    | t -> Ok t
+                    | exception Invalid_argument msg -> Error ("topology: " ^ msg))))
+    | line :: rest -> (
+        match words (strip line) with
+        | [] -> scan (lineno + 1) rest key_bits shards
+        | [ "key_bits"; n ] -> (
+            match (key_bits, int_of_string_opt n) with
+            | Some _, _ -> err lineno "duplicate key_bits directive"
+            | None, Some n when n >= 1 && n <= 62 -> scan (lineno + 1) rest (Some n) shards
+            | None, _ -> err lineno (Printf.sprintf "bad key_bits %S (want 1..62)" n))
+        | [ "shard"; i; ep ] -> (
+            match int_of_string_opt i with
+            | None -> err lineno (Printf.sprintf "bad shard id %S" i)
+            | Some i -> (
+                match Net.Sockaddr.of_string ep with
+                | Error e -> err lineno e
+                | Ok ep -> scan (lineno + 1) rest key_bits ((lineno, i, ep) :: shards)))
+        | w :: _ -> err lineno (Printf.sprintf "unknown directive %S" w))
+  in
+  scan 1 (String.split_on_char '\n' text) None []
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    text
+  with
+  | exception Sys_error e -> Error (Printf.sprintf "topology %s: %s" path e)
+  | text -> (
+      match of_string text with
+      | Ok t -> Ok t
+      | Error e -> Error (Printf.sprintf "%s: %s" path e))
+
+let to_string t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "key_bits %d\n" t.key_bits);
+  Array.iteri
+    (fun i ep ->
+      Buffer.add_string buf (Printf.sprintf "shard %d %s\n" i (Net.Sockaddr.to_string ep)))
+    t.endpoints;
+  Buffer.contents buf

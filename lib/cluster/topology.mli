@@ -1,0 +1,48 @@
+(** Cluster topology: which shard owns which key range, and where each
+    shard listens.
+
+    A topology is [key_bits] (the key space is [0, 2^key_bits)) plus an
+    ordered list of shard endpoints; key-range ownership is delegated to
+    {!Distrib.Partition}, so the router and the in-process simulation
+    ([Distrib.Dstore]) split the key space identically.
+
+    The on-disk spec is a small line-oriented text file, one directive
+    per line, with [#] comments:
+
+    {v
+    # 4-shard cluster over unix sockets
+    key_bits 20
+    shard 0 unix:///tmp/mvkv-shard0.sock
+    shard 1 unix:///tmp/mvkv-shard1.sock
+    shard 2 tcp://127.0.0.1:7801
+    shard 3 tcp://127.0.0.1:7802
+    v}
+
+    Shard ids must be dense 0..K-1 (any order in the file). *)
+
+type t
+
+val create : key_bits:int -> Net.Sockaddr.t array -> t
+(** [create ~key_bits endpoints] — endpoint at index [i] serves
+    shard [i]. Raises [Invalid_argument] on an empty endpoint list or a
+    [key_bits] outside [1, 62]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a topology spec; the error names the offending line. *)
+
+val of_file : string -> (t, string) result
+
+val to_string : t -> string
+(** Render back to the spec syntax ([of_string] round-trips it). *)
+
+val key_bits : t -> int
+val shards : t -> int
+val endpoint : t -> int -> Net.Sockaddr.t
+val partition : t -> Distrib.Partition.t
+
+val owner : t -> int -> int
+(** Shard owning [key]. Raises [Invalid_argument] for keys outside
+    [0, 2^key_bits) — callers wanting a typed error test with
+    {!in_key_space} first. *)
+
+val in_key_space : t -> int -> bool

@@ -28,6 +28,7 @@ let () =
 type t = {
   addr : Sockaddr.t;
   retries : int;
+  timeout_ms : int option;
   mutable fd : Unix.file_descr option;
   mutable buf : Bytes.t;
   mutable start : int;
@@ -36,6 +37,20 @@ type t = {
 }
 
 let recv_chunk = 65536
+
+(* Kernel-level send/receive deadlines: a stalled server surfaces as
+   EAGAIN from [Unix.read]/[write] instead of blocking forever. EAGAIN
+   is in {!transient}, so a timed-out call goes through the same
+   reconnect-and-retry schedule as a dropped connection before giving
+   up. *)
+let apply_timeout fd = function
+  | None -> ()
+  | Some ms ->
+      let s = float_of_int ms /. 1e3 in
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO s;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO s
+       with _ -> ())
 
 let transient = function
   | Unix.Unix_error
@@ -47,11 +62,13 @@ let transient = function
       true
   | _ -> false
 
-let connect_with_backoff addr ~retries =
+let connect_with_backoff addr ~retries ~timeout_ms =
   let b = Concurrent.Backoff.create ~min:1 ~max:512 () in
   let rec attempt k =
     match Sockaddr.connect addr with
-    | fd -> fd
+    | fd ->
+        apply_timeout fd timeout_ms;
+        fd
     | exception e when transient e && k < retries ->
         Unix.sleepf (float_of_int (Concurrent.Backoff.current b) *. 1e-3);
         Concurrent.Backoff.once b;
@@ -59,11 +76,12 @@ let connect_with_backoff addr ~retries =
   in
   attempt 0
 
-let connect ?(retries = 5) addr =
+let connect ?(retries = 5) ?timeout_ms addr =
   {
     addr;
     retries;
-    fd = Some (connect_with_backoff addr ~retries);
+    timeout_ms;
+    fd = Some (connect_with_backoff addr ~retries ~timeout_ms);
     buf = Bytes.create recv_chunk;
     start = 0;
     fill = 0;
@@ -82,7 +100,7 @@ let ensure_connected t =
   match t.fd with
   | Some fd -> fd
   | None ->
-      let fd = connect_with_backoff t.addr ~retries:t.retries in
+      let fd = connect_with_backoff t.addr ~retries:t.retries ~timeout_ms:t.timeout_ms in
       t.fd <- Some fd;
       fd
 
@@ -183,8 +201,19 @@ let find t ?version key =
   | Wire.Value v -> v
   | r -> unexpected "find" r
 
+let find_bulk t ?version keys =
+  match call t (Wire.Find_bulk { keys; version }) with
+  | Wire.Values vs when Array.length vs = Array.length keys -> vs
+  | Wire.Values _ -> raise (Protocol_error "find_bulk value count mismatch")
+  | r -> unexpected "find_bulk" r
+
 let tag t =
   match call t Wire.Tag with Wire.Version v -> v | r -> unexpected "tag" r
+
+let tag_at t ~version =
+  match call t (Wire.Tag_at { version }) with
+  | Wire.Version v -> v
+  | r -> unexpected "tag_at" r
 
 let history t key =
   match call t (Wire.History { key }) with

@@ -143,7 +143,25 @@ struct
         S.remove t.store key;
         Wire.Ack
     | Wire.Find { key; version } -> Wire.Value (S.find t.store ?version key)
+    | Wire.Find_bulk { keys; version } ->
+        Wire.Values (Array.map (fun key -> S.find t.store ?version key) keys)
     | Wire.Tag -> Wire.Version (S.tag t.store)
+    | Wire.Tag_at { version } ->
+        (* Advance the version clock until it reaches [version] and
+           answer whatever it then reads. [version] 0 is a pure probe;
+           a clock already past [version] is answered as-is and left to
+           the caller (the cluster router) to flag as a conflict. The
+           loop re-reads the clock so concurrent taggers cannot push it
+           past the target through us. *)
+        let rec bump () =
+          let current = S.current_version t.store in
+          if current >= version then current
+          else begin
+            ignore (S.tag t.store);
+            bump ()
+          end
+        in
+        Wire.Version (bump ())
     | Wire.History { key } -> Wire.Events (S.extract_history t.store key)
     | Wire.Snapshot { version } ->
         (* The one request that walks the whole store: span it so a

@@ -13,6 +13,31 @@ let pp fmt = function
 
 let to_string t = Format.asprintf "%a" pp t
 
+(* Inverse of {!to_string}: "tcp://host:port" or "unix://path" — the
+   endpoint syntax cluster topology files use. *)
+let of_string s =
+  let strip prefix =
+    let np = String.length prefix in
+    if String.length s > np && String.sub s 0 np = prefix then
+      Some (String.sub s np (String.length s - np))
+    else None
+  in
+  match strip "unix://" with
+  | Some path -> Ok (Unix_sock path)
+  | None -> (
+      match strip "tcp://" with
+      | None -> Error (Printf.sprintf "endpoint %S: expected tcp://host:port or unix://path" s)
+      | Some rest -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error (Printf.sprintf "endpoint %S: missing port" s)
+          | Some colon -> (
+              let host = String.sub rest 0 colon in
+              let port = String.sub rest (colon + 1) (String.length rest - colon - 1) in
+              match int_of_string_opt port with
+              | Some port when port >= 0 && port < 65536 && host <> "" ->
+                  Ok (Tcp (host, port))
+              | _ -> Error (Printf.sprintf "endpoint %S: bad host or port" s))))
+
 let socket_domain = function Tcp _ -> Unix.PF_INET | Unix_sock _ -> Unix.PF_UNIX
 
 let resolve = function

@@ -15,7 +15,10 @@
    and keep the connection alive: the frame boundary is still known
    from the length prefix. *)
 
-let protocol_version = 1
+(* Version 2 added the cluster opcodes: Tag_at (cut a snapshot at an
+   exact version number, the primitive behind cluster-wide tags) and
+   Find_bulk (one frame looking many keys up). *)
+let protocol_version = 2
 
 (* Largest accepted body, in bytes. Generous enough for a snapshot of
    ~500k pairs in one frame; small enough that a garbage length prefix
@@ -47,12 +50,22 @@ type request =
   | Metrics_prom  (** registry in Prometheus text exposition format *)
   | Trace_dump  (** drain the span ring as Chrome trace JSON *)
   | Slowlog of { n : int }  (** newest [n] slow-op log entries *)
+  | Tag_at of { version : int }
+      (** Advance the store's version clock to exactly [version] and
+          answer the resulting current version. [version] 0 never
+          advances anything, so it doubles as a version probe. A
+          cluster router broadcasts the same [Tag_at] to every shard
+          so all of them cut the {e same} version number. *)
+  | Find_bulk of { keys : int array; version : int option }
+      (** Look every key up in one frame; answered with {!Values} in
+          input order. *)
 
 type response =
   | Pong
   | Ack  (** insert/remove applied *)
   | Version of int  (** tag result *)
   | Value of int option  (** find result *)
+  | Values of int option array  (** find_bulk result, in request key order *)
   | Events of (int * int Mvdict.Dict_intf.event) list  (** history result *)
   | Pairs of (int * int) array  (** snapshot result *)
   | Stats_json of string  (** the lib/obs registry as JSON text *)
@@ -102,11 +115,13 @@ let request_label = function
   | Metrics_prom -> "metrics"
   | Trace_dump -> "trace"
   | Slowlog _ -> "slowlog"
+  | Tag_at _ -> "tag_at"
+  | Find_bulk _ -> "find_bulk"
 
 let request_labels =
   [
     "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats";
-    "metrics"; "trace"; "slowlog";
+    "metrics"; "trace"; "slowlog"; "tag_at"; "find_bulk";
   ]
 
 (* The key a request touches, when it names one — slow-op log entries
@@ -114,7 +129,8 @@ let request_labels =
 let request_key = function
   | Insert { key; _ } | Remove { key } | Find { key; _ } | History { key } ->
       Some key
-  | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump | Slowlog _ ->
+  | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump | Slowlog _
+  | Tag_at _ | Find_bulk _ ->
       None
 
 (* ---- equality / printing (tests, error messages) ---- *)
@@ -132,6 +148,7 @@ let pp_response fmt = function
   | Version v -> Format.fprintf fmt "version %d" v
   | Value None -> Format.pp_print_string fmt "value none"
   | Value (Some v) -> Format.fprintf fmt "value %d" v
+  | Values vs -> Format.fprintf fmt "values(%d)" (Array.length vs)
   | Events evs -> Format.fprintf fmt "events(%d)" (List.length evs)
   | Pairs ps -> Format.fprintf fmt "pairs(%d)" (Array.length ps)
   | Stats_json s -> Format.fprintf fmt "stats(%d bytes)" (String.length s)
@@ -172,6 +189,8 @@ let request_opcode = function
   | Metrics_prom -> 9
   | Trace_dump -> 10
   | Slowlog _ -> 11
+  | Tag_at _ -> 12
+  | Find_bulk _ -> 13
 
 let encode_request_body (r : request) =
   let buf = Buffer.create 32 in
@@ -187,7 +206,12 @@ let encode_request_body (r : request) =
       put_int buf key;
       put_opt_int buf version
   | Snapshot { version } -> put_opt_int buf version
-  | Slowlog { n } -> put_int buf n);
+  | Slowlog { n } -> put_int buf n
+  | Tag_at { version } -> put_int buf version
+  | Find_bulk { keys; version } ->
+      put_opt_int buf version;
+      put_int buf (Array.length keys);
+      Array.iter (put_int buf) keys);
   Buffer.contents buf
 
 let response_opcode = function
@@ -202,6 +226,7 @@ let response_opcode = function
   | Prom_text _ -> 9
   | Trace_json _ -> 10
   | Slowlog_json _ -> 11
+  | Values _ -> 12
 
 let encode_response_body (r : response) =
   let buf = Buffer.create 32 in
@@ -211,6 +236,9 @@ let encode_response_body (r : response) =
   | Pong | Ack -> ()
   | Version v -> put_int buf v
   | Value v -> put_opt_int buf v
+  | Values vs ->
+      put_int buf (Array.length vs);
+      Array.iter (put_opt_int buf) vs
   | Events evs ->
       put_int buf (List.length evs);
       List.iter
@@ -350,6 +378,19 @@ let decode_request b ~off ~len : (request, error_code * string) result =
         if n < 0 then
           raise (Bad (Malformed, Printf.sprintf "negative slowlog count %d" n));
         finish c (Slowlog { n })
+    | 12 ->
+        let version = get_int c "tag_at.version" in
+        if version < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative tag_at version %d" version));
+        finish c (Tag_at { version })
+    | 13 ->
+        let version = get_opt_int c "find_bulk.version" in
+        let n = get_count c "find_bulk.count" in
+        (* 8 bytes per key: reject counts the payload cannot hold. *)
+        if n > (c.limit - c.pos) / 8 then
+          raise (Bad (Malformed, Printf.sprintf "key count %d overruns frame" n));
+        finish c
+          (Find_bulk { keys = Array.init n (fun _ -> get_int c "find_bulk.key"); version })
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
   with
   | r -> r
@@ -401,6 +442,12 @@ let decode_response b ~off ~len : (response, error_code * string) result =
     | 9 -> finish c (Prom_text (get_string c "metrics"))
     | 10 -> finish c (Trace_json (get_string c "trace"))
     | 11 -> finish c (Slowlog_json (get_string c "slowlog"))
+    | 12 ->
+        let n = get_count c "values.count" in
+        (* At least the presence byte per element. *)
+        if n > c.limit - c.pos then
+          raise (Bad (Malformed, Printf.sprintf "value count %d overruns frame" n));
+        finish c (Values (Array.init n (fun _ -> get_opt_int c "values.value")))
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown response opcode %d" op)
   with
   | r -> r

@@ -110,8 +110,9 @@ let free t ptr size =
   if Pptr.is_null ptr then invalid_arg "Alloc.free: null pointer";
   match class_of_size size with
   | None ->
-      (* Oversized blocks are leaked; see interface. *)
-      ()
+      (* Oversized blocks are leaked; see interface. Count the loss so
+         it is visible in `mvkv stats` and the Prometheus exposition. *)
+      Pstats.record_leak (Media.stats t.media) ~bytes:(Pptr.align8 size)
   | Some c ->
       with_lock t (fun () ->
           let head_off = class_head_off t c in

@@ -44,7 +44,8 @@ val alloc_zeroed : t -> int -> Pptr.t
 val free : t -> Pptr.t -> int -> unit
 (** [free t ptr size] recycles a block previously returned by [alloc t
     size]. Size-class requests are recycled; oversized blocks are leaked
-    (documented simplification). *)
+    (documented simplification) — the loss is counted in
+    [Pstats.leaked_bytes] / the [pmem.leaked_bytes] registry counter. *)
 
 val used_bytes : t -> int
 (** Bytes between the start of the heap range and the bump pointer. *)

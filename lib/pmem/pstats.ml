@@ -5,6 +5,7 @@ type t = {
   alloc_bytes : int Atomic.t;
   frees : int Atomic.t;
   free_bytes : int Atomic.t;
+  leaked_bytes : int Atomic.t;
 }
 
 let create () =
@@ -15,6 +16,7 @@ let create () =
     alloc_bytes = Atomic.make 0;
     frees = Atomic.make 0;
     free_bytes = Atomic.make 0;
+    leaked_bytes = Atomic.make 0;
   }
 
 let add counter n = ignore (Atomic.fetch_and_add counter n)
@@ -29,6 +31,7 @@ let g_allocs = Obs.Registry.counter "pmem.allocs"
 let g_alloc_bytes = Obs.Registry.counter "pmem.alloc_bytes"
 let g_frees = Obs.Registry.counter "pmem.frees"
 let g_free_bytes = Obs.Registry.counter "pmem.free_bytes"
+let g_leaked_bytes = Obs.Registry.counter "pmem.leaked_bytes"
 
 let record_flush t ~lines =
   add t.flushed_lines lines;
@@ -50,12 +53,20 @@ let record_free t ~bytes =
   Obs.Metric.incr g_frees;
   Obs.Metric.add g_free_bytes bytes
 
+(* A free the allocator cannot recycle (oversized block, no size
+   class): the bytes stay allocated forever. Counted so the documented
+   leak is visible in `mvkv stats` / Prometheus instead of silent. *)
+let record_leak t ~bytes =
+  add t.leaked_bytes bytes;
+  Obs.Metric.add g_leaked_bytes bytes
+
 let flushed_lines t = Atomic.get t.flushed_lines
 let fences t = Atomic.get t.fences
 let allocs t = Atomic.get t.allocs
 let alloc_bytes t = Atomic.get t.alloc_bytes
 let frees t = Atomic.get t.frees
 let live_bytes t = Atomic.get t.alloc_bytes - Atomic.get t.free_bytes
+let leaked_bytes t = Atomic.get t.leaked_bytes
 
 let reset t =
   Atomic.set t.flushed_lines 0;
@@ -63,10 +74,11 @@ let reset t =
   Atomic.set t.allocs 0;
   Atomic.set t.alloc_bytes 0;
   Atomic.set t.frees 0;
-  Atomic.set t.free_bytes 0
+  Atomic.set t.free_bytes 0;
+  Atomic.set t.leaked_bytes 0
 
 let pp fmt t =
   Format.fprintf fmt
-    "flushed_lines=%d fences=%d allocs=%d alloc_bytes=%d frees=%d live_bytes=%d"
+    "flushed_lines=%d fences=%d allocs=%d alloc_bytes=%d frees=%d live_bytes=%d leaked_bytes=%d"
     (flushed_lines t) (fences t) (allocs t) (alloc_bytes t) (frees t)
-    (live_bytes t)
+    (live_bytes t) (leaked_bytes t)

@@ -16,6 +16,12 @@ val record_fence : t -> unit
 val record_alloc : t -> bytes:int -> unit
 val record_free : t -> bytes:int -> unit
 
+val record_leak : t -> bytes:int -> unit
+(** Bytes handed to [Alloc.free] that the allocator cannot recycle
+    (oversized blocks have no size class — a documented
+    simplification). Mirrored into the registry as [pmem.leaked_bytes]
+    so the leak shows up in [mvkv stats] and Prometheus exposition. *)
+
 val flushed_lines : t -> int
 val fences : t -> int
 val allocs : t -> int
@@ -23,6 +29,8 @@ val alloc_bytes : t -> int
 val frees : t -> int
 val live_bytes : t -> int
 (** Allocated minus freed bytes. *)
+
+val leaked_bytes : t -> int
 
 val reset : t -> unit
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,388 @@
+(* Tests for lib/cluster: topology spec parsing, end-to-end routed
+   operations against 4 real shard servers on Unix-domain sockets
+   (cluster-wide tags, find_bulk ordering, distributed snapshots in
+   both merge modes), typed Shard_down errors with recovery after a
+   shard bounce, and a qcheck parity property holding the sharded
+   cluster to the same answers as a single PSkipList. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+module Store = Mvdict.Pskiplist.Make (Mvdict.Codec.Int_key) (Mvdict.Codec.Int_value)
+module Server = Net.Server.Make (Store)
+
+let fresh_store () = Store.create (Pmem.Pheap.create_ram ~capacity:(1 lsl 22) ())
+
+let ok what = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%s: %s" what (Cluster.Router.error_to_string e)
+
+(* ---- topology spec ---- *)
+
+let spec =
+  "# demo cluster\n\
+   key_bits 12\n\
+   shard 0 unix:///tmp/s0.sock\n\
+   shard 2 tcp://127.0.0.1:7801\n\
+   \n\
+   shard 1 tcp://localhost:7800\n"
+
+let topo_parse () =
+  match Cluster.Topology.of_string spec with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+      check_int "key_bits" 12 (Cluster.Topology.key_bits t);
+      check_int "shards" 3 (Cluster.Topology.shards t);
+      check_string "shard 0" "unix:///tmp/s0.sock"
+        (Net.Sockaddr.to_string (Cluster.Topology.endpoint t 0));
+      check_string "shard 1" "tcp://localhost:7800"
+        (Net.Sockaddr.to_string (Cluster.Topology.endpoint t 1));
+      (* ranges split 4096 keys over 3 shards: width 1366 *)
+      check_int "key 0 owner" 0 (Cluster.Topology.owner t 0);
+      check_int "key 1365 owner" 0 (Cluster.Topology.owner t 1365);
+      check_int "key 1366 owner" 1 (Cluster.Topology.owner t 1366);
+      check_int "key 4095 owner" 2 (Cluster.Topology.owner t 4095);
+      check_bool "4096 out of space" false (Cluster.Topology.in_key_space t 4096);
+      check_bool "-1 out of space" false (Cluster.Topology.in_key_space t (-1))
+
+let topo_roundtrip () =
+  let t =
+    match Cluster.Topology.of_string spec with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  match Cluster.Topology.of_string (Cluster.Topology.to_string t) with
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+  | Ok t2 ->
+      check_string "round-trip" (Cluster.Topology.to_string t)
+        (Cluster.Topology.to_string t2)
+
+let topo_errors () =
+  let bad what s =
+    match Cluster.Topology.of_string s with
+    | Ok _ -> Alcotest.failf "%s: expected a parse error" what
+    | Error _ -> ()
+  in
+  bad "no shards" "key_bits 8\n";
+  bad "no key_bits" "shard 0 tcp://h:1\n";
+  bad "sparse ids" "key_bits 8\nshard 0 tcp://h:1\nshard 2 tcp://h:2\n";
+  bad "duplicate id" "key_bits 8\nshard 0 tcp://h:1\nshard 0 tcp://h:2\n";
+  bad "bad endpoint" "key_bits 8\nshard 0 carrier-pigeon://h\n";
+  bad "bad port" "key_bits 8\nshard 0 tcp://h:99999\n";
+  bad "key_bits zero" "key_bits 0\nshard 0 tcp://h:1\n";
+  bad "unknown directive" "key_bits 8\nreplica 0 tcp://h:1\n"
+
+(* ---- 4 real shards over unix sockets ---- *)
+
+let sock_path tag i = Printf.sprintf "test_cluster_%s_%d_%d.sock" tag (Unix.getpid ()) i
+
+let with_cluster ?(k = 4) ?(key_bits = 8) ~tag f =
+  let paths = Array.init k (sock_path tag) in
+  let stores = Array.init k (fun _ -> fresh_store ()) in
+  let servers =
+    Array.init k (fun i ->
+        Server.start ~store:stores.(i) ~workers:1
+          ~listen:(Net.Sockaddr.Unix_sock paths.(i)) ())
+  in
+  let topo =
+    Cluster.Topology.create ~key_bits
+      (Array.map (fun p -> Net.Sockaddr.Unix_sock p) paths)
+  in
+  let router = Cluster.Router.create ~retries:1 topo in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.Router.close router;
+      Array.iter (fun s -> try Server.stop s with _ -> ()) servers;
+      Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+    (fun () -> f router stores)
+
+let e2e_routed_ops () =
+  with_cluster ~tag:"ops" (fun router stores ->
+      ok "ping" (Cluster.Router.ping router);
+      (* one key per shard range (width 64) plus range boundaries *)
+      let keys = [ 0; 63; 64; 130; 200; 255 ] in
+      List.iter
+        (fun key -> ok "insert" (Cluster.Router.insert router ~key ~value:(key * 7)))
+        keys;
+      (* each write landed on exactly its owning shard *)
+      check_int "shard 0 holds its range" 2 (Store.key_count stores.(0));
+      check_int "shard 1 holds its range" 1 (Store.key_count stores.(1));
+      check_int "shard 3 holds its range" 2 (Store.key_count stores.(3));
+      List.iter
+        (fun key ->
+          check_bool "find routed" true
+            (ok "find" (Cluster.Router.find router key) = Some (key * 7)))
+        keys;
+      check_bool "absent key" true (ok "find" (Cluster.Router.find router 17) = None);
+      (* out-of-space keys are typed errors, not exceptions *)
+      (match Cluster.Router.find router 256 with
+      | Error (Cluster.Router.Bad_key { key = 256; key_bits = 8 }) -> ()
+      | _ -> Alcotest.fail "expected Bad_key for key 256");
+      (match Cluster.Router.insert router ~key:(-1) ~value:0 with
+      | Error (Cluster.Router.Bad_key _) -> ()
+      | _ -> Alcotest.fail "expected Bad_key for key -1");
+      (* remove goes to the owner too *)
+      ok "remove" (Cluster.Router.remove router ~key:200);
+      check_bool "removed" true (ok "find" (Cluster.Router.find router 200) = None))
+
+let e2e_cluster_tag () =
+  with_cluster ~tag:"tag" (fun router stores ->
+      ok "insert" (Cluster.Router.insert router ~key:10 ~value:1);
+      let v1 = ok "tag" (Cluster.Router.tag router) in
+      check_int "first cluster tag" 1 v1;
+      (* every shard's clock sits at the tag, even ones that saw no write *)
+      Array.iter
+        (fun s -> check_int "shard clock" v1 (Store.current_version s))
+        stores;
+      check_bool "versions agree" true
+        (ok "versions" (Cluster.Router.versions router) = [| v1; v1; v1; v1 |]);
+      (* skew one shard's clock out-of-band: the next cluster tag must
+         jump past it and still land every shard on the same version *)
+      ignore (Store.tag stores.(2));
+      ignore (Store.tag stores.(2));
+      let v2 = ok "tag" (Cluster.Router.tag router) in
+      check_int "tag clears the skewed clock" 4 v2;
+      Array.iter (fun s -> check_int "shard clock" v2 (Store.current_version s)) stores;
+      (* snapshots at v1 don't see writes tagged later *)
+      ok "insert" (Cluster.Router.insert router ~key:11 ~value:2);
+      let v3 = ok "tag" (Cluster.Router.tag router) in
+      check_bool "tag monotonic" true (v3 > v2);
+      let at_v1 =
+        ok "snapshot" (Cluster.Router.snapshot router ~version:v1 ~mode:Cluster.Router.Naive ())
+      in
+      check_bool "old cut stays" true (at_v1 = [| (10, 1) |]))
+
+let e2e_find_bulk () =
+  with_cluster ~tag:"bulk" (fun router _stores ->
+      for key = 0 to 255 do
+        if key mod 3 = 0 then
+          ok "insert" (Cluster.Router.insert router ~key ~value:(key + 1000))
+      done;
+      ignore (ok "tag" (Cluster.Router.tag router));
+      (* order crosses shards back and forth, with duplicates *)
+      let keys = [| 255; 0; 130; 66; 0; 199; 3; 255; 17 |] in
+      let got = ok "find_bulk" (Cluster.Router.find_bulk router keys) in
+      check_int "answer count" (Array.length keys) (Array.length got);
+      Array.iteri
+        (fun i key ->
+          let want = if key mod 3 = 0 then Some (key + 1000) else None in
+          check_bool (Printf.sprintf "bulk slot %d (key %d)" i key) true
+            (got.(i) = want))
+        keys;
+      (* bulk larger than one chunk still reassembles in order *)
+      let big = Array.init 3000 (fun i -> i land 255) in
+      let got = ok "find_bulk" (Cluster.Router.find_bulk router big) in
+      Array.iteri
+        (fun i key ->
+          let want = if key mod 3 = 0 then Some (key + 1000) else None in
+          if got.(i) <> want then Alcotest.failf "big bulk slot %d wrong" i)
+        big;
+      (* a bad key anywhere fails the whole call, typed *)
+      match Cluster.Router.find_bulk router [| 1; 999 |] with
+      | Error (Cluster.Router.Bad_key { key = 999; _ }) -> ()
+      | _ -> Alcotest.fail "expected Bad_key from bulk")
+
+let e2e_snapshot_modes () =
+  with_cluster ~tag:"snap" (fun router _stores ->
+      for key = 0 to 255 do
+        if key mod 2 = 0 then
+          ok "insert" (Cluster.Router.insert router ~key ~value:(key * 11))
+      done;
+      ok "remove" (Cluster.Router.remove router ~key:128);
+      ignore (ok "tag" (Cluster.Router.tag router));
+      let expect =
+        List.init 256 (fun k -> k)
+        |> List.filter (fun k -> k mod 2 = 0 && k <> 128)
+        |> List.map (fun k -> (k, k * 11))
+        |> Array.of_list
+      in
+      let naive =
+        ok "naive" (Cluster.Router.snapshot router ~mode:Cluster.Router.Naive ())
+      in
+      let opt =
+        ok "opt"
+          (Cluster.Router.snapshot router
+             ~mode:(Cluster.Router.Opt { threads = 2 })
+             ())
+      in
+      check_bool "naive snapshot = expected" true (naive = expect);
+      check_bool "opt snapshot = naive" true (opt = naive))
+
+(* ---- shard failure: typed errors, then recovery ---- *)
+
+let e2e_shard_down_and_recover () =
+  let k = 2 and key_bits = 4 in
+  let paths = Array.init k (sock_path "down") in
+  let stores = Array.init k (fun _ -> fresh_store ()) in
+  let start i =
+    Server.start ~store:stores.(i) ~workers:1
+      ~listen:(Net.Sockaddr.Unix_sock paths.(i)) ()
+  in
+  let s0 = start 0 in
+  let s1 = ref (start 1) in
+  let topo =
+    Cluster.Topology.create ~key_bits
+      (Array.map (fun p -> Net.Sockaddr.Unix_sock p) paths)
+  in
+  let router = Cluster.Router.create ~retries:1 topo in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.Router.close router;
+      (try Server.stop s0 with _ -> ());
+      (try Server.stop !s1 with _ -> ());
+      Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths)
+    (fun () ->
+      (* keys 0-7 on shard 0, 8-15 on shard 1 *)
+      ok "insert" (Cluster.Router.insert router ~key:3 ~value:30);
+      ok "insert" (Cluster.Router.insert router ~key:12 ~value:120);
+      Server.stop !s1;
+      (* single-key op on the dead shard: a typed error naming it *)
+      (match Cluster.Router.find router 12 with
+      | Error (Cluster.Router.Shard_down { shard = 1; _ }) -> ()
+      | Ok _ -> Alcotest.fail "find on dead shard succeeded"
+      | Error e ->
+          Alcotest.failf "expected Shard_down 1, got %s"
+            (Cluster.Router.error_to_string e));
+      (* the live shard still answers *)
+      check_bool "live shard unaffected" true
+        (ok "find" (Cluster.Router.find router 3) = Some 30);
+      (* broadcast ops surface the same typed error *)
+      (match Cluster.Router.tag router with
+      | Error (Cluster.Router.Shard_down { shard = 1; _ }) -> ()
+      | _ -> Alcotest.fail "expected Shard_down from tag");
+      (match Cluster.Router.snapshot router ~mode:Cluster.Router.Naive () with
+      | Error (Cluster.Router.Shard_down { shard = 1; _ }) -> ()
+      | _ -> Alcotest.fail "expected Shard_down from snapshot");
+      (* bring the shard back on the same socket and store: the router
+         re-dials on the next call, no explicit reset needed *)
+      s1 := start 1;
+      check_bool "find after recovery" true
+        (ok "find" (Cluster.Router.find router 12) = Some 120);
+      let v = ok "tag after recovery" (Cluster.Router.tag router) in
+      check_bool "tag after recovery" true (v >= 1);
+      check_bool "snapshot after recovery" true
+        (ok "snapshot" (Cluster.Router.snapshot router ~mode:Cluster.Router.Naive ())
+        = [| (3, 30); (12, 120) |]))
+
+(* ---- qcheck parity: cluster == single PSkipList ---- *)
+
+type op = Insert of int * int | Remove of int | Tag
+
+let pp_op = function
+  | Insert (k, v) -> Printf.sprintf "insert %d %d" k v
+  | Remove k -> Printf.sprintf "remove %d" k
+  | Tag -> "tag"
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_range 5 30)
+      (frequency
+         [
+           (6, map2 (fun k v -> Insert (k, v)) (int_bound 255) small_signed_int);
+           (2, map (fun k -> Remove k) (int_bound 255));
+           (2, return Tag);
+         ]))
+
+let arb_ops =
+  QCheck.make gen_ops ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+
+let event_str (v, e) =
+  match e with
+  | Mvdict.Dict_intf.Put x -> Printf.sprintf "v%d:put %d" v x
+  | Mvdict.Dict_intf.Del -> Printf.sprintf "v%d:del" v
+
+let parity_property ops =
+  let reference = fresh_store () in
+  with_cluster ~tag:"parity" (fun router _stores ->
+      List.iter
+        (fun op ->
+          match op with
+          | Insert (key, value) ->
+              Store.insert reference key value;
+              ok "insert" (Cluster.Router.insert router ~key ~value)
+          | Remove key ->
+              Store.remove reference key;
+              ok "remove" (Cluster.Router.remove router ~key)
+          | Tag ->
+              let local = Store.tag reference in
+              let cluster = ok "tag" (Cluster.Router.tag router) in
+              if local <> cluster then
+                QCheck.Test.fail_reportf "tag parity: local %d cluster %d" local
+                  cluster)
+        ops;
+      let final = Store.current_version reference in
+      (* every key at every committed version, through the bulk path *)
+      let keys = Array.init 256 (fun i -> i) in
+      let check_cut ?version () =
+        let got = ok "find_bulk" (Cluster.Router.find_bulk router ?version keys) in
+        Array.iteri
+          (fun key g ->
+            let want = Store.find reference ?version key in
+            if g <> want then
+              QCheck.Test.fail_reportf "find parity: key %d at %s" key
+                (match version with None -> "now" | Some v -> string_of_int v))
+          got
+      in
+      check_cut ();
+      for v = 1 to final do
+        check_cut ~version:v ()
+      done;
+      (* per-key history, exactly the single-store events *)
+      let touched =
+        List.filter_map
+          (function Insert (k, _) | Remove k -> Some k | Tag -> None)
+          ops
+        |> List.sort_uniq compare
+      in
+      List.iter
+        (fun key ->
+          let local = List.map event_str (Store.extract_history reference key) in
+          let cluster =
+            List.map event_str (ok "history" (Cluster.Router.history router key))
+          in
+          if local <> cluster then
+            QCheck.Test.fail_reportf "history parity: key %d: [%s] vs [%s]" key
+              (String.concat "; " local) (String.concat "; " cluster))
+        touched;
+      (* snapshots: both merge modes equal the single store's extract *)
+      let local_snap = Store.extract_snapshot reference () in
+      let naive =
+        ok "naive" (Cluster.Router.snapshot router ~mode:Cluster.Router.Naive ())
+      in
+      let opt =
+        ok "opt"
+          (Cluster.Router.snapshot router ~mode:(Cluster.Router.Opt { threads = 2 }) ())
+      in
+      if naive <> local_snap then QCheck.Test.fail_report "snapshot parity (naive)";
+      if opt <> local_snap then QCheck.Test.fail_report "snapshot parity (opt)";
+      true)
+
+let parity =
+  QCheck.Test.make ~count:8 ~name:"cluster parity with a single PSkipList" arb_ops
+    parity_property
+
+let () =
+  Alcotest.run "cluster"
+    [
+      ( "topology",
+        [
+          Alcotest.test_case "parse spec" `Quick topo_parse;
+          Alcotest.test_case "to_string round-trips" `Quick topo_roundtrip;
+          Alcotest.test_case "parse errors" `Quick topo_errors;
+        ] );
+      ( "e2e-4-shards",
+        [
+          Alcotest.test_case "routed ops land on owners" `Quick e2e_routed_ops;
+          Alcotest.test_case "cluster-wide tag is one version" `Quick e2e_cluster_tag;
+          Alcotest.test_case "find_bulk reassembles input order" `Quick e2e_find_bulk;
+          Alcotest.test_case "snapshot naive = opt = expected" `Quick
+            e2e_snapshot_modes;
+        ] );
+      ( "failure",
+        [
+          Alcotest.test_case "shard down is typed; router recovers" `Quick
+            e2e_shard_down_and_recover;
+        ] );
+      ("parity", [ QCheck_alcotest.to_alcotest parity ]);
+    ]

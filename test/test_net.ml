@@ -29,6 +29,10 @@ let gen_request =
         return Net.Wire.Metrics_prom;
         return Net.Wire.Trace_dump;
         map (fun n -> Net.Wire.Slowlog { n }) small_nat;
+        map (fun version -> Net.Wire.Tag_at { version }) small_nat;
+        map2
+          (fun keys version -> Net.Wire.Find_bulk { keys = Array.of_list keys; version })
+          (small_list gen_key_value) (opt small_nat);
       ])
 
 let gen_error_code =
@@ -52,6 +56,8 @@ let gen_response =
         return Net.Wire.Ack;
         map (fun v -> Net.Wire.Version v) small_nat;
         map (fun v -> Net.Wire.Value v) (opt gen_key_value);
+        map (fun vs -> Net.Wire.Values (Array.of_list vs))
+          (small_list (opt gen_key_value));
         map (fun evs -> Net.Wire.Events evs)
           (small_list (pair small_nat gen_event));
         map (fun ps -> Net.Wire.Pairs (Array.of_list ps))
@@ -156,15 +162,23 @@ let scan_oversize () =
 
 let body_of_string s = (Bytes.of_string s, String.length s)
 
+(* The good protocol version byte, as a string prefix for hand-built
+   bodies — computed from Wire so these tests survive version bumps. *)
+let ver = String.make 1 (Char.chr Net.Wire.protocol_version)
+
 let decode_bad_version () =
-  let b, len = body_of_string "\x63\x01" in
-  check_string "bad version" "bad_version"
-    (explain (Net.Wire.decode_request b ~off:0 ~len));
-  check_string "bad version (response)" "bad_version"
-    (explain (Net.Wire.decode_response b ~off:0 ~len))
+  List.iter
+    (fun bad ->
+      let b, len = body_of_string (bad ^ "\x01") in
+      check_string "bad version" "bad_version"
+        (explain (Net.Wire.decode_request b ~off:0 ~len));
+      check_string "bad version (response)" "bad_version"
+        (explain (Net.Wire.decode_response b ~off:0 ~len)))
+    (* both a garbage byte and the previous protocol version *)
+    [ "\x63"; String.make 1 (Char.chr (Net.Wire.protocol_version - 1)) ]
 
 let decode_bad_opcode () =
-  let b, len = body_of_string "\x01\x63" in
+  let b, len = body_of_string (ver ^ "\x63") in
   check_string "bad opcode" "bad_opcode"
     (explain (Net.Wire.decode_request b ~off:0 ~len));
   check_string "bad opcode (response)" "bad_opcode"
@@ -172,7 +186,7 @@ let decode_bad_opcode () =
 
 let decode_truncated_payload () =
   (* insert opcode with only 4 of the 16 payload bytes *)
-  let b, len = body_of_string "\x01\x02ABCD" in
+  let b, len = body_of_string (ver ^ "\x02ABCD") in
   check_string "truncated payload" "malformed"
     (explain (Net.Wire.decode_request b ~off:0 ~len))
 
@@ -188,7 +202,7 @@ let decode_empty_body () =
 
 let decode_bad_option_tag () =
   (* find(key, version) with an option tag of 7 *)
-  let b, len = body_of_string ("\x01\x04" ^ String.make 8 '\x00' ^ "\x07") in
+  let b, len = body_of_string (ver ^ "\x04" ^ String.make 8 '\x00' ^ "\x07") in
   check_string "bad option tag" "malformed"
     (explain (Net.Wire.decode_request b ~off:0 ~len))
 
@@ -196,22 +210,37 @@ let decode_bad_event_tag () =
   (* events response: count=1, version=0, event tag=9 *)
   let b, len =
     body_of_string
-      ("\x01\x05" ^ "\x01" ^ String.make 7 '\x00' ^ String.make 8 '\x00' ^ "\x09")
+      (ver ^ "\x05" ^ "\x01" ^ String.make 7 '\x00' ^ String.make 8 '\x00' ^ "\x09")
   in
   check_string "bad event tag" "malformed"
     (explain (Net.Wire.decode_response b ~off:0 ~len))
 
 let decode_pair_count_overrun () =
   (* pairs response declaring 1000 pairs with no payload behind it *)
-  let b, len = body_of_string ("\x01\x06" ^ "\xe8\x03" ^ String.make 6 '\x00') in
+  let b, len = body_of_string (ver ^ "\x06" ^ "\xe8\x03" ^ String.make 6 '\x00') in
   check_string "pair count overrun" "malformed"
     (explain (Net.Wire.decode_response b ~off:0 ~len))
 
 let decode_negative_string_length () =
   (* stats response with length -1 *)
-  let b, len = body_of_string ("\x01\x07" ^ String.make 8 '\xff') in
+  let b, len = body_of_string (ver ^ "\x07" ^ String.make 8 '\xff') in
   check_string "negative string length" "malformed"
     (explain (Net.Wire.decode_response b ~off:0 ~len))
+
+let decode_bulk_count_overrun () =
+  (* find_bulk request: no version, 1000 keys declared, no payload *)
+  let b, len = body_of_string (ver ^ "\x0d\x00" ^ "\xe8\x03" ^ String.make 6 '\x00') in
+  check_string "bulk key count overrun" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len));
+  (* values response: 1000 values declared, no payload *)
+  let b, len = body_of_string (ver ^ "\x0c" ^ "\xe8\x03" ^ String.make 6 '\x00') in
+  check_string "value count overrun" "malformed"
+    (explain (Net.Wire.decode_response b ~off:0 ~len))
+
+let decode_negative_tag_at () =
+  let b, len = body_of_string (ver ^ "\x0c" ^ String.make 8 '\xff') in
+  check_string "negative tag_at version" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
 
 (* ---- loopback end-to-end ---- *)
 
@@ -477,10 +506,10 @@ let e2e_error_frames_keep_connection () =
       raw_write fd (frame_of_body "\x63\x01");
       expect_error "bad version" Net.Wire.Bad_version (raw_read_response fd);
       (* 2. unknown opcode *)
-      raw_write fd (frame_of_body "\x01\x63");
+      raw_write fd (frame_of_body (ver ^ "\x63"));
       expect_error "bad opcode" Net.Wire.Bad_opcode (raw_read_response fd);
       (* 3. garbled payload *)
-      raw_write fd (frame_of_body "\x01\x02AB");
+      raw_write fd (frame_of_body (ver ^ "\x02AB"));
       expect_error "malformed" Net.Wire.Malformed (raw_read_response fd);
       (* ... and the connection is still perfectly usable *)
       raw_write fd
@@ -500,6 +529,45 @@ let e2e_error_frames_keep_connection () =
         | exception End_of_file -> true
         | _ -> false);
       raw_close fd)
+
+(* Regression for the protocol version bump: a frame carrying the
+   previous version byte (a stale client) is answered with a
+   Bad_version error frame — not a closed connection, not a hang — and
+   the very next well-formed request on the same connection succeeds. *)
+let e2e_stale_version_keeps_connection () =
+  with_server (fun _store _server addr ->
+      let fd = raw_connect addr in
+      let stale = String.make 1 (Char.chr (Net.Wire.protocol_version - 1)) in
+      (* a v1 Tag request, bit-exact *)
+      raw_write fd (frame_of_body (stale ^ "\x05"));
+      expect_error "stale version" Net.Wire.Bad_version (raw_read_response fd);
+      raw_write fd (frame_of_body (Net.Wire.encode_request_body Net.Wire.Ping));
+      check_bool "connection usable after stale-version frame" true
+        (raw_read_response fd = Net.Wire.Pong);
+      raw_close fd)
+
+let e2e_tag_at_find_bulk () =
+  with_server (fun store _server addr ->
+      let client = Net.Client.connect addr in
+      for k = 0 to 9 do
+        Net.Client.insert client ~key:k ~value:(k * 2)
+      done;
+      (* Tag_at 0 is a pure version probe *)
+      check_int "probe before any tag" 0 (Net.Client.tag_at client ~version:0);
+      (* jump the clock straight to 3, as a cluster-wide tag would *)
+      check_int "tag_at 3" 3 (Net.Client.tag_at client ~version:3);
+      check_int "store clock followed" 3 (Store.current_version store);
+      (* a lower target never rolls the clock back *)
+      check_int "tag_at 2 answers current" 3 (Net.Client.tag_at client ~version:2);
+      (* bulk lookup, hits and misses interleaved, answers in key order *)
+      let keys = [| 7; 99; 0; 3; 42 |] in
+      let vs = Net.Client.find_bulk client keys in
+      check_bool "bulk values in input order" true
+        (vs = [| Some 14; None; Some 0; Some 6; None |]);
+      let vs0 = Net.Client.find_bulk client ~version:3 keys in
+      check_bool "bulk at a version" true (vs0 = vs);
+      check_bool "empty bulk" true (Net.Client.find_bulk client [||] = [||]);
+      Net.Client.close client)
 
 let e2e_request_timeout () =
   with_server ~request_timeout:0.2 (fun _store _server addr ->
@@ -631,6 +699,8 @@ let () =
           Alcotest.test_case "bad event tag" `Quick decode_bad_event_tag;
           Alcotest.test_case "pair count overrun" `Quick decode_pair_count_overrun;
           Alcotest.test_case "negative string length" `Quick decode_negative_string_length;
+          Alcotest.test_case "bulk count overrun" `Quick decode_bulk_count_overrun;
+          Alcotest.test_case "negative tag_at version" `Quick decode_negative_tag_at;
         ] );
       ( "server-e2e",
         [
@@ -644,6 +714,9 @@ let () =
             e2e_slowlog;
           Alcotest.test_case "error frames keep the connection usable" `Quick
             e2e_error_frames_keep_connection;
+          Alcotest.test_case "stale protocol version keeps the connection usable"
+            `Quick e2e_stale_version_keeps_connection;
+          Alcotest.test_case "tag_at and find_bulk opcodes" `Quick e2e_tag_at_find_bulk;
           Alcotest.test_case "per-request timeout" `Quick e2e_request_timeout;
           Alcotest.test_case "busy backpressure" `Quick e2e_backpressure_busy;
           Alcotest.test_case "concurrent clients (2 domains)" `Quick

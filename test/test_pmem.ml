@@ -141,6 +141,23 @@ let alloc_zeroed_is_zero () =
   check_int "same block" p q;
   check_int "zeroed" 0 (Pmem.Media.get_i64 m (q + 8))
 
+let alloc_oversized_free_counts_leak () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  let stats = Pmem.Media.stats m in
+  let before = Pmem.Pstats.leaked_bytes stats in
+  (* 8000 bytes is beyond the largest size class (4096): freeing it
+     cannot recycle, so the bytes must land in the leak counter. *)
+  let p = Pmem.Alloc.alloc a 8000 in
+  Pmem.Alloc.free a p 8000;
+  check_int "oversized free counted as leaked" (before + 8000)
+    (Pmem.Pstats.leaked_bytes stats);
+  (* ...and an in-class free is not a leak. *)
+  let q = Pmem.Alloc.alloc a 64 in
+  Pmem.Alloc.free a q 64;
+  check_int "in-class free not counted" (before + 8000)
+    (Pmem.Pstats.leaked_bytes stats)
+
 let alloc_concurrent_no_overlap () =
   let m = Pmem.Media.create_ram ~capacity:(1 lsl 20) () in
   let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 20) in
@@ -518,6 +535,8 @@ let () =
           Alcotest.test_case "out of memory" `Quick alloc_out_of_memory;
           Alcotest.test_case "reattach" `Quick alloc_survives_reattach;
           Alcotest.test_case "alloc_zeroed" `Quick alloc_zeroed_is_zero;
+          Alcotest.test_case "oversized free counts pmem.leaked_bytes" `Quick
+            alloc_oversized_free_counts_leak;
           Alcotest.test_case "concurrent no overlap" `Quick alloc_concurrent_no_overlap;
         ] );
       ( "pheap",
