@@ -22,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|cluster|obs|smoke");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|cluster|obs|gc|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -121,6 +121,42 @@ let smoke () =
       "BENCH_cluster.json: expected shard counts 1,2,4,8" :: cluster_problems
     else cluster_problems
   in
+  (* The GC subsystem: a miniature churn run regenerates BENCH_gc.json.
+     The gate is the bounded-footprint contract itself: with retention
+     on, end-of-run live_bytes stays under 2x the working set while the
+     un-retained twin grows monotonically past it — plus a positive
+     throughput so a GC that stalls writers cannot pass. *)
+  let gc_results = ref None in
+  Metrics.with_report ~fig:"gc" (fun () ->
+      gc_results := Some (Fig_gc.run ~keys:256 ~rounds:20));
+  let gc_problems =
+    Metrics.validate ~fig:"gc" ~expect_histograms:[ "gc.pause_ns" ]
+  in
+  let gc_problems =
+    gc_problems
+    @
+    match !gc_results with
+    | None -> [ "BENCH_gc.json: figure did not run" ]
+    | Some r ->
+        List.filter_map
+          (fun (ok, msg) -> if ok then None else Some ("BENCH_gc.json: " ^ msg))
+          [
+            ( r.Fig_gc.retained_final < 2 * r.Fig_gc.working_set,
+              Printf.sprintf
+                "retained live_bytes %d not bounded by 2x working set %d"
+                r.Fig_gc.retained_final r.Fig_gc.working_set );
+            ( r.Fig_gc.unretained_final > r.Fig_gc.retained_final,
+              Printf.sprintf
+                "unretained live_bytes %d not above retained %d"
+                r.Fig_gc.unretained_final r.Fig_gc.retained_final );
+            ( r.Fig_gc.unretained_monotonic,
+              "unretained live_bytes did not grow monotonically" );
+            ( r.Fig_gc.retained_ops > 0.,
+              "retained throughput not positive" );
+            ( r.Fig_gc.unretained_ops > 0.,
+              "unretained throughput not positive" );
+          ]
+  in
   (* The observability layer itself: BENCH_obs.json prices each
      instrumentation regime; the gate holds the disabled-probe path
      (counters mode) within 5% of the uninstrumented baseline. *)
@@ -142,7 +178,7 @@ let smoke () =
       ]
     else []
   in
-  match problems @ net_problems @ cluster_problems @ obs_problems with
+  match problems @ net_problems @ cluster_problems @ gc_problems @ obs_problems with
   | [] -> print_endline "smoke: metrics report OK"
   | ps ->
       List.iter prerr_endline ps;
@@ -182,6 +218,9 @@ let () =
           ignore (Fig_cluster.run ~n:(min n 20_000)));
     if want "obs" then
       Metrics.with_report ~fig:"obs" (fun () -> ignore (Fig_obs.run ~n:(min n 20_000)));
+    if want "gc" then
+      Metrics.with_report ~fig:"gc" (fun () ->
+          ignore (Fig_gc.run ~keys:1024 ~rounds:(max 20 (min n 100_000 / 1024))));
     if bechamel then Microbench.run ~n:(min n 20_000);
     print_endline "\nbench: done."
   end

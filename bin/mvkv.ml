@@ -155,6 +155,33 @@ let snapshot pool threads version dump =
   Array.iter (fun (k, v) -> Printf.printf "%d\t%d\n" k v) pairs;
   maybe_stats dump
 
+let before_arg =
+  let doc =
+    "Compact away history no snapshot at or after version $(docv) \
+     observes."
+  in
+  Arg.(value & opt (some int) None & info [ "before" ] ~docv:"V" ~doc)
+
+let retain_arg =
+  let doc = "Compact so the last $(docv) versions stay fully observable." in
+  Arg.(value & opt (some int) None & info [ "retain" ] ~docv:"N" ~doc)
+
+let compact pool threads before retain dump =
+  let store = open_store pool threads in
+  let before =
+    match (before, retain) with
+    | Some b, None -> b
+    | None, Some n ->
+        if n < 0 then die "mvkv: --retain must be non-negative";
+        max 0 (Store.current_version store - n)
+    | Some _, Some _ -> die "mvkv: pass either --before or --retain, not both"
+    | None, None -> die "mvkv: compact needs --before or --retain"
+  in
+  if before < 0 then die "mvkv: --before must be non-negative";
+  let dropped = if before > 0 then Store.compact store ~before else 0 in
+  Printf.printf "compacted before version %d: dropped %d entries\n" before dropped;
+  maybe_stats dump
+
 (* ---- serving over the network (lib/net) ---- *)
 
 module Server = Net.Server.Make (Store)
@@ -203,6 +230,17 @@ let trace_cap_arg =
   let doc = "Span trace ring capacity (overwrite-oldest); dump with $(b,mvkv trace)." in
   Arg.(value & opt int 4096 & info [ "trace-cap" ] ~docv:"N" ~doc)
 
+let serve_retain_arg =
+  let doc =
+    "Run a background GC domain keeping only the last $(docv) versions \
+     observable (omit to keep the full history)."
+  in
+  Arg.(value & opt (some int) None & info [ "retain" ] ~docv:"N" ~doc)
+
+let gc_interval_arg =
+  let doc = "Seconds between background GC passes (with $(b,--retain))." in
+  Arg.(value & opt float 1.0 & info [ "gc-interval" ] ~docv:"SECONDS" ~doc)
+
 let interval_arg =
   let doc = "Seconds between refreshes." in
   Arg.(value & opt float 2.0 & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc)
@@ -222,13 +260,24 @@ let entries_arg =
 (* Shared by `mvkv serve` and `mvkv cluster serve`: open the pool,
    listen on [listen], and block until SIGINT/SIGTERM. *)
 let run_server ~banner pool threads listen workers batch max_conns timeout
-    slowlog_ms trace_cap =
+    slowlog_ms trace_cap retain gc_interval =
   (* Install the trace ring before opening the store, so the recovery
      rebuild's spans are already in it when the first `mvkv trace`
      arrives. *)
   let trace = Obs.Tracebuf.create ~capacity:trace_cap in
   Obs.Tracebuf.install trace;
   let store = open_store pool threads in
+  let gc =
+    match retain with
+    | None -> None
+    | Some keep ->
+        if keep < 0 then die "mvkv: --retain must be non-negative";
+        if gc_interval <= 0. then die "mvkv: --gc-interval must be positive";
+        Some
+          (Store.gc_start store
+             ~interval_ms:(max 1 (int_of_float (gc_interval *. 1000.)))
+             ~keep ())
+  in
   let server =
     match
       Server.start ~store ~workers ~batch ~max_conns ~request_timeout:timeout
@@ -240,8 +289,11 @@ let run_server ~banner pool threads listen workers batch max_conns timeout
         die "mvkv: cannot listen on %s: %s" (Net.Sockaddr.to_string listen)
           (Unix.error_message e)
   in
-  Format.printf "mvkv: serving %s%s on %a (workers=%d, batch=%d, max-conns=%d)@."
-    pool banner Net.Sockaddr.pp (Server.addr server) workers batch max_conns;
+  Format.printf "mvkv: serving %s%s on %a (workers=%d, batch=%d, max-conns=%d%s)@."
+    pool banner Net.Sockaddr.pp (Server.addr server) workers batch max_conns
+    (match retain with
+    | Some keep -> Printf.sprintf ", retain=%d" keep
+    | None -> "");
   let stop = ref false in
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigint handler;
@@ -250,12 +302,13 @@ let run_server ~banner pool threads listen workers batch max_conns timeout
     try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   Format.printf "mvkv: draining connections and shutting down@.";
+  (match gc with Some gc -> Store.gc_stop gc | None -> ());
   Server.stop server
 
 let serve pool threads socket host port workers batch max_conns timeout slowlog_ms
-    trace_cap =
+    trace_cap retain gc_interval =
   run_server ~banner:"" pool threads (addr_of socket host port) workers batch
-    max_conns timeout slowlog_ms trace_cap
+    max_conns timeout slowlog_ms trace_cap retain gc_interval
 
 let timeout_ms_arg =
   let doc =
@@ -337,6 +390,22 @@ let client_history socket host port timeout_ms retries key =
           | Mvdict.Dict_intf.Del -> Printf.printf "v%d\tdel\n" version)
         (Net.Client.history c key))
 
+let client_compact socket host port timeout_ms retries before retain =
+  with_client ?timeout_ms ~retries socket host port (fun c ->
+      match (before, retain) with
+      | Some _, Some _ -> die "mvkv: pass either --before or --retain, not both"
+      | Some before, None ->
+          if before < 0 then die "mvkv: --before must be non-negative";
+          let dropped = Net.Client.compact c ~before in
+          Printf.printf "compacted before version %d: dropped %d entries\n" before
+            dropped
+      | None, Some keep ->
+          if keep < 0 then die "mvkv: --retain must be non-negative";
+          let before, dropped = Net.Client.retention c ~keep in
+          Printf.printf "compacted before version %d: dropped %d entries\n" before
+            dropped
+      | None, None -> die "mvkv: compact needs --before or --retain")
+
 let client_snapshot socket host port timeout_ms retries version =
   with_client ?timeout_ms ~retries socket host port (fun c ->
       Array.iter
@@ -387,7 +456,7 @@ let load_topology file =
   | exception Sys_error msg -> die "mvkv: cannot read topology: %s" msg
 
 let cluster_serve topo_file shard pool threads workers batch max_conns timeout
-    slowlog_ms trace_cap =
+    slowlog_ms trace_cap retain gc_interval =
   let topo = load_topology topo_file in
   if shard < 0 || shard >= Cluster.Topology.shards topo then
     die "mvkv: no shard %d in %s (%d shards)" shard topo_file
@@ -397,7 +466,7 @@ let cluster_serve topo_file shard pool threads workers batch max_conns timeout
       (Printf.sprintf " as shard %d/%d" shard (Cluster.Topology.shards topo))
     pool threads
     (Cluster.Topology.endpoint topo shard)
-    workers batch max_conns timeout slowlog_ms trace_cap
+    workers batch max_conns timeout slowlog_ms trace_cap retain gc_interval
 
 (* Router errors are expected operational conditions (a shard down, a
    key off the map): one line and exit 2, same contract as `die`. *)
@@ -466,6 +535,18 @@ let cluster_history topo timeout_ms retries key =
           | Mvdict.Dict_intf.Del -> Printf.printf "v%d\tdel\n" version)
         events;
       Ok ())
+
+let cluster_compact topo timeout_ms retries retain =
+  with_router topo timeout_ms retries (fun r ->
+      match retain with
+      | None -> die "mvkv: cluster compact needs --retain"
+      | Some keep ->
+          if keep < 0 then die "mvkv: --retain must be non-negative";
+          let* before, dropped = Cluster.Router.compact r ~keep in
+          Printf.printf
+            "compacted cluster before version %d: dropped %d entries\n" before
+            dropped;
+          Ok ())
 
 let cluster_snapshot topo timeout_ms retries version mode merge_threads =
   with_router topo timeout_ms retries (fun r ->
@@ -676,12 +757,17 @@ let () =
         Term.(const snapshot $ pool_arg $ threads_arg $ version_arg $ stats_arg);
       cmd_of "stats" "Pool statistics."
         Term.(const stats $ pool_arg $ threads_arg);
+      cmd_of "compact"
+        "Garbage-collect history (offline): --before V or --retain N."
+        Term.(
+          const compact $ pool_arg $ threads_arg $ before_arg $ retain_arg
+          $ stats_arg);
       cmd_of "serve"
         "Serve the pool's dict API over a socket until SIGINT/SIGTERM."
         Term.(
           const serve $ pool_arg $ threads_arg $ socket_arg $ host_arg $ port_arg
           $ workers_arg $ batch_arg $ max_conns_arg $ timeout_arg $ slowlog_ms_arg
-          $ trace_cap_arg);
+          $ trace_cap_arg $ serve_retain_arg $ gc_interval_arg);
       cmd_of "top" "Live per-operation dashboard for a running server."
         Term.(const top $ socket_arg $ host_arg $ port_arg $ interval_arg $ count_arg);
       cmd_of "metrics" "Dump a running server's metrics in Prometheus text format."
@@ -722,6 +808,11 @@ let () =
             Term.(
               const client_snapshot $ socket_arg $ host_arg $ port_arg
               $ timeout_ms_arg $ retries_arg $ version_arg);
+          cmd_of "compact"
+            "Garbage-collect the server's history: --before V or --retain N."
+            Term.(
+              const client_compact $ socket_arg $ host_arg $ port_arg
+              $ timeout_ms_arg $ retries_arg $ before_arg $ retain_arg);
           cmd_of "stats" "Fetch the server's observability registry as JSON."
             Term.(
               const client_stats $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
@@ -738,7 +829,8 @@ let () =
             Term.(
               const cluster_serve $ topology_arg $ shard_arg $ pool_arg
               $ threads_arg $ workers_arg $ batch_arg $ max_conns_arg
-              $ timeout_arg $ slowlog_ms_arg $ trace_cap_arg);
+              $ timeout_arg $ slowlog_ms_arg $ trace_cap_arg $ serve_retain_arg
+              $ gc_interval_arg);
           Cmd.group
             (Cmd.info "client" ~doc:"Drive a running sharded cluster.")
             [
@@ -771,6 +863,12 @@ let () =
                 Term.(
                   const cluster_snapshot $ topology_arg $ timeout_ms_arg
                   $ retries_arg $ version_arg $ mode_arg $ merge_threads_arg);
+              cmd_of "compact"
+                "Cluster-wide GC: probe shard clocks, compact below the \
+                 safe horizon (--retain N)."
+                Term.(
+                  const cluster_compact $ topology_arg $ timeout_ms_arg
+                  $ retries_arg $ retain_arg);
             ];
         ];
     ]

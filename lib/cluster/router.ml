@@ -40,6 +40,7 @@ let m_find = Obs.Instr.op "cluster.find"
 let m_find_bulk = Obs.Instr.op "cluster.find_bulk"
 let m_history = Obs.Instr.op "cluster.history"
 let m_tag = Obs.Instr.op "cluster.tag"
+let m_compact = Obs.Instr.op "cluster.compact"
 let m_snap_naive = Obs.Instr.op "cluster.snapshot.naive"
 let m_snap_opt = Obs.Instr.op "cluster.snapshot.opt"
 
@@ -248,6 +249,27 @@ let tag t =
           Result.bind
             (each_shard t (fun _ c -> Net.Client.tag_at c ~version:target))
             (verify 0))
+
+(* ---- cluster-wide compaction ---- *)
+
+let compact t ~keep =
+  timed m_compact (fun () ->
+      match versions t with
+      | Error _ as e -> e
+      | Ok vs ->
+          (* Same shape as [tag]: probe every shard's clock first, then
+             broadcast one absolute horizon. Anchoring [before] below
+             the minimum clock keeps the last [keep] versions of every
+             shard observable, so consistent cluster snapshots at or
+             after [before] stay faithful even when shard clocks have
+             drifted apart. *)
+          let vmin = Array.fold_left min max_int vs in
+          let before = max 0 (vmin - keep) in
+          if before = 0 then Ok (0, 0)
+          else
+            Result.map
+              (fun dropped -> (before, List.fold_left ( + ) 0 dropped))
+              (each_shard t (fun _ c -> Net.Client.compact c ~before)))
 
 (* ---- scatter-gather history ---- *)
 

@@ -70,6 +70,16 @@ val tag : t -> (int, error) result
 (** Cluster-wide tag: probe every shard's version, broadcast
     [Tag_at (max + 1)], verify every ack equals the target, return it. *)
 
+val compact : t -> keep:int -> (int * int, error) result
+(** Cluster-wide GC, the same probe-then-broadcast shape as {!tag}:
+    read every shard's clock, pick the safe horizon
+    [before = min clocks - keep] (clamped at 0), broadcast
+    [Compact {before}] to every shard and sum the acks. Returns
+    [(before, total entries dropped)]; [(0, 0)] when no shard has
+    enough history yet. Anchoring below the minimum clock guarantees
+    every shard keeps its last [keep] versions, so consistent cluster
+    snapshots at or after [before] remain faithful. *)
+
 val history : t -> int -> ((int * int Mvdict.Dict_intf.event) list, error) result
 (** Scatter-gather [extract_history] across all shards (non-owners
     contribute nothing), merged in version order. *)

@@ -179,6 +179,30 @@ let iter_range t ~lo ~hi f =
   in
   walk (descend (max_level - 1) t.head)
 
+(* Physically unlink every node matching [dead] at all levels, the
+   vordered-kv scrub idiom: per level, walk the pred's next-cell and
+   skip-link over dead nodes. Plain [Atomic.set] is enough because the
+   caller guarantees exclusive access (the store quiesces around GC) —
+   this structure has no concurrent removal protocol. *)
+let scrub t ~dead =
+  let removed = ref 0 in
+  for level = max_level - 1 downto 0 do
+    let rec sweep pred_next =
+      match Atomic.get pred_next.(level) with
+      | Nil -> ()
+      | Node n ->
+          if dead n.key n.value then begin
+            Atomic.set pred_next.(level) (Atomic.get n.next.(level));
+            if level = 0 then incr removed;
+            sweep pred_next
+          end
+          else sweep n.next
+    in
+    sweep t.head
+  done;
+  if !removed > 0 then ignore (Atomic.fetch_and_add t.count (- !removed));
+  !removed
+
 let fold t ~init ~f =
   let acc = ref init in
   iter t (fun k v -> acc := f !acc k v);

@@ -47,6 +47,13 @@ val iter_from : ('k, 'v) t -> 'k -> ('k -> 'v -> unit) -> unit
 val iter_range : ('k, 'v) t -> lo:'k -> hi:'k -> ('k -> 'v -> unit) -> unit
 (** In-order traversal of keys in [lo, hi). *)
 
+val scrub : ('k, 'v) t -> dead:('k -> 'v -> bool) -> int
+(** [scrub t ~dead] physically unlinks every node whose key/value
+    satisfies [dead] from all levels and returns how many were removed.
+    This is the one bulk-removal escape hatch for garbage collection; it
+    is NOT safe concurrently with inserts or traversals — callers must
+    hold exclusive access (the store quiesces writers first). *)
+
 val fold : ('k, 'v) t -> init:'a -> f:('a -> 'k -> 'v -> 'a) -> 'a
 
 val cardinal : ('k, 'v) t -> int

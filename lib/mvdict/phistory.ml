@@ -59,12 +59,21 @@ let rewrite_offline t entries =
       Pmem.Pvector.set_word v ~record:slot ~word:2 stamp;
       Pmem.Pvector.persist_record v ~record:slot)
     entries;
-  for slot = n to cap - 1 do
-    Pmem.Pvector.set_word v ~record:slot ~word:0 0;
-    Pmem.Pvector.set_word v ~record:slot ~word:1 0;
-    Pmem.Pvector.set_word v ~record:slot ~word:2 0;
-    Pmem.Pvector.persist_record v ~record:slot
-  done;
+  (* Shrink the storage back to a right-sized buffer (frees the old
+     one); when nothing shrinks, zero the tail in place so stale
+     records beyond [n] cannot resurface after a crash. *)
+  let target =
+    let rec fit c = if c >= n then c else fit (c * 2) in
+    fit initial_capacity
+  in
+  if target < cap then Pmem.Pvector.shrink_offline v ~capacity:target ~keep:n
+  else
+    for slot = n to cap - 1 do
+      Pmem.Pvector.set_word v ~record:slot ~word:0 0;
+      Pmem.Pvector.set_word v ~record:slot ~word:1 0;
+      Pmem.Pvector.set_word v ~record:slot ~word:2 0;
+      Pmem.Pvector.persist_record v ~record:slot
+    done;
   H.reset_offline t ~length:n
 
 let attach_pruned heap hist_handle ~fc =

@@ -10,6 +10,12 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
     ctx : Version.t;
     mutable board : Completion.t;
     recovered_fc : int;
+    (* GC gate: ordinary operations pass through [gated]; compaction
+       closes the gate, drains in-flight operations and then has the
+       store to itself (a bounded stop-the-world pause). *)
+    gate_closed : bool Atomic.t;
+    gate_inflight : int Atomic.t;
+    gc_lock : Mutex.t;
   }
 
   let name = "PSkipList"
@@ -23,6 +29,11 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
   let m_history = Obs.Instr.op "mvdict.pskiplist.history"
   let m_snapshot = Obs.Instr.op "mvdict.pskiplist.snapshot"
   let g_recovered_fc = Obs.Registry.gauge "mvdict.pskiplist.recovered_fc"
+  let c_gc_runs = Obs.Registry.counter "gc.runs"
+  let c_gc_dropped = Obs.Registry.counter "gc.entries_dropped"
+  let c_gc_scrubbed = Obs.Registry.counter "gc.keys_scrubbed"
+  let c_gc_reclaimed = Obs.Registry.counter "gc.bytes_reclaimed"
+  let h_gc_pause = Obs.Registry.histogram "gc.pause_ns"
 
   let make_store heap chain ctx recovered_fc =
     {
@@ -33,7 +44,39 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
       ctx;
       board = Completion.create ctx;
       recovered_fc;
+      gate_closed = Atomic.make false;
+      gate_inflight = Atomic.make 0;
+      gc_lock = Mutex.create ();
     }
+
+  (* Same shape as the lazy-tail writer/grower handshake: register, then
+     re-check the flag and back out if compaction closed the gate in
+     between — compaction's drain loop then cannot miss us. *)
+  let op_enter t =
+    let rec loop () =
+      while Atomic.get t.gate_closed do
+        Domain.cpu_relax ()
+      done;
+      ignore (Atomic.fetch_and_add t.gate_inflight 1);
+      if Atomic.get t.gate_closed then begin
+        ignore (Atomic.fetch_and_add t.gate_inflight (-1));
+        Domain.cpu_relax ();
+        loop ()
+      end
+    in
+    loop ()
+
+  let op_exit t = ignore (Atomic.fetch_and_add t.gate_inflight (-1))
+
+  let gated t f =
+    op_enter t;
+    match f () with
+    | result ->
+        op_exit t;
+        result
+    | exception e ->
+        op_exit t;
+        raise e
 
   let create ?(block_slots = 64) heap =
     if not (Pmem.Pptr.is_null (Pmem.Pheap.root_get heap chain_root_slot)) then
@@ -69,12 +112,12 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
 
   let insert t key value =
     let t0 = Obs.Instr.start () in
-    append t key (Codec.encode (module V) t.heap value);
+    gated t (fun () -> append t key (Codec.encode (module V) t.heap value));
     Obs.Instr.finish m_insert t0
 
   let remove t key =
     let t0 = Obs.Instr.start () in
-    append t key Codec.marker_word;
+    gated t (fun () -> append t key Codec.marker_word);
     Obs.Instr.finish m_remove t0
   let tag t = Version.tag t.ctx
   let current_version t = Version.current t.ctx
@@ -89,9 +132,10 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
   let find t ?(version = max_int) key =
     let t0 = Obs.Instr.start () in
     let result =
-      match Concurrent.Skiplist.find t.index key with
-      | None -> None
-      | Some h -> lookup_value t h version
+      gated t (fun () ->
+          match Concurrent.Skiplist.find t.index key with
+          | None -> None
+          | Some h -> lookup_value t h version)
     in
     Obs.Instr.finish m_find t0;
     result
@@ -99,34 +143,43 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
   let extract_history t key =
     let t0 = Obs.Instr.start () in
     let result =
-      match Concurrent.Skiplist.find t.index key with
-      | None -> []
-      | Some h ->
-          List.map
-            (fun (version, word) ->
-              if Codec.is_marker word then (version, Dict_intf.Del)
-              else (version, Dict_intf.Put (Codec.decode (module V) t.media word)))
-            (Phistory.H.events h ~ctx:t.ctx)
+      gated t (fun () ->
+          match Concurrent.Skiplist.find t.index key with
+          | None -> []
+          | Some h ->
+              List.map
+                (fun (version, word) ->
+                  if Codec.is_marker word then (version, Dict_intf.Del)
+                  else
+                    (version, Dict_intf.Put (Codec.decode (module V) t.media word)))
+                (Phistory.H.events h ~ctx:t.ctx))
     in
     Obs.Instr.finish m_history t0;
     result
 
-  let iter_snapshot t ?(version = max_int) f =
+  (* Un-gated iteration core; every public entry point below wraps it
+     exactly once (gated sections must not nest — compaction's drain
+     would deadlock against a reader re-entering the gate). *)
+  let iter_snapshot_raw t ~version f =
     Concurrent.Skiplist.iter t.index (fun key h ->
         match lookup_value t h version with
         | Some v -> f key v
         | None -> ())
 
-  let iter_range t ?(version = max_int) ~lo ~hi f =
-    Concurrent.Skiplist.iter_range t.index ~lo ~hi (fun key h ->
-        match lookup_value t h version with
-        | Some v -> f key v
-        | None -> ())
+  let iter_snapshot t ?(version = max_int) f =
+    gated t (fun () -> iter_snapshot_raw t ~version f)
 
-  let extract_snapshot t ?version () =
+  let iter_range t ?(version = max_int) ~lo ~hi f =
+    gated t (fun () ->
+        Concurrent.Skiplist.iter_range t.index ~lo ~hi (fun key h ->
+            match lookup_value t h version with
+            | Some v -> f key v
+            | None -> ()))
+
+  let extract_snapshot t ?(version = max_int) () =
     let t0 = Obs.Instr.start () in
     let acc = ref [] in
-    iter_snapshot t ?version (fun k v -> acc := (k, v) :: !acc);
+    gated t (fun () -> iter_snapshot_raw t ~version (fun k v -> acc := (k, v) :: !acc));
     let a = Array.of_list !acc in
     let n = Array.length a in
     let result = Array.init n (fun i -> a.(n - 1 - i)) in
@@ -192,11 +245,15 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
 
   let heap t = t.heap
 
-  (* Offline GC (see interface). Retained entries keep their relative
-     order; their completion stamps are renumbered to 1..M globally (in
+  (* The GC core; runs with the store quiesced (gate closed, in-flight
+     drained, fc settled). Retained entries keep their relative order;
+     their completion stamps are renumbered to 1..M globally (in
      old-stamp order) so the contiguous-prefix recovery invariant holds
-     after a crash. *)
-  let compact t ~before =
+     after a crash. Keys whose history empties out are scrubbed: their
+     chain slot is cleared (persisted) and queued for reuse, the key blob
+     and history storage are freed, and the index node is physically
+     unlinked. *)
+  let compact_quiesced t ~before =
     let dropped = ref 0 in
     let histories = ref [] in
     Concurrent.Skiplist.iter t.index (fun _ h ->
@@ -236,18 +293,111 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
         let version, word, _ = kept.(i) in
         kept.(i) <- (version, word, rank + 1))
       order;
-    List.iter (fun (h, kept) -> Phistory.rewrite_offline h kept) !histories;
+    List.iter
+      (fun (h, kept) ->
+        if Array.length kept > 0 then Phistory.rewrite_offline h kept)
+      !histories;
+    (* Scrub emptied keys. Order matters for crash safety: clearing the
+       chain slot (persisted) comes first, so a crash mid-scrub leaves
+       orphaned blocks (a bounded leak) and never a slot pointing at
+       freed storage. *)
+    let dead = Hashtbl.create 16 in
+    List.iter
+      (fun (h, kept) ->
+        if Array.length kept = 0 then Hashtbl.replace dead (Phistory.handle h) ())
+      !histories;
+    if Hashtbl.length dead > 0 then begin
+      ignore
+        (Pmem.Pblockchain.release_slots t.chain
+           ~dead:(fun ~hist -> Hashtbl.mem dead hist)
+           ~on_release:(fun ~key ~hist:_ -> Codec.free_word t.heap key));
+      List.iter
+        (fun (h, kept) ->
+          if Array.length kept = 0 then Phistory.destroy t.heap h)
+        !histories;
+      let scrubbed =
+        Concurrent.Skiplist.scrub t.index ~dead:(fun _ h ->
+            Hashtbl.mem dead (Phistory.handle h))
+      in
+      Obs.Metric.add c_gc_scrubbed scrubbed
+    end;
     let fc = Array.length order in
     Version.reset_completed_offline t.ctx ~fc;
     (* The board may hold stale stamps that collide with the renumbered
        sequence; replace it. *)
     t.board <- Completion.create t.ctx;
+    (* With writers drained, no reader can hold a buffer retired by
+       Pvector growth: free the quarantine. *)
+    ignore (Pmem.Pheap.drain_quarantine t.heap);
     !dropped
 
+  (* Online GC entry point (see interface). Serialises concurrent
+     compactions with a mutex, then closes the gate and drains: once
+     [gate_inflight] hits zero every claimed history slot has been
+     written and stamped, so one [help_advance] settles fc = pc and the
+     quiesced invariants of the offline pass hold. *)
+  let compact t ~before =
+    Mutex.lock t.gc_lock;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.set t.gate_closed false;
+        Mutex.unlock t.gc_lock)
+      (fun () ->
+        let pause0 = Obs.Clock.now_ns () in
+        Atomic.set t.gate_closed true;
+        while Atomic.get t.gate_inflight > 0 do
+          Domain.cpu_relax ()
+        done;
+        Completion.help_advance t.board;
+        let stats = Pmem.Pheap.stats t.heap in
+        let live0 = Pmem.Pstats.live_bytes stats in
+        let dropped = compact_quiesced t ~before in
+        let live1 = Pmem.Pstats.live_bytes stats in
+        Obs.Metric.incr c_gc_runs;
+        Obs.Metric.add c_gc_dropped dropped;
+        if live0 > live1 then Obs.Metric.add c_gc_reclaimed (live0 - live1);
+        Obs.Histogram.record h_gc_pause (Obs.Clock.now_ns () - pause0);
+        dropped)
+
+  let retain t ~keep =
+    if keep < 0 then invalid_arg "Pskiplist.retain: keep must be non-negative";
+    let before = max 0 (current_version t - keep) in
+    let dropped = if before > 0 then compact t ~before else 0 in
+    (before, dropped)
+
+  type gc = { stop : bool Atomic.t; domain : unit Domain.t }
+
+  let gc_start t ?(interval_ms = 50) ~keep () =
+    if keep < 0 then invalid_arg "Pskiplist.gc_start: keep must be non-negative";
+    if interval_ms <= 0 then
+      invalid_arg "Pskiplist.gc_start: interval_ms must be positive";
+    let stop = Atomic.make false in
+    let domain =
+      Domain.spawn (fun () ->
+          while not (Atomic.get stop) do
+            ignore (retain t ~keep);
+            (* Sleep in short slices so gc_stop is prompt. *)
+            let remaining = ref interval_ms in
+            while !remaining > 0 && not (Atomic.get stop) do
+              let slice = min 5 !remaining in
+              Unix.sleepf (float_of_int slice /. 1000.);
+              remaining := !remaining - slice
+            done
+          done)
+    in
+    { stop; domain }
+
+  let gc_stop g =
+    Atomic.set g.stop true;
+    Domain.join g.domain
+
   let history_words t key =
-    match Concurrent.Skiplist.find t.index key with
-    | None -> [||]
-    | Some h -> Phistory.scan_persisted t.heap (Phistory.handle h)
+    gated t (fun () ->
+        match Concurrent.Skiplist.find t.index key with
+        | None -> [||]
+        | Some h -> Phistory.scan_persisted t.heap (Phistory.handle h))
 
   let recovered_fc t = t.recovered_fc
+  let chain_claimed t = Pmem.Pblockchain.claimed t.chain
+  let chain_free_slots t = Pmem.Pblockchain.free_slot_count t.chain
 end

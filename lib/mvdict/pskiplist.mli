@@ -38,10 +38,32 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) : sig
       a removal marker is dropped too. Snapshots at or after [before]
       are preserved exactly; older snapshots become unfaithful (a key
       whose last pre-[before] change came after the queried version now
-      reads as absent — the usual contract of version GC). The persisted
-      completion stamps are renumbered globally so crash recovery keeps
-      working. Offline: must not run concurrently with any other
-      operation on the store. Returns the number of entries dropped. *)
+      reads as absent — the usual contract of version GC). Keys whose
+      history empties out entirely are scrubbed: unlinked from the index,
+      their chain slot cleared for reuse and their key blob and history
+      storage recycled. The persisted completion stamps are renumbered
+      globally so crash recovery keeps working.
+
+      Safe against a live store: concurrent operations are quiesced at a
+      gate while the pass runs (a bounded stop-the-world pause, recorded
+      in the [gc.pause_ns] histogram); concurrent [compact]/[retain]
+      calls serialise on an internal lock. Returns the number of entries
+      dropped. *)
+
+  val retain : t -> keep:int -> int * int
+  (** [retain t ~keep] compacts so that (at least) the last [keep]
+      versions stay fully observable: runs [compact ~before:(current -
+      keep)] clamped at 0. Returns [(before, dropped)]. *)
+
+  type gc
+  (** A background GC domain started by {!gc_start}. *)
+
+  val gc_start : t -> ?interval_ms:int -> keep:int -> unit -> gc
+  (** Spawn a domain that calls {!retain} [~keep] every [interval_ms]
+      (default 50) milliseconds until {!gc_stop}. *)
+
+  val gc_stop : gc -> unit
+  (** Signal the GC domain to stop and join it. *)
 
   val history_words : t -> key -> (int * int * int) array
   (** Raw persisted [(version, word, stamp)] records of a key's history
@@ -50,4 +72,11 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) : sig
   val recovered_fc : t -> int
   (** The finished-counter value recovered at [open_existing] time (0
       for a freshly created store); test hook. *)
+
+  val chain_claimed : t -> int
+  (** Claimed key-chain slots (test hook: scrubbed slots are reused, so
+      churn on a bounded key set does not grow this). *)
+
+  val chain_free_slots : t -> int
+  (** Key-chain slots currently free for reuse (test hook). *)
 end

@@ -215,6 +215,16 @@ let tag_at t ~version =
   | Wire.Version v -> v
   | r -> unexpected "tag_at" r
 
+let compact t ~before =
+  match call t (Wire.Compact { before }) with
+  | Wire.Gc_done { dropped; _ } -> dropped
+  | r -> unexpected "compact" r
+
+let retention t ~keep =
+  match call t (Wire.Retention { keep }) with
+  | Wire.Gc_done { dropped; before } -> (before, dropped)
+  | r -> unexpected "retention" r
+
 let history t key =
   match call t (Wire.History { key }) with
   | Wire.Events evs -> evs

@@ -108,7 +108,17 @@ let recv_chunk = 65536
    flag; bounds shutdown latency without any cross-domain signalling. *)
 let poll_interval = 0.05
 
-module Make (S : Mvdict.Dict_intf.S with type key = int and type value = int) =
+(* What the server needs from a store: the full dict API plus the GC
+   entry point behind the Compact/Retention opcodes. *)
+module type STORE = sig
+  include Mvdict.Dict_intf.S with type key = int and type value = int
+
+  val compact : t -> before:int -> int
+  (** Drop history entries no snapshot at or after [before] observes;
+      returns how many were dropped (see {!Mvdict.Pskiplist}). *)
+end
+
+module Make (S : STORE) =
 struct
   type t = {
     store : S.t;
@@ -183,6 +193,15 @@ struct
     | Wire.Slowlog { n } ->
         Wire.Slowlog_json
           (Obs.Json.to_string (Obs.Slowlog.to_json (Obs.Slowlog.newest t.slow ~n)))
+    | Wire.Compact { before } ->
+        Wire.Gc_done { dropped = S.compact t.store ~before; before }
+    | Wire.Retention { keep } ->
+        (* Derive the horizon from this store's clock; the cluster
+           router sends absolute [Compact] horizons instead, computed
+           from the minimum clock across shards. *)
+        let before = max 0 (S.current_version t.store - keep) in
+        let dropped = if before > 0 then S.compact t.store ~before else 0 in
+        Wire.Gc_done { dropped; before }
 
   let dispatch t req =
     let metrics = List.assoc (Wire.request_label req) op_metrics in

@@ -17,8 +17,10 @@
 
 (* Version 2 added the cluster opcodes: Tag_at (cut a snapshot at an
    exact version number, the primitive behind cluster-wide tags) and
-   Find_bulk (one frame looking many keys up). *)
-let protocol_version = 2
+   Find_bulk (one frame looking many keys up).
+   Version 3 added the GC opcodes: Compact / Retention requests and the
+   Gc_done response. *)
+let protocol_version = 3
 
 (* Largest accepted body, in bytes. Generous enough for a snapshot of
    ~500k pairs in one frame; small enough that a garbage length prefix
@@ -59,6 +61,13 @@ type request =
   | Find_bulk of { keys : int array; version : int option }
       (** Look every key up in one frame; answered with {!Values} in
           input order. *)
+  | Compact of { before : int }
+      (** Garbage-collect history entries no snapshot at or after
+          [before] observes; answered with {!Gc_done}. *)
+  | Retention of { keep : int }
+      (** Compact so the last [keep] versions stay fully observable; the
+          server derives [before] from its own clock. Answered with
+          {!Gc_done}. *)
 
 type response =
   | Pong
@@ -72,6 +81,9 @@ type response =
   | Prom_text of string  (** Prometheus exposition text *)
   | Trace_json of string  (** Chrome trace_event JSON text *)
   | Slowlog_json of string  (** slow-op log entries as JSON text *)
+  | Gc_done of { dropped : int; before : int }
+      (** compact/retention result: entries dropped and the horizon the
+          server actually compacted before *)
   | Error of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -117,11 +129,13 @@ let request_label = function
   | Slowlog _ -> "slowlog"
   | Tag_at _ -> "tag_at"
   | Find_bulk _ -> "find_bulk"
+  | Compact _ -> "compact"
+  | Retention _ -> "retention"
 
 let request_labels =
   [
     "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats";
-    "metrics"; "trace"; "slowlog"; "tag_at"; "find_bulk";
+    "metrics"; "trace"; "slowlog"; "tag_at"; "find_bulk"; "compact"; "retention";
   ]
 
 (* The key a request touches, when it names one — slow-op log entries
@@ -130,7 +144,7 @@ let request_key = function
   | Insert { key; _ } | Remove { key } | Find { key; _ } | History { key } ->
       Some key
   | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump | Slowlog _
-  | Tag_at _ | Find_bulk _ ->
+  | Tag_at _ | Find_bulk _ | Compact _ | Retention _ ->
       None
 
 (* ---- equality / printing (tests, error messages) ---- *)
@@ -155,6 +169,8 @@ let pp_response fmt = function
   | Prom_text s -> Format.fprintf fmt "metrics(%d bytes)" (String.length s)
   | Trace_json s -> Format.fprintf fmt "trace(%d bytes)" (String.length s)
   | Slowlog_json s -> Format.fprintf fmt "slowlog(%d bytes)" (String.length s)
+  | Gc_done { dropped; before } ->
+      Format.fprintf fmt "gc_done dropped=%d before=%d" dropped before
   | Error { code; message } ->
       Format.fprintf fmt "error %s: %s" (error_code_name code) message
 
@@ -191,6 +207,8 @@ let request_opcode = function
   | Slowlog _ -> 11
   | Tag_at _ -> 12
   | Find_bulk _ -> 13
+  | Compact _ -> 14
+  | Retention _ -> 15
 
 let encode_request_body (r : request) =
   let buf = Buffer.create 32 in
@@ -211,7 +229,9 @@ let encode_request_body (r : request) =
   | Find_bulk { keys; version } ->
       put_opt_int buf version;
       put_int buf (Array.length keys);
-      Array.iter (put_int buf) keys);
+      Array.iter (put_int buf) keys
+  | Compact { before } -> put_int buf before
+  | Retention { keep } -> put_int buf keep);
   Buffer.contents buf
 
 let response_opcode = function
@@ -227,6 +247,7 @@ let response_opcode = function
   | Trace_json _ -> 10
   | Slowlog_json _ -> 11
   | Values _ -> 12
+  | Gc_done _ -> 13
 
 let encode_response_body (r : response) =
   let buf = Buffer.create 32 in
@@ -258,6 +279,9 @@ let encode_response_body (r : response) =
           put_int buf v)
         pairs
   | Stats_json s | Prom_text s | Trace_json s | Slowlog_json s -> put_string buf s
+  | Gc_done { dropped; before } ->
+      put_int buf dropped;
+      put_int buf before
   | Error { code; message } ->
       put_u8 buf (error_code_to_int code);
       put_string buf message);
@@ -391,6 +415,16 @@ let decode_request b ~off ~len : (request, error_code * string) result =
           raise (Bad (Malformed, Printf.sprintf "key count %d overruns frame" n));
         finish c
           (Find_bulk { keys = Array.init n (fun _ -> get_int c "find_bulk.key"); version })
+    | 14 ->
+        let before = get_int c "compact.before" in
+        if before < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative compact horizon %d" before));
+        finish c (Compact { before })
+    | 15 ->
+        let keep = get_int c "retention.keep" in
+        if keep < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative retention window %d" keep));
+        finish c (Retention { keep })
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
   with
   | r -> r
@@ -448,6 +482,10 @@ let decode_response b ~off ~len : (response, error_code * string) result =
         if n > c.limit - c.pos then
           raise (Bad (Malformed, Printf.sprintf "value count %d overruns frame" n));
         finish c (Values (Array.init n (fun _ -> get_opt_int c "values.value")))
+    | 13 ->
+        let dropped = get_int c "gc_done.dropped" in
+        let before = get_int c "gc_done.before" in
+        finish c (Gc_done { dropped; before })
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown response opcode %d" op)
   with
   | r -> r

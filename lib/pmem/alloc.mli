@@ -6,6 +6,9 @@
     - a persisted bump pointer serves fresh blocks;
     - freed blocks go to per-size-class free lists (persisted, intrusive:
       the first word of a free block links to the next);
+    - oversized blocks (beyond the largest size class) go to a persisted
+      first-fit free list keyed by their 8-byte-aligned size; splitting a
+      larger block recycles the remainder through the class lists;
     - allocation metadata is persisted before a block is handed out, so a
       crash can at worst {e leak} blocks, never double-allocate them
       (leaks are reclaimable offline; PMDK makes the same trade under
@@ -20,7 +23,7 @@ type t
 
 val size_classes : int array
 (** Block sizes served from free lists; larger requests are rounded up to
-    a multiple of 8 and never recycled. *)
+    a multiple of 8 and served from the oversized first-fit list. *)
 
 val header_size : int
 (** Bytes reserved at [base_off] for allocator state. *)
@@ -43,9 +46,12 @@ val alloc_zeroed : t -> int -> Pptr.t
 
 val free : t -> Pptr.t -> int -> unit
 (** [free t ptr size] recycles a block previously returned by [alloc t
-    size]. Size-class requests are recycled; oversized blocks are leaked
-    (documented simplification) — the loss is counted in
-    [Pstats.leaked_bytes] / the [pmem.leaked_bytes] registry counter. *)
+    size]. Size-class requests go back on their class list; oversized
+    blocks go on the oversized first-fit list and are reused by later
+    oversized allocations (exact match, or split with the remainder
+    recycled). Only sub-16-byte scraps left over from splitting are
+    genuinely unrecyclable; those are counted in [Pstats.leaked_bytes] /
+    the [pmem.leaked_bytes] registry counter. *)
 
 val used_bytes : t -> int
 (** Bytes between the start of the heap range and the bump pointer. *)

@@ -6,7 +6,9 @@
    Ephemeral state rebuilt on attach:
      claim  — global monotonic slot counter (fetch-add to claim),
      blocks — published block offsets (atomic cells so that spinning
-              domains are guaranteed to observe publication). *)
+              domains are guaranteed to observe publication),
+     free   — released/holed slots below the claim point, reused by
+              [append] before claiming fresh ones. *)
 
 type t = {
   heap : Pheap.t;
@@ -16,6 +18,8 @@ type t = {
   claim : int Atomic.t;
   blocks : int Atomic.t array Atomic.t;
   table_lock : Mutex.t;
+  mutable free : int list;
+  free_lock : Mutex.t;
 }
 
 let header_size = 16
@@ -54,7 +58,9 @@ let create heap ~block_slots =
     { heap; media; header_off; block_slots;
       claim = Atomic.make 0;
       blocks = Atomic.make (fresh_table 8);
-      table_lock = Mutex.create () }
+      table_lock = Mutex.create ();
+      free = [];
+      free_lock = Mutex.create () }
   in
   let head = alloc_block t in
   Media.set_i64 media header_off head;
@@ -72,11 +78,14 @@ let attach heap header_off =
     { heap; media; header_off; block_slots;
       claim = Atomic.make 0;
       blocks = Atomic.make (fresh_table 8);
-      table_lock = Mutex.create () }
+      table_lock = Mutex.create ();
+      free = [];
+      free_lock = Mutex.create () }
   in
   (* Walk the chain; claimed = slots of full blocks + used prefix of the
-     tail (holes from crashed appends count as claimed so they are never
-     re-claimed). *)
+     tail. Holes below the claim point (crashed appends that never became
+     visible, or slots released by GC) are collected for reuse instead of
+     being claimed again through the counter. *)
   let rec walk off index =
     publish_block t index off;
     let next = Media.get_i64 media off in
@@ -88,7 +97,15 @@ let attach heap header_off =
     if Media.get_i64 media (slot_off tail_off s + 8) <> Pptr.null then
       used_in_tail := s + 1
   done;
-  Atomic.set t.claim ((tail_index * block_slots) + !used_in_tail);
+  let claimed = (tail_index * block_slots) + !used_in_tail in
+  Atomic.set t.claim claimed;
+  let holes = ref [] in
+  for g = 0 to claimed - 1 do
+    let block = Atomic.get (Atomic.get t.blocks).(g / block_slots) in
+    if Media.get_i64 media (slot_off block (g mod block_slots) + 8) = Pptr.null
+    then holes := g :: !holes
+  done;
+  t.free <- !holes;
   t
 
 let handle t = t.header_off
@@ -122,9 +139,25 @@ let rec obtain_block t index ~owner =
     obtain_block t index ~owner
   end
 
+let take_free_slot t =
+  Mutex.lock t.free_lock;
+  let g =
+    match t.free with
+    | [] -> None
+    | g :: rest ->
+        t.free <- rest;
+        Some g
+  in
+  Mutex.unlock t.free_lock;
+  g
+
 let append t ~key ~hist =
   if Pptr.is_null hist then invalid_arg "Pblockchain.append: null history";
-  let g = Atomic.fetch_and_add t.claim 1 in
+  let g =
+    match take_free_slot t with
+    | Some g -> g
+    | None -> Atomic.fetch_and_add t.claim 1
+  in
   let index = g / t.block_slots and slot = g mod t.block_slots in
   let block = obtain_block t index ~owner:(slot = 0 && index > 0) in
   let off = slot_off block slot in
@@ -159,3 +192,40 @@ let iter_slots t f =
         | None -> ()
       done)
     blocks
+
+(* GC entry point. Nulling the (persisted) history word first turns the
+   slot into an ordinary hole — a crash part-way through leaves holes and
+   orphaned key/history blocks (a bounded leak), never dangling pointers.
+   The caller must hold off concurrent appends and readers (the store
+   quiesces around compaction). *)
+let release_slots t ~dead ~on_release =
+  let blocks = block_offsets t in
+  let released = ref [] in
+  Array.iteri
+    (fun bi block ->
+      for s = 0 to t.block_slots - 1 do
+        match read_slot t block s with
+        | Some (key, hist) when dead ~hist ->
+            let off = slot_off block s in
+            Media.set_i64 t.media (off + 8) Pptr.null;
+            Media.persist t.media (off + 8) 8;
+            on_release ~key ~hist;
+            Media.set_i64 t.media off 0;
+            Media.persist t.media off 8;
+            released := ((bi * t.block_slots) + s) :: !released
+        | _ -> ()
+      done)
+    blocks;
+  let n = List.length !released in
+  if n > 0 then begin
+    Mutex.lock t.free_lock;
+    t.free <- List.rev_append !released t.free;
+    Mutex.unlock t.free_lock
+  end;
+  n
+
+let free_slot_count t =
+  Mutex.lock t.free_lock;
+  let n = List.length t.free in
+  Mutex.unlock t.free_lock;
+  n

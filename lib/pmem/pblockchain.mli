@@ -31,11 +31,25 @@ val handle : t -> Pptr.t
 val block_slots : t -> int
 
 val append : t -> key:int -> hist:Pptr.t -> unit
-(** Register a key. [hist] must be non-null. Lock-free except when a new
-    block must be allocated. *)
+(** Register a key. [hist] must be non-null. Reuses a released slot when
+    one is available, otherwise claims a fresh one; lock-free except for
+    the free-list pop and when a new block must be allocated. *)
 
 val claimed : t -> int
-(** Number of slots claimed so far (upper bound on live slots). *)
+(** Number of slots claimed so far (upper bound on live slots). Slot
+    reuse via {!release_slots} does not grow this. *)
+
+val release_slots :
+  t -> dead:(hist:Pptr.t -> bool) -> on_release:(key:int -> hist:Pptr.t -> unit) -> int
+(** [release_slots t ~dead ~on_release] clears every valid slot whose
+    history pointer satisfies [dead], calling [on_release] (e.g. to free
+    a key blob) after the slot's history word has been persisted null.
+    Cleared slots become holes that later {!append}s reuse. Returns the
+    number of slots released. NOT safe concurrently with appends or
+    readers — the caller must quiesce the store first. *)
+
+val free_slot_count : t -> int
+(** Released/holed slots currently available for reuse (test hook). *)
 
 val block_count : t -> int
 

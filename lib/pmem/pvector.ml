@@ -60,10 +60,33 @@ let grow t wanted =
     Media.persist t.media new_buf
       (buffer_bytes ~record_words:t.record_words ~capacity:new_capacity);
     Media.set_i64 t.media t.header_off new_buf;
-    Media.persist t.media t.header_off 8
-    (* The old buffer is quarantined (leaked) so concurrent readers that
-       already loaded it stay valid; total waste is bounded by the final
-       buffer size. *)
+    Media.persist t.media t.header_off 8;
+    (* The old buffer is quarantined, not freed, so concurrent readers
+       that already loaded it stay valid; the heap's quiesced GC drains
+       the quarantine once no reader can hold the pointer. *)
+    Pheap.quarantine_block t.heap ~off:old_buf
+      ~size:(buffer_bytes ~record_words:t.record_words ~capacity:old_capacity)
+  end
+
+let shrink_offline t ~capacity ~keep =
+  if capacity <= 0 then invalid_arg "Pvector.shrink_offline: capacity";
+  if keep < 0 || keep > capacity then invalid_arg "Pvector.shrink_offline: keep";
+  let old_buf = buf_off t in
+  let old_capacity = Media.get_i64 t.media old_buf in
+  if capacity < old_capacity then begin
+    let new_buf = alloc_buffer t ~capacity in
+    let payload = t.record_words * 8 * min keep old_capacity in
+    if payload > 0 then
+      Media.write_bytes t.media (new_buf + 8)
+        (Media.read_bytes t.media (old_buf + 8) payload);
+    Media.persist t.media new_buf (buffer_bytes ~record_words:t.record_words ~capacity);
+    (* Same publication point as growth: the header swap. A crash in
+       between orphans the new buffer; after it, the old one — either
+       way a bounded leak, never a torn vector. *)
+    Media.set_i64 t.media t.header_off new_buf;
+    Media.persist t.media t.header_off 8;
+    Alloc.free (Pheap.allocator t.heap) old_buf
+      (buffer_bytes ~record_words:t.record_words ~capacity:old_capacity)
   end
 
 let record_off t record =

@@ -32,7 +32,16 @@ val capacity : t -> int
 
 val grow : t -> int -> unit
 (** [grow t n] ensures capacity >= [n] (doubling). Single-grower
-    contract; see above. *)
+    contract; see above. The replaced buffer goes to the heap's
+    quarantine ({!Pheap.quarantine_block}) for reclamation at the next
+    quiesced point. *)
+
+val shrink_offline : t -> capacity:int -> keep:int -> unit
+(** [shrink_offline t ~capacity ~keep] replaces the buffer with one of
+    exactly [capacity] records carrying the first [keep] records (the
+    rest zeroed), freeing the old buffer immediately. No-op if the
+    vector is not larger than [capacity]. Offline only: safe solely
+    while no concurrent reader can hold the current buffer pointer. *)
 
 val get_word : t -> record:int -> word:int -> int
 val set_word : t -> record:int -> word:int -> int -> unit

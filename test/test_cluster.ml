@@ -209,6 +209,40 @@ let e2e_snapshot_modes () =
       check_bool "naive snapshot = expected" true (naive = expect);
       check_bool "opt snapshot = naive" true (opt = naive))
 
+let e2e_cluster_compact () =
+  with_cluster ~tag:"gc" (fun router stores ->
+      (* Three waves of overwrites across all shards, a cluster tag per
+         wave so every shard's clock moves together. *)
+      for round = 1 to 3 do
+        for key = 0 to 255 do
+          if key mod 4 = 0 then
+            ok "insert" (Cluster.Router.insert router ~key ~value:((round * 1000) + key))
+        done;
+        ignore (ok "tag" (Cluster.Router.tag router))
+      done;
+      (* keep=1 anchors the horizon below the minimum shard clock (all
+         clocks are 3 here): before = 2, so wave-1 entries go while the
+         wave-2 floors stay for reads at version 2. *)
+      let before, dropped = ok "compact" (Cluster.Router.compact router ~keep:1) in
+      check_int "horizon below min clock" 2 before;
+      check_int "one superseded wave dropped cluster-wide" 64 dropped;
+      (* every shard compacted and still answers for retained cuts *)
+      Array.iter
+        (fun s -> check_int "shard clock untouched" 3 (Store.current_version s))
+        stores;
+      check_bool "current cut intact" true
+        (ok "find" (Cluster.Router.find router 128) = Some 3128);
+      let at_2 =
+        ok "snapshot" (Cluster.Router.snapshot router ~version:2 ~mode:Cluster.Router.Naive ())
+      in
+      check_int "retained cut complete" 64 (Array.length at_2);
+      check_bool "retained cut values" true
+        (Array.for_all (fun (k, v) -> v = 2000 + k) at_2);
+      (* a keep wider than the history clamps the horizon to 0: no-op *)
+      let before, dropped = ok "compact again" (Cluster.Router.compact router ~keep:10) in
+      check_int "keep larger than history is a no-op" 0 before;
+      check_int "no-op drops nothing" 0 dropped)
+
 (* ---- shard failure: typed errors, then recovery ---- *)
 
 let e2e_shard_down_and_recover () =
@@ -378,6 +412,7 @@ let () =
           Alcotest.test_case "find_bulk reassembles input order" `Quick e2e_find_bulk;
           Alcotest.test_case "snapshot naive = opt = expected" `Quick
             e2e_snapshot_modes;
+          Alcotest.test_case "cluster-wide compaction" `Quick e2e_cluster_compact;
         ] );
       ( "failure",
         [

@@ -736,6 +736,149 @@ let compact_random_program_model () =
   check_bool "model agreement" true
     (Array.to_list snapshot_before = IntMap.bindings !model)
 
+(* Online GC: index scrub, chain-slot reuse, background compaction *)
+
+let compact_scrubs_emptied_keys () =
+  let heap = fresh_heap () in
+  let t = PStore.create heap in
+  for k = 1 to 10 do
+    PStore.insert t k k
+  done;
+  ignore (PStore.tag t);
+  for k = 1 to 5 do
+    PStore.remove t k
+  done;
+  ignore (PStore.tag t);
+  let claimed = PStore.chain_claimed t in
+  let dropped = PStore.compact t ~before:(PStore.current_version t) in
+  (* Each removed key loses its insert and its marker floor; the kept
+     keys' single entry is the floor and survives. *)
+  check_int "dropped insert+marker per removed key" 10 dropped;
+  check_int "emptied keys leave the index" 5 (PStore.key_count t);
+  check_bool "scrubbed key reads as absent" true (PStore.find t 3 = None);
+  check_bool "scrubbed key has no history" true (PStore.extract_history t 3 = []);
+  check_int "chain slots released" 5 (PStore.chain_free_slots t);
+  (* A new key reuses a released slot instead of claiming a fresh one. *)
+  PStore.insert t 100 100;
+  ignore (PStore.tag t);
+  check_int "slot reuse keeps the claim flat" claimed (PStore.chain_claimed t);
+  check_int "one fewer free slot" 4 (PStore.chain_free_slots t);
+  check_bool "reused slot serves reads" true (PStore.find t 100 = Some 100)
+
+let scrub_survives_restart () =
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 24) () in
+  let heap = Pmem.Pheap.create media in
+  let t = PStore.create heap in
+  for k = 1 to 10 do
+    PStore.insert t k k
+  done;
+  ignore (PStore.tag t);
+  for k = 1 to 5 do
+    PStore.remove t k
+  done;
+  ignore (PStore.tag t);
+  ignore (PStore.compact t ~before:(PStore.current_version t));
+  Pmem.Media.simulate_crash media;
+  let t2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  check_int "scrub persisted" 5 (PStore.key_count t2);
+  check_bool "scrubbed key stays gone" true (PStore.find t2 1 = None);
+  check_bool "kept key intact" true (PStore.find t2 7 = Some 7);
+  (* Attach rediscovers the cleared slots and reuses them. *)
+  check_int "free slots rebuilt on attach" 5 (PStore.chain_free_slots t2);
+  let claimed = PStore.chain_claimed t2 in
+  PStore.insert t2 200 200;
+  ignore (PStore.tag t2);
+  check_int "reattached store reuses released slots" claimed
+    (PStore.chain_claimed t2);
+  check_bool "store still functional" true (PStore.find t2 200 = Some 200)
+
+let online_gc_with_concurrent_writer () =
+  (* A background GC domain compacting every millisecond while the
+     writer churns blob values: the result must be exactly the last
+     round, and the renumbered stamps must still recover after a power
+     cut. *)
+  let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 24) () in
+  let heap = Pmem.Pheap.create media in
+  let t = PStore.create heap in
+  let keys = 64 and rounds = 30 in
+  let value round k = -((round * keys) + k + 1) in
+  let gc = PStore.gc_start t ~interval_ms:1 ~keep:3 () in
+  for round = 1 to rounds do
+    for k = 0 to keys - 1 do
+      PStore.insert t k (value round k)
+    done;
+    ignore (PStore.tag t)
+  done;
+  PStore.gc_stop gc;
+  let snap = PStore.extract_snapshot t () in
+  check_int "all keys live" keys (Array.length snap);
+  Array.iteri
+    (fun i (k, v) ->
+      check_int "key" i k;
+      check_int "last round's value" (value rounds k) v)
+    snap;
+  Pmem.Media.simulate_crash media;
+  let t2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+  check_bool "post-crash snapshot equals pre-crash" true
+    (PStore.extract_snapshot t2 () = snap)
+
+let compact_twin_equivalence =
+  (* A compacted store must answer exactly like its uncompacted twin
+     for every observation at versions >= before — snapshots, finds and
+     histories (truncated to the horizon plus the floor entry a
+     snapshot at [before] needs) — including after a crash + reopen. *)
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      pair (int_bound 20)
+        (oneof [ map (fun v -> Some (v - 50)) (int_bound 100); return None ]))
+  in
+  Test.make ~name:"compacted store equals its uncompacted twin" ~count:30
+    (make Gen.(pair (list_size (int_range 1 120) op_gen) (int_bound 100)))
+    (fun (ops, pct) ->
+      let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 22) () in
+      let heap = Pmem.Pheap.create media in
+      let a = PStore.create heap in
+      let b = E.make () in
+      List.iter
+        (fun (k, op) ->
+          (match op with
+          | Some v ->
+              PStore.insert a k v;
+              E.insert b k v
+          | None ->
+              PStore.remove a k;
+              E.remove b k);
+          ignore (PStore.tag a);
+          ignore (E.tag b))
+        ops;
+      let current = PStore.current_version a in
+      let before = current * pct / 100 in
+      ignore (PStore.compact a ~before);
+      let agree a =
+        let ok = ref true in
+        for v = max before 1 to current do
+          if PStore.extract_snapshot a ~version:v () <> E.extract_snapshot b ~version:v ()
+          then ok := false
+        done;
+        for k = 0 to 20 do
+          if PStore.find a k <> E.find b k then ok := false;
+          let full = E.extract_history b k in
+          let recent = List.filter (fun (v, _) -> v > before) full in
+          let floor =
+            match List.rev (List.filter (fun (v, _) -> v <= before) full) with
+            | [] | (_, Mvdict.Dict_intf.Del) :: _ -> []
+            | entry :: _ -> [ entry ]
+          in
+          if PStore.extract_history a k <> floor @ recent then ok := false
+        done;
+        !ok
+      in
+      let pre = agree a in
+      Pmem.Media.simulate_crash media;
+      let a2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+      pre && agree a2)
+
 let crash_point_property =
   (* Crash consistency as a property: run a random prefix of a random
      program, cut the power, recover — the store must equal the model at
@@ -896,6 +1039,14 @@ let () =
             compact_store_still_works_and_recovers;
           Alcotest.test_case "recycles blob values" `Quick compact_recycles_blob_values;
           Alcotest.test_case "random program model" `Slow compact_random_program_model;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "scrubs emptied keys" `Quick compact_scrubs_emptied_keys;
+          Alcotest.test_case "scrub survives restart" `Quick scrub_survives_restart;
+          Alcotest.test_case "online gc with concurrent writer" `Quick
+            online_gc_with_concurrent_writer;
+          QCheck_alcotest.to_alcotest compact_twin_equivalence;
         ] );
       ( "snapshot-diff",
         [

@@ -33,6 +33,8 @@ let gen_request =
         map2
           (fun keys version -> Net.Wire.Find_bulk { keys = Array.of_list keys; version })
           (small_list gen_key_value) (opt small_nat);
+        map (fun before -> Net.Wire.Compact { before }) small_nat;
+        map (fun keep -> Net.Wire.Retention { keep }) small_nat;
       ])
 
 let gen_error_code =
@@ -68,6 +70,8 @@ let gen_response =
         map (fun s -> Net.Wire.Slowlog_json s) string_printable;
         map2 (fun code message -> Net.Wire.Error { code; message }) gen_error_code
           string_printable;
+        map2 (fun dropped before -> Net.Wire.Gc_done { dropped; before }) small_nat
+          small_nat;
       ])
 
 (* Round-trip through the full framing path: encode into a buffer as a
@@ -240,6 +244,16 @@ let decode_bulk_count_overrun () =
 let decode_negative_tag_at () =
   let b, len = body_of_string (ver ^ "\x0c" ^ String.make 8 '\xff') in
   check_string "negative tag_at version" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_negative_gc_horizons () =
+  (* compact with before = -1 *)
+  let b, len = body_of_string (ver ^ "\x0e" ^ String.make 8 '\xff') in
+  check_string "negative compact horizon" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len));
+  (* retention with keep = -1 *)
+  let b, len = body_of_string (ver ^ "\x0f" ^ String.make 8 '\xff') in
+  check_string "negative retention window" "malformed"
     (explain (Net.Wire.decode_request b ~off:0 ~len))
 
 (* ---- loopback end-to-end ---- *)
@@ -569,6 +583,44 @@ let e2e_tag_at_find_bulk () =
       check_bool "empty bulk" true (Net.Client.find_bulk client [||] = [||]);
       Net.Client.close client)
 
+let e2e_compact_retention () =
+  with_server (fun store _server addr ->
+      let client = Net.Client.connect addr in
+      (* Three generations of 10 keys, one version per overwrite wave. *)
+      for round = 1 to 3 do
+        for k = 0 to 9 do
+          Net.Client.insert client ~key:k ~value:((round * 100) + k)
+        done;
+        ignore (Net.Client.tag client)
+      done;
+      (* Explicit horizon: everything below the current version. *)
+      let v = Store.current_version store in
+      let dropped = Net.Client.compact client ~before:v in
+      check_int "two superseded waves dropped" 20 dropped;
+      check_bool "current values intact" true (Net.Client.find client 5 = Some 305);
+      (* Retention computes the horizon server-side from its own clock:
+         with the full history already gone, keep=0 drops nothing more. *)
+      let before, dropped = Net.Client.retention client ~keep:0 in
+      check_int "retention horizon is the clock" v before;
+      check_int "nothing left to drop" 0 dropped;
+      (* Two more waves then retention keep=1: the horizon lands on the
+         second-to-last wave, so the older floor entries go while the
+         last [keep] versions stay readable. *)
+      for round = 4 to 5 do
+        for k = 0 to 9 do
+          Net.Client.insert client ~key:k ~value:((round * 100) + k)
+        done;
+        ignore (Net.Client.tag client)
+      done;
+      let before, dropped = Net.Client.retention client ~keep:1 in
+      check_int "horizon = clock - keep" 4 before;
+      check_int "superseded floors dropped" 10 dropped;
+      check_bool "store serves the last wave" true
+        (Net.Client.find client 5 = Some 505);
+      check_bool "retained version still readable" true
+        (Net.Client.find client ~version:4 5 = Some 405);
+      Net.Client.close client)
+
 let e2e_request_timeout () =
   with_server ~request_timeout:0.2 (fun _store _server addr ->
       let fd = raw_connect addr in
@@ -701,6 +753,7 @@ let () =
           Alcotest.test_case "negative string length" `Quick decode_negative_string_length;
           Alcotest.test_case "bulk count overrun" `Quick decode_bulk_count_overrun;
           Alcotest.test_case "negative tag_at version" `Quick decode_negative_tag_at;
+          Alcotest.test_case "negative gc horizons" `Quick decode_negative_gc_horizons;
         ] );
       ( "server-e2e",
         [
@@ -717,6 +770,8 @@ let () =
           Alcotest.test_case "stale protocol version keeps the connection usable"
             `Quick e2e_stale_version_keeps_connection;
           Alcotest.test_case "tag_at and find_bulk opcodes" `Quick e2e_tag_at_find_bulk;
+          Alcotest.test_case "compact and retention opcodes" `Quick
+            e2e_compact_retention;
           Alcotest.test_case "per-request timeout" `Quick e2e_request_timeout;
           Alcotest.test_case "busy backpressure" `Quick e2e_backpressure_busy;
           Alcotest.test_case "concurrent clients (2 domains)" `Quick

@@ -141,22 +141,54 @@ let alloc_zeroed_is_zero () =
   check_int "same block" p q;
   check_int "zeroed" 0 (Pmem.Media.get_i64 m (q + 8))
 
-let alloc_oversized_free_counts_leak () =
+let alloc_oversized_reuse () =
   let m = small_media () in
   let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
   let stats = Pmem.Media.stats m in
-  let before = Pmem.Pstats.leaked_bytes stats in
-  (* 8000 bytes is beyond the largest size class (4096): freeing it
-     cannot recycle, so the bytes must land in the leak counter. *)
+  let leaked0 = Pmem.Pstats.leaked_bytes stats in
+  let live0 = Pmem.Pstats.live_bytes stats in
+  (* 8000 bytes is beyond the largest size class (4096): the free must
+     land on the oversized first-fit list, not in the leak counter, and
+     an exact-size re-allocation must hand the same block back. *)
   let p = Pmem.Alloc.alloc a 8000 in
   Pmem.Alloc.free a p 8000;
-  check_int "oversized free counted as leaked" (before + 8000)
+  check_int "oversized free is not a leak" leaked0
     (Pmem.Pstats.leaked_bytes stats);
-  (* ...and an in-class free is not a leak. *)
-  let q = Pmem.Alloc.alloc a 64 in
-  Pmem.Alloc.free a q 64;
-  check_int "in-class free not counted" (before + 8000)
-    (Pmem.Pstats.leaked_bytes stats)
+  check_int "live_bytes back to baseline" live0 (Pmem.Pstats.live_bytes stats);
+  let q = Pmem.Alloc.alloc a 8000 in
+  check_int "exact-size oversized reuse" p q
+
+let alloc_oversized_first_fit_split () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  let stats = Pmem.Media.stats m in
+  let leaked0 = Pmem.Pstats.leaked_bytes stats in
+  (* Free an 8192-byte block, then ask for 6144: first fit splits the
+     block, serving the request from its front... *)
+  let p = Pmem.Alloc.alloc a 8192 in
+  Pmem.Alloc.free a p 8192;
+  let q = Pmem.Alloc.alloc a 6144 in
+  check_int "first fit serves from the freed block" p q;
+  (* ...and the 2048-byte remainder was recycled as a class block, so
+     the next class-sized alloc comes out of that region instead of
+     fresh heap. *)
+  let r = Pmem.Alloc.alloc a 2048 in
+  check_bool "remainder recycled into classes" true
+    (r >= p + 6144 && r + 2048 <= p + 8192);
+  (* Nothing was leaked along the way: a split remainder is allocator
+     inventory, not garbage. *)
+  check_int "split leaks nothing" leaked0 (Pmem.Pstats.leaked_bytes stats)
+
+let alloc_oversized_survives_reattach () =
+  let m = small_media () in
+  let a = Pmem.Alloc.format m ~base_off:64 ~heap_end:(1 lsl 16) in
+  let p = Pmem.Alloc.alloc a 6000 in
+  Pmem.Alloc.free a p 6000;
+  (* The oversized free list is persisted: a fresh attach must still
+     serve the freed block. *)
+  let a2 = Pmem.Alloc.attach m ~base_off:64 in
+  let q = Pmem.Alloc.alloc a2 6000 in
+  check_int "oversized free list survives reattach" p q
 
 let alloc_concurrent_no_overlap () =
   let m = Pmem.Media.create_ram ~capacity:(1 lsl 20) () in
@@ -535,8 +567,11 @@ let () =
           Alcotest.test_case "out of memory" `Quick alloc_out_of_memory;
           Alcotest.test_case "reattach" `Quick alloc_survives_reattach;
           Alcotest.test_case "alloc_zeroed" `Quick alloc_zeroed_is_zero;
-          Alcotest.test_case "oversized free counts pmem.leaked_bytes" `Quick
-            alloc_oversized_free_counts_leak;
+          Alcotest.test_case "oversized free is reused" `Quick alloc_oversized_reuse;
+          Alcotest.test_case "oversized first-fit split" `Quick
+            alloc_oversized_first_fit_split;
+          Alcotest.test_case "oversized free list survives reattach" `Quick
+            alloc_oversized_survives_reattach;
           Alcotest.test_case "concurrent no overlap" `Quick alloc_concurrent_no_overlap;
         ] );
       ( "pheap",
