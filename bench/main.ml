@@ -22,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|cluster|obs|gc|smoke");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|cluster|repl|obs|gc|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -157,6 +157,38 @@ let smoke () =
               "unretained throughput not positive" );
           ]
   in
+  (* The replication subsystem: a miniature factor-2 range over real
+     Unix sockets regenerates BENCH_repl.json. The gate wants the
+     replicated write path alive (positive throughput, backup converged
+     to the primary's exact state) and read failover bounded — a p99
+     above 2 s means the router is timing out its way to the backup
+     instead of failing over. *)
+  let repl_results = ref None in
+  Metrics.with_report ~fig:"repl" (fun () ->
+      repl_results := Some (Fig_repl.run ~n:500));
+  let repl_problems =
+    Metrics.validate ~fig:"repl"
+      ~expect_histograms:[ "repl.forward_latency_ns"; "repl.failover_latency_ns" ]
+  in
+  let repl_problems =
+    repl_problems
+    @
+    match !repl_results with
+    | None -> [ "BENCH_repl.json: figure did not run" ]
+    | Some r ->
+        List.filter_map
+          (fun (ok, msg) -> if ok then None else Some ("BENCH_repl.json: " ^ msg))
+          [
+            ( r.Fig_repl.unreplicated_ops > 0.,
+              "unreplicated throughput not positive" );
+            ( r.Fig_repl.replicated_ops > 0.,
+              "replicated throughput not positive" );
+            (r.Fig_repl.converged, "backup did not converge to primary state");
+            ( r.Fig_repl.failover_p99_us < 2e6,
+              Printf.sprintf "failover p99 %.0fus above the 2s bound"
+                r.Fig_repl.failover_p99_us );
+          ]
+  in
   (* The observability layer itself: BENCH_obs.json prices each
      instrumentation regime; the gate holds the disabled-probe path
      (counters mode) within 5% of the uninstrumented baseline. *)
@@ -178,7 +210,10 @@ let smoke () =
       ]
     else []
   in
-  match problems @ net_problems @ cluster_problems @ gc_problems @ obs_problems with
+  match
+    problems @ net_problems @ cluster_problems @ repl_problems @ gc_problems
+    @ obs_problems
+  with
   | [] -> print_endline "smoke: metrics report OK"
   | ps ->
       List.iter prerr_endline ps;
@@ -216,6 +251,9 @@ let () =
     if want "cluster" then
       Metrics.with_report ~fig:"cluster" (fun () ->
           ignore (Fig_cluster.run ~n:(min n 20_000)));
+    if want "repl" then
+      Metrics.with_report ~fig:"repl" (fun () ->
+          ignore (Fig_repl.run ~n:(min n 10_000)));
     if want "obs" then
       Metrics.with_report ~fig:"obs" (fun () -> ignore (Fig_obs.run ~n:(min n 20_000)));
     if want "gc" then

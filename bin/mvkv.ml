@@ -258,9 +258,13 @@ let entries_arg =
   Arg.(value & opt int 32 & info [ "entries"; "n" ] ~docv:"N" ~doc)
 
 (* Shared by `mvkv serve` and `mvkv cluster serve`: open the pool,
-   listen on [listen], and block until SIGINT/SIGTERM. *)
-let run_server ~banner pool threads listen workers batch max_conns timeout
-    slowlog_ms trace_cap retain gc_interval =
+   listen on [listen], and block until SIGINT/SIGTERM. [epoch_cell] and
+   [hooks] are the replication attachment points: [hooks store] builds
+   the server's mutation hook and a periodic maintenance closure (the
+   chain's catch-up tick) once the store is open. *)
+let run_server ~banner ?epoch_cell ?(hooks = fun _ -> (None, None)) pool threads
+    listen workers batch max_conns timeout slowlog_ms trace_cap retain
+    gc_interval =
   (* Install the trace ring before opening the store, so the recovery
      rebuild's spans are already in it when the first `mvkv trace`
      arrives. *)
@@ -278,11 +282,12 @@ let run_server ~banner pool threads listen workers batch max_conns timeout
              ~interval_ms:(max 1 (int_of_float (gc_interval *. 1000.)))
              ~keep ())
   in
+  let on_mutation, tick = hooks store in
   let server =
     match
       Server.start ~store ~workers ~batch ~max_conns ~request_timeout:timeout
         ~slowlog_threshold_ns:(int_of_float (slowlog_ms *. 1e6))
-        ~trace ~listen ()
+        ~trace ?epoch_cell ?on_mutation ~listen ()
     with
     | server -> server
     | exception Unix.Unix_error (e, _, _) ->
@@ -298,8 +303,15 @@ let run_server ~banner pool threads listen workers batch max_conns timeout
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
   Sys.set_signal Sys.sigint handler;
   Sys.set_signal Sys.sigterm handler;
+  let rounds = ref 0 in
   while not !stop do
-    try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    incr rounds;
+    (* Roughly once a second: cheap when everything is in sync, and a
+       down backup is not hammered with redials every 200 ms. *)
+    match tick with
+    | Some tick when !rounds mod 5 = 0 && not !stop -> tick ()
+    | _ -> ()
   done;
   Format.printf "mvkv: draining connections and shutting down@.";
   (match gc with Some gc -> Store.gc_stop gc | None -> ());
@@ -432,8 +444,30 @@ let topology_arg =
     & info [ "topology"; "T" ] ~docv:"FILE" ~doc)
 
 let shard_arg =
-  let doc = "Which shard of the topology this process serves." in
+  let doc = "Serve as the $(i,primary) of shard $(docv) of the topology." in
+  Arg.(value & opt (some int) None & info [ "shard" ] ~docv:"I" ~doc)
+
+let replica_of_arg =
+  let doc =
+    "Serve as a $(i,backup) of shard $(docv) (see $(b,--slot)); mutually \
+     exclusive with $(b,--shard)."
+  in
+  Arg.(value & opt (some int) None & info [ "replica-of" ] ~docv:"I" ~doc)
+
+let slot_arg =
+  let doc = "Backup slot to serve with $(b,--replica-of) (1 = first backup)." in
+  Arg.(value & opt int 1 & info [ "slot" ] ~docv:"J" ~doc)
+
+let promote_shard_arg =
+  let doc = "Shard whose primary is being replaced." in
   Arg.(required & opt (some int) None & info [ "shard" ] ~docv:"I" ~doc)
+
+let promote_to_arg =
+  let doc =
+    "Backup slot to promote (default: the reachable backup with the \
+     highest version)."
+  in
+  Arg.(value & opt (some int) None & info [ "to" ] ~docv:"J" ~doc)
 
 let mode_arg =
   let doc =
@@ -455,24 +489,195 @@ let load_topology file =
   | Error msg -> die "mvkv: %s: %s" file msg
   | exception Sys_error msg -> die "mvkv: cannot read topology: %s" msg
 
-let cluster_serve topo_file shard pool threads workers batch max_conns timeout
-    slowlog_ms trace_cap retain gc_interval =
-  let topo = load_topology topo_file in
+let check_shard_id topo topo_file shard =
   if shard < 0 || shard >= Cluster.Topology.shards topo then
     die "mvkv: no shard %d in %s (%d shards)" shard topo_file
-      (Cluster.Topology.shards topo);
-  run_server
-    ~banner:
-      (Printf.sprintf " as shard %d/%d" shard (Cluster.Topology.shards topo))
-    pool threads
-    (Cluster.Topology.endpoint topo shard)
-    workers batch max_conns timeout slowlog_ms trace_cap retain gc_interval
+      (Cluster.Topology.shards topo)
+
+let cluster_serve topo_file shard replica_of slot pool threads workers batch
+    max_conns timeout slowlog_ms trace_cap retain gc_interval =
+  let topo = load_topology topo_file in
+  (* Both roles share the topology's epoch as the server's fencing
+     floor; the primary additionally owns a replication chain feeding
+     its backups, sharing the same epoch cell so forwarded frames carry
+     whatever epoch the server has adopted since. *)
+  let epoch_cell = Atomic.make (Cluster.Topology.epoch topo) in
+  match (shard, replica_of) with
+  | Some _, Some _ -> die "mvkv: pass either --shard or --replica-of, not both"
+  | None, None -> die "mvkv: cluster serve needs --shard or --replica-of"
+  | Some shard, None ->
+      check_shard_id topo topo_file shard;
+      let backups = Cluster.Topology.backups topo shard in
+      let hooks store =
+        if Array.length backups = 0 then (None, None)
+        else begin
+          let chain =
+            Repl.Chain.create ~epoch_cell
+              ~snapshot:(fun ?version () -> Store.extract_snapshot store ?version ())
+              ~current_version:(fun () -> Store.current_version store)
+              backups
+          in
+          ( Some (Repl.Chain.on_mutation chain),
+            Some (fun () -> Repl.Chain.tick chain) )
+        end
+      in
+      run_server
+        ~banner:
+          (Printf.sprintf " as shard %d/%d primary (%d backup%s, epoch %d)" shard
+             (Cluster.Topology.shards topo)
+             (Array.length backups)
+             (if Array.length backups = 1 then "" else "s")
+             (Cluster.Topology.epoch topo))
+        ~epoch_cell ~hooks pool threads
+        (Cluster.Topology.primary topo shard)
+        workers batch max_conns timeout slowlog_ms trace_cap retain gc_interval
+  | None, Some shard ->
+      check_shard_id topo topo_file shard;
+      let nslots = Cluster.Topology.replica_count topo shard in
+      if slot < 1 || slot >= nslots then
+        die "mvkv: shard %d has no backup slot %d (%d replica%s)" shard slot
+          nslots
+          (if nslots = 1 then "" else "s");
+      run_server
+        ~banner:
+          (Printf.sprintf " as shard %d/%d backup slot %d (epoch %d)" shard
+             (Cluster.Topology.shards topo)
+             slot
+             (Cluster.Topology.epoch topo))
+        ~epoch_cell pool threads
+        (Cluster.Topology.replica topo shard slot)
+        workers batch max_conns timeout slowlog_ms trace_cap retain gc_interval
+
+(* `cluster promote`: pick (or validate) the replacement backup, bump
+   the epoch, fence every reachable member of the set with the new
+   epoch, and atomically rewrite the topology file. Routers learn
+   lazily — their next stamped request is answered Bad_epoch and they
+   reload this file. Ordering matters: fence BEFORE save, so by the
+   time a reloading router sees the new map, the members already
+   reject the old epoch. *)
+let cluster_promote topo_file timeout_ms retries shard to_slot =
+  let topo = load_topology topo_file in
+  check_shard_id topo topo_file shard;
+  let nslots = Cluster.Topology.replica_count topo shard in
+  if nslots < 2 then die "mvkv: shard %d has no backups to promote" shard;
+  let timeout_ms = Some (Option.value timeout_ms ~default:2000) in
+  let probe ep =
+    match Net.Client.connect ~retries ?timeout_ms ep with
+    | exception _ -> None
+    | c ->
+        let r =
+          match Net.Client.epoch_probe c with
+          | epoch, version -> Some (epoch, version)
+          | exception _ -> None
+        in
+        Net.Client.close c;
+        r
+  in
+  let slot =
+    match to_slot with
+    | Some j ->
+        if j < 1 || j >= nslots then
+          die "mvkv: shard %d has no backup slot %d" shard j;
+        j
+    | None -> (
+        (* The freshest reachable backup loses the least history. *)
+        let best = ref None in
+        for j = 1 to nslots - 1 do
+          match probe (Cluster.Topology.replica topo shard j) with
+          | Some (_, version) -> (
+              match !best with
+              | Some (_, v) when v >= version -> ()
+              | _ -> best := Some (j, version))
+          | None -> ()
+        done;
+        match !best with
+        | Some (j, _) -> j
+        | None -> die "mvkv: no backup of shard %d is reachable" shard)
+  in
+  let promoted = Cluster.Topology.promote topo ~shard ~replica:slot in
+  let epoch = Cluster.Topology.epoch promoted in
+  (* Fence: one stamped ping per reachable member adopts the new epoch. *)
+  let fenced = ref 0 in
+  Array.iter
+    (fun ep ->
+      match Net.Client.connect ~retries ?timeout_ms ~epoch ep with
+      | exception _ -> ()
+      | c ->
+          (match Net.Client.ping c with () -> incr fenced | exception _ -> ());
+          Net.Client.close c)
+    (Cluster.Topology.replicas promoted shard);
+  (match Cluster.Topology.save promoted topo_file with
+  | Ok () -> ()
+  | Error msg -> die "mvkv: %s" msg);
+  Printf.printf
+    "promoted shard %d slot %d to primary (%s): epoch %d, fenced %d/%d replicas\n"
+    shard slot
+    (Net.Sockaddr.to_string (Cluster.Topology.primary promoted shard))
+    epoch !fenced
+    (Cluster.Topology.replica_count promoted shard)
+
+(* `cluster client status`: one row per replica, probed with
+   ping + epoch_probe; exits 1 when any primary is unreachable (the
+   condition that loses writes until someone promotes). *)
+let cluster_status topo_file timeout_ms retries =
+  let topo = load_topology topo_file in
+  let timeout_ms = Some (Option.value timeout_ms ~default:2000) in
+  Printf.printf "%-5s %-8s %-38s %-7s %-7s %s\n" "shard" "role" "endpoint" "epoch"
+    "clock" "state";
+  let primaries_down = ref 0 in
+  for i = 0 to Cluster.Topology.shards topo - 1 do
+    for j = 0 to Cluster.Topology.replica_count topo i - 1 do
+      let ep = Cluster.Topology.replica topo i j in
+      let role = if j = 0 then "primary" else Printf.sprintf "backup%d" j in
+      let status =
+        match Net.Client.connect ~retries ?timeout_ms ep with
+        | exception e ->
+            `Down
+              (match e with
+              | Unix.Unix_error (err, _, _) -> Unix.error_message err
+              | _ -> Printexc.to_string e)
+        | c ->
+            let r =
+              match
+                Net.Client.ping c;
+                Net.Client.epoch_probe c
+              with
+              | epoch, version -> `Up (epoch, version)
+              | exception e ->
+                  `Down
+                    (match e with
+                    | Net.Client.Remote_error (code, _) ->
+                        Net.Wire.error_code_name code
+                    | Unix.Unix_error (err, _, _) -> Unix.error_message err
+                    | _ -> Printexc.to_string e)
+            in
+            Net.Client.close c;
+            r
+      in
+      match status with
+      | `Up (epoch, version) ->
+          Printf.printf "%-5d %-8s %-38s %-7d %-7d up\n" i role
+            (Net.Sockaddr.to_string ep) epoch version
+      | `Down reason ->
+          if j = 0 then incr primaries_down;
+          Printf.printf "%-5d %-8s %-38s %-7s %-7s down (%s)\n" i role
+            (Net.Sockaddr.to_string ep) "-" "-" reason
+    done
+  done;
+  if !primaries_down > 0 then begin
+    Printf.eprintf "mvkv: %d primar%s down\n" !primaries_down
+      (if !primaries_down = 1 then "y is" else "ies are");
+    exit 1
+  end
 
 (* Router errors are expected operational conditions (a shard down, a
    key off the map): one line and exit 2, same contract as `die`. *)
 let with_router topo_file timeout_ms retries f =
   let topo = load_topology topo_file in
-  let router = Cluster.Router.create ?timeout_ms ~retries topo in
+  (* Re-read the spec file when a shard fences us out: a promotion
+     rewrote it with a newer epoch. *)
+  let reload () = Result.to_option (Cluster.Topology.of_file topo_file) in
+  let router = Cluster.Router.create ?timeout_ms ~retries ~reload topo in
   let result = f router in
   Cluster.Router.close router;
   match result with
@@ -703,6 +908,19 @@ let render_top ~prev ~now json =
     (delta "pmem.flushed_lines")
     (counter_of json "pmem.fences")
     (delta "pmem.fences");
+  (* Replication health: forwarding/catch-up are primary-side, the
+     redial and read-failover counters appear when the polled process
+     also runs a router (and stay 0 on a plain shard). *)
+  Printf.printf
+    "repl: forwarded %d (%.1f/s 10s)   catchups %d   lagging backups %d   \
+     redials %d   read failovers %d   bad epochs %d\n"
+    (counter_of json "repl.forwarded")
+    (window_rate json "repl.rate.forwarded" "rate_10s")
+    (counter_of json "repl.catchups")
+    (gauge_of json "repl.lagging_backups")
+    (counter_of json "cluster.redials")
+    (counter_of json "repl.read_failovers")
+    (counter_of json "net.bad_epoch");
   Printf.printf "%!"
 
 let top socket host port interval count =
@@ -825,17 +1043,30 @@ let () =
               distributed snapshots through a topology file.")
         [
           cmd_of "serve"
-            "Serve one shard of a topology (listens on the shard's endpoint)."
+            "Serve one replica of a topology: --shard I (primary, forwards \
+             to its backups) or --replica-of I --slot J (backup)."
             Term.(
-              const cluster_serve $ topology_arg $ shard_arg $ pool_arg
-              $ threads_arg $ workers_arg $ batch_arg $ max_conns_arg
-              $ timeout_arg $ slowlog_ms_arg $ trace_cap_arg $ serve_retain_arg
-              $ gc_interval_arg);
+              const cluster_serve $ topology_arg $ shard_arg $ replica_of_arg
+              $ slot_arg $ pool_arg $ threads_arg $ workers_arg $ batch_arg
+              $ max_conns_arg $ timeout_arg $ slowlog_ms_arg $ trace_cap_arg
+              $ serve_retain_arg $ gc_interval_arg);
+          cmd_of "promote"
+            "Promote a backup to primary: bump the epoch, fence the replica \
+             set, rewrite the topology file."
+            Term.(
+              const cluster_promote $ topology_arg $ timeout_ms_arg
+              $ retries_arg $ promote_shard_arg $ promote_to_arg);
           Cmd.group
             (Cmd.info "client" ~doc:"Drive a running sharded cluster.")
             [
               cmd_of "ping" "Round-trip every shard."
                 Term.(const cluster_ping $ topology_arg $ timeout_ms_arg $ retries_arg);
+              cmd_of "status"
+                "Per-replica health table (role, epoch, clock, up/down); \
+                 exits 1 if any primary is down."
+                Term.(
+                  const cluster_status $ topology_arg $ timeout_ms_arg
+                  $ retries_arg);
               cmd_of "versions" "Print every shard's current version."
                 Term.(
                   const cluster_versions $ topology_arg $ timeout_ms_arg

@@ -1,12 +1,23 @@
 (* See router.mli. The router is deliberately a plain blocking client:
    shard fan-outs are sequential over shards but pipelined within each
    shard, which on a single-core host is within noise of a threaded
-   fan-out and keeps every failure path synchronous and typed. *)
+   fan-out and keeps every failure path synchronous and typed.
+
+   Replica awareness: every key range is a replica set (primary +
+   backups, see Topology). Writes are pinned to the primary — the only
+   replica whose chain forwards to the others — while reads prefer a
+   sticky slot and walk the rest of the set when it is down, so a dead
+   primary costs readers one failover, not an outage. Every connection
+   stamps its requests with the topology epoch; a [Bad_epoch] error
+   frame means a promotion happened behind our back, and the router
+   reloads the topology (via the [reload] closure) and retries once
+   before surfacing a typed [Stale_epoch]. *)
 
 type error =
   | Shard_down of { shard : int; endpoint : string; reason : string }
   | Tag_mismatch of { shard : int; expected : int; got : int }
   | Bad_key of { key : int; key_bits : int }
+  | Stale_epoch of { shard : int; epoch : int; reason : string }
 
 let error_to_string = function
   | Shard_down { shard; endpoint; reason } ->
@@ -16,24 +27,39 @@ let error_to_string = function
         expected
   | Bad_key { key; key_bits } ->
       Printf.sprintf "key %d outside the %d-bit cluster key space" key key_bits
+  | Stale_epoch { shard; epoch; reason } ->
+      Printf.sprintf "shard %d rejected our epoch %d: %s" shard epoch reason
 
 type snapshot_mode = Naive | Opt of { threads : int }
 
 type t = {
-  topo : Topology.t;
+  mutable topo : Topology.t;
   timeout_ms : int option;
   retries : int;
-  conns : Net.Client.t option array;  (** lazily dialled, index = shard id *)
+  reload : (unit -> Topology.t option) option;
+  mutable conns : Net.Client.t option array array;
+      (** lazily dialled; [conns.(shard).(slot)], slot 0 = primary *)
+  mutable dialled : bool array array;
+      (** whether [conns.(shard).(slot)] was ever up — a fresh dial
+          after that is a re-dial and counted as such *)
+  mutable preferred : int array;
+      (** sticky read slot per shard; updated on successful failover *)
 }
 
 (* ---- observability ---- *)
 
 let c_requests = Obs.Registry.counter "cluster.requests"
 let c_shard_down = Obs.Registry.counter "cluster.shard_down"
+let c_redials = Obs.Registry.counter "cluster.redials"
 let c_snapshot_pairs = Obs.Registry.counter "cluster.snapshot.pairs"
 let c_merge_rounds = Obs.Registry.counter "cluster.merge.rounds"
 let c_merge_bytes = Obs.Registry.counter "cluster.merge.bytes_moved"
 let h_bulk_keys = Obs.Registry.histogram "cluster.find_bulk.keys"
+let c_read_failovers = Obs.Registry.counter "repl.read_failovers"
+let c_stale_epochs = Obs.Registry.counter "repl.stale_epochs"
+let c_topo_reloads = Obs.Registry.counter "repl.topology_reloads"
+let w_failovers = Obs.Registry.window "repl.rate.read_failovers"
+let h_failover_ns = Obs.Registry.histogram "repl.failover_latency_ns"
 let m_insert = Obs.Instr.op "cluster.insert"
 let m_remove = Obs.Instr.op "cluster.remove"
 let m_find = Obs.Instr.op "cluster.find"
@@ -46,17 +72,53 @@ let m_snap_opt = Obs.Instr.op "cluster.snapshot.opt"
 
 (* ---- connections ---- *)
 
-let create ?timeout_ms ?(retries = 2) topo =
-  { topo; timeout_ms; retries; conns = Array.make (Topology.shards topo) None }
+let conn_arrays topo =
+  let k = Topology.shards topo in
+  ( Array.init k (fun i -> Array.make (Topology.replica_count topo i) None),
+    Array.init k (fun i -> Array.make (Topology.replica_count topo i) false),
+    Array.make k 0 )
+
+let create ?timeout_ms ?(retries = 2) ?reload topo =
+  let conns, dialled, preferred = conn_arrays topo in
+  { topo; timeout_ms; retries; reload; conns; dialled; preferred }
 
 let topology t = t.topo
 
 let close t =
-  Array.iteri
-    (fun i c ->
-      (match c with Some c -> ( try Net.Client.close c with _ -> ()) | None -> ());
-      t.conns.(i) <- None)
+  Array.iter
+    (fun slots ->
+      Array.iteri
+        (fun j c ->
+          (match c with
+          | Some c -> ( try Net.Client.close c with _ -> ())
+          | None -> ());
+          slots.(j) <- None)
+        slots)
     t.conns
+
+(* Swap in a new topology: every cached connection is dropped (it was
+   stamping the old epoch) and re-dial bookkeeping starts over. *)
+let set_topology t topo =
+  close t;
+  let conns, dialled, preferred = conn_arrays topo in
+  t.topo <- topo;
+  t.conns <- conns;
+  t.dialled <- dialled;
+  t.preferred <- preferred
+
+(* Consult the reload closure; [true] only if it produced a topology
+   with a strictly newer epoch (anything else would re-run the failed
+   call against the same map and loop). *)
+let reload_topology t =
+  match t.reload with
+  | None -> false
+  | Some f -> (
+      match f () with
+      | Some topo when Topology.epoch topo > Topology.epoch t.topo ->
+          Obs.Metric.incr c_topo_reloads;
+          set_topology t topo;
+          true
+      | Some _ | None -> false)
 
 (* Human-readable failure cause: "connect: No such file or directory"
    beats the raw exception constructor in CLI errors and logs. *)
@@ -68,58 +130,129 @@ let describe_exn = function
   | Failure msg -> msg
   | e -> Printexc.to_string e
 
-let shard_down t shard reason =
-  Obs.Metric.incr c_shard_down;
-  (* Tear the cached connection down so the next call re-dials from
-     scratch instead of reusing a half-dead fd. *)
-  (match t.conns.(shard) with
+let drop_conn t shard slot =
+  match t.conns.(shard).(slot) with
   | Some c ->
       (try Net.Client.close c with _ -> ());
-      t.conns.(shard) <- None
-  | None -> ());
-  Error
-    (Shard_down
-       { shard; endpoint = Net.Sockaddr.to_string (Topology.endpoint t.topo shard); reason })
+      t.conns.(shard).(slot) <- None
+  | None -> ()
 
-(* Run [f client] against [shard]; every way the shard can fail to
-   answer — dial failure, connection loss beyond the client's retry
-   budget, receive timeout, protocol garbage, error frame — lands in
-   one typed [Shard_down]. *)
-let on_shard t shard f =
-  Obs.Metric.incr c_requests;
+(* Run [f client] against one replica slot. Three outcomes: the value;
+   [`Stale] for a Bad_epoch frame (the connection stays up — the server
+   is healthy, our map is old); [`Down reason] for everything else, with
+   the cached connection torn down so the next call re-dials from
+   scratch instead of reusing a half-dead fd. *)
+let attempt t shard slot f =
   let conn =
-    match t.conns.(shard) with
+    match t.conns.(shard).(slot) with
     | Some c -> Ok c
     | None -> (
+        if t.dialled.(shard).(slot) then Obs.Metric.incr c_redials;
         match
           Net.Client.connect ~retries:t.retries ?timeout_ms:t.timeout_ms
-            (Topology.endpoint t.topo shard)
+            ~epoch:(Topology.epoch t.topo)
+            (Topology.replica t.topo shard slot)
         with
         | c ->
-            t.conns.(shard) <- Some c;
+            t.dialled.(shard).(slot) <- true;
+            t.conns.(shard).(slot) <- Some c;
             Ok c
-        | exception e -> shard_down t shard (describe_exn e))
+        | exception e -> Error (describe_exn e))
   in
   match conn with
-  | Error _ as e -> e
+  | Error reason -> `Down reason
   | Ok c -> (
       match f c with
-      | v -> Ok v
+      | v -> `Ok v
+      | exception Net.Client.Remote_error (Net.Wire.Bad_epoch, msg) -> `Stale msg
       | exception Net.Client.Remote_error (code, msg) ->
-          shard_down t shard
-            (Printf.sprintf "error frame %s: %s" (Net.Wire.error_code_name code) msg)
+          drop_conn t shard slot;
+          `Down (Printf.sprintf "error frame %s: %s" (Net.Wire.error_code_name code) msg)
       | exception Net.Client.Protocol_error msg ->
-          shard_down t shard (Printf.sprintf "protocol error: %s" msg)
+          drop_conn t shard slot;
+          `Down (Printf.sprintf "protocol error: %s" msg)
       | exception ((Unix.Unix_error _ | End_of_file | Failure _) as e) ->
-          shard_down t shard (describe_exn e))
+          drop_conn t shard slot;
+          `Down (describe_exn e))
 
-(* Left-to-right fan-out, first shard failure wins. *)
-let each_shard t f =
+let shard_down t shard slot reason =
+  Obs.Metric.incr c_shard_down;
+  Error
+    (Shard_down
+       {
+         shard;
+         endpoint = Net.Sockaddr.to_string (Topology.replica t.topo shard slot);
+         reason;
+       })
+
+let stale_epoch t shard reason =
+  Obs.Metric.incr c_stale_epochs;
+  Error (Stale_epoch { shard; epoch = Topology.epoch t.topo; reason })
+
+(* Writes go to the primary, and only the primary — slot 0 is the one
+   replica whose chain forwards to the rest. A down primary or a stale
+   epoch both trigger one topology reload + retry: after a promotion the
+   fix for either is the same new map. *)
+let on_primary t shard f =
+  Obs.Metric.incr c_requests;
+  let rec go ~reloaded =
+    match attempt t shard 0 f with
+    | `Ok v -> Ok v
+    | `Stale reason ->
+        if (not reloaded) && reload_topology t then go ~reloaded:true
+        else stale_epoch t shard reason
+    | `Down reason ->
+        if (not reloaded) && reload_topology t then go ~reloaded:true
+        else shard_down t shard 0 reason
+  in
+  go ~reloaded:false
+
+(* Reads walk the replica set starting from the sticky preferred slot;
+   a successful failover moves the preference so every later read pays
+   nothing. All replicas down → reload + retry once (the set may have
+   changed), then a typed [Shard_down] carrying the last failure. *)
+let on_read t shard f =
+  Obs.Metric.incr c_requests;
+  let rec go ~reloaded =
+    let n = Topology.replica_count t.topo shard in
+    let pref = t.preferred.(shard) mod n in
+    let t0 = Obs.Clock.now_ns () in
+    let rec try_slot i last =
+      if i >= n then `All_down last
+      else
+        let slot = (pref + i) mod n in
+        match attempt t shard slot f with
+        | `Ok v ->
+            if i > 0 then begin
+              Obs.Metric.incr c_read_failovers;
+              Obs.Window.add w_failovers 1;
+              Obs.Histogram.record h_failover_ns (Obs.Clock.now_ns () - t0);
+              t.preferred.(shard) <- slot
+            end;
+            `Ok v
+        | `Stale reason -> `Stale reason
+        | `Down reason -> try_slot (i + 1) (slot, reason)
+    in
+    match try_slot 0 (0, "no replicas") with
+    | `Ok v -> Ok v
+    | `Stale reason ->
+        if (not reloaded) && reload_topology t then go ~reloaded:true
+        else stale_epoch t shard reason
+    | `All_down (slot, reason) ->
+        if (not reloaded) && reload_topology t then go ~reloaded:true
+        else shard_down t shard slot reason
+  in
+  go ~reloaded:false
+
+(* Left-to-right fan-out, first shard failure wins. [route] picks the
+   per-shard policy: primaries for anything that writes or feeds a
+   write decision, replica-failover for pure reads. *)
+let each_shard t route f =
   let k = Topology.shards t.topo in
   let rec go i acc =
     if i >= k then Ok (List.rev acc)
     else
-      match on_shard t i (f i) with
+      match route t i (f i) with
       | Ok v -> go (i + 1) (v :: acc)
       | Error _ as e -> e
   in
@@ -140,24 +273,29 @@ let timed m f =
 let insert t ~key ~value =
   timed m_insert (fun () ->
       Result.bind (check_key t key) (fun shard ->
-          on_shard t shard (fun c -> Net.Client.insert c ~key ~value)))
+          on_primary t shard (fun c -> Net.Client.insert c ~key ~value)))
 
 let remove t ~key =
   timed m_remove (fun () ->
       Result.bind (check_key t key) (fun shard ->
-          on_shard t shard (fun c -> Net.Client.remove c ~key)))
+          on_primary t shard (fun c -> Net.Client.remove c ~key)))
 
 let find t ?version key =
   timed m_find (fun () ->
       Result.bind (check_key t key) (fun shard ->
-          on_shard t shard (fun c -> Net.Client.find c ?version key)))
+          on_read t shard (fun c -> Net.Client.find c ?version key)))
 
 (* ---- broadcast ops ---- *)
 
-let ping t = Result.map (fun _ -> ()) (each_shard t (fun _ c -> Net.Client.ping c))
+let ping t =
+  Result.map (fun _ -> ()) (each_shard t on_primary (fun _ c -> Net.Client.ping c))
 
+(* Clock probes feed tag/compact horizons, which are then written at
+   the primaries — so probe the primaries, not a possibly-lagging
+   backup. *)
 let versions t =
-  Result.map Array.of_list (each_shard t (fun _ c -> Net.Client.tag_at c ~version:0))
+  Result.map Array.of_list
+    (each_shard t on_primary (fun _ c -> Net.Client.tag_at c ~version:0))
 
 (* ---- find_bulk: per-shard batches, answers in input order ---- *)
 
@@ -203,7 +341,7 @@ let find_bulk t ?version keys =
                   List.map (fun chunk -> Net.Wire.Find_bulk { keys = chunk; version }) chunks
                 in
                 match
-                  on_shard t shard (fun c ->
+                  on_read t shard (fun c ->
                       let resps = Net.Client.call_batch c reqs in
                       let filled = ref 0 in
                       List.iter
@@ -247,7 +385,7 @@ let tag t =
                 else Error (Tag_mismatch { shard; expected = target; got = ack })
           in
           Result.bind
-            (each_shard t (fun _ c -> Net.Client.tag_at c ~version:target))
+            (each_shard t on_primary (fun _ c -> Net.Client.tag_at c ~version:target))
             (verify 0))
 
 (* ---- cluster-wide compaction ---- *)
@@ -269,7 +407,7 @@ let compact t ~keep =
           else
             Result.map
               (fun dropped -> (before, List.fold_left ( + ) 0 dropped))
-              (each_shard t (fun _ c -> Net.Client.compact c ~before)))
+              (each_shard t on_primary (fun _ c -> Net.Client.compact c ~before)))
 
 (* ---- scatter-gather history ---- *)
 
@@ -283,14 +421,14 @@ let history t key =
                  well-defined even if ownership ever moved. *)
               List.concat per_shard
               |> List.stable_sort (fun (v1, _) (v2, _) -> compare v1 v2))
-            (each_shard t (fun _ c -> Net.Client.history c key))))
+            (each_shard t on_read (fun _ c -> Net.Client.history c key))))
 
 (* ---- distributed extract_snapshot ---- *)
 
 let gather_parts t ?version () =
   Obs.Span.with_ "cluster.snapshot.gather" (fun () ->
       Result.map Array.of_list
-        (each_shard t (fun _ c -> Net.Client.snapshot c ?version ())))
+        (each_shard t on_read (fun _ c -> Net.Client.snapshot c ?version ())))
 
 let snapshot t ?version ~mode () =
   let merge parts =

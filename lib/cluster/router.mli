@@ -3,12 +3,22 @@
     {e processes} speaking the lib/net wire protocol, and the paper's
     NaiveMerge / OptMerge snapshot strategies run over real sockets).
 
-    One pipelined {!Net.Client} per shard, connected lazily and
+    One pipelined {!Net.Client} per replica slot, connected lazily and
     re-connected with backoff after a shard bounce. Nothing here
     raises for a dead shard: every operation returns a [result] whose
     {!error} names the shard, and the cached connection is torn down so
     the next call re-dials — a shard coming back is picked up
     automatically.
+
+    Replica awareness: writes go to each range's primary (slot 0), the
+    one replica whose chain forwards to the backups; reads
+    (find/find_bulk/history/snapshot) fail over across the replica set
+    with a sticky preferred slot, so a dead primary costs readers one
+    failover ([repl.read_failovers], latency in
+    [repl.failover_latency_ns]) instead of an outage. Every connection
+    stamps requests with the topology epoch; a [Bad_epoch] rejection
+    (promotion happened elsewhere) triggers one topology reload via the
+    [reload] closure and a retry before surfacing {!Stale_epoch}.
 
     Consistency note: single-key operations are linearizable per shard
     (the shard's store provides that); cluster-wide {!tag} cuts the
@@ -29,6 +39,11 @@ type error =
           out-of-band write moved its clock. *)
   | Bad_key of { key : int; key_bits : int }
       (** [key] is outside the topology's key space. *)
+  | Stale_epoch of { shard : int; epoch : int; reason : string }
+      (** The shard has seen a newer topology epoch than [epoch] (ours)
+          and rejected the request with [Bad_epoch]; reloading the
+          topology did not produce a newer map (no [reload] closure, or
+          the file has not caught up yet). *)
 
 val error_to_string : error -> string
 
@@ -41,11 +56,25 @@ type snapshot_mode =
 
 type t
 
-val create : ?timeout_ms:int -> ?retries:int -> Topology.t -> t
-(** [timeout_ms]/[retries] are handed to every per-shard
-    {!Net.Client.connect} (defaults: no timeout, 2 retries). *)
+val create :
+  ?timeout_ms:int ->
+  ?retries:int ->
+  ?reload:(unit -> Topology.t option) ->
+  Topology.t ->
+  t
+(** [timeout_ms]/[retries] are handed to every per-replica
+    {!Net.Client.connect} (defaults: no timeout, 2 retries). [reload]
+    is consulted when a shard rejects our epoch or a whole replica set
+    is unreachable: it should re-read the topology source (e.g.
+    [Topology.of_file]); the router adopts the result only when its
+    epoch is strictly newer, then retries the failed call once. *)
 
 val topology : t -> Topology.t
+
+val set_topology : t -> Topology.t -> unit
+(** Swap the routing map (drops every cached connection). Normally the
+    [reload] closure does this on demand; exposed for callers that
+    learn about a promotion out of band. *)
 
 val close : t -> unit
 (** Drop every cached shard connection (the router stays usable; the

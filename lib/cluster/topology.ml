@@ -1,22 +1,101 @@
 type t = {
   key_bits : int;
-  endpoints : Net.Sockaddr.t array;
+  epoch : int;
+  sets : Net.Sockaddr.t array array;  (** sets.(i).(0) is range i's primary *)
   partition : Distrib.Partition.t;
 }
 
-let create ~key_bits endpoints =
-  if Array.length endpoints = 0 then invalid_arg "Topology.create: no shards";
+(* Endpoints are compared textually: two spellings of the same address
+   (e.g. tcp://localhost vs tcp://127.0.0.1) are operator aliases we
+   cannot see through, but a literal repeat is always a mistake — one
+   process cannot serve two replica slots. *)
+let check_no_duplicates sets =
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (Array.iter (fun ep ->
+         let s = Net.Sockaddr.to_string ep in
+         if Hashtbl.mem seen s then
+           invalid_arg (Printf.sprintf "duplicate endpoint %s" s)
+         else Hashtbl.add seen s ()))
+    sets
+
+let create_replicated ~key_bits ?(epoch = 0) sets =
+  if Array.length sets = 0 then invalid_arg "Topology.create: no shards";
+  if epoch < 0 then invalid_arg "Topology.create: negative epoch";
+  Array.iteri
+    (fun i set ->
+      if Array.length set = 0 then
+        invalid_arg (Printf.sprintf "Topology.create: shard %d has no endpoints" i))
+    sets;
+  let sets = Array.map Array.copy sets in
+  check_no_duplicates sets;
   (* Partition.create validates key_bits. *)
-  let partition = Distrib.Partition.create ~ranks:(Array.length endpoints) ~key_bits in
-  { key_bits; endpoints = Array.copy endpoints; partition }
+  let partition = Distrib.Partition.create ~ranks:(Array.length sets) ~key_bits in
+  { key_bits; epoch; sets; partition }
+
+let create ~key_bits endpoints =
+  create_replicated ~key_bits (Array.map (fun ep -> [| ep |]) endpoints)
 
 let key_bits t = t.key_bits
-let shards t = Array.length t.endpoints
+let epoch t = t.epoch
+let shards t = Array.length t.sets
+
+let check_shard t what i =
+  if i < 0 || i >= Array.length t.sets then
+    invalid_arg
+      (Printf.sprintf "Topology.%s: shard %d of %d" what i (Array.length t.sets))
+
+let replicas t i =
+  check_shard t "replicas" i;
+  Array.copy t.sets.(i)
+
+let replica_count t i =
+  check_shard t "replica_count" i;
+  Array.length t.sets.(i)
 
 let endpoint t i =
-  if i < 0 || i >= Array.length t.endpoints then
-    invalid_arg (Printf.sprintf "Topology.endpoint: shard %d of %d" i (Array.length t.endpoints));
-  t.endpoints.(i)
+  check_shard t "endpoint" i;
+  t.sets.(i).(0)
+
+let primary = endpoint
+
+let backups t i =
+  check_shard t "backups" i;
+  Array.sub t.sets.(i) 1 (Array.length t.sets.(i) - 1)
+
+let replica t i j =
+  check_shard t "replica" i;
+  if j < 0 || j >= Array.length t.sets.(i) then
+    invalid_arg
+      (Printf.sprintf "Topology.replica: slot %d of %d (shard %d)" j
+         (Array.length t.sets.(i)) i);
+  t.sets.(i).(j)
+
+let with_epoch t epoch =
+  if epoch < 0 then invalid_arg "Topology.with_epoch: negative epoch";
+  { t with epoch }
+
+(* Promotion: the chosen backup becomes the head of its replica set and
+   the epoch is bumped, so requests stamped with the old epoch are
+   fenced out everywhere the new epoch has been seen. The old primary
+   stays in the set (as a backup) — when its process restarts it can
+   rejoin and catch up instead of being forgotten. *)
+let promote t ~shard ~replica =
+  check_shard t "promote" shard;
+  let set = t.sets.(shard) in
+  if replica <= 0 || replica >= Array.length set then
+    invalid_arg
+      (Printf.sprintf "Topology.promote: backup slot %d of %d (shard %d)" replica
+         (Array.length set) shard);
+  let rotated =
+    Array.init (Array.length set) (fun j ->
+        if j = 0 then set.(replica)
+        else if j <= replica then set.(j - 1)
+        else set.(j))
+  in
+  let sets = Array.map Array.copy t.sets in
+  sets.(shard) <- rotated;
+  { t with sets; epoch = t.epoch + 1 }
 
 let partition t = t.partition
 let owner t key = Distrib.Partition.owner t.partition key
@@ -30,53 +109,98 @@ let strip s =
 
 let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
 
+let ( let* ) = Result.bind
+
 let of_string text =
   let err lineno msg = Error (Printf.sprintf "topology line %d: %s" lineno msg) in
-  let rec scan lineno lines key_bits shards =
+  (* [shards]: (lineno, id, primary-first endpoint list) per `shard`
+     line; [extras]: (lineno, id, endpoint) per `replica` line, appended
+     to the matching set once ids are known to be dense. *)
+  let rec scan lineno lines key_bits epoch shards extras =
     match lines with
     | [] -> (
         match key_bits with
         | None -> Error "topology: missing \"key_bits N\" directive"
         | Some key_bits -> (
             match shards with
-            | [] -> Error "topology: no \"shard I ENDPOINT\" directives"
+            | [] -> Error "topology: no \"shard I ENDPOINT...\" directives"
             | shards ->
                 let k = List.length shards in
-                let endpoints = Array.make k None in
+                let sets = Array.make k None in
                 let rec place = function
                   | [] -> Ok ()
-                  | (lineno, i, ep) :: rest ->
+                  | (lineno, i, eps) :: rest ->
                       if i < 0 || i >= k then
                         err lineno (Printf.sprintf "shard id %d out of range for %d shard(s)" i k)
-                      else if endpoints.(i) <> None then
+                      else if sets.(i) <> None then
                         err lineno (Printf.sprintf "duplicate shard id %d" i)
                       else begin
-                        endpoints.(i) <- Some ep;
+                        sets.(i) <- Some eps;
                         place rest
                       end
                 in
-                Result.bind (place shards) (fun () ->
-                    match create ~key_bits (Array.map Option.get endpoints) with
-                    | t -> Ok t
-                    | exception Invalid_argument msg -> Error ("topology: " ^ msg))))
+                let rec attach = function
+                  | [] -> Ok ()
+                  | (lineno, i, ep) :: rest ->
+                      if i < 0 || i >= k then
+                        err lineno (Printf.sprintf "replica for shard %d out of range for %d shard(s)" i k)
+                      else begin
+                        sets.(i) <- Some (Option.get sets.(i) @ [ ep ]);
+                        attach rest
+                      end
+                in
+                let* () = place shards in
+                let* () = attach (List.rev extras) in
+                let sets = Array.map (fun s -> Array.of_list (Option.get s)) sets in
+                let epoch = Option.value epoch ~default:0 in
+                (match create_replicated ~key_bits ~epoch sets with
+                | t -> Ok t
+                | exception Invalid_argument msg -> Error ("topology: " ^ msg))))
     | line :: rest -> (
         match words (strip line) with
-        | [] -> scan (lineno + 1) rest key_bits shards
+        | [] -> scan (lineno + 1) rest key_bits epoch shards extras
         | [ "key_bits"; n ] -> (
             match (key_bits, int_of_string_opt n) with
             | Some _, _ -> err lineno "duplicate key_bits directive"
-            | None, Some n when n >= 1 && n <= 62 -> scan (lineno + 1) rest (Some n) shards
+            | None, Some n when n >= 1 && n <= 62 ->
+                scan (lineno + 1) rest (Some n) epoch shards extras
             | None, _ -> err lineno (Printf.sprintf "bad key_bits %S (want 1..62)" n))
-        | [ "shard"; i; ep ] -> (
+        | [ "epoch"; n ] -> (
+            match (epoch, int_of_string_opt n) with
+            | Some _, _ -> err lineno "duplicate epoch directive"
+            | None, Some n when n >= 0 ->
+                scan (lineno + 1) rest key_bits (Some n) shards extras
+            | None, _ -> err lineno (Printf.sprintf "bad epoch %S (want >= 0)" n))
+        | "shard" :: i :: (_ :: _ as eps) -> (
+            match int_of_string_opt i with
+            | None -> err lineno (Printf.sprintf "bad shard id %S" i)
+            | Some i -> (
+                let rec parse_eps acc = function
+                  | [] -> Ok (List.rev acc)
+                  | ep :: rest -> (
+                      match Net.Sockaddr.of_string ep with
+                      | Error e -> Error e
+                      | Ok ep -> parse_eps (ep :: acc) rest)
+                in
+                match parse_eps [] eps with
+                | Error e -> err lineno e
+                | Ok eps ->
+                    scan (lineno + 1) rest key_bits epoch
+                      ((lineno, i, eps) :: shards)
+                      extras))
+        | [ "replica"; i; ep ] -> (
             match int_of_string_opt i with
             | None -> err lineno (Printf.sprintf "bad shard id %S" i)
             | Some i -> (
                 match Net.Sockaddr.of_string ep with
                 | Error e -> err lineno e
-                | Ok ep -> scan (lineno + 1) rest key_bits ((lineno, i, ep) :: shards)))
+                | Ok ep ->
+                    scan (lineno + 1) rest key_bits epoch shards
+                      ((lineno, i, ep) :: extras)))
+        | [ "shard"; _ ] -> err lineno "shard directive needs at least one endpoint"
         | w :: _ -> err lineno (Printf.sprintf "unknown directive %S" w))
   in
-  scan 1 (String.split_on_char '\n' text) None []
+  scan 1 (String.split_on_char '\n' text) None None [] []
 
 let of_file path =
   match
@@ -95,8 +219,26 @@ let of_file path =
 let to_string t =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (Printf.sprintf "key_bits %d\n" t.key_bits);
+  Buffer.add_string buf (Printf.sprintf "epoch %d\n" t.epoch);
   Array.iteri
-    (fun i ep ->
-      Buffer.add_string buf (Printf.sprintf "shard %d %s\n" i (Net.Sockaddr.to_string ep)))
-    t.endpoints;
+    (fun i set ->
+      Buffer.add_string buf (Printf.sprintf "shard %d" i);
+      Array.iter
+        (fun ep -> Buffer.add_string buf (" " ^ Net.Sockaddr.to_string ep))
+        set;
+      Buffer.add_char buf '\n')
+    t.sets;
   Buffer.contents buf
+
+(* Atomic rewrite (tmp + rename): a promotion must never leave a
+   half-written topology behind for a concurrently-starting router. *)
+let save t path =
+  match
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    output_string oc (to_string t);
+    close_out oc;
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error e -> Error (Printf.sprintf "topology %s: %s" path e)

@@ -1,31 +1,49 @@
-(** Cluster topology: which shard owns which key range, and where each
-    shard listens.
+(** Cluster topology: which replica set owns which key range, where each
+    replica listens, and the topology's epoch.
 
     A topology is [key_bits] (the key space is [0, 2^key_bits)) plus an
-    ordered list of shard endpoints; key-range ownership is delegated to
+    ordered list of replica sets — one per key range, each a primary
+    followed by zero or more backups — and an {e epoch} number bumped by
+    every promotion. Key-range ownership is delegated to
     {!Distrib.Partition}, so the router and the in-process simulation
-    ([Distrib.Dstore]) split the key space identically.
+    ([Distrib.Dstore]) split the key space identically. Requests stamped
+    with an old epoch are rejected by servers that have seen a newer one
+    (typed [Bad_epoch] error), which is how a router discovers its map
+    is stale.
 
     The on-disk spec is a small line-oriented text file, one directive
     per line, with [#] comments:
 
     {v
-    # 4-shard cluster over unix sockets
+    # 3-range cluster, range 0 replicated twice
     key_bits 20
-    shard 0 unix:///tmp/mvkv-shard0.sock
-    shard 1 unix:///tmp/mvkv-shard1.sock
-    shard 2 tcp://127.0.0.1:7801
-    shard 3 tcp://127.0.0.1:7802
+    epoch 4
+    shard 0 unix:///tmp/mvkv-s0.sock unix:///tmp/mvkv-s0b.sock
+    shard 1 tcp://127.0.0.1:7801
+    shard 2 tcp://127.0.0.1:7802
+    replica 2 tcp://127.0.0.1:7902
     v}
 
-    Shard ids must be dense 0..K-1 (any order in the file). *)
+    A [shard I EP...] line lists range [I]'s replica set, primary first;
+    [replica I EP] appends one more backup to range [I] (either spelling
+    works, and [to_string] always renders the one-line form). [epoch] is
+    optional and defaults to 0, so pre-replication topology files still
+    parse. Shard ids must be dense 0..K-1 (any order in the file);
+    repeating the same endpoint anywhere in the topology is rejected. *)
 
 type t
 
 val create : key_bits:int -> Net.Sockaddr.t array -> t
-(** [create ~key_bits endpoints] — endpoint at index [i] serves
-    shard [i]. Raises [Invalid_argument] on an empty endpoint list or a
-    [key_bits] outside [1, 62]. *)
+(** [create ~key_bits endpoints] — the unreplicated form: endpoint at
+    index [i] is the sole replica of range [i], epoch 0. Raises
+    [Invalid_argument] on an empty endpoint list, a duplicate endpoint,
+    or a [key_bits] outside [1, 62]. *)
+
+val create_replicated : key_bits:int -> ?epoch:int -> Net.Sockaddr.t array array -> t
+(** [create_replicated ~key_bits ~epoch sets] — [sets.(i)] is range
+    [i]'s replica set, primary first. Raises [Invalid_argument] on an
+    empty set list, an empty replica set, a duplicate endpoint, a
+    negative epoch, or a bad [key_bits]. *)
 
 val of_string : string -> (t, string) result
 (** Parse a topology spec; the error names the offending line. *)
@@ -35,9 +53,42 @@ val of_file : string -> (t, string) result
 val to_string : t -> string
 (** Render back to the spec syntax ([of_string] round-trips it). *)
 
+val save : t -> string -> (unit, string) result
+(** Write atomically (tmp file + rename): a promotion rewriting the
+    shared spec never leaves a torn file for concurrent readers. *)
+
 val key_bits : t -> int
 val shards : t -> int
+
+val epoch : t -> int
+(** Topology generation. Routers stamp every request with it; servers
+    reject stamps older than the newest epoch they have seen. *)
+
 val endpoint : t -> int -> Net.Sockaddr.t
+(** Range [i]'s primary (alias {!primary}; kept for pre-replication
+    callers). *)
+
+val primary : t -> int -> Net.Sockaddr.t
+
+val replicas : t -> int -> Net.Sockaddr.t array
+(** Range [i]'s full replica set, primary first. *)
+
+val backups : t -> int -> Net.Sockaddr.t array
+
+val replica : t -> int -> int -> Net.Sockaddr.t
+(** [replica t i j] — slot [j] of range [i]'s set (0 = primary). *)
+
+val replica_count : t -> int -> int
+
+val with_epoch : t -> int -> t
+
+val promote : t -> shard:int -> replica:int -> t
+(** [promote t ~shard ~replica] — backup slot [replica] (>= 1) of
+    [shard]'s set becomes the primary, the old primary slides into the
+    backups (it rejoins and catches up if its process ever restarts),
+    and the epoch is bumped. Raises [Invalid_argument] if [replica] is
+    not a backup slot. *)
+
 val partition : t -> Distrib.Partition.t
 
 val owner : t -> int -> int

@@ -1,18 +1,49 @@
-type t = { min : int; max : int; mutable current : int }
+type t = {
+  min : int;
+  max : int;
+  mutable current : int;
+  rng : Random.State.t option;  (** [Some] = decorrelated jitter *)
+}
 
-let create ?(min = 1) ?(max = 256) () =
+let create ?(min = 1) ?(max = 256) ?(jitter = false) ?seed () =
   if min < 1 || max < min then invalid_arg "Backoff.create";
-  { min; max; current = min }
+  let rng =
+    if not jitter then None
+    else
+      Some
+        (match seed with
+        | Some seed -> Random.State.make [| seed |]
+        | None -> Random.State.make_self_init ())
+  in
+  { min; max; current = min; rng }
+
+(* Two schedules share one state:
+
+   - pure exponential (default): deterministic doubling, right for CAS
+     retry loops where the delay is a spin count and synchronisation
+     between contenders is harmless;
+   - decorrelated jitter ([~jitter:true]): next = U[min, 3*current]
+     capped at [max] — the schedule from the AWS architecture blog's
+     "Exponential backoff and jitter". Re-dial storms are the reason:
+     when a primary dies, every router and every chain peer notices at
+     the same instant, and without jitter they all sleep the same
+     doubling schedule and hammer the replacement in lockstep. *)
+let advance t =
+  match t.rng with
+  | None -> t.current <- Stdlib.min t.max (t.current * 2)
+  | Some rng ->
+      let hi = Stdlib.min t.max (t.current * 3) in
+      t.current <- t.min + Random.State.int rng (hi - t.min + 1)
 
 let once t =
   for _ = 1 to t.current do
     Domain.cpu_relax ()
   done;
-  t.current <- Stdlib.min t.max (t.current * 2)
+  advance t
 
 let reset t = t.current <- t.min
 
 let current t = t.current
 (* Exposed so callers that wait by sleeping (e.g. a network client's
-   reconnect loop) can reuse the doubling schedule as a duration
-   instead of a spin count. *)
+   reconnect loop) can reuse the schedule as a duration instead of a
+   spin count. *)

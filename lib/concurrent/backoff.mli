@@ -7,12 +7,19 @@
 
 type t
 
-val create : ?min:int -> ?max:int -> unit -> t
+val create : ?min:int -> ?max:int -> ?jitter:bool -> ?seed:int -> unit -> t
 (** Fresh backoff state; [min] and [max] bound the pause length in
-    [cpu_relax] iterations (defaults 1 and 256). *)
+    [cpu_relax] iterations (defaults 1 and 256). With [~jitter:true]
+    the schedule is decorrelated jitter — the next pause is drawn
+    uniformly from [[min, 3 * current]] capped at [max] — so many
+    instances created at the same moment (e.g. every client of a dead
+    shard re-dialling) do not pause in lockstep. Each jittered instance
+    owns its own PRNG, seeded from [seed] when given (deterministic
+    tests) or from system entropy. [seed] is ignored without [jitter]. *)
 
 val once : t -> unit
-(** Pause, then double the next pause up to [max]. *)
+(** Pause, then advance the schedule: double up to [max] (default), or
+    redraw with decorrelated jitter ([~jitter:true]). *)
 
 val current : t -> int
 (** The next pause length. Callers that wait by sleeping rather than

@@ -29,6 +29,10 @@ type t = {
   addr : Sockaddr.t;
   retries : int;
   timeout_ms : int option;
+  mutable epoch : int option;
+      (** when set, every outgoing request is wrapped in
+          [Wire.Stamped] with this epoch — how a router's connections
+          participate in epoch fencing. [None] = legacy unstamped. *)
   mutable fd : Unix.file_descr option;
   mutable buf : Bytes.t;
   mutable start : int;
@@ -63,7 +67,7 @@ let transient = function
   | _ -> false
 
 let connect_with_backoff addr ~retries ~timeout_ms =
-  let b = Concurrent.Backoff.create ~min:1 ~max:512 () in
+  let b = Concurrent.Backoff.create ~min:1 ~max:512 ~jitter:true () in
   let rec attempt k =
     match Sockaddr.connect addr with
     | fd ->
@@ -76,17 +80,21 @@ let connect_with_backoff addr ~retries ~timeout_ms =
   in
   attempt 0
 
-let connect ?(retries = 5) ?timeout_ms addr =
+let connect ?(retries = 5) ?timeout_ms ?epoch addr =
   {
     addr;
     retries;
     timeout_ms;
+    epoch;
     fd = Some (connect_with_backoff addr ~retries ~timeout_ms);
     buf = Bytes.create recv_chunk;
     start = 0;
     fill = 0;
     out = Buffer.create recv_chunk;
   }
+
+let set_epoch t epoch = t.epoch <- Some epoch
+let epoch t = t.epoch
 
 let disconnect t =
   (match t.fd with Some fd -> ( try Unix.close fd with _ -> ()) | None -> ());
@@ -146,13 +154,20 @@ let read_responses t fd n = List.init n (fun _ -> read_response t fd)
 
 (* ---- calls ---- *)
 
+(* Stamp a request with the client's epoch (if any). Already-wrapped
+   frames pass through untouched — the wire format rejects nesting. *)
+let stamp t (req : Wire.request) : Wire.request =
+  match (t.epoch, req) with
+  | None, req | _, ((Wire.Stamped _ | Wire.Replicate _) as req) -> req
+  | Some epoch, req -> Wire.Stamped { epoch; req }
+
 let call_batch t (reqs : Wire.request list) : Wire.response list =
   if reqs = [] then []
   else begin
     Buffer.clear t.out;
-    List.iter (Wire.add_request t.out) reqs;
+    List.iter (fun req -> Wire.add_request t.out (stamp t req)) reqs;
     let payload = Buffer.contents t.out in
-    let b = Concurrent.Backoff.create ~min:1 ~max:512 () in
+    let b = Concurrent.Backoff.create ~min:1 ~max:512 ~jitter:true () in
     let rec attempt k =
       let fd = ensure_connected t in
       match
@@ -234,6 +249,19 @@ let snapshot t ?version () =
   match call t (Wire.Snapshot { version }) with
   | Wire.Pairs pairs -> pairs
   | r -> unexpected "snapshot" r
+
+let epoch_probe t =
+  match call t Wire.Epoch_probe with
+  | Wire.Epoch_info { epoch; version } -> (epoch, version)
+  | r -> unexpected "epoch_probe" r
+
+(* Ship one already-applied mutation to a backup. Returns the backup's
+   raw (non-error) response so the chain can cross-check e.g. the
+   version a [Tag_at] landed at. *)
+let replicate t ~epoch req =
+  match call t (Wire.Replicate { epoch; req }) with
+  | Wire.Error { code; message } -> raise (Remote_error (code, message))
+  | resp -> resp
 
 let stats t =
   match call t Wire.Stats with

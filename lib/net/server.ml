@@ -37,6 +37,8 @@
 
 let c_requests = Obs.Registry.counter "net.requests"
 let c_errors = Obs.Registry.counter "net.errors"
+let c_bad_epoch = Obs.Registry.counter "net.bad_epoch"
+let c_replicated = Obs.Registry.counter "net.replicated"
 let c_connections = Obs.Registry.counter "net.connections"
 let c_rejected = Obs.Registry.counter "net.rejected"
 let c_bytes_in = Obs.Registry.counter "net.bytes_in"
@@ -130,6 +132,15 @@ struct
     timeout_ns : int;  (** request_timeout on the Obs.Clock scale *)
     slow : Obs.Slowlog.t;
     trace : Obs.Tracebuf.t;
+    epoch : int Atomic.t;
+        (** newest topology epoch this server has seen; older stamps
+            are rejected with [Bad_epoch]. Shared with the replication
+            chain (when one is attached) so forwarded frames always
+            carry the epoch the server is fencing at. *)
+    on_mutation : (Wire.request -> Wire.response -> unit) option;
+        (** called after a client mutation applied successfully —
+            the primary-side replication hook. Never called for
+            [Replicate] frames, so forwarding is one hop deep. *)
     stop_flag : bool Atomic.t;
     active : int Atomic.t;
     queue : Handoff.t;
@@ -140,6 +151,32 @@ struct
   let is_stopping t = Atomic.get t.stop_flag
   let slowlog t = t.slow
   let tracebuf t = t.trace
+  let epoch t = Atomic.get t.epoch
+
+  (* ---- epoch fencing ----
+
+     The rule is monotone adoption: a stamp older than the newest epoch
+     this server has seen is answered with a typed [Bad_epoch] error (the
+     router's cue to reload the topology); a newer stamp is adopted via
+     CAS, so one request from a post-promotion router fences out every
+     router still stamping with the old epoch. *)
+
+  let check_epoch t stamp =
+    let rec adopt () =
+      let current = Atomic.get t.epoch in
+      if stamp < current then
+        Error
+          (Wire.Error
+             {
+               code = Wire.Bad_epoch;
+               message =
+                 Printf.sprintf "stale epoch %d, server at epoch %d" stamp current;
+             })
+      else if stamp = current || Atomic.compare_and_set t.epoch current stamp then
+        Ok ()
+      else adopt ()
+    in
+    adopt ()
 
   (* ---- request dispatch ---- *)
 
@@ -202,8 +239,21 @@ struct
         let before = max 0 (S.current_version t.store - keep) in
         let dropped = if before > 0 then S.compact t.store ~before else 0 in
         Wire.Gc_done { dropped; before }
+    | Wire.Epoch_probe ->
+        Wire.Epoch_info
+          { epoch = Atomic.get t.epoch; version = S.current_version t.store }
+    | Wire.Stamped _ | Wire.Replicate _ ->
+        (* Unreachable: [dispatch] unwraps both and the decoder rejects
+           nested wrappers — but keep it a typed error, not an assert. *)
+        Wire.Error { code = Wire.Malformed; message = "nested epoch wrapper" }
 
-  let dispatch t req =
+  (* [replicated] marks a frame forwarded by another primary: it must be
+     applied but never re-forwarded, which keeps the chain one hop deep
+     and loop-free. Everything else that mutates and succeeds is handed
+     to [on_mutation] (the replication chain) after the local apply, so
+     the ack the client sees means "applied here and offered to every
+     reachable backup". *)
+  let dispatch_inner t ~replicated req =
     let metrics = List.assoc (Wire.request_label req) op_metrics in
     let t0 = Obs.Instr.start () in
     let resp =
@@ -217,7 +267,36 @@ struct
     if elapsed > 0 then
       Obs.Slowlog.note t.slow ~op:(Wire.request_label req)
         ?key:(Wire.request_key req) ~latency_ns:elapsed ();
+    (match (resp, t.on_mutation) with
+    | Wire.Error _, _ | _, None -> ()
+    | resp, Some hook ->
+        if (not replicated) && Wire.is_mutation req then (
+          try hook req resp
+          with e ->
+            (* A replication failure must not poison the client
+               connection; the chain records the lag and catches the
+               backup up later. *)
+            Printf.eprintf "net.server: replication hook failed: %s\n%!"
+              (Printexc.to_string e)));
     resp
+
+  let dispatch t req =
+    match req with
+    | Wire.Stamped { epoch; req } -> (
+        match check_epoch t epoch with
+        | Error resp ->
+            Obs.Metric.incr c_bad_epoch;
+            resp
+        | Ok () -> dispatch_inner t ~replicated:false req)
+    | Wire.Replicate { epoch; req } -> (
+        match check_epoch t epoch with
+        | Error resp ->
+            Obs.Metric.incr c_bad_epoch;
+            resp
+        | Ok () ->
+            Obs.Metric.incr c_replicated;
+            dispatch_inner t ~replicated:true req)
+    | req -> dispatch_inner t ~replicated:false req
 
   (* ---- per-connection state ---- *)
 
@@ -432,7 +511,7 @@ struct
 
   let start ~store ?(workers = 4) ?(batch = 64) ?(max_conns = 256)
       ?(request_timeout = 5.0) ?(slowlog_threshold_ns = 10_000_000)
-      ?(trace_capacity = 4096) ?trace ~listen () =
+      ?(trace_capacity = 4096) ?trace ?epoch_cell ?on_mutation ~listen () =
     if workers < 1 then invalid_arg "Server.start: need at least one worker";
     if batch < 1 then invalid_arg "Server.start: batch must be positive";
     let listen_fd = Sockaddr.listen listen in
@@ -458,6 +537,8 @@ struct
         timeout_ns = int_of_float (request_timeout *. 1e9);
         slow = Obs.Slowlog.create ~threshold_ns:slowlog_threshold_ns ();
         trace;
+        epoch = (match epoch_cell with Some c -> c | None -> Atomic.make 0);
+        on_mutation;
         stop_flag = Atomic.make false;
         active = Atomic.make 0;
         queue = Handoff.create ();

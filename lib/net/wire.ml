@@ -19,8 +19,12 @@
    exact version number, the primitive behind cluster-wide tags) and
    Find_bulk (one frame looking many keys up).
    Version 3 added the GC opcodes: Compact / Retention requests and the
-   Gc_done response. *)
-let protocol_version = 3
+   Gc_done response.
+   Version 4 added the replication opcodes: Stamped (epoch-fenced
+   wrapper around any plain request), Replicate (primary-to-backup
+   apply, never re-forwarded), Epoch_probe / Epoch_info, and the
+   Bad_epoch error code. *)
+let protocol_version = 4
 
 (* Largest accepted body, in bytes. Generous enough for a snapshot of
    ~500k pairs in one frame; small enough that a garbage length prefix
@@ -39,6 +43,9 @@ type error_code =
   | Timeout  (** server gave up waiting for the rest of a frame *)
   | Busy  (** server is at its connection limit *)
   | Server_error  (** the store raised while applying the request *)
+  | Bad_epoch
+      (** the request's epoch stamp is older than the newest epoch the
+          server has seen — the sender's topology is stale *)
 
 type request =
   | Ping
@@ -68,6 +75,22 @@ type request =
       (** Compact so the last [keep] versions stay fully observable; the
           server derives [before] from its own clock. Answered with
           {!Gc_done}. *)
+  | Stamped of { epoch : int; req : request }
+      (** Epoch-fenced wrapper: if [epoch] is older than the newest
+          epoch the server has seen, the whole request is rejected with
+          a {!Bad_epoch} error frame; a newer [epoch] is adopted. The
+          cluster router wraps every request it routes so a stale
+          topology map is detected instead of silently served. Wrappers
+          do not nest. *)
+  | Replicate of { epoch : int; req : request }
+      (** Primary-to-backup forwarding of an already-applied mutation.
+          Epoch-fenced like {!Stamped}, but the inner request is applied
+          without re-triggering replication — the chain is one hop
+          deep. Wrappers do not nest. *)
+  | Epoch_probe
+      (** Answered with {!Epoch_info}: the server's current epoch and
+          version clock — the probe behind failover decisions and
+          [mvkv cluster client status]. *)
 
 type response =
   | Pong
@@ -84,6 +107,8 @@ type response =
   | Gc_done of { dropped : int; before : int }
       (** compact/retention result: entries dropped and the horizon the
           server actually compacted before *)
+  | Epoch_info of { epoch : int; version : int }
+      (** Epoch_probe result: the server's epoch and version clock. *)
   | Error of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -94,6 +119,7 @@ let error_code_to_int = function
   | Timeout -> 5
   | Busy -> 6
   | Server_error -> 7
+  | Bad_epoch -> 8
 
 let error_code_of_int = function
   | 1 -> Some Bad_version
@@ -103,6 +129,7 @@ let error_code_of_int = function
   | 5 -> Some Timeout
   | 6 -> Some Busy
   | 7 -> Some Server_error
+  | 8 -> Some Bad_epoch
   | _ -> None
 
 let error_code_name = function
@@ -113,9 +140,12 @@ let error_code_name = function
   | Timeout -> "timeout"
   | Busy -> "busy"
   | Server_error -> "server_error"
+  | Bad_epoch -> "bad_epoch"
 
-(* Stable per-op label: metric names and the serve log both key on it. *)
-let request_label = function
+(* Stable per-op label: metric names and the serve log both key on it.
+   Wrappers are unwrapped by the server before the metric lookup, so
+   their own labels only name undispatched frames (e.g. in errors). *)
+let rec request_label = function
   | Ping -> "ping"
   | Insert _ -> "insert"
   | Remove _ -> "remove"
@@ -131,21 +161,35 @@ let request_label = function
   | Find_bulk _ -> "find_bulk"
   | Compact _ -> "compact"
   | Retention _ -> "retention"
+  | Stamped { req; _ } -> request_label req
+  | Replicate _ -> "replicate"
+  | Epoch_probe -> "epoch_probe"
 
 let request_labels =
   [
     "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats";
     "metrics"; "trace"; "slowlog"; "tag_at"; "find_bulk"; "compact"; "retention";
+    "replicate"; "epoch_probe";
   ]
 
 (* The key a request touches, when it names one — slow-op log entries
    carry it so a hot key is identifiable from the log alone. *)
-let request_key = function
+let rec request_key = function
   | Insert { key; _ } | Remove { key } | Find { key; _ } | History { key } ->
       Some key
+  | Stamped { req; _ } | Replicate { req; _ } -> request_key req
   | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump | Slowlog _
-  | Tag_at _ | Find_bulk _ | Compact _ | Retention _ ->
+  | Tag_at _ | Find_bulk _ | Compact _ | Retention _ | Epoch_probe ->
       None
+
+(* Requests a primary must forward to its backups for the replica set
+   to converge; everything else is read-only or server-local. *)
+let rec is_mutation = function
+  | Insert _ | Remove _ | Tag | Tag_at _ | Compact _ | Retention _ -> true
+  | Stamped { req; _ } | Replicate { req; _ } -> is_mutation req
+  | Ping | Find _ | Find_bulk _ | History _ | Snapshot _ | Stats | Metrics_prom
+  | Trace_dump | Slowlog _ | Epoch_probe ->
+      false
 
 (* ---- equality / printing (tests, error messages) ---- *)
 
@@ -157,6 +201,8 @@ let equal_response a b =
   | a, b -> a = b
 
 let pp_response fmt = function
+  | Epoch_info { epoch; version } ->
+      Format.fprintf fmt "epoch %d version %d" epoch version
   | Pong -> Format.pp_print_string fmt "pong"
   | Ack -> Format.pp_print_string fmt "ack"
   | Version v -> Format.fprintf fmt "version %d" v
@@ -209,13 +255,20 @@ let request_opcode = function
   | Find_bulk _ -> 13
   | Compact _ -> 14
   | Retention _ -> 15
+  | Stamped _ -> 16
+  | Replicate _ -> 17
+  | Epoch_probe -> 18
 
-let encode_request_body (r : request) =
+(* A wrapper's payload is its epoch followed by the complete inner
+   request body (version byte, opcode, payload) running to the end of
+   the frame — no inner length prefix needed, and the inner body decodes
+   with the same cursor machinery. *)
+let rec encode_request_body (r : request) =
   let buf = Buffer.create 32 in
   put_u8 buf protocol_version;
   put_u8 buf (request_opcode r);
   (match r with
-  | Ping | Tag | Stats | Metrics_prom | Trace_dump -> ()
+  | Ping | Tag | Stats | Metrics_prom | Trace_dump | Epoch_probe -> ()
   | Insert { key; value } ->
       put_int buf key;
       put_int buf value
@@ -231,7 +284,10 @@ let encode_request_body (r : request) =
       put_int buf (Array.length keys);
       Array.iter (put_int buf) keys
   | Compact { before } -> put_int buf before
-  | Retention { keep } -> put_int buf keep);
+  | Retention { keep } -> put_int buf keep
+  | Stamped { epoch; req } | Replicate { epoch; req } ->
+      put_int buf epoch;
+      Buffer.add_string buf (encode_request_body req));
   Buffer.contents buf
 
 let response_opcode = function
@@ -248,6 +304,7 @@ let response_opcode = function
   | Slowlog_json _ -> 11
   | Values _ -> 12
   | Gc_done _ -> 13
+  | Epoch_info _ -> 14
 
 let encode_response_body (r : response) =
   let buf = Buffer.create 32 in
@@ -282,6 +339,9 @@ let encode_response_body (r : response) =
   | Gc_done { dropped; before } ->
       put_int buf dropped;
       put_int buf before
+  | Epoch_info { epoch; version } ->
+      put_int buf epoch;
+      put_int buf version
   | Error { code; message } ->
       put_u8 buf (error_code_to_int code);
       put_string buf message);
@@ -377,7 +437,12 @@ let open_cursor b ~off ~len what =
              protocol_version what ));
   c
 
-let decode_request b ~off ~len : (request, error_code * string) result =
+(* [allow_wrap] bounds wrapper nesting at one level: a Stamped inside a
+   Replicate (or any other combination) is malformed, so a hostile
+   frame of stacked wrappers cannot drive the decoder arbitrarily
+   deep. *)
+let rec decode_request_at ~allow_wrap b ~off ~len :
+    (request, error_code * string) result =
   match
     let c = open_cursor b ~off ~len "request" in
     match get_u8 c "opcode" with
@@ -425,10 +490,29 @@ let decode_request b ~off ~len : (request, error_code * string) result =
         if keep < 0 then
           raise (Bad (Malformed, Printf.sprintf "negative retention window %d" keep));
         finish c (Retention { keep })
+    | (16 | 17) as op ->
+        let what = if op = 16 then "stamped" else "replicate" in
+        if not allow_wrap then
+          raise (Bad (Malformed, Printf.sprintf "nested %s wrapper" what));
+        let epoch = get_int c (what ^ ".epoch") in
+        if epoch < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative %s epoch %d" what epoch));
+        let inner_off = c.pos and inner_len = c.limit - c.pos in
+        (match
+           decode_request_at ~allow_wrap:false b ~off:inner_off ~len:inner_len
+         with
+        | Result.Error (code, msg) ->
+            Result.Error (code, Printf.sprintf "%s payload: %s" what msg)
+        | Result.Ok req ->
+            Result.Ok
+              (if op = 16 then Stamped { epoch; req } else Replicate { epoch; req }))
+    | 18 -> finish c Epoch_probe
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
   with
   | r -> r
   | exception Bad (code, msg) -> Result.Error (code, msg)
+
+let decode_request b ~off ~len = decode_request_at ~allow_wrap:true b ~off ~len
 
 let decode_response b ~off ~len : (response, error_code * string) result =
   match
@@ -486,6 +570,10 @@ let decode_response b ~off ~len : (response, error_code * string) result =
         let dropped = get_int c "gc_done.dropped" in
         let before = get_int c "gc_done.before" in
         finish c (Gc_done { dropped; before })
+    | 14 ->
+        let epoch = get_int c "epoch_info.epoch" in
+        let version = get_int c "epoch_info.version" in
+        finish c (Epoch_info { epoch; version })
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown response opcode %d" op)
   with
   | r -> r

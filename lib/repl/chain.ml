@@ -1,0 +1,227 @@
+(* See chain.mli. One mutex serialises all forwarding: server workers
+   call [on_mutation] from many domains, and backups must see every
+   primary's ops in one total order (the order the mutex admits them).
+   This is the chain's throughput ceiling and is priced against the
+   unreplicated baseline in `bench --fig repl`. *)
+
+type peer = {
+  addr : Net.Sockaddr.t;
+  mutable conn : Net.Client.t option;
+  mutable lagging : bool;
+  mutable last_error : string option;
+}
+
+type peer_status = {
+  addr : Net.Sockaddr.t;
+  in_sync : bool;
+  last_error : string option;
+}
+
+type t = {
+  epoch : int Atomic.t;
+  snapshot : ?version:int -> unit -> (int * int) array;
+  current_version : unit -> int;
+  timeout_ms : int option;
+  retries : int;
+  m : Mutex.t;
+  peers : peer array;
+}
+
+let c_forwarded = Obs.Registry.counter "repl.forwarded"
+let c_forward_errors = Obs.Registry.counter "repl.forward_errors"
+let c_catchups = Obs.Registry.counter "repl.catchups"
+let c_catchup_pairs = Obs.Registry.counter "repl.catchup_pairs"
+let w_forwarded = Obs.Registry.window "repl.rate.forwarded"
+let h_forward_ns = Obs.Registry.histogram "repl.forward_latency_ns"
+let g_lagging = Obs.Registry.gauge "repl.lagging_backups"
+
+let create ~epoch_cell ~snapshot ~current_version ?(timeout_ms = 2000)
+    ?(retries = 1) backups =
+  let peers =
+    Array.map
+      (* lagging from birth: the first contact with each backup is a
+         catch-up, which degenerates to a no-op when both sides start
+         empty and to a full state ship when the primary has data. *)
+        (fun addr -> { addr; conn = None; lagging = true; last_error = None })
+      backups
+  in
+  {
+    epoch = epoch_cell;
+    snapshot;
+    current_version;
+    timeout_ms = Some timeout_ms;
+    retries;
+    m = Mutex.create ();
+    peers;
+  }
+
+let update_lag_gauge t =
+  Obs.Metric.set g_lagging
+    (Array.fold_left (fun n p -> if p.lagging then n + 1 else n) 0 t.peers)
+
+let drop_conn peer =
+  (match peer.conn with
+  | Some c -> ( try Net.Client.close c with _ -> ())
+  | None -> ());
+  peer.conn <- None
+
+let ensure_conn t peer =
+  match peer.conn with
+  | Some c -> c
+  | None ->
+      let c =
+        Net.Client.connect ~retries:t.retries ?timeout_ms:t.timeout_ms peer.addr
+      in
+      peer.conn <- Some c;
+      c
+
+(* Ship the state difference between the primary ([local]) and the
+   backup's answer — both snapshots are ordered by key, so one
+   two-pointer walk yields exactly the removes and inserts that turn
+   the backup's state into the primary's. *)
+let diff_ops local remote =
+  let ops = ref [] in
+  let nl = Array.length local and nr = Array.length remote in
+  let i = ref 0 and j = ref 0 in
+  while !i < nl || !j < nr do
+    if !j >= nr then begin
+      let k, v = local.(!i) in
+      ops := Net.Wire.Insert { key = k; value = v } :: !ops;
+      incr i
+    end
+    else if !i >= nl then begin
+      let k, _ = remote.(!j) in
+      ops := Net.Wire.Remove { key = k } :: !ops;
+      incr j
+    end
+    else begin
+      let kl, vl = local.(!i) and kr, vr = remote.(!j) in
+      if kl < kr then begin
+        ops := Net.Wire.Insert { key = kl; value = vl } :: !ops;
+        incr i
+      end
+      else if kl > kr then begin
+        ops := Net.Wire.Remove { key = kr } :: !ops;
+        incr j
+      end
+      else begin
+        if vl <> vr then ops := Net.Wire.Insert { key = kl; value = vl } :: !ops;
+        incr i;
+        incr j
+      end
+    end
+  done;
+  List.rev !ops
+
+(* [replay_remove]: when the catch-up was triggered by a Remove of a
+   key the backup never held, the state diff carries no trace of it —
+   replay the remove on top so the backup records the same tombstone
+   event the primary just did. (When the backup did hold the key, the
+   diff's own Remove already records it.) *)
+let catch_up ?replay_remove t peer =
+  let c = ensure_conn t peer in
+  let epoch = Atomic.get t.epoch in
+  let remote = Net.Client.snapshot c () in
+  let local = t.snapshot () in
+  let ops = diff_ops local remote in
+  List.iter (fun op -> ignore (Net.Client.replicate c ~epoch op)) ops;
+  (match replay_remove with
+  | Some key when not (Array.exists (fun (k, _) -> k = key) remote) ->
+      ignore (Net.Client.replicate c ~epoch (Net.Wire.Remove { key }))
+  | _ -> ());
+  (* Align the clock last, so a backup never tags a state it does not
+     have yet. *)
+  ignore
+    (Net.Client.replicate c ~epoch
+       (Net.Wire.Tag_at { version = t.current_version () }));
+  Obs.Metric.incr c_catchups;
+  Obs.Metric.add c_catchup_pairs (List.length ops);
+  peer.lagging <- false;
+  peer.last_error <- None
+
+let describe_exn = function
+  | Net.Client.Remote_error (code, msg) ->
+      Printf.sprintf "error frame %s: %s" (Net.Wire.error_code_name code) msg
+  | Net.Client.Protocol_error msg -> Printf.sprintf "protocol error: %s" msg
+  | Unix.Unix_error (e, fn, _) ->
+      if fn = "" then Unix.error_message e
+      else Printf.sprintf "%s: %s" fn (Unix.error_message e)
+  | End_of_file -> "connection closed by backup"
+  | e -> Printexc.to_string e
+
+let mark_failed peer e =
+  Obs.Metric.incr c_forward_errors;
+  drop_conn peer;
+  peer.lagging <- true;
+  peer.last_error <- Some (describe_exn e)
+
+(* Canonical form of an applied mutation, derived from the primary's
+   response: backups must replay the *outcome*, not re-run a relative
+   request against their own (possibly different) clock. *)
+let canonical (req : Net.Wire.request) (resp : Net.Wire.response) :
+    Net.Wire.request option =
+  match (req, resp) with
+  | (Net.Wire.Tag | Net.Wire.Tag_at _), Net.Wire.Version v ->
+      Some (Net.Wire.Tag_at { version = v })
+  | Net.Wire.Retention _, Net.Wire.Gc_done { before; _ } ->
+      if before > 0 then Some (Net.Wire.Compact { before }) else None
+  | ((Net.Wire.Insert _ | Net.Wire.Remove _ | Net.Wire.Compact _) as req), _ ->
+      Some req
+  | _ -> None
+
+let forward_to t peer op =
+  try
+    if peer.lagging then
+      (* The catch-up snapshot already reflects [op] (it was applied
+         locally before the hook fired), so syncing replaces forwarding
+         for this peer on this op — modulo the tombstone of a Remove,
+         which the state diff cannot see (see [catch_up]). *)
+      let replay_remove =
+        match op with Net.Wire.Remove { key } -> Some key | _ -> None
+      in
+      catch_up ?replay_remove t peer
+    else begin
+      let c = ensure_conn t peer in
+      ignore (Net.Client.replicate c ~epoch:(Atomic.get t.epoch) op);
+      Obs.Metric.incr c_forwarded;
+      Obs.Window.add w_forwarded 1
+    end
+  with e -> mark_failed peer e
+
+let on_mutation t req resp =
+  match canonical req resp with
+  | None -> ()
+  | Some op ->
+      let t0 = Obs.Clock.now_ns () in
+      Mutex.lock t.m;
+      Array.iter (fun peer -> forward_to t peer op) t.peers;
+      update_lag_gauge t;
+      Mutex.unlock t.m;
+      Obs.Histogram.record h_forward_ns (Obs.Clock.now_ns () - t0)
+
+let tick t =
+  Mutex.lock t.m;
+  Array.iter
+    (fun peer ->
+      if peer.lagging then try catch_up t peer with e -> mark_failed peer e)
+    t.peers;
+  update_lag_gauge t;
+  Mutex.unlock t.m
+
+let peers t =
+  Mutex.lock t.m;
+  let r =
+    Array.map
+      (fun (p : peer) ->
+        { addr = p.addr; in_sync = not p.lagging; last_error = p.last_error })
+      t.peers
+  in
+  Mutex.unlock t.m;
+  r
+
+let in_sync t = Array.for_all (fun p -> p.in_sync) (peers t)
+
+let close t =
+  Mutex.lock t.m;
+  Array.iter drop_conn t.peers;
+  Mutex.unlock t.m

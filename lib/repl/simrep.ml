@@ -1,0 +1,209 @@
+(* See simrep.mli. *)
+
+module Store = Mvdict.Eskiplist.Make (Int) (Int)
+
+type fault = Partitioned | Slow of float
+
+type op = Op_insert of int * int | Op_remove of int | Op_tag_to of int
+
+type node = {
+  mutable store : Store.t;
+  mutable up : bool;
+  mutable fault : fault option;
+  mutable lagging : bool;
+}
+
+type t = {
+  net : Distrib.Simnet.t;
+  q : (int * op) Sim.Eventq.t;
+  nodes : node array;
+  mutable primary : int;
+  mutable epoch : int;
+  mutable now_s : float;
+  mutable acked : op list;  (** newest first *)
+}
+
+(* Fixed local apply cost: orders of magnitude below any transfer, it
+   only keeps simulated sends from the same instant distinguishable. *)
+let apply_cost_s = 1e-7
+
+let create ?(net = Distrib.Simnet.theta_like) ~replicas () =
+  if replicas < 2 then invalid_arg "Simrep.create: need >= 2 replicas";
+  {
+    net;
+    q = Sim.Eventq.create ();
+    nodes =
+      Array.init replicas (fun _ ->
+          { store = Store.create (); up = true; fault = None; lagging = false });
+    primary = 0;
+    epoch = 0;
+    now_s = 0.0;
+    acked = [];
+  }
+
+let replicas t = Array.length t.nodes
+let primary t = t.primary
+let epoch t = t.epoch
+let now_s t = t.now_s
+
+let check_node t what i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg (Printf.sprintf "Simrep.%s: node %d of %d" what i (Array.length t.nodes))
+
+(* Mirror of the server's Tag_at: advance the clock to the target, so
+   a backup converges on the primary's absolute version, never its own
+   relative count. *)
+let apply_op store = function
+  | Op_insert (k, v) -> Store.insert store k v
+  | Op_remove k -> Store.remove store k
+  | Op_tag_to target ->
+      while Store.current_version store < target do
+        ignore (Store.tag store)
+      done
+
+let wire_of_op = function
+  | Op_insert (key, value) -> Net.Wire.Insert { key; value }
+  | Op_remove key -> Net.Wire.Remove { key }
+  | Op_tag_to version -> Net.Wire.Tag_at { version }
+
+let op_bytes t op =
+  String.length
+    (Net.Wire.encode_request_body
+       (Net.Wire.Replicate { epoch = t.epoch; req = wire_of_op op }))
+
+let reachable n = n.up && n.fault <> Some Partitioned
+
+(* Primary applies locally, acks, and schedules one delivery per
+   reachable backup at now + (slow factor) * alpha-beta transfer time.
+   Unreachable backups miss the op and are marked for anti-entropy. *)
+let replicate t op =
+  let p = t.nodes.(t.primary) in
+  if not p.up then invalid_arg "Simrep: primary is down (promote first)";
+  apply_op p.store op;
+  t.acked <- op :: t.acked;
+  t.now_s <- t.now_s +. apply_cost_s;
+  Array.iteri
+    (fun i n ->
+      if i <> t.primary then
+        if reachable n then begin
+          let factor = match n.fault with Some (Slow f) -> f | _ -> 1.0 in
+          let dt =
+            factor *. Distrib.Simnet.transfer_s t.net ~bytes:(op_bytes t op)
+          in
+          Sim.Eventq.push t.q ~time:(t.now_s +. dt) (i, op)
+        end
+        else n.lagging <- true)
+    t.nodes
+
+let insert t ~key ~value = replicate t (Op_insert (key, value))
+let remove t ~key = replicate t (Op_remove key)
+
+let tag t =
+  let p = t.nodes.(t.primary) in
+  if not p.up then invalid_arg "Simrep: primary is down (promote first)";
+  let v = Store.current_version p.store + 1 in
+  replicate t (Op_tag_to v);
+  v
+
+let inject t i fault =
+  check_node t "inject" i;
+  (match fault with
+  | Slow f when f < 1.0 -> invalid_arg "Simrep.inject: slow factor < 1"
+  | _ -> ());
+  t.nodes.(i).fault <- Some fault
+
+let heal t i =
+  check_node t "heal" i;
+  t.nodes.(i).fault <- None
+
+let crash t i =
+  check_node t "crash" i;
+  let n = t.nodes.(i) in
+  n.up <- false;
+  (* ephemeral store: the crash loses it, like a real process death *)
+  n.store <- Store.create ();
+  n.lagging <- true
+
+let restart t i =
+  check_node t "restart" i;
+  let n = t.nodes.(i) in
+  n.up <- true;
+  n.store <- Store.create ();
+  n.lagging <- true
+
+let promote t i =
+  check_node t "promote" i;
+  if i = t.primary then invalid_arg "Simrep.promote: already primary";
+  if not t.nodes.(i).up then invalid_arg "Simrep.promote: node is down";
+  t.primary <- i;
+  t.epoch <- t.epoch + 1
+
+let run t =
+  Sim.Eventq.drain t.q (fun time (i, op) ->
+      if time > t.now_s then t.now_s <- time;
+      let n = t.nodes.(i) in
+      if reachable n then apply_op n.store op else n.lagging <- true)
+
+(* 16 bytes per pair: key + value as the wire's fixed 8-byte ints. *)
+let snapshot_bytes pairs = 16 * Array.length pairs
+
+let sync t =
+  let p = t.nodes.(t.primary) in
+  let pairs = Store.extract_snapshot p.store () in
+  let target = Store.current_version p.store in
+  Array.iteri
+    (fun i n ->
+      if i <> t.primary && n.lagging && reachable n then begin
+        let factor = match n.fault with Some (Slow f) -> f | _ -> 1.0 in
+        t.now_s <-
+          t.now_s
+          +. (factor
+             *. Distrib.Simnet.transfer_s t.net ~bytes:(snapshot_bytes pairs));
+        let fresh = Store.create () in
+        Array.iter (fun (k, v) -> Store.insert fresh k v) pairs;
+        apply_op fresh (Op_tag_to target);
+        n.store <- fresh;
+        n.lagging <- false
+      end)
+    t.nodes
+
+let find t ?version ~node key =
+  check_node t "find" node;
+  Store.find t.nodes.(node).store ?version key
+
+let snapshot t ?version ~node () =
+  check_node t "snapshot" node;
+  Store.extract_snapshot t.nodes.(node).store ?version ()
+
+let version_of t i =
+  check_node t "version_of" i;
+  Store.current_version t.nodes.(i).store
+
+let in_sync t i =
+  check_node t "in_sync" i;
+  not t.nodes.(i).lagging
+
+let is_up t i =
+  check_node t "is_up" i;
+  t.nodes.(i).up
+
+let converged t =
+  let reference = Store.extract_snapshot t.nodes.(t.primary).store () in
+  Array.for_all
+    (fun n ->
+      (not (reachable n)) || Store.extract_snapshot n.store () = reference)
+    t.nodes
+
+let lost_acked_writes t =
+  let reference = Store.create () in
+  List.iter (apply_op reference) (List.rev t.acked);
+  let want = Store.extract_snapshot reference () in
+  let have = Store.extract_snapshot t.nodes.(t.primary).store () in
+  let module M = Map.Make (Int) in
+  let m = Array.fold_left (fun m (k, v) -> M.add k v m) M.empty have in
+  Array.fold_left
+    (fun missing (k, v) ->
+      match M.find_opt k m with
+      | Some v' when v' = v -> missing
+      | _ -> missing + 1)
+    0 want

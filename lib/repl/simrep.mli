@@ -1,0 +1,90 @@
+(** Deterministic in-process simulation of one replicated key range.
+
+    The real chain ({!Chain}) is exercised over sockets in the e2e
+    tests; this module is the machine-model twin — the same
+    primary-forwards-to-backups protocol played out over
+    {!Distrib.Simnet}'s alpha-beta cost model and {!Sim.Eventq}'s
+    discrete-event clock, with faults injected exactly where the test
+    says. No threads, no sockets, no wall clock: a given op sequence +
+    fault schedule always produces the same state, the same simulated
+    time, and the same convergence verdict, which is what makes
+    partition/slow-replica/crash scenarios assertable in unit tests.
+
+    Replication bytes are priced from the real wire encoding
+    ([Wire.Replicate] frames), so simulated forwarding time tracks what
+    the socket path would actually move. *)
+
+type fault =
+  | Partitioned  (** reachable from nobody: forwards to it are lost *)
+  | Slow of float  (** transfer times multiplied by this factor (>= 1) *)
+
+type t
+
+val create : ?net:Distrib.Simnet.t -> replicas:int -> unit -> t
+(** A fresh replica set: node 0 is the primary, nodes 1..replicas-1 are
+    backups, all up, in sync, and empty. [net] defaults to
+    {!Distrib.Simnet.theta_like}. Needs [replicas >= 2]. *)
+
+val replicas : t -> int
+
+val primary : t -> int
+
+val epoch : t -> int
+
+val now_s : t -> float
+(** Simulated seconds consumed so far. *)
+
+(** {2 Client workload (always served by the current primary)} *)
+
+val insert : t -> key:int -> value:int -> unit
+val remove : t -> key:int -> unit
+
+val tag : t -> int
+(** Tag on the primary; backups are forwarded the resulting absolute
+    version ([Tag_at]), mirroring the chain's canonicalisation. *)
+
+(** {2 Fault injection} *)
+
+val inject : t -> int -> fault -> unit
+val heal : t -> int -> unit
+
+val crash : t -> int -> unit
+(** The node's process dies: its (ephemeral) state is lost and future
+    forwards to it are lost. Crashing the current primary requires a
+    {!promote} before the next client op. *)
+
+val restart : t -> int -> unit
+(** The node comes back empty and out of sync ({!sync} repairs it). *)
+
+val promote : t -> int -> unit
+(** Backup [i] (which must be up) becomes the primary and the epoch is
+    bumped — the simulation twin of [Topology.promote]. *)
+
+(** {2 Delivery and repair} *)
+
+val run : t -> unit
+(** Drain in-flight replication events in time order. A delivery to a
+    node that is down or partitioned at delivery time is lost and marks
+    the node out of sync. *)
+
+val sync : t -> unit
+(** Anti-entropy: every reachable out-of-sync backup is overwritten
+    with the primary's current state and clock (cost charged per
+    snapshot byte) — the simulation twin of [Chain]'s catch-up. *)
+
+(** {2 Inspection} *)
+
+val find : t -> ?version:int -> node:int -> int -> int option
+val snapshot : t -> ?version:int -> node:int -> unit -> (int * int) array
+val version_of : t -> int -> int
+val in_sync : t -> int -> bool
+val is_up : t -> int -> bool
+
+val converged : t -> bool
+(** Every up, unpartitioned node's current snapshot equals the
+    primary's. *)
+
+val lost_acked_writes : t -> int
+(** Replays every acknowledged client op into a fresh reference store
+    and counts the key-value pairs the current primary is missing
+    relative to it — 0 means no acknowledged write was lost. *)

@@ -71,7 +71,112 @@ let topo_errors () =
   bad "bad endpoint" "key_bits 8\nshard 0 carrier-pigeon://h\n";
   bad "bad port" "key_bits 8\nshard 0 tcp://h:99999\n";
   bad "key_bits zero" "key_bits 0\nshard 0 tcp://h:1\n";
-  bad "unknown directive" "key_bits 8\nreplica 0 tcp://h:1\n"
+  bad "unknown directive" "key_bits 8\nwidget 0 tcp://h:1\n";
+  (* replicated specs *)
+  bad "replica without shards" "key_bits 8\nreplica 0 tcp://h:1\n";
+  bad "replica id out of range"
+    "key_bits 8\nshard 0 tcp://h:1\nreplica 1 tcp://h:2\n";
+  bad "duplicate endpoint in a set" "key_bits 8\nshard 0 tcp://h:1 tcp://h:1\n";
+  bad "duplicate endpoint across sets"
+    "key_bits 8\nshard 0 tcp://h:1\nshard 1 tcp://h:1\n";
+  bad "duplicate endpoint via replica"
+    "key_bits 8\nshard 0 tcp://h:1 tcp://h:2\nreplica 0 tcp://h:2\n";
+  bad "negative epoch" "key_bits 8\nepoch -1\nshard 0 tcp://h:1\n";
+  bad "duplicate epoch" "key_bits 8\nepoch 1\nepoch 2\nshard 0 tcp://h:1\n"
+
+let topo_replicated_parse () =
+  let spec =
+    "key_bits 8\n\
+     epoch 7\n\
+     shard 0 tcp://h:1 tcp://h:2\n\
+     shard 1 tcp://h:3\n\
+     replica 1 tcp://h:4\n\
+     replica 0 tcp://h:5\n"
+  in
+  match Cluster.Topology.of_string spec with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok t ->
+      check_int "epoch" 7 (Cluster.Topology.epoch t);
+      check_int "shards" 2 (Cluster.Topology.shards t);
+      check_int "shard 0 replicas" 3 (Cluster.Topology.replica_count t 0);
+      check_int "shard 1 replicas" 2 (Cluster.Topology.replica_count t 1);
+      check_string "shard 0 primary" "tcp://h:1"
+        (Net.Sockaddr.to_string (Cluster.Topology.primary t 0));
+      (* inline endpoints come before replica-directive ones *)
+      check_string "shard 0 slot 1" "tcp://h:2"
+        (Net.Sockaddr.to_string (Cluster.Topology.replica t 0 1));
+      check_string "shard 0 slot 2" "tcp://h:5"
+        (Net.Sockaddr.to_string (Cluster.Topology.replica t 0 2));
+      check_bool "shard 1 backups" true
+        (Array.map Net.Sockaddr.to_string (Cluster.Topology.backups t 1)
+        = [| "tcp://h:4" |])
+
+let topo_promote () =
+  let t =
+    match
+      Cluster.Topology.of_string
+        "key_bits 8\nepoch 3\nshard 0 tcp://h:1 tcp://h:2 tcp://h:3\n"
+    with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  let p = Cluster.Topology.promote t ~shard:0 ~replica:2 in
+  check_int "epoch bumped" 4 (Cluster.Topology.epoch p);
+  check_bool "set rotated, old primary retained" true
+    (Array.map Net.Sockaddr.to_string (Cluster.Topology.replicas p 0)
+    = [| "tcp://h:3"; "tcp://h:1"; "tcp://h:2" |]);
+  (* the primary (slot 0) is never a promotion target *)
+  (match Cluster.Topology.promote t ~shard:0 ~replica:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "promote of slot 0 should reject");
+  (match Cluster.Topology.promote t ~shard:0 ~replica:3 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "promote of absent slot should reject")
+
+(* qcheck: any replicated topology survives to_string/of_string. The
+   generator randomises shape (shard count, per-set replica counts,
+   epoch, key_bits); endpoints are unique by construction, as the
+   parser demands. *)
+let gen_topo =
+  QCheck.Gen.(
+    let* key_bits = int_range 1 16 in
+    let* epoch = int_range 0 1_000 in
+    let* sizes = list_size (int_range 1 4) (int_range 1 3) in
+    let port = ref 7000 in
+    let set n =
+      Array.init n (fun _ ->
+          incr port;
+          Net.Sockaddr.Tcp ("h", !port))
+    in
+    return
+      (Cluster.Topology.create_replicated ~key_bits ~epoch
+         (Array.of_list (List.map set sizes))))
+
+let arb_topo = QCheck.make gen_topo ~print:Cluster.Topology.to_string
+
+let topo_qcheck_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"replicated topology round-trips" arb_topo
+    (fun t ->
+      match Cluster.Topology.of_string (Cluster.Topology.to_string t) with
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e
+      | Ok t2 ->
+          Cluster.Topology.to_string t = Cluster.Topology.to_string t2
+          && Cluster.Topology.epoch t = Cluster.Topology.epoch t2)
+
+let topo_qcheck_duplicate =
+  QCheck.Test.make ~count:50 ~name:"duplicate endpoint always rejected" arb_topo
+    (fun t ->
+      (* re-list an existing endpoint as an extra replica of shard 0 *)
+      let dup =
+        Net.Sockaddr.to_string
+          (Cluster.Topology.replica t (Cluster.Topology.shards t - 1) 0)
+      in
+      match
+        Cluster.Topology.of_string
+          (Cluster.Topology.to_string t ^ Printf.sprintf "replica 0 %s\n" dup)
+      with
+      | Error _ -> true
+      | Ok _ -> QCheck.Test.fail_reportf "accepted duplicate %s" dup)
 
 (* ---- 4 real shards over unix sockets ---- *)
 
@@ -404,6 +509,10 @@ let () =
           Alcotest.test_case "parse spec" `Quick topo_parse;
           Alcotest.test_case "to_string round-trips" `Quick topo_roundtrip;
           Alcotest.test_case "parse errors" `Quick topo_errors;
+          Alcotest.test_case "replicated spec parses" `Quick topo_replicated_parse;
+          Alcotest.test_case "promote rotates and bumps epoch" `Quick topo_promote;
+          QCheck_alcotest.to_alcotest topo_qcheck_roundtrip;
+          QCheck_alcotest.to_alcotest topo_qcheck_duplicate;
         ] );
       ( "e2e-4-shards",
         [

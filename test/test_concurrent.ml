@@ -363,6 +363,34 @@ let backoff_bounded () =
   Concurrent.Backoff.once b;
   check_bool "alive" true true
 
+let backoff_jitter_decorrelated () =
+  (* Delays stay within [min, max] under jitter, and the schedule is
+     deterministic for a given seed. *)
+  let schedule seed =
+    let b = Concurrent.Backoff.create ~min:2 ~max:64 ~jitter:true ~seed () in
+    List.init 20 (fun _ ->
+        let d = Concurrent.Backoff.current b in
+        Concurrent.Backoff.once b;
+        d)
+  in
+  List.iter
+    (fun d -> check_bool "delay within [min,max]" true (d >= 2 && d <= 64))
+    (schedule 42);
+  check_bool "seeded schedule is reproducible" true (schedule 42 = schedule 42);
+  (* The point of jitter: two contenders created side by side must NOT
+     walk identical delay sequences (the lockstep re-dial storm). With
+     distinct seeds, 20 draws over [2,64] colliding at every step is
+     ~impossible; without jitter both schedules are the same doubling. *)
+  check_bool "distinct instances decorrelate" true (schedule 1 <> schedule 2);
+  let unjittered () =
+    let b = Concurrent.Backoff.create ~min:2 ~max:64 () in
+    List.init 20 (fun _ ->
+        let d = Concurrent.Backoff.current b in
+        Concurrent.Backoff.once b;
+        d)
+  in
+  check_bool "no jitter means lockstep doubling" true (unjittered () = unjittered ())
+
 let () =
   Alcotest.run "concurrent"
     [
@@ -408,5 +436,7 @@ let () =
           Alcotest.test_case "iter_chunks" `Quick parallel_iter_chunks;
           Alcotest.test_case "barrier" `Quick parallel_barrier;
           Alcotest.test_case "backoff" `Quick backoff_bounded;
+          Alcotest.test_case "backoff jitter decorrelates" `Quick
+            backoff_jitter_decorrelated;
         ] );
     ]

@@ -13,7 +13,7 @@ let check_string = Alcotest.(check string)
 
 let gen_key_value = QCheck.Gen.(oneof [ int; small_signed_int; return 0; return min_int; return max_int ])
 
-let gen_request =
+let gen_plain_request =
   QCheck.Gen.(
     oneof
       [
@@ -35,12 +35,37 @@ let gen_request =
           (small_list gen_key_value) (opt small_nat);
         map (fun before -> Net.Wire.Compact { before }) small_nat;
         map (fun keep -> Net.Wire.Retention { keep }) small_nat;
+        return Net.Wire.Epoch_probe;
+      ])
+
+(* The full request space adds the v4 epoch wrappers, which may enclose
+   any plain (non-wrapper) request — nesting is rejected by the codec. *)
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_plain_request;
+        map2
+          (fun epoch req -> Net.Wire.Stamped { epoch; req })
+          small_nat gen_plain_request;
+        map2
+          (fun epoch req -> Net.Wire.Replicate { epoch; req })
+          small_nat gen_plain_request;
       ])
 
 let gen_error_code =
   QCheck.Gen.oneofl
     Net.Wire.
-      [ Bad_version; Bad_opcode; Malformed; Too_large; Timeout; Busy; Server_error ]
+      [
+        Bad_version;
+        Bad_opcode;
+        Malformed;
+        Too_large;
+        Timeout;
+        Busy;
+        Server_error;
+        Bad_epoch;
+      ]
 
 let gen_event =
   QCheck.Gen.(
@@ -71,6 +96,8 @@ let gen_response =
         map2 (fun code message -> Net.Wire.Error { code; message }) gen_error_code
           string_printable;
         map2 (fun dropped before -> Net.Wire.Gc_done { dropped; before }) small_nat
+          small_nat;
+        map2 (fun epoch version -> Net.Wire.Epoch_info { epoch; version }) small_nat
           small_nat;
       ])
 
@@ -245,6 +272,29 @@ let decode_negative_tag_at () =
   let b, len = body_of_string (ver ^ "\x0c" ^ String.make 8 '\xff') in
   check_string "negative tag_at version" "malformed"
     (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_nested_epoch_wrapper () =
+  (* wrapper nesting is bounded at one level: every combination of
+     Stamped/Replicate inside Stamped/Replicate must decode as
+     malformed, never recurse *)
+  List.iter
+    (fun (outer : Net.Wire.request -> Net.Wire.request) ->
+      List.iter
+        (fun (inner : Net.Wire.request -> Net.Wire.request) ->
+          let body =
+            Net.Wire.encode_request_body (outer (inner Net.Wire.Ping))
+          in
+          let b, len = body_of_string body in
+          check_string "nested wrapper" "malformed"
+            (explain (Net.Wire.decode_request b ~off:0 ~len)))
+        [
+          (fun r -> Net.Wire.Stamped { epoch = 1; req = r });
+          (fun r -> Net.Wire.Replicate { epoch = 1; req = r });
+        ])
+    [
+      (fun r -> Net.Wire.Stamped { epoch = 2; req = r });
+      (fun r -> Net.Wire.Replicate { epoch = 2; req = r });
+    ]
 
 let decode_negative_gc_horizons () =
   (* compact with before = -1 *)
@@ -754,6 +804,7 @@ let () =
           Alcotest.test_case "bulk count overrun" `Quick decode_bulk_count_overrun;
           Alcotest.test_case "negative tag_at version" `Quick decode_negative_tag_at;
           Alcotest.test_case "negative gc horizons" `Quick decode_negative_gc_horizons;
+          Alcotest.test_case "nested epoch wrapper" `Quick decode_nested_epoch_wrapper;
         ] );
       ( "server-e2e",
         [
