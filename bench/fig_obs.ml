@@ -10,6 +10,10 @@
      counters  Instr probes present, Control disabled (counter only)
      timed     Control enabled — clock reads + histogram record
      full      timed + a span per op feeding an installed Tracebuf ring
+     sampled   timed + router-style trace origination at 1% — the
+               regime a production cluster actually runs: most ops pay
+               one coin flip, the sampled few open a context + root
+               span
 
    Per mode we take the best of several repetitions (min filters
    scheduler noise) and record it as an `obs.bench.ns_per_op.<mode>`
@@ -51,6 +55,29 @@ let run_ops mode ~n =
             let t0 = Obs.Instr.start () in
             acc := work !acc;
             Obs.Instr.finish m_op t0)
+      done
+  | `Sampled ->
+      (* Mirrors Cluster.Router.traced: coin per op, winners get a
+         fresh context + root span, losers run bare. *)
+      for _ = 1 to n do
+        if Obs.Traceid.coin ~rate:0.01 () then
+          Obs.Span.with_context
+            (Some
+               {
+                 Obs.Span.trace = Obs.Traceid.generate ();
+                 parent = 0;
+                 sampled = true;
+               })
+            (fun () ->
+              Obs.Span.with_ "obs.bench.op" (fun () ->
+                  let t0 = Obs.Instr.start () in
+                  acc := work !acc;
+                  Obs.Instr.finish m_op t0))
+        else begin
+          let t0 = Obs.Instr.start () in
+          acc := work !acc;
+          Obs.Instr.finish m_op t0
+        end
       done);
   ignore (Sys.opaque_identity !acc)
 
@@ -64,7 +91,14 @@ let time_ns_per_op mode ~n ~reps =
   done;
   !best
 
-let modes = [ ("baseline", `Baseline); ("counters", `Counters); ("timed", `Timed); ("full", `Full) ]
+let modes =
+  [
+    ("baseline", `Baseline);
+    ("counters", `Counters);
+    ("timed", `Timed);
+    ("full", `Full);
+    ("sampled", `Sampled);
+  ]
 
 (* Returns [(mode, ns_per_op)]; also records the gauges the smoke
    validation reads back out of BENCH_obs.json. *)
@@ -85,7 +119,7 @@ let run ~n =
             | `Timed ->
                 Obs.Span.set_sink None;
                 Obs.Control.enable ()
-            | `Full ->
+            | `Full | `Sampled ->
                 Obs.Tracebuf.install ring;
                 Obs.Control.enable ());
             (* Warm the icache/branch predictors off the clock. *)

@@ -191,9 +191,14 @@ let smoke () =
   in
   (* The observability layer itself: BENCH_obs.json prices each
      instrumentation regime; the gate holds the disabled-probe path
-     (counters mode) within 5% of the uninstrumented baseline. *)
+     (counters mode) within 5% of the uninstrumented baseline, and the
+     production tracing regime (1% sampled origination) within 10% of
+     counters-only — the cost of cluster tracing must stay in the
+     noise for the ops that lose the coin flip. *)
   let obs_results = ref [] in
-  Metrics.with_report ~fig:"obs" (fun () -> obs_results := Fig_obs.run ~n:5_000);
+  (* 20k ops: the sampled-vs-counters margin is a few percent, so the
+     min-of-reps filter needs enough ops per rep to converge. *)
+  Metrics.with_report ~fig:"obs" (fun () -> obs_results := Fig_obs.run ~n:20_000);
   let obs_problems =
     Metrics.validate ~fig:"obs" ~expect_histograms:[ "obs.bench.op.ns" ]
   in
@@ -202,11 +207,21 @@ let smoke () =
     @
     let base = List.assoc "baseline" !obs_results in
     let counters = List.assoc "counters" !obs_results in
-    if counters > base *. 1.05 then
+    let sampled = List.assoc "sampled" !obs_results in
+    (if counters > base *. 1.05 then
+       [
+         Printf.sprintf
+           "BENCH_obs.json: counters-only path %.1f ns/op exceeds baseline %.1f ns/op by >5%%"
+           counters base;
+       ]
+     else [])
+    @
+    if sampled > counters *. 1.10 then
       [
         Printf.sprintf
-          "BENCH_obs.json: counters-only path %.1f ns/op exceeds baseline %.1f ns/op by >5%%"
-          counters base;
+          "BENCH_obs.json: sampled tracing %.1f ns/op exceeds counters-only \
+           %.1f ns/op by >10%%"
+          sampled counters;
       ]
     else []
   in

@@ -230,6 +230,23 @@ let trace_cap_arg =
   let doc = "Span trace ring capacity (overwrite-oldest); dump with $(b,mvkv trace)." in
   Arg.(value & opt int 4096 & info [ "trace-cap" ] ~docv:"N" ~doc)
 
+let slo_arg =
+  let doc =
+    "Per-op latency objectives, e.g. $(b,find=1ms,insert=5ms) (suffixes \
+     ns/us/ms/s). The server classifies every timed request against its \
+     objective, maintaining $(b,slo.<op>.ok)/$(b,slo.<op>.violations) \
+     counters and a violations-per-second burn window scrapers can alert \
+     on."
+  in
+  Arg.(value & opt (some string) None & info [ "slo" ] ~docv:"SPEC" ~doc)
+
+let parse_slo = function
+  | None -> None
+  | Some spec -> (
+      match Obs.Slo.parse spec with
+      | Ok objectives -> Some (Obs.Slo.create objectives)
+      | Error e -> die "mvkv: bad --slo: %s" e)
+
 let serve_retain_arg =
   let doc =
     "Run a background GC domain keeping only the last $(docv) versions \
@@ -253,6 +270,13 @@ let trace_out_arg =
   let doc = "Write the Chrome trace JSON to $(docv) instead of stdout." in
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
 
+let keep_arg =
+  let doc =
+    "Peek without draining: leave the span ring(s) intact after dumping \
+     (default clears them, so each fetch is a fresh window)."
+  in
+  Arg.(value & flag & info [ "keep" ] ~doc)
+
 let entries_arg =
   let doc = "Number of slowlog entries to fetch (newest first)." in
   Arg.(value & opt int 32 & info [ "entries"; "n" ] ~docv:"N" ~doc)
@@ -264,7 +288,8 @@ let entries_arg =
    chain's catch-up tick) once the store is open. *)
 let run_server ~banner ?epoch_cell ?(hooks = fun _ -> (None, None)) pool threads
     listen workers batch max_conns timeout slowlog_ms trace_cap retain
-    gc_interval =
+    gc_interval slo_spec =
+  let slo = parse_slo slo_spec in
   (* Install the trace ring before opening the store, so the recovery
      rebuild's spans are already in it when the first `mvkv trace`
      arrives. *)
@@ -287,17 +312,20 @@ let run_server ~banner ?epoch_cell ?(hooks = fun _ -> (None, None)) pool threads
     match
       Server.start ~store ~workers ~batch ~max_conns ~request_timeout:timeout
         ~slowlog_threshold_ns:(int_of_float (slowlog_ms *. 1e6))
-        ~trace ?epoch_cell ?on_mutation ~listen ()
+        ~trace ?slo ?epoch_cell ?on_mutation ~listen ()
     with
     | server -> server
     | exception Unix.Unix_error (e, _, _) ->
         die "mvkv: cannot listen on %s: %s" (Net.Sockaddr.to_string listen)
           (Unix.error_message e)
   in
-  Format.printf "mvkv: serving %s%s on %a (workers=%d, batch=%d, max-conns=%d%s)@."
+  Format.printf "mvkv: serving %s%s on %a (workers=%d, batch=%d, max-conns=%d%s%s)@."
     pool banner Net.Sockaddr.pp (Server.addr server) workers batch max_conns
     (match retain with
     | Some keep -> Printf.sprintf ", retain=%d" keep
+    | None -> "")
+    (match slo with
+    | Some slo -> ", slo=" ^ Obs.Slo.to_string (Obs.Slo.objectives slo)
     | None -> "");
   let stop = ref false in
   let handler = Sys.Signal_handle (fun _ -> stop := true) in
@@ -318,9 +346,9 @@ let run_server ~banner ?epoch_cell ?(hooks = fun _ -> (None, None)) pool threads
   Server.stop server
 
 let serve pool threads socket host port workers batch max_conns timeout slowlog_ms
-    trace_cap retain gc_interval =
+    trace_cap retain gc_interval slo =
   run_server ~banner:"" pool threads (addr_of socket host port) workers batch
-    max_conns timeout slowlog_ms trace_cap retain gc_interval
+    max_conns timeout slowlog_ms trace_cap retain gc_interval slo
 
 let timeout_ms_arg =
   let doc =
@@ -495,7 +523,7 @@ let check_shard_id topo topo_file shard =
       (Cluster.Topology.shards topo)
 
 let cluster_serve topo_file shard replica_of slot pool threads workers batch
-    max_conns timeout slowlog_ms trace_cap retain gc_interval =
+    max_conns timeout slowlog_ms trace_cap retain gc_interval slo =
   let topo = load_topology topo_file in
   (* Both roles share the topology's epoch as the server's fencing
      floor; the primary additionally owns a replication chain feeding
@@ -531,6 +559,7 @@ let cluster_serve topo_file shard replica_of slot pool threads workers batch
         ~epoch_cell ~hooks pool threads
         (Cluster.Topology.primary topo shard)
         workers batch max_conns timeout slowlog_ms trace_cap retain gc_interval
+        slo
   | None, Some shard ->
       check_shard_id topo topo_file shard;
       let nslots = Cluster.Topology.replica_count topo shard in
@@ -547,6 +576,7 @@ let cluster_serve topo_file shard replica_of slot pool threads workers batch
         ~epoch_cell pool threads
         (Cluster.Topology.replica topo shard slot)
         workers batch max_conns timeout slowlog_ms trace_cap retain gc_interval
+        slo
 
 (* `cluster promote`: pick (or validate) the replacement backup, bump
    the epoch, fence every reachable member of the set with the new
@@ -619,9 +649,36 @@ let cluster_promote topo_file timeout_ms retries shard to_slot =
 (* `cluster client status`: one row per replica, probed with
    ping + epoch_probe; exits 1 when any primary is unreachable (the
    condition that loses writes until someone promotes). *)
-let cluster_status topo_file timeout_ms retries =
+let cluster_status topo_file timeout_ms retries slo =
   let topo = load_topology topo_file in
   let timeout_ms = Some (Option.value timeout_ms ~default:2000) in
+  (* --slo find=1ms,...: evaluate the objectives against each node's
+     latency histograms (fetched as a registry snapshot) and add a
+     column showing the worst-attained objective per node. The nodes
+     need not know the objectives — attainment is computed client-side. *)
+  let objectives =
+    match slo with
+    | None -> None
+    | Some spec -> (
+        match Obs.Slo.parse spec with
+        | Ok objectives -> Some objectives
+        | Error e -> die "mvkv: bad --slo: %s" e)
+  in
+  let slo_of c =
+    match objectives with
+    | None -> ""
+    | Some objs -> (
+        match
+          let text = Net.Client.registry_snap c in
+          Result.bind (Obs.Json.of_string text) Obs.Snap.of_json
+        with
+        | Ok snap -> (
+            match Obs.Slo.attainment objs snap with
+            | Some (op, f) -> Printf.sprintf "  slo %s %.2f%%" op (100. *. f)
+            | None -> "  slo (no samples)")
+        | Error _ -> "  slo (bad snapshot)"
+        | exception _ -> "  slo (unavailable)")
+  in
   Printf.printf "%-5s %-8s %-38s %-7s %-7s %s\n" "shard" "role" "endpoint" "epoch"
     "clock" "state";
   let primaries_down = ref 0 in
@@ -642,7 +699,7 @@ let cluster_status topo_file timeout_ms retries =
                 Net.Client.ping c;
                 Net.Client.epoch_probe c
               with
-              | epoch, version -> `Up (epoch, version)
+              | epoch, version -> `Up (epoch, version, slo_of c)
               | exception e ->
                   `Down
                     (match e with
@@ -655,9 +712,9 @@ let cluster_status topo_file timeout_ms retries =
             r
       in
       match status with
-      | `Up (epoch, version) ->
-          Printf.printf "%-5d %-8s %-38s %-7d %-7d up\n" i role
-            (Net.Sockaddr.to_string ep) epoch version
+      | `Up (epoch, version, slo_col) ->
+          Printf.printf "%-5d %-8s %-38s %-7d %-7d up%s\n" i role
+            (Net.Sockaddr.to_string ep) epoch version slo_col
       | `Down reason ->
           if j = 0 then incr primaries_down;
           Printf.printf "%-5d %-8s %-38s %-7s %-7s down (%s)\n" i role
@@ -764,14 +821,129 @@ let cluster_snapshot topo timeout_ms retries version mode merge_threads =
       Array.iter (fun (k, v) -> Printf.printf "%d\t%d\n" k v) pairs;
       Ok ())
 
+(* ---- fleet-wide inspection: cluster top / metrics / trace ---- *)
+
+let warn_skipped skipped =
+  List.iter
+    (fun (node, reason) -> Printf.eprintf "mvkv: skipped %s: %s\n%!" node reason)
+    skipped
+
+(* `mvkv cluster metrics`: every replica's registry as one Prometheus
+   page, each node a {shard,replica} label set — point one scrape
+   config at the router's host instead of N exporters. *)
+let cluster_metrics topo timeout_ms retries =
+  with_router topo timeout_ms retries (fun r ->
+      let page, skipped = Cluster.Router.fleet_metrics r in
+      print_string page;
+      warn_skipped skipped;
+      Ok ())
+
+(* `mvkv cluster trace`: drain every node's span ring into one Chrome
+   trace — a lane per node, clocks rebased — so a traced request can be
+   followed across the whole fleet in one chrome://tracing load. *)
+let cluster_trace topo timeout_ms retries out keep =
+  with_router topo timeout_ms retries (fun r ->
+      let doc, skipped = Cluster.Router.fleet_trace ~clear:(not keep) r in
+      warn_skipped skipped;
+      let n =
+        match Obs.Json.member "traceEvents" doc with
+        | Some (Obs.Json.List evs) -> List.length evs
+        | _ -> 0
+      in
+      let text = Obs.Json.to_string doc in
+      (match out with
+      | None -> print_endline text
+      | Some path ->
+          let oc = open_out path in
+          output_string oc text;
+          output_char oc '\n';
+          close_out oc;
+          Printf.printf
+            "wrote %d event(s) to %s (open in chrome://tracing or ui.perfetto.dev)\n"
+            n path);
+      Ok ())
+
+(* `mvkv cluster top`: one row per replica plus a cluster-wide
+   aggregate, refreshed like `mvkv top`. Rates come from each node's
+   sliding windows (no cross-poll deltas needed), percentiles from the
+   per-node histograms; the aggregate row merges every snapshot first,
+   so its p50/p99 are computed on the summed log-buckets, not averaged
+   per-node percentiles. *)
+let cluster_top topo_file timeout_ms retries interval count =
+  if interval <= 0. then die "mvkv: --interval must be positive";
+  let topo = load_topology topo_file in
+  let reload () = Result.to_option (Cluster.Topology.of_file topo_file) in
+  let router = Cluster.Router.create ?timeout_ms ~retries ~reload topo in
+  Fun.protect ~finally:(fun () -> Cluster.Router.close router) @@ fun () ->
+  let rate10 snap name =
+    match Obs.Snap.window_sums snap name with
+    | Some (_, s10, _) -> float_of_int s10 /. 10.
+    | None -> 0.
+  in
+  let pct snap op q =
+    match Obs.Snap.find_hist snap (Printf.sprintf "net.%s.ns" op) with
+    | Some h when h.Obs.Snap.hcount > 0 ->
+        Printf.sprintf "%.1fus" (float_of_int (Obs.Snap.hist_percentile h q) /. 1e3)
+    | _ -> "-"
+  in
+  let row label snap =
+    Printf.printf "%-12s %10d %8.1f %10s %10s %10s %10s %5d %9s\n" label
+      (Obs.Snap.counter snap "net.requests")
+      (rate10 snap "net.rate.requests")
+      (pct snap "find" 0.5) (pct snap "find" 0.99) (pct snap "insert" 0.5)
+      (pct snap "insert" 0.99)
+      (Obs.Snap.gauge snap "repl.lagging_backups")
+      (let bytes =
+         Obs.Snap.counter snap "pmem.alloc_bytes"
+         - Obs.Snap.counter snap "pmem.free_bytes"
+       in
+       if bytes >= 1 lsl 20 then
+         Printf.sprintf "%.1fMiB" (float_of_int bytes /. float_of_int (1 lsl 20))
+       else Printf.sprintf "%dB" bytes)
+  in
+  let rounds = match count with Some n -> n | None -> max_int in
+  let i = ref 0 in
+  while !i < rounds do
+    incr i;
+    let snaps = Cluster.Router.fleet_snaps router in
+    print_string "\027[H\027[J";
+    let tm = Unix.localtime (Unix.gettimeofday ()) in
+    Printf.printf "mvkv cluster top — %02d:%02d:%02d\n\n" tm.Unix.tm_hour
+      tm.Unix.tm_min tm.Unix.tm_sec;
+    Printf.printf "%-12s %10s %8s %10s %10s %10s %10s %5s %9s\n" "node" "reqs"
+      "req/s" "find p50" "find p99" "ins p50" "ins p99" "lag" "pmem";
+    let up = ref [] in
+    List.iter
+      (fun { Cluster.Router.shard; slot; snap } ->
+        let label =
+          if slot = 0 then Printf.sprintf "shard%d" shard
+          else Printf.sprintf "shard%d.b%d" shard slot
+        in
+        match snap with
+        | Ok snap ->
+            up := snap :: !up;
+            row label snap
+        | Error reason -> Printf.printf "%-12s down (%s)\n" label reason)
+      snaps;
+    (match List.rev !up with
+    | [] -> Printf.printf "\n(no node reachable)\n"
+    | [ _ ] -> ()
+    | snaps ->
+        print_newline ();
+        row "cluster" (Obs.Snap.merge_all snaps));
+    Printf.printf "%!";
+    if !i < rounds then
+      try Unix.sleepf interval with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
 (* ---- live inspection: metrics / trace / slowlog / top ---- *)
 
 let metrics socket host port =
   with_client socket host port (fun c -> print_string (Net.Client.metrics c))
 
-let trace socket host port out =
+let trace socket host port out keep =
   with_client socket host port (fun c ->
-      let text = Net.Client.trace_dump c in
+      let text = Net.Client.trace_dump ~clear:(not keep) c in
       (* Validate before writing: a garbled trace exits nonzero instead
          of leaving an unloadable file behind. *)
       match Obs.Json.of_string text with
@@ -879,13 +1051,18 @@ let render_top ~prev ~now json =
     (window_rate json "net.rate.bytes_out" "rate_10s");
   Printf.printf "\n%-10s %12s %10s %12s %12s\n" "op" "total" "ops/s" "p50" "p99";
   let dt = match prev with Some (t0, _) when now > t0 -> now -. t0 | _ -> 0. in
+  (* Counters only move forward on a live server, so a negative delta
+     means the server restarted between polls (fresh registry). Clamp:
+     a rate can be stale for one refresh, never negative. *)
   List.iter
     (fun op ->
       let total = counter_of json (Printf.sprintf "net.%s.ops" op) in
       let rate =
         match prev with
         | Some (_, j0) when dt > 0. ->
-            float_of_int (total - counter_of j0 (Printf.sprintf "net.%s.ops" op)) /. dt
+            float_of_int
+              (max 0 (total - counter_of j0 (Printf.sprintf "net.%s.ops" op)))
+            /. dt
         | _ -> 0.
       in
       let pct field =
@@ -900,7 +1077,7 @@ let render_top ~prev ~now json =
   let delta name =
     let v = counter_of json name in
     match prev with
-    | Some (_, j0) when dt > 0. -> float_of_int (v - counter_of j0 name) /. dt
+    | Some (_, j0) when dt > 0. -> float_of_int (max 0 (v - counter_of j0 name)) /. dt
     | _ -> 0.
   in
   Printf.printf "\npmem: %d lines flushed (%.0f/s)   %d fences (%.0f/s)\n"
@@ -936,6 +1113,14 @@ let top socket host port interval count =
         | Error e -> die "mvkv: server returned invalid stats JSON: %s" e
         | Ok json ->
             let now = Unix.gettimeofday () in
+            (* A restart zeroes every counter; the previous poll would
+               make every rate negative. Reseed the baseline instead. *)
+            (match !prev with
+            | Some (_, j0)
+              when counter_of json "net.requests" < counter_of j0 "net.requests"
+              ->
+                prev := None
+            | _ -> ());
             render_top ~prev:!prev ~now json;
             prev := Some (now, json));
         if !i < rounds then
@@ -985,14 +1170,15 @@ let () =
         Term.(
           const serve $ pool_arg $ threads_arg $ socket_arg $ host_arg $ port_arg
           $ workers_arg $ batch_arg $ max_conns_arg $ timeout_arg $ slowlog_ms_arg
-          $ trace_cap_arg $ serve_retain_arg $ gc_interval_arg);
+          $ trace_cap_arg $ serve_retain_arg $ gc_interval_arg $ slo_arg);
       cmd_of "top" "Live per-operation dashboard for a running server."
         Term.(const top $ socket_arg $ host_arg $ port_arg $ interval_arg $ count_arg);
       cmd_of "metrics" "Dump a running server's metrics in Prometheus text format."
         Term.(const metrics $ socket_arg $ host_arg $ port_arg);
       cmd_of "trace"
-        "Fetch (and clear) a running server's span ring as Chrome trace JSON."
-        Term.(const trace $ socket_arg $ host_arg $ port_arg $ trace_out_arg);
+        "Fetch a running server's span ring as Chrome trace JSON (clears it \
+         unless --keep)."
+        Term.(const trace $ socket_arg $ host_arg $ port_arg $ trace_out_arg $ keep_arg);
       cmd_of "slowlog" "Print a running server's slowest recent requests."
         Term.(const slowlog $ socket_arg $ host_arg $ port_arg $ entries_arg);
       Cmd.group
@@ -1049,24 +1235,42 @@ let () =
               const cluster_serve $ topology_arg $ shard_arg $ replica_of_arg
               $ slot_arg $ pool_arg $ threads_arg $ workers_arg $ batch_arg
               $ max_conns_arg $ timeout_arg $ slowlog_ms_arg $ trace_cap_arg
-              $ serve_retain_arg $ gc_interval_arg);
+              $ serve_retain_arg $ gc_interval_arg $ slo_arg);
           cmd_of "promote"
             "Promote a backup to primary: bump the epoch, fence the replica \
              set, rewrite the topology file."
             Term.(
               const cluster_promote $ topology_arg $ timeout_ms_arg
               $ retries_arg $ promote_shard_arg $ promote_to_arg);
+          cmd_of "top"
+            "Live fleet dashboard: one row per replica plus a cluster-wide \
+             aggregate (rates, p50/p99, lagging backups, pmem footprint)."
+            Term.(
+              const cluster_top $ topology_arg $ timeout_ms_arg $ retries_arg
+              $ interval_arg $ count_arg);
+          cmd_of "metrics"
+            "One Prometheus page for the whole fleet, each node a \
+             {shard,replica} label set."
+            Term.(
+              const cluster_metrics $ topology_arg $ timeout_ms_arg
+              $ retries_arg);
+          cmd_of "trace"
+            "Drain every node's span ring into one merged Chrome trace \
+             (clears them unless --keep)."
+            Term.(
+              const cluster_trace $ topology_arg $ timeout_ms_arg $ retries_arg
+              $ trace_out_arg $ keep_arg);
           Cmd.group
             (Cmd.info "client" ~doc:"Drive a running sharded cluster.")
             [
               cmd_of "ping" "Round-trip every shard."
                 Term.(const cluster_ping $ topology_arg $ timeout_ms_arg $ retries_arg);
               cmd_of "status"
-                "Per-replica health table (role, epoch, clock, up/down); \
-                 exits 1 if any primary is down."
+                "Per-replica health table (role, epoch, clock, up/down, \
+                 optional --slo attainment); exits 1 if any primary is down."
                 Term.(
                   const cluster_status $ topology_arg $ timeout_ms_arg
-                  $ retries_arg);
+                  $ retries_arg $ slo_arg);
               cmd_of "versions" "Print every shard's current version."
                 Term.(
                   const cluster_versions $ topology_arg $ timeout_ms_arg

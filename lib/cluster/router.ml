@@ -36,6 +36,9 @@ type t = {
   mutable topo : Topology.t;
   timeout_ms : int option;
   retries : int;
+  trace_sample : float;
+      (** probability that a client op originates a trace context;
+          sampled ops carry it to every shard/backup they touch *)
   reload : (unit -> Topology.t option) option;
   mutable conns : Net.Client.t option array array;
       (** lazily dialled; [conns.(shard).(slot)], slot 0 = primary *)
@@ -78,9 +81,9 @@ let conn_arrays topo =
     Array.init k (fun i -> Array.make (Topology.replica_count topo i) false),
     Array.make k 0 )
 
-let create ?timeout_ms ?(retries = 2) ?reload topo =
+let create ?timeout_ms ?(retries = 2) ?(trace_sample = 1.0) ?reload topo =
   let conns, dialled, preferred = conn_arrays topo in
-  { topo; timeout_ms; retries; reload; conns; dialled; preferred }
+  { topo; timeout_ms; retries; trace_sample; reload; conns; dialled; preferred }
 
 let topology t = t.topo
 
@@ -268,20 +271,34 @@ let timed m f =
   Obs.Instr.finish m t0;
   r
 
+(* Trace origination: each routed client op flips the sampling coin
+   once; winners run under a fresh trace context with a root span named
+   after the op, so every frame the op fans out (including replication
+   forwards triggered on the shards) carries the same trace id — one
+   client call, one causal tree across the cluster. Losers pay one coin
+   flip. *)
+let traced t m name f =
+  if t.trace_sample > 0.0 && Obs.Traceid.coin ~rate:t.trace_sample () then
+    Obs.Span.with_context
+      (Some
+         { Obs.Span.trace = Obs.Traceid.generate (); parent = 0; sampled = true })
+      (fun () -> Obs.Span.with_ name (fun () -> timed m f))
+  else timed m f
+
 (* ---- routed single-key ops ---- *)
 
 let insert t ~key ~value =
-  timed m_insert (fun () ->
+  traced t m_insert "cluster.insert" (fun () ->
       Result.bind (check_key t key) (fun shard ->
           on_primary t shard (fun c -> Net.Client.insert c ~key ~value)))
 
 let remove t ~key =
-  timed m_remove (fun () ->
+  traced t m_remove "cluster.remove" (fun () ->
       Result.bind (check_key t key) (fun shard ->
           on_primary t shard (fun c -> Net.Client.remove c ~key)))
 
 let find t ?version key =
-  timed m_find (fun () ->
+  traced t m_find "cluster.find" (fun () ->
       Result.bind (check_key t key) (fun shard ->
           on_read t shard (fun c -> Net.Client.find c ?version key)))
 
@@ -304,7 +321,7 @@ let versions t =
 let bulk_chunk = 1024
 
 let find_bulk t ?version keys =
-  timed m_find_bulk (fun () ->
+  traced t m_find_bulk "cluster.find_bulk" (fun () ->
       Obs.Histogram.record h_bulk_keys (Array.length keys);
       let k = Topology.shards t.topo in
       (* positions of each shard's keys, in input order *)
@@ -373,7 +390,7 @@ let find_bulk t ?version keys =
 (* ---- cluster-wide tag ---- *)
 
 let tag t =
-  timed m_tag (fun () ->
+  traced t m_tag "cluster.tag" (fun () ->
       match versions t with
       | Error _ as e -> e
       | Ok vs ->
@@ -391,7 +408,7 @@ let tag t =
 (* ---- cluster-wide compaction ---- *)
 
 let compact t ~keep =
-  timed m_compact (fun () ->
+  traced t m_compact "cluster.compact" (fun () ->
       match versions t with
       | Error _ as e -> e
       | Ok vs ->
@@ -412,7 +429,7 @@ let compact t ~keep =
 (* ---- scatter-gather history ---- *)
 
 let history t key =
-  timed m_history (fun () ->
+  traced t m_history "cluster.history" (fun () ->
       Result.bind (check_key t key) (fun _owner ->
           Result.map
             (fun per_shard ->
@@ -448,11 +465,119 @@ let snapshot t ?version ~mode () =
             List.iter (fun (_, _, bytes) -> Obs.Metric.add c_merge_bytes bytes) merges)
           parts
   in
-  let m = match mode with Naive -> m_snap_naive | Opt _ -> m_snap_opt in
-  timed m (fun () ->
+  let m, name =
+    match mode with
+    | Naive -> (m_snap_naive, "cluster.snapshot.naive")
+    | Opt _ -> (m_snap_opt, "cluster.snapshot.opt")
+  in
+  traced t m name (fun () ->
       Result.map
         (fun parts ->
           let merged = merge parts in
           Obs.Metric.add c_snapshot_pairs (Array.length merged);
           merged)
         (gather_parts t ?version ()))
+
+(* ---- fleet aggregation ---- *)
+
+(* Every replica of every shard, best effort: a node that cannot answer
+   is reported, never fatal — a fleet view with one dead backup must
+   still render the other N-1 nodes. *)
+
+type node_snap = { shard : int; slot : int; snap : (Obs.Snap.t, string) result }
+
+let each_replica t f =
+  let k = Topology.shards t.topo in
+  List.concat
+    (List.init k (fun shard ->
+         List.init (Topology.replica_count t.topo shard) (fun slot ->
+             f shard slot)))
+
+let replica_label shard slot =
+  if slot = 0 then Printf.sprintf "shard%d" shard
+  else Printf.sprintf "shard%d.b%d" shard slot
+
+let fleet_snaps t =
+  each_replica t (fun shard slot ->
+      let snap =
+        match attempt t shard slot Net.Client.registry_snap with
+        | `Ok s -> (
+            match Obs.Json.of_string s with
+            | Ok j -> Obs.Snap.of_json j
+            | Error e -> Error (Printf.sprintf "bad snapshot JSON: %s" e))
+        | `Stale reason -> Error (Printf.sprintf "stale epoch: %s" reason)
+        | `Down reason -> Error reason
+      in
+      { shard; slot; snap })
+
+(* One Prometheus page for the whole fleet: each node's snapshot
+   becomes a label set {shard,replica}, rendered by [Obs.Snap] with one
+   preamble per metric family. Unreachable nodes come back in the
+   second component. *)
+let fleet_metrics t =
+  let snaps = fleet_snaps t in
+  let parts =
+    List.filter_map
+      (fun { shard; slot; snap } ->
+        match snap with
+        | Ok s ->
+            Some
+              ( [ ("shard", string_of_int shard); ("replica", string_of_int slot) ],
+                s )
+        | Error _ -> None)
+      snaps
+  in
+  let skipped =
+    List.filter_map
+      (fun { shard; slot; snap } ->
+        match snap with
+        | Ok _ -> None
+        | Error e -> Some (replica_label shard slot, e))
+      snaps
+  in
+  (Obs.Snap.prometheus parts, skipped)
+
+(* Drain every node's span ring and merge onto one timeline. Each dump
+   is stamped with its node's monotonic clock at dump time ("clockNs");
+   rebasing by [our now - clockNs] aligns "just happened there" with
+   "just happened here", which is what makes one client op's spans line
+   up causally across lanes even though every node runs its own
+   monotonic clock. *)
+let fleet_trace ?(clear = true) ?local t =
+  let skipped = ref [] in
+  let parts =
+    List.filter_map Fun.id
+      (each_replica t (fun shard slot ->
+           match attempt t shard slot (Net.Client.trace_dump ~clear) with
+           | `Ok s -> (
+               match Obs.Json.of_string s with
+               | Ok doc ->
+                   let delta =
+                     match Obs.Json.member "clockNs" doc with
+                     | Some (Obs.Json.Int ns) -> Obs.Clock.now_ns () - ns
+                     | _ -> 0
+                   in
+                   Some (replica_label shard slot, doc, delta)
+               | Error e ->
+                   skipped :=
+                     ( replica_label shard slot,
+                       Printf.sprintf "bad trace JSON: %s" e )
+                     :: !skipped;
+                   None)
+           | `Stale reason ->
+               skipped :=
+                 (replica_label shard slot, "stale epoch: " ^ reason) :: !skipped;
+               None
+           | `Down reason ->
+               skipped := (replica_label shard slot, reason) :: !skipped;
+               None))
+  in
+  let parts =
+    match local with
+    | None -> parts
+    | Some ring ->
+        (* The router's own ring (origination spans) needs no rebasing:
+           it is already on the collector's clock. *)
+        ("router", Obs.Tracebuf.to_chrome_json ring, 0) :: parts
+  in
+  (Obs.Tracebuf.merge_chrome parts, List.rev !skipped)

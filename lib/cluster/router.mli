@@ -59,6 +59,7 @@ type t
 val create :
   ?timeout_ms:int ->
   ?retries:int ->
+  ?trace_sample:float ->
   ?reload:(unit -> Topology.t option) ->
   Topology.t ->
   t
@@ -67,7 +68,12 @@ val create :
     is consulted when a shard rejects our epoch or a whole replica set
     is unreachable: it should re-read the topology source (e.g.
     [Topology.of_file]); the router adopts the result only when its
-    epoch is strictly newer, then retries the failed call once. *)
+    epoch is strictly newer, then retries the failed call once.
+    [trace_sample] (default 1.0) is the probability that each routed op
+    originates a trace context: sampled ops open a root span at the
+    router and stamp every fan-out frame with the trace id, so the
+    shards (and their replication forwards) record child spans of the
+    same trace. 0.0 disables origination entirely. *)
 
 val topology : t -> Topology.t
 
@@ -119,3 +125,34 @@ val snapshot :
     [version] and merge at the router per [mode]. Both modes are
     spanned ([cluster.snapshot.gather], plus [distrib.merge.round] per
     OptMerge round) and fill the [cluster.*] counters/histograms. *)
+
+(** {2 Fleet aggregation}
+
+    Best-effort views over every replica of every shard: a node that
+    cannot answer is reported alongside the merged result, never
+    fatal. *)
+
+type node_snap = {
+  shard : int;
+  slot : int;  (** 0 = primary, >0 = backup *)
+  snap : (Obs.Snap.t, string) result;
+}
+
+val fleet_snaps : t -> node_snap list
+(** One {!Obs.Snap} registry snapshot per reachable replica, in
+    (shard, slot) order. *)
+
+val fleet_metrics : t -> string * (string * string) list
+(** The whole fleet as one Prometheus page: each node's snapshot is a
+    label set [{shard,replica}] with one HELP/TYPE preamble per metric
+    family. Second component: [(node label, reason)] for nodes that
+    could not be scraped. *)
+
+val fleet_trace :
+  ?clear:bool -> ?local:Obs.Tracebuf.t -> t -> Obs.Json.t * (string * string) list
+(** Drain every node's span ring ([clear] as in
+    {!Net.Client.trace_dump}, default [true]) and merge into one Chrome
+    trace document: one process lane per node ([shard<i>],
+    [shard<i>.b<j>], plus [router] when [local] supplies the router's
+    own ring), timestamps rebased onto the collector's clock via each
+    dump's [clockNs] stamp. Second component: skipped nodes. *)

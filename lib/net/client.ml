@@ -158,14 +158,38 @@ let read_responses t fd n = List.init n (fun _ -> read_response t fd)
    frames pass through untouched — the wire format rejects nesting. *)
 let stamp t (req : Wire.request) : Wire.request =
   match (t.epoch, req) with
-  | None, req | _, ((Wire.Stamped _ | Wire.Replicate _) as req) -> req
+  | None, req | _, ((Wire.Stamped _ | Wire.Replicate _ | Wire.Traced _) as req)
+    ->
+      req
   | Some epoch, req -> Wire.Stamped { epoch; req }
+
+(* Propagate the calling domain's live trace context onto the wire:
+   whoever is inside a sampled [Obs.Span.with_] when this client sends
+   gets the remote server's work recorded as a child span of theirs.
+   Outside any context (or unsampled) the frame is unchanged, so
+   tracing costs nothing when off. *)
+let trace_wrap (req : Wire.request) : Wire.request =
+  match req with
+  | Wire.Traced _ -> req
+  | req -> (
+      match Obs.Span.get_context () with
+      | Some { Obs.Span.trace; parent; sampled = true }
+        when not (Obs.Traceid.is_null trace) ->
+          Wire.Traced
+            {
+              trace_hi = trace.Obs.Traceid.hi;
+              trace_lo = trace.Obs.Traceid.lo;
+              parent_span = parent;
+              sampled = true;
+              req;
+            }
+      | _ -> req)
 
 let call_batch t (reqs : Wire.request list) : Wire.response list =
   if reqs = [] then []
   else begin
     Buffer.clear t.out;
-    List.iter (fun req -> Wire.add_request t.out (stamp t req)) reqs;
+    List.iter (fun req -> Wire.add_request t.out (trace_wrap (stamp t req))) reqs;
     let payload = Buffer.contents t.out in
     let b = Concurrent.Backoff.create ~min:1 ~max:512 ~jitter:true () in
     let rec attempt k =
@@ -273,10 +297,15 @@ let metrics t =
   | Wire.Prom_text s -> s
   | r -> unexpected "metrics" r
 
-let trace_dump t =
-  match call t Wire.Trace_dump with
+let trace_dump ?(clear = true) t =
+  match call t (Wire.Trace_dump { clear }) with
   | Wire.Trace_json s -> s
   | r -> unexpected "trace" r
+
+let registry_snap t =
+  match call t Wire.Registry_snap with
+  | Wire.Snap_json s -> s
+  | r -> unexpected "registry_snap" r
 
 let slowlog t ~n =
   match call t (Wire.Slowlog { n }) with

@@ -131,6 +131,7 @@ struct
     request_timeout : float;
     timeout_ns : int;  (** request_timeout on the Obs.Clock scale *)
     slow : Obs.Slowlog.t;
+    slo : Obs.Slo.t option;
     trace : Obs.Tracebuf.t;
     epoch : int Atomic.t;
         (** newest topology epoch this server has seen; older stamps
@@ -221,12 +222,23 @@ struct
     | Wire.Stats ->
         Wire.Stats_json (Obs.Json.to_string (Obs.Registry.to_json ()))
     | Wire.Metrics_prom -> Wire.Prom_text (Obs.Expo.to_prometheus ())
-    | Wire.Trace_dump ->
-        (* Dump-and-clear, so each fetch is a fresh window and a
-           monitoring loop never re-reports the same spans. *)
+    | Wire.Registry_snap ->
+        (* The mergeable counterpart of [Stats]: raw snapshot data the
+           fleet aggregator can sum/merge across nodes. *)
+        Wire.Snap_json
+          (Obs.Json.to_string (Obs.Snap.to_json (Obs.Snap.of_registry ())))
+    | Wire.Trace_dump { clear } ->
+        (* Dump-and-clear by default, so each fetch is a fresh window
+           and a monitoring loop never re-reports the same spans.
+           [clear = false] lets concurrent collectors peek without
+           stealing each other's spans. The dump is stamped with this
+           node's clock so a fleet merger can rebase rings recorded on
+           different monotonic clocks onto one timeline. *)
         let events = Obs.Tracebuf.dump t.trace in
-        Obs.Tracebuf.clear t.trace;
-        Wire.Trace_json (Obs.Json.to_string (Obs.Tracebuf.chrome_json events))
+        if clear then Obs.Tracebuf.clear t.trace;
+        Wire.Trace_json
+          (Obs.Json.to_string
+             (Obs.Tracebuf.chrome_json ~clock_ns:(Obs.Clock.now_ns ()) events))
     | Wire.Slowlog { n } ->
         Wire.Slowlog_json
           (Obs.Json.to_string (Obs.Slowlog.to_json (Obs.Slowlog.newest t.slow ~n)))
@@ -246,6 +258,8 @@ struct
         (* Unreachable: [dispatch] unwraps both and the decoder rejects
            nested wrappers — but keep it a typed error, not an assert. *)
         Wire.Error { code = Wire.Malformed; message = "nested epoch wrapper" }
+    | Wire.Traced _ ->
+        Wire.Error { code = Wire.Malformed; message = "nested traced wrapper" }
 
   (* [replicated] marks a frame forwarded by another primary: it must be
      applied but never re-forwarded, which keeps the chain one hop deep
@@ -264,9 +278,14 @@ struct
           Wire.Error { code = Wire.Server_error; message = Printexc.to_string e }
     in
     let elapsed = Obs.Instr.finish_elapsed metrics t0 in
-    if elapsed > 0 then
+    if elapsed > 0 then begin
       Obs.Slowlog.note t.slow ~op:(Wire.request_label req)
         ?key:(Wire.request_key req) ~latency_ns:elapsed ();
+      match t.slo with
+      | None -> ()
+      | Some slo ->
+          Obs.Slo.note slo ~op:(Wire.request_label req) ~latency_ns:elapsed
+    end;
     (match (resp, t.on_mutation) with
     | Wire.Error _, _ | _, None -> ()
     | resp, Some hook ->
@@ -280,8 +299,27 @@ struct
               (Printexc.to_string e)));
     resp
 
-  let dispatch t req =
+  let rec dispatch t req =
     match req with
+    | Wire.Traced { trace_hi; trace_lo; parent_span; sampled; req } ->
+        (* Inherit the remote trace context for the duration of the
+           request: the [srv.*] span records this node's side of the
+           hop with the router's span as parent, and any span opened
+           while applying (snapshot walks, replication forwards) nests
+           under it — so one client call shows up as one connected tree
+           across every node it touched. *)
+        if sampled then
+          Obs.Span.with_context
+            (Some
+               {
+                 Obs.Span.trace = { Obs.Traceid.hi = trace_hi; lo = trace_lo };
+                 parent = parent_span;
+                 sampled = true;
+               })
+            (fun () ->
+              Obs.Span.with_ ("srv." ^ Wire.request_label req) (fun () ->
+                  dispatch t req))
+        else dispatch t req
     | Wire.Stamped { epoch; req } -> (
         match check_epoch t epoch with
         | Error resp ->
@@ -350,9 +388,14 @@ struct
           continue := false
       | `Frame (off, len, consumed) ->
           conn.partial_since <- -1;
+          (* Remember each frame's protocol version so the response can
+             echo it — a v4 client keeps decoding v4 responses even
+             though this server speaks v5. *)
+          let ver = Wire.frame_version conn.buf ~off ~len in
           (match Wire.decode_request conn.buf ~off ~len with
-          | Ok req -> items := `Req req :: !items
-          | Error (code, message) -> items := `Err (Wire.Error { code; message }) :: !items);
+          | Ok req -> items := (ver, `Req req) :: !items
+          | Error (code, message) ->
+              items := (ver, `Err (Wire.Error { code; message })) :: !items);
           conn.start <- conn.start + consumed;
           incr n
     done;
@@ -362,7 +405,7 @@ struct
     Obs.Histogram.record h_batch (List.length items);
     Obs.Window.add w_requests (List.length items);
     List.iter
-      (fun item ->
+      (fun (version, item) ->
         Obs.Metric.incr c_requests;
         let resp =
           match item with
@@ -371,7 +414,7 @@ struct
               Obs.Metric.incr c_errors;
               resp
         in
-        Wire.add_response conn.out resp)
+        Wire.add_response ~version conn.out resp)
       items;
     flush_out conn
 
@@ -408,8 +451,12 @@ struct
     | _ -> true
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
 
+  (* Unsolicited error frames (no request frame to echo a version from)
+     go out at the oldest supported version, which every client in the
+     compatibility window decodes. *)
   let fatal_close conn code message =
-    Wire.add_response conn.out (Wire.Error { code; message });
+    Wire.add_response ~version:Wire.min_protocol_version conn.out
+      (Wire.Error { code; message });
     Obs.Metric.incr c_errors;
     (try flush_out conn with Close_conn -> ())
 
@@ -459,7 +506,7 @@ struct
   let reject fd =
     Obs.Metric.incr c_rejected;
     let out = Buffer.create 64 in
-    Wire.add_response out
+    Wire.add_response ~version:Wire.min_protocol_version out
       (Wire.Error { code = Wire.Busy; message = "server at connection limit" });
     (try Sockaddr.write_string fd (Buffer.contents out) with _ -> ());
     try Unix.close fd with _ -> ()
@@ -511,7 +558,7 @@ struct
 
   let start ~store ?(workers = 4) ?(batch = 64) ?(max_conns = 256)
       ?(request_timeout = 5.0) ?(slowlog_threshold_ns = 10_000_000)
-      ?(trace_capacity = 4096) ?trace ?epoch_cell ?on_mutation ~listen () =
+      ?(trace_capacity = 4096) ?trace ?slo ?epoch_cell ?on_mutation ~listen () =
     if workers < 1 then invalid_arg "Server.start: need at least one worker";
     if batch < 1 then invalid_arg "Server.start: batch must be positive";
     let listen_fd = Sockaddr.listen listen in
@@ -536,6 +583,7 @@ struct
         request_timeout;
         timeout_ns = int_of_float (request_timeout *. 1e9);
         slow = Obs.Slowlog.create ~threshold_ns:slowlog_threshold_ns ();
+        slo;
         trace;
         epoch = (match epoch_cell with Some c -> c | None -> Atomic.make 0);
         on_mutation;

@@ -23,8 +23,20 @@
    Version 4 added the replication opcodes: Stamped (epoch-fenced
    wrapper around any plain request), Replicate (primary-to-backup
    apply, never re-forwarded), Epoch_probe / Epoch_info, and the
-   Bad_epoch error code. *)
-let protocol_version = 4
+   Bad_epoch error code.
+   Version 5 added cluster observability: the Traced wrapper (trace
+   context riding outside Stamped/Replicate), a clear flag on
+   Trace_dump (absent in v4 frames, defaulting to true), and
+   Registry_snap / Snap_json (mergeable registry snapshots for fleet
+   aggregation). v4 peers still interoperate: requests are accepted
+   down to {!min_protocol_version} and responses echo the request
+   frame's version byte. *)
+let protocol_version = 5
+
+(* Oldest request version a decoder accepts. v4 frames contain no v5
+   constructs (the opcodes did not exist), so decoding them with the
+   v5 rules is sound. *)
+let min_protocol_version = 4
 
 (* Largest accepted body, in bytes. Generous enough for a snapshot of
    ~500k pairs in one frame; small enough that a garbage length prefix
@@ -57,7 +69,11 @@ type request =
   | Snapshot of { version : int option }
   | Stats
   | Metrics_prom  (** registry in Prometheus text exposition format *)
-  | Trace_dump  (** drain the span ring as Chrome trace JSON *)
+  | Trace_dump of { clear : bool }
+      (** Dump the span ring as Chrome trace JSON. [clear] (default
+          true, and implied by version-4 frames, which carry no flag)
+          also drains the ring — a second concurrent collector passes
+          [false] so polling from two terminals doesn't lose spans. *)
   | Slowlog of { n : int }  (** newest [n] slow-op log entries *)
   | Tag_at of { version : int }
       (** Advance the store's version clock to exactly [version] and
@@ -91,6 +107,25 @@ type request =
       (** Answered with {!Epoch_info}: the server's current epoch and
           version clock — the probe behind failover decisions and
           [mvkv cluster client status]. *)
+  | Traced of {
+      trace_hi : int;
+      trace_lo : int;
+      parent_span : int;
+      sampled : bool;
+      req : request;
+    }
+      (** Trace-context wrapper: the 128-bit trace id (two 62-bit
+          halves), the sender's span id to parent under, and whether
+          the trace is sampled. Composes {e outside} the epoch
+          wrappers: [Traced] may contain [Stamped]/[Replicate] (or a
+          plain request), never another [Traced]. A server dispatches
+          the inner request under the inherited context, so its spans
+          join the sender's trace. *)
+  | Registry_snap
+      (** Answered with {!Snap_json}: the node's full registry as a
+          mergeable snapshot (raw histogram buckets, window sums) —
+          what the router scrapes from every shard and replica for
+          [mvkv cluster top]/[cluster metrics]. *)
 
 type response =
   | Pong
@@ -109,6 +144,8 @@ type response =
           server actually compacted before *)
   | Epoch_info of { epoch : int; version : int }
       (** Epoch_probe result: the server's epoch and version clock. *)
+  | Snap_json of string
+      (** Registry_snap result: an {!Obs.Snap} document as JSON text. *)
   | Error of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -155,7 +192,7 @@ let rec request_label = function
   | Snapshot _ -> "snapshot"
   | Stats -> "stats"
   | Metrics_prom -> "metrics"
-  | Trace_dump -> "trace"
+  | Trace_dump _ -> "trace"
   | Slowlog _ -> "slowlog"
   | Tag_at _ -> "tag_at"
   | Find_bulk _ -> "find_bulk"
@@ -164,12 +201,14 @@ let rec request_label = function
   | Stamped { req; _ } -> request_label req
   | Replicate _ -> "replicate"
   | Epoch_probe -> "epoch_probe"
+  | Traced { req; _ } -> request_label req
+  | Registry_snap -> "registry_snap"
 
 let request_labels =
   [
     "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats";
     "metrics"; "trace"; "slowlog"; "tag_at"; "find_bulk"; "compact"; "retention";
-    "replicate"; "epoch_probe";
+    "replicate"; "epoch_probe"; "registry_snap";
   ]
 
 (* The key a request touches, when it names one — slow-op log entries
@@ -177,18 +216,21 @@ let request_labels =
 let rec request_key = function
   | Insert { key; _ } | Remove { key } | Find { key; _ } | History { key } ->
       Some key
-  | Stamped { req; _ } | Replicate { req; _ } -> request_key req
-  | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump | Slowlog _
-  | Tag_at _ | Find_bulk _ | Compact _ | Retention _ | Epoch_probe ->
+  | Stamped { req; _ } | Replicate { req; _ } | Traced { req; _ } ->
+      request_key req
+  | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump _ | Slowlog _
+  | Tag_at _ | Find_bulk _ | Compact _ | Retention _ | Epoch_probe
+  | Registry_snap ->
       None
 
 (* Requests a primary must forward to its backups for the replica set
    to converge; everything else is read-only or server-local. *)
 let rec is_mutation = function
   | Insert _ | Remove _ | Tag | Tag_at _ | Compact _ | Retention _ -> true
-  | Stamped { req; _ } | Replicate { req; _ } -> is_mutation req
+  | Stamped { req; _ } | Replicate { req; _ } | Traced { req; _ } ->
+      is_mutation req
   | Ping | Find _ | Find_bulk _ | History _ | Snapshot _ | Stats | Metrics_prom
-  | Trace_dump | Slowlog _ | Epoch_probe ->
+  | Trace_dump _ | Slowlog _ | Epoch_probe | Registry_snap ->
       false
 
 (* ---- equality / printing (tests, error messages) ---- *)
@@ -217,6 +259,7 @@ let pp_response fmt = function
   | Slowlog_json s -> Format.fprintf fmt "slowlog(%d bytes)" (String.length s)
   | Gc_done { dropped; before } ->
       Format.fprintf fmt "gc_done dropped=%d before=%d" dropped before
+  | Snap_json s -> Format.fprintf fmt "snap(%d bytes)" (String.length s)
   | Error { code; message } ->
       Format.fprintf fmt "error %s: %s" (error_code_name code) message
 
@@ -249,7 +292,7 @@ let request_opcode = function
   | Snapshot _ -> 7
   | Stats -> 8
   | Metrics_prom -> 9
-  | Trace_dump -> 10
+  | Trace_dump _ -> 10
   | Slowlog _ -> 11
   | Tag_at _ -> 12
   | Find_bulk _ -> 13
@@ -258,6 +301,8 @@ let request_opcode = function
   | Stamped _ -> 16
   | Replicate _ -> 17
   | Epoch_probe -> 18
+  | Traced _ -> 19
+  | Registry_snap -> 20
 
 (* A wrapper's payload is its epoch followed by the complete inner
    request body (version byte, opcode, payload) running to the end of
@@ -268,7 +313,8 @@ let rec encode_request_body (r : request) =
   put_u8 buf protocol_version;
   put_u8 buf (request_opcode r);
   (match r with
-  | Ping | Tag | Stats | Metrics_prom | Trace_dump | Epoch_probe -> ()
+  | Ping | Tag | Stats | Metrics_prom | Epoch_probe | Registry_snap -> ()
+  | Trace_dump { clear } -> put_u8 buf (if clear then 1 else 0)
   | Insert { key; value } ->
       put_int buf key;
       put_int buf value
@@ -287,6 +333,12 @@ let rec encode_request_body (r : request) =
   | Retention { keep } -> put_int buf keep
   | Stamped { epoch; req } | Replicate { epoch; req } ->
       put_int buf epoch;
+      Buffer.add_string buf (encode_request_body req)
+  | Traced { trace_hi; trace_lo; parent_span; sampled; req } ->
+      put_int buf trace_hi;
+      put_int buf trace_lo;
+      put_int buf parent_span;
+      put_u8 buf (if sampled then 1 else 0);
       Buffer.add_string buf (encode_request_body req));
   Buffer.contents buf
 
@@ -305,10 +357,15 @@ let response_opcode = function
   | Values _ -> 12
   | Gc_done _ -> 13
   | Epoch_info _ -> 14
+  | Snap_json _ -> 15
 
-let encode_response_body (r : response) =
+(* [version] echoes the request frame's version byte so a v4 client's
+   strict decoder accepts the reply; the payload encodings are
+   identical across supported versions (v5 only adds opcodes a v4
+   client never elicits). *)
+let encode_response_body ?(version = protocol_version) (r : response) =
   let buf = Buffer.create 32 in
-  put_u8 buf protocol_version;
+  put_u8 buf version;
   put_u8 buf (response_opcode r);
   (match r with
   | Pong | Ack -> ()
@@ -335,7 +392,8 @@ let encode_response_body (r : response) =
           put_int buf k;
           put_int buf v)
         pairs
-  | Stats_json s | Prom_text s | Trace_json s | Slowlog_json s -> put_string buf s
+  | Stats_json s | Prom_text s | Trace_json s | Slowlog_json s | Snap_json s ->
+      put_string buf s
   | Gc_done { dropped; before } ->
       put_int buf dropped;
       put_int buf before
@@ -358,7 +416,7 @@ let add_frame buf body =
   Buffer.add_string buf body
 
 let add_request buf r = add_frame buf (encode_request_body r)
-let add_response buf r = add_frame buf (encode_response_body r)
+let add_response ?version buf r = add_frame buf (encode_response_body ?version r)
 
 (* ---- frame scanning ---- *)
 
@@ -429,19 +487,29 @@ let finish c (v : 'a) : ('a, error_code * string) result =
 let open_cursor b ~off ~len what =
   let c = { b; limit = off + len; pos = off } in
   let version = get_u8 c "version" in
-  if version <> protocol_version then
+  if version < min_protocol_version || version > protocol_version then
     raise
       (Bad
          ( Bad_version,
-           Printf.sprintf "protocol version %d, expected %d (%s)" version
-             protocol_version what ));
+           Printf.sprintf "protocol version %d, expected %d..%d (%s)" version
+             min_protocol_version protocol_version what ));
   c
 
-(* [allow_wrap] bounds wrapper nesting at one level: a Stamped inside a
-   Replicate (or any other combination) is malformed, so a hostile
-   frame of stacked wrappers cannot drive the decoder arbitrarily
-   deep. *)
-let rec decode_request_at ~allow_wrap b ~off ~len :
+(* Peek a frame's version byte without decoding — how the server learns
+   which version to echo in the response. Falls back to the current
+   version for frames too short to carry one. *)
+let frame_version b ~off ~len =
+  if len < 1 then protocol_version
+  else
+    let v = Char.code (Bytes.get b off) in
+    if v >= min_protocol_version && v <= protocol_version then v
+    else protocol_version
+
+(* [allow_wrap]/[allow_trace] bound wrapper nesting: Traced is
+   outermost and may contain one epoch wrapper (Stamped/Replicate),
+   which may contain only a plain request — so a hostile frame of
+   stacked wrappers cannot drive the decoder arbitrarily deep. *)
+let rec decode_request_at ~allow_wrap ~allow_trace b ~off ~len :
     (request, error_code * string) result =
   match
     let c = open_cursor b ~off ~len "request" in
@@ -461,7 +529,18 @@ let rec decode_request_at ~allow_wrap b ~off ~len :
     | 7 -> finish c (Snapshot { version = get_opt_int c "snapshot.version" })
     | 8 -> finish c Stats
     | 9 -> finish c Metrics_prom
-    | 10 -> finish c Trace_dump
+    | 10 ->
+        (* v4 frames carry no payload: clear defaults to true,
+           preserving dump-and-drain semantics for old clients. *)
+        let clear =
+          if c.pos = c.limit then true
+          else
+            match get_u8 c "trace.clear" with
+            | 0 -> false
+            | 1 -> true
+            | t -> raise (Bad (Malformed, Printf.sprintf "bad trace clear flag %d" t))
+        in
+        finish c (Trace_dump { clear })
     | 11 ->
         let n = get_int c "slowlog.n" in
         if n < 0 then
@@ -499,7 +578,8 @@ let rec decode_request_at ~allow_wrap b ~off ~len :
           raise (Bad (Malformed, Printf.sprintf "negative %s epoch %d" what epoch));
         let inner_off = c.pos and inner_len = c.limit - c.pos in
         (match
-           decode_request_at ~allow_wrap:false b ~off:inner_off ~len:inner_len
+           decode_request_at ~allow_wrap:false ~allow_trace:false b
+             ~off:inner_off ~len:inner_len
          with
         | Result.Error (code, msg) ->
             Result.Error (code, Printf.sprintf "%s payload: %s" what msg)
@@ -507,12 +587,37 @@ let rec decode_request_at ~allow_wrap b ~off ~len :
             Result.Ok
               (if op = 16 then Stamped { epoch; req } else Replicate { epoch; req }))
     | 18 -> finish c Epoch_probe
+    | 19 ->
+        if not allow_trace then
+          raise (Bad (Malformed, "nested traced wrapper"));
+        let trace_hi = get_int c "traced.trace_hi" in
+        let trace_lo = get_int c "traced.trace_lo" in
+        let parent_span = get_int c "traced.parent_span" in
+        if trace_hi < 0 || trace_lo < 0 || parent_span < 0 then
+          raise (Bad (Malformed, "negative traced context field"));
+        let sampled =
+          match get_u8 c "traced.sampled" with
+          | 0 -> false
+          | 1 -> true
+          | t -> raise (Bad (Malformed, Printf.sprintf "bad sampled flag %d" t))
+        in
+        let inner_off = c.pos and inner_len = c.limit - c.pos in
+        (match
+           decode_request_at ~allow_wrap ~allow_trace:false b ~off:inner_off
+             ~len:inner_len
+         with
+        | Result.Error (code, msg) ->
+            Result.Error (code, Printf.sprintf "traced payload: %s" msg)
+        | Result.Ok req ->
+            Result.Ok (Traced { trace_hi; trace_lo; parent_span; sampled; req }))
+    | 20 -> finish c Registry_snap
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
   with
   | r -> r
   | exception Bad (code, msg) -> Result.Error (code, msg)
 
-let decode_request b ~off ~len = decode_request_at ~allow_wrap:true b ~off ~len
+let decode_request b ~off ~len =
+  decode_request_at ~allow_wrap:true ~allow_trace:true b ~off ~len
 
 let decode_response b ~off ~len : (response, error_code * string) result =
   match
@@ -574,6 +679,7 @@ let decode_response b ~off ~len : (response, error_code * string) result =
         let epoch = get_int c "epoch_info.epoch" in
         let version = get_int c "epoch_info.version" in
         finish c (Epoch_info { epoch; version })
+    | 15 -> finish c (Snap_json (get_string c "snap"))
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown response opcode %d" op)
   with
   | r -> r

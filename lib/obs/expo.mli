@@ -9,5 +9,9 @@
 
 val sanitize : string -> string
 
+val series : Buffer.t -> string -> ?labels:(string * string) list -> string -> unit
+(** Append one sample line ([name{labels} value\n]) — shared with the
+    labelled fleet renderer in {!Snap}. *)
+
 val to_prometheus : unit -> string
 (** The whole registry in Prometheus exposition format 0.0.4. *)

@@ -112,6 +112,30 @@ let cumulative_buckets t =
   done;
   List.rev !out
 
+(* Sparse (index, count) view of the nonzero buckets, ascending — the
+   portable form {!Snap} serialises for fleet aggregation. *)
+let nonzero_buckets t =
+  let out = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    let n = Atomic.get t.buckets.(i) in
+    if n > 0 then out := (i, n) :: !out
+  done;
+  !out
+
+(* Log-bucket merge: because both inputs share the same bucket
+   boundaries, adding the bucket arrays is exact — count and sum are
+   exactly additive and every percentile of the merge lies between the
+   inputs' percentiles (bracketing, property-tested in test_obs). *)
+let merge a b =
+  let m = create a.name in
+  for i = 0 to bucket_count - 1 do
+    Atomic.set m.buckets.(i) (Atomic.get a.buckets.(i) + Atomic.get b.buckets.(i))
+  done;
+  Atomic.set m.count (count a + count b);
+  Atomic.set m.sum (sum a + sum b);
+  Atomic.set m.max (max (max_value a) (max_value b));
+  m
+
 let reset t =
   Array.iter (fun b -> Atomic.set b 0) t.buckets;
   Atomic.set t.count 0;

@@ -31,6 +31,17 @@ val cumulative_buckets : t -> (int * int) list
     whose cumulative count is [count t]. Feeds the Prometheus
     histogram exposition in {!Expo}. *)
 
+val merge : t -> t -> t
+(** [merge a b] is a fresh histogram (named after [a]) whose buckets,
+    count and sum are the exact element-wise sums of the inputs and
+    whose max is the larger of the two. Percentiles of the merge
+    bracket the inputs' percentiles. The fleet-aggregation primitive
+    behind [mvkv cluster top]. *)
+
+val nonzero_buckets : t -> (int * int) list
+(** [(bucket_index, count)] per nonzero bucket, ascending — the sparse
+    form {!Snap} ships across the wire. *)
+
 val reset : t -> unit
 
 (**/**)

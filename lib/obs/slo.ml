@@ -1,0 +1,128 @@
+(* Per-op latency objectives ("find completes within 1ms") with
+   burn-rate accounting over the existing sliding windows.
+
+   An objective is parsed from the CLI spec `find=1ms,insert=5ms` and
+   attached to a server; the server feeds every timed request latency
+   into [note], which maintains per-op `slo.<op>.ok` / `slo.<op>.violations`
+   counters and a `slo.<op>.rate.violations` window — the burn rate a
+   scraper reads as violations-per-second over the trailing 1/10/60 s.
+   Attainment (fraction of requests meeting the objective) is computed
+   fleet-side from the per-op latency histograms via
+   {!Snap.hist_le_fraction}, so `cluster client status` can evaluate
+   objectives against any node without the node knowing them. *)
+
+type objective = { op : string; threshold_ns : int }
+
+type tracked = {
+  threshold_ns : int;
+  ok : Metric.counter;
+  violations : Metric.counter;
+  burn : Window.t;
+}
+
+type t = { objectives : objective list; by_op : (string * tracked) list }
+
+(* Accepted duration suffixes, most specific first. *)
+let units = [ ("ns", 1); ("us", 1_000); ("ms", 1_000_000); ("s", 1_000_000_000) ]
+
+let parse_duration s =
+  let s = String.trim s in
+  let split =
+    List.find_map
+      (fun (suffix, scale) ->
+        let ls = String.length s and lu = String.length suffix in
+        if ls > lu && String.sub s (ls - lu) lu = suffix then
+          Some (String.sub s 0 (ls - lu), scale)
+        else None)
+      units
+  in
+  match split with
+  | None -> Error (Printf.sprintf "duration %S needs a ns/us/ms/s suffix" s)
+  | Some (num, scale) -> (
+      match float_of_string_opt (String.trim num) with
+      | Some v when v > 0.0 -> Ok (int_of_float (v *. float_of_int scale))
+      | _ -> Error (Printf.sprintf "bad duration %S" s))
+
+let parse spec =
+  let parts =
+    List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' spec)
+  in
+  if parts = [] then Error "empty SLO spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          match String.index_opt part '=' with
+          | None -> Error (Printf.sprintf "SLO %S is not op=duration" part)
+          | Some i -> (
+              let op = String.trim (String.sub part 0 i) in
+              let dur = String.sub part (i + 1) (String.length part - i - 1) in
+              if op = "" then Error (Printf.sprintf "SLO %S names no op" part)
+              else if List.exists (fun (o : objective) -> o.op = op) acc then
+                Error (Printf.sprintf "duplicate SLO for op %S" op)
+              else
+                match parse_duration dur with
+                | Ok threshold_ns -> go ({ op; threshold_ns } :: acc) rest
+                | Error _ as e -> e))
+    in
+    go [] parts
+
+let create objectives =
+  {
+    objectives;
+    by_op =
+      List.map
+        (fun { op; threshold_ns } ->
+          ( op,
+            {
+              threshold_ns;
+              ok = Registry.counter (Printf.sprintf "slo.%s.ok" op);
+              violations = Registry.counter (Printf.sprintf "slo.%s.violations" op);
+              burn = Registry.window (Printf.sprintf "slo.%s.rate.violations" op);
+            } ))
+        objectives;
+  }
+
+let objectives t = t.objectives
+
+let note t ~op ~latency_ns =
+  match List.assoc_opt op t.by_op with
+  | None -> ()
+  | Some tracked ->
+      if latency_ns <= tracked.threshold_ns then Metric.incr tracked.ok
+      else begin
+        Metric.incr tracked.violations;
+        Window.incr tracked.burn
+      end
+
+(* Attainment of [objectives] against one node's snapshot, evaluated on
+   the server-side per-op latency histograms (net.<op>.ns). Returns the
+   worst (op, attainment) pair, or [None] when no objective op has
+   recorded a sample yet. *)
+let attainment (objectives : objective list) (snap : Snap.t) =
+  List.filter_map
+    (fun { op; threshold_ns } ->
+      match Snap.find_hist snap (Printf.sprintf "net.%s.ns" op) with
+      | None -> None
+      | Some h ->
+          Option.map (fun f -> (op, f)) (Snap.hist_le_fraction h ~le:threshold_ns))
+    objectives
+  |> function
+  | [] -> None
+  | per_op ->
+      Some
+        (List.fold_left
+           (fun ((_, worst) as acc) ((_, f) as cand) ->
+             if f < worst then cand else acc)
+           (List.hd per_op) (List.tl per_op))
+
+let to_string objectives =
+  String.concat ","
+    (List.map
+       (fun { op; threshold_ns } ->
+         if threshold_ns mod 1_000_000 = 0 then
+           Printf.sprintf "%s=%dms" op (threshold_ns / 1_000_000)
+         else if threshold_ns mod 1_000 = 0 then
+           Printf.sprintf "%s=%dus" op (threshold_ns / 1_000)
+         else Printf.sprintf "%s=%dns" op threshold_ns)
+       objectives)

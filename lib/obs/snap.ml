@@ -1,0 +1,294 @@
+(* Portable, mergeable registry snapshots — the unit of fleet
+   aggregation. [of_registry] captures every registered metric in a
+   plain-data form that serialises to JSON and back (the Registry_snap
+   wire opcode), [merge] combines snapshots from many nodes (counter
+   and gauge sums, exact log-bucket histogram addition, window trailing
+   sums), and [prometheus] renders a set of labelled snapshots as one
+   exposition page — how `mvkv cluster metrics` shows every shard and
+   replica under `shard`/`replica` labels. *)
+
+type hist = {
+  hcount : int;
+  hsum : int;
+  hmax : int;
+  buckets : (int * int) list;  (** (log-bucket index, count), ascending *)
+}
+
+type entry =
+  | Counter of int
+  | Gauge of int
+  | Hist of hist
+  | Win of { s1 : int; s10 : int; s60 : int }
+
+type t = (string * entry) list
+
+let of_registry () =
+  List.map
+    (fun (name, entry) ->
+      ( name,
+        match (entry : Registry.entry) with
+        | Registry.Counter c -> Counter (Metric.value c)
+        | Registry.Gauge g -> Gauge (Metric.gauge_value g)
+        | Registry.Histogram h ->
+            Hist
+              {
+                hcount = Histogram.count h;
+                hsum = Histogram.sum h;
+                hmax = Histogram.max_value h;
+                buckets = Histogram.nonzero_buckets h;
+              }
+        | Registry.Window w ->
+            Win
+              {
+                s1 = Window.sum w ~window_s:1;
+                s10 = Window.sum w ~window_s:10;
+                s60 = Window.sum w ~window_s:60;
+              } ))
+    (Registry.snapshot ())
+
+(* ---- queries ---- *)
+
+let counter t name =
+  match List.assoc_opt name t with Some (Counter v) -> v | _ -> 0
+
+let gauge t name = match List.assoc_opt name t with Some (Gauge v) -> v | _ -> 0
+
+let find_hist t name =
+  match List.assoc_opt name t with Some (Hist h) -> Some h | _ -> None
+
+let window_sums t name =
+  match List.assoc_opt name t with
+  | Some (Win { s1; s10; s60 }) -> Some (s1, s10, s60)
+  | _ -> None
+
+(* Same midpoint-of-bucket convention as {!Histogram.percentile}, over
+   the sparse bucket list. *)
+let hist_percentile h q =
+  if h.hcount = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q *. float_of_int h.hcount)) in
+    let rank = if rank < 1 then 1 else if rank > h.hcount then h.hcount else rank in
+    let rec scan acc = function
+      | [] -> h.hmax
+      | (i, n) :: rest ->
+          let acc = acc + n in
+          if acc >= rank then
+            let hi = min (Histogram.bucket_hi i) (h.hmax + 1) in
+            (Histogram.bucket_lo i + hi) / 2
+          else scan acc rest
+    in
+    scan 0 h.buckets
+  end
+
+(* Fraction of samples whose value is certainly <= [le] (whole buckets
+   only — conservative by at most one log bucket, i.e. 1/16 relative).
+   The SLO attainment primitive. *)
+let hist_le_fraction h ~le =
+  if h.hcount = 0 then None
+  else begin
+    let met =
+      List.fold_left
+        (fun acc (i, n) ->
+          if Histogram.bucket_hi i - 1 <= le then acc + n else acc)
+        0 h.buckets
+    in
+    Some (float_of_int met /. float_of_int h.hcount)
+  end
+
+(* ---- merging ---- *)
+
+let merge_buckets a b =
+  let rec go a b =
+    match (a, b) with
+    | [], rest | rest, [] -> rest
+    | (ia, na) :: ra, (ib, nb) :: rb ->
+        if ia < ib then (ia, na) :: go ra b
+        else if ia > ib then (ib, nb) :: go a rb
+        else (ia, na + nb) :: go ra rb
+  in
+  go a b
+
+let merge_entry a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x + y)
+  | Hist x, Hist y ->
+      Hist
+        {
+          hcount = x.hcount + y.hcount;
+          hsum = x.hsum + y.hsum;
+          hmax = max x.hmax y.hmax;
+          buckets = merge_buckets x.buckets y.buckets;
+        }
+  | Win x, Win y -> Win { s1 = x.s1 + y.s1; s10 = x.s10 + y.s10; s60 = x.s60 + y.s60 }
+  (* Kind clash across nodes (version skew): keep the left entry. *)
+  | a, _ -> a
+
+let merge a b =
+  let names =
+    List.sort_uniq String.compare (List.map fst a @ List.map fst b)
+  in
+  List.map
+    (fun name ->
+      match (List.assoc_opt name a, List.assoc_opt name b) with
+      | Some x, Some y -> (name, merge_entry x y)
+      | Some x, None | None, Some x -> (name, x)
+      | None, None -> assert false)
+    names
+
+let merge_all = function [] -> [] | s :: rest -> List.fold_left merge s rest
+
+(* ---- JSON (the Registry_snap wire payload) ---- *)
+
+let to_json (t : t) =
+  let counters = ref [] and gauges = ref [] and hists = ref [] and wins = ref [] in
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Counter v -> counters := (name, Json.Int v) :: !counters
+      | Gauge v -> gauges := (name, Json.Int v) :: !gauges
+      | Hist h ->
+          hists :=
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Int h.hcount);
+                  ("sum", Json.Int h.hsum);
+                  ("max", Json.Int h.hmax);
+                  ( "buckets",
+                    Json.List
+                      (List.map
+                         (fun (i, n) -> Json.List [ Json.Int i; Json.Int n ])
+                         h.buckets) );
+                ] )
+            :: !hists
+      | Win { s1; s10; s60 } ->
+          wins :=
+            ( name,
+              Json.Obj
+                [ ("s1", Json.Int s1); ("s10", Json.Int s10); ("s60", Json.Int s60) ]
+            )
+            :: !wins)
+    t;
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !hists));
+      ("windows", Json.Obj (List.rev !wins));
+    ]
+
+let of_json (j : Json.t) : (t, string) result =
+  let fail what = Error (Printf.sprintf "Obs.Snap.of_json: bad %s" what) in
+  let ( let* ) = Result.bind in
+  let* () = match j with Json.Obj _ -> Ok () | _ -> fail "snapshot document" in
+  let int_field name obj =
+    match Json.member name obj with Some (Json.Int v) -> Some v | _ -> None
+  in
+  let section name =
+    match Json.member name j with
+    | Some (Json.Obj fields) -> Ok fields
+    | Some _ -> fail name
+    | None -> Ok []
+  in
+  let* counters = section "counters" in
+  let* gauges = section "gauges" in
+  let* hists = section "histograms" in
+  let* wins = section "windows" in
+  let parse_simple make (name, v) =
+    match v with Json.Int v -> Ok (name, make v) | _ -> fail name
+  in
+  let parse_hist (name, v) =
+    match (int_field "count" v, int_field "sum" v, int_field "max" v) with
+    | Some hcount, Some hsum, Some hmax -> (
+        match Json.member "buckets" v with
+        | Some (Json.List items) -> (
+            let rec buckets acc = function
+              | [] -> Ok (List.rev acc)
+              | Json.List [ Json.Int i; Json.Int n ] :: rest ->
+                  if i < 0 || n < 0 then fail (name ^ ".buckets")
+                  else buckets ((i, n) :: acc) rest
+              | _ -> fail (name ^ ".buckets")
+            in
+            match buckets [] items with
+            | Ok buckets -> Ok (name, Hist { hcount; hsum; hmax; buckets })
+            | Error _ as e -> e)
+        | _ -> fail (name ^ ".buckets"))
+    | _ -> fail name
+  in
+  let parse_win (name, v) =
+    match (int_field "s1" v, int_field "s10" v, int_field "s60" v) with
+    | Some s1, Some s10, Some s60 -> Ok (name, Win { s1; s10; s60 })
+    | _ -> fail name
+  in
+  let rec map_m f acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest -> (
+        match f x with Ok v -> map_m f (v :: acc) rest | Error _ as e -> e)
+  in
+  let* counters = map_m (parse_simple (fun v -> Counter v)) [] counters in
+  let* gauges = map_m (parse_simple (fun v -> Gauge v)) [] gauges in
+  let* hists = map_m parse_hist [] hists in
+  let* wins = map_m parse_win [] wins in
+  Ok
+    (List.sort
+       (fun (a, _) (b, _) -> String.compare a b)
+       (counters @ gauges @ hists @ wins))
+
+(* ---- labelled Prometheus page (mvkv cluster metrics) ---- *)
+
+let prometheus (parts : ((string * string) list * t) list) =
+  let buf = Buffer.create 4096 in
+  let names =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (_, snap) -> List.map fst snap) parts)
+  in
+  let int_value = string_of_int in
+  let float_value v = if Float.is_finite v then Printf.sprintf "%.9g" v else "0" in
+  let preamble name ~orig ~kind =
+    Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name orig);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun orig ->
+      let name = Expo.sanitize orig in
+      (* One preamble per family, then one series per labelled part. *)
+      let first =
+        List.find_map (fun (_, snap) -> List.assoc_opt orig snap) parts
+      in
+      (match first with
+      | Some (Counter _) -> preamble name ~orig ~kind:"counter"
+      | Some (Gauge _) -> preamble name ~orig ~kind:"gauge"
+      | Some (Hist _) -> preamble name ~orig ~kind:"histogram"
+      | Some (Win _) -> preamble (name ^ "_per_sec") ~orig ~kind:"gauge"
+      | None -> ());
+      List.iter
+        (fun (labels, snap) ->
+          match List.assoc_opt orig snap with
+          | None -> ()
+          | Some (Counter v) | Some (Gauge v) ->
+              Expo.series buf name ~labels (int_value v)
+          | Some (Hist h) ->
+              let acc = ref 0 in
+              List.iter
+                (fun (i, n) ->
+                  acc := !acc + n;
+                  Expo.series buf (name ^ "_bucket")
+                    ~labels:(labels @ [ ("le", int_value (Histogram.bucket_hi i - 1)) ])
+                    (int_value !acc))
+                h.buckets;
+              Expo.series buf (name ^ "_bucket")
+                ~labels:(labels @ [ ("le", "+Inf") ])
+                (int_value h.hcount);
+              Expo.series buf (name ^ "_sum") ~labels (int_value h.hsum);
+              Expo.series buf (name ^ "_count") ~labels (int_value h.hcount)
+          | Some (Win { s1; s10; s60 }) ->
+              List.iter
+                (fun (window_s, total) ->
+                  Expo.series buf (name ^ "_per_sec")
+                    ~labels:(labels @ [ ("window_s", int_value window_s) ])
+                    (float_value (float_of_int total /. float_of_int window_s)))
+                [ (1, s1); (10, s10); (60, s60) ])
+        parts)
+    names;
+  Buffer.contents buf

@@ -1,0 +1,62 @@
+(** Portable, mergeable registry snapshots — the fleet-aggregation
+    unit.
+
+    A snapshot captures every registered metric as plain data:
+    counters and gauges as values, histograms with their raw log-bucket
+    counts (so merged percentiles are exact up to bucket resolution),
+    windows as trailing 1/10/60 s sums. Snapshots serialise to JSON
+    (the [Registry_snap] wire opcode), merge associatively
+    ({!Histogram.merge} semantics for histograms, sums for the rest),
+    and render as one labelled Prometheus page. *)
+
+type hist = {
+  hcount : int;
+  hsum : int;
+  hmax : int;
+  buckets : (int * int) list;  (** (log-bucket index, count), ascending *)
+}
+
+type entry =
+  | Counter of int
+  | Gauge of int
+  | Hist of hist
+  | Win of { s1 : int; s10 : int; s60 : int }
+      (** trailing window sums over 1/10/60 seconds *)
+
+type t = (string * entry) list
+(** Sorted by name. *)
+
+val of_registry : unit -> t
+(** Snapshot the process-global {!Registry}. *)
+
+val counter : t -> string -> int
+(** 0 when absent. *)
+
+val gauge : t -> string -> int
+(** 0 when absent. *)
+
+val find_hist : t -> string -> hist option
+val window_sums : t -> string -> (int * int * int) option
+
+val hist_percentile : hist -> float -> int
+(** Same bucket-midpoint convention as {!Histogram.percentile}. *)
+
+val hist_le_fraction : hist -> le:int -> float option
+(** Fraction of samples certainly [<= le] (whole log-buckets only, so
+    conservative by at most 1/16 relative). [None] when empty. The SLO
+    attainment primitive. *)
+
+val merge : t -> t -> t
+(** Counters/gauges/window sums add; histograms merge bucket-wise
+    (count/sum exactly additive, max of max). *)
+
+val merge_all : t list -> t
+(** [[]] for the empty list. *)
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+
+val prometheus : ((string * string) list * t) list -> string
+(** One exposition page over many labelled snapshots: one HELP/TYPE
+    preamble per metric family, one series per part carrying its label
+    set (e.g. [shard="2",replica="1"]). *)

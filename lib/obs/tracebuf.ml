@@ -45,29 +45,131 @@ let dump t =
 (* Chrome trace_event JSON (the "X" complete-event form), loadable
    directly by chrome://tracing and Perfetto. Timestamps are in
    microseconds per the format; we keep sub-microsecond precision by
-   emitting fractional ts/dur. *)
-let chrome_json (events : Span.event list) =
+   emitting fractional ts/dur. Events recorded under a remote context
+   carry the trace id (hex), their span id and parent in [args], which
+   is what lets a cluster-merged document stay one causal tree.
+   [clock_ns] stamps the emitting node's monotonic clock at dump time
+   into the document ("clockNs"), the anchor {!merge_chrome} uses to
+   rebase every node's ring onto one common epoch. *)
+let chrome_json ?clock_ns (events : Span.event list) =
+  let event_json (e : Span.event) =
+    let base_args = [ ("depth", Json.Int e.Span.depth) ] in
+    let args =
+      if Traceid.is_null e.Span.trace then base_args
+      else
+        base_args
+        @ [
+            ("trace", Json.String (Traceid.to_hex e.Span.trace));
+            ("span", Json.Int e.Span.span_id);
+            ("parent", Json.Int e.Span.parent);
+          ]
+    in
+    Json.Obj
+      [
+        ("ph", Json.String "X");
+        ("name", Json.String e.Span.name);
+        ("cat", Json.String "span");
+        ("ts", Json.Float (float_of_int e.Span.start_ns /. 1e3));
+        ("dur", Json.Float (float_of_int (e.Span.stop_ns - e.Span.start_ns) /. 1e3));
+        ("pid", Json.Int 1);
+        ("tid", Json.Int e.Span.dom);
+        ("args", Json.Obj args);
+      ]
+  in
   Json.Obj
-    [
-      ( "traceEvents",
-        Json.List
-          (List.map
-             (fun (e : Span.event) ->
-               Json.Obj
-                 [
-                   ("ph", Json.String "X");
-                   ("name", Json.String e.Span.name);
-                   ("cat", Json.String "span");
-                   ("ts", Json.Float (float_of_int e.Span.start_ns /. 1e3));
-                   ( "dur",
-                     Json.Float
-                       (float_of_int (e.Span.stop_ns - e.Span.start_ns) /. 1e3) );
-                   ("pid", Json.Int 1);
-                   ("tid", Json.Int e.Span.dom);
-                   ("args", Json.Obj [ ("depth", Json.Int e.Span.depth) ]);
-                 ])
-             events) );
-      ("displayTimeUnit", Json.String "ns");
-    ]
+    ([ ("traceEvents", Json.List (List.map event_json events)) ]
+    @ (match clock_ns with
+      | Some ns -> [ ("clockNs", Json.Int ns) ]
+      | None -> [])
+    @ [ ("displayTimeUnit", Json.String "ns") ])
 
 let to_chrome_json t = chrome_json (dump t)
+
+(* ---- merging per-node rings into one cluster trace ---- *)
+
+let float_member name obj =
+  match Json.member name obj with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let int_member name obj =
+  match Json.member name obj with Some (Json.Int i) -> Some i | _ -> None
+
+(* One lane (Chrome "process") per node: pid is the part's index and a
+   "process_name" metadata event carries the node label. Each part's
+   timestamps are shifted by its clock delta (router receive time minus
+   the part's "clockNs"), rebasing every monotonic ring onto the
+   caller's clock — the common epoch. Events are deduplicated by span
+   id so rings that happen to share storage (in-process test clusters)
+   or double-drained rings (two collectors with [clear=false]) do not
+   produce duplicate spans. *)
+let merge_chrome parts =
+  let seen = Hashtbl.create 256 in
+  let lanes =
+    List.mapi
+      (fun i (label, doc, delta_ns) ->
+        let pid = i + 1 in
+        let meta =
+          Json.Obj
+            [
+              ("ph", Json.String "M");
+              ("name", Json.String "process_name");
+              ("pid", Json.Int pid);
+              ("args", Json.Obj [ ("name", Json.String label) ]);
+            ]
+        in
+        let events =
+          match Json.member "traceEvents" doc with
+          | Some (Json.List evs) -> evs
+          | _ -> []
+        in
+        let shifted =
+          List.filter_map
+            (fun ev ->
+              let span =
+                match Json.member "args" ev with
+                | Some args -> int_member "span" args
+                | None -> None
+              in
+              let duplicate =
+                match span with
+                | Some s when s <> 0 ->
+                    if Hashtbl.mem seen s then true
+                    else begin
+                      Hashtbl.add seen s ();
+                      false
+                    end
+                | _ -> false
+              in
+              if duplicate then None
+              else
+                match ev with
+                | Json.Obj fields ->
+                    let fields =
+                      List.map
+                        (fun (k, v) ->
+                          match (k, v) with
+                          | "ts", _ -> (
+                              match float_member "ts" ev with
+                              | Some ts ->
+                                  ( "ts",
+                                    Json.Float (ts +. (float_of_int delta_ns /. 1e3))
+                                  )
+                              | None -> (k, v))
+                          | "pid", _ -> ("pid", Json.Int pid)
+                          | _ -> (k, v))
+                        fields
+                    in
+                    Some (Json.Obj fields)
+                | _ -> None)
+            events
+        in
+        meta :: shifted)
+      parts
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.concat lanes));
+      ("displayTimeUnit", Json.String "ns");
+    ]

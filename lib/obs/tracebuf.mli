@@ -1,12 +1,17 @@
-(** Bounded overwrite-oldest ring buffer of {!Span.event}s plus a
-    Chrome [trace_event] JSON exporter.
+(** Bounded overwrite-oldest ring buffer of {!Span.event}s plus Chrome
+    [trace_event] JSON exporters — per-node and cluster-merged.
 
     Install one as the span sink with {!install} and the last
     [capacity] spans are always available: [dump] snapshots them
     oldest-first, [to_chrome_json] renders a document that opens
     directly in [chrome://tracing] / Perfetto (one lane per domain,
-    span depth in [args]). Recording is one fetch-and-add plus one
-    atomic store; safe under concurrent [Domain]s. *)
+    span depth in [args], trace context in [args] when present).
+    Recording is one fetch-and-add plus one atomic store; safe under
+    concurrent [Domain]s.
+
+    {!merge_chrome} assembles the rings of many nodes into one causal
+    document: one Chrome process lane per node, timestamps rebased by
+    per-node clock deltas onto a common epoch. *)
 
 type t
 
@@ -31,5 +36,17 @@ val clear : t -> unit
 val dump : t -> Span.event list
 (** Best-effort snapshot of the current window, oldest-first. *)
 
-val chrome_json : Span.event list -> Json.t
+val chrome_json : ?clock_ns:int -> Span.event list -> Json.t
+(** [clock_ns] (the emitting node's monotonic clock at dump time)
+    is stamped into the document as ["clockNs"] — the rebasing anchor
+    for {!merge_chrome}. *)
+
 val to_chrome_json : t -> Json.t
+
+val merge_chrome : (string * Json.t * int) list -> Json.t
+(** [merge_chrome [(label, doc, delta_ns); ...]] merges per-node
+    Chrome documents (as produced by {!chrome_json}) into one: part
+    [i] becomes pid [i+1] with a [process_name] metadata event naming
+    [label], and its timestamps are shifted by [delta_ns] (typically
+    [collector_now_ns - node clockNs]) so all lanes share one time
+    base. Events carrying a span id are deduplicated across parts. *)

@@ -1,0 +1,63 @@
+(* 128-bit trace identifiers and 62-bit span identifiers.
+
+   Ids come from a splitmix-style generator over one atomic counter:
+   every draw is one fetch-and-add plus a finaliser, so any domain (and,
+   because each process seeds from its own wall clock and pid, any node)
+   can mint child-span ids without coordination — the "splittable" part.
+   Ids are uniformly random in [1, 2^62), which makes collisions across
+   a cluster-wide trace astronomically unlikely without requiring any
+   shared state between processes. *)
+
+type t = { hi : int; lo : int }
+
+let null = { hi = 0; lo = 0 }
+let is_null t = t.hi = 0 && t.lo = 0
+let equal a b = a.hi = b.hi && a.lo = b.lo
+
+(* splitmix64 finaliser, adapted to OCaml's 63-bit ints: the constants
+   are 62-bit odd numbers and the result is masked non-negative.
+   Multiplication wraps on native ints, which is exactly what the mixer
+   wants. *)
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 27)) * 0x1D8E4E27C47D124F in
+  (z lxor (z lsr 31)) land max_int
+
+(* Seeded from wall clock bits and the pid so concurrent processes on
+   one host draw from different streams. *)
+let state =
+  let seed =
+    Int64.to_int (Int64.bits_of_float (Unix.gettimeofday ()))
+    lxor (Unix.getpid () * 0x9E3779B9)
+  in
+  Atomic.make (mix seed)
+
+(* Odd increment keeps the underlying counter full-period. *)
+let next () = mix (Atomic.fetch_and_add state 0x3779B97F4A7C15)
+
+let rec nonzero () =
+  let v = next () in
+  if v = 0 then nonzero () else v
+
+let generate () = { hi = nonzero (); lo = nonzero () }
+let new_span_id () = nonzero ()
+
+let to_hex t = Printf.sprintf "%016x%016x" t.hi t.lo
+
+let of_hex s =
+  if String.length s <> 32 then None
+  else
+    match
+      ( int_of_string ("0x" ^ String.sub s 0 16),
+        int_of_string ("0x" ^ String.sub s 16 16) )
+    with
+    | hi, lo when hi >= 0 && lo >= 0 -> Some { hi; lo }
+    | _ -> None
+    | exception Failure _ -> None
+
+(* The per-router sampling knob: one cheap draw per operation. The
+   comparison uses 24 random bits, plenty for any realistic rate. *)
+let coin ~rate () =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else float_of_int (next () land 0xFFFFFF) /. 16777216.0 < rate

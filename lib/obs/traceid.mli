@@ -1,0 +1,31 @@
+(** 128-bit trace ids and splittable span ids for cross-node tracing.
+
+    A trace id names one logical operation end to end (router → shards
+    → backups); span ids name the individual spans within it. Both are
+    drawn from a per-process splitmix stream seeded from the wall clock
+    and pid, so every node of a cluster can mint ids for the same trace
+    without coordination. Span ids are non-zero; 0 means "no span" in
+    wire payloads and span events. *)
+
+type t = { hi : int; lo : int }
+(** Two non-negative 62-bit halves. {!null} (all zero) means "no
+    trace". *)
+
+val null : t
+val is_null : t -> bool
+val equal : t -> t -> bool
+
+val generate : unit -> t
+(** A fresh random trace id, never {!null}. *)
+
+val new_span_id : unit -> int
+(** A fresh random span id in [1, 2^62). *)
+
+val to_hex : t -> string
+(** 32 lowercase hex digits. *)
+
+val of_hex : string -> t option
+
+val coin : rate:float -> unit -> bool
+(** One sampling decision: [true] with probability [rate] (clamped to
+    [0, 1]). The per-router sampling knob. *)

@@ -119,6 +119,7 @@ let diff_ops local remote =
    event the primary just did. (When the backup did hold the key, the
    diff's own Remove already records it.) *)
 let catch_up ?replay_remove t peer =
+  Obs.Span.with_ "repl.catch_up" @@ fun () ->
   let c = ensure_conn t peer in
   let epoch = Atomic.get t.epoch in
   let remote = Net.Client.snapshot c () in
@@ -182,7 +183,13 @@ let forward_to t peer op =
       catch_up ?replay_remove t peer
     else begin
       let c = ensure_conn t peer in
-      ignore (Net.Client.replicate c ~epoch:(Atomic.get t.epoch) op);
+      (* A span per hop: when the mutation arrived under a trace
+         context (Traced frame → server srv.* span → this hook, all on
+         one domain), the forward becomes a child span here and the
+         outgoing Replicate frame carries the context on to the backup
+         — the replica lane of the cluster-wide trace. *)
+      Obs.Span.with_ "repl.forward" (fun () ->
+          ignore (Net.Client.replicate c ~epoch:(Atomic.get t.epoch) op));
       Obs.Metric.incr c_forwarded;
       Obs.Window.add w_forwarded 1
     end

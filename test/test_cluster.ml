@@ -501,6 +501,146 @@ let parity =
   QCheck.Test.make ~count:8 ~name:"cluster parity with a single PSkipList" arb_ops
     parity_property
 
+(* ---- cluster-wide tracing: one client op = one connected trace ----
+
+   4 shards, shard 0 replicated to one backup. Every server (and the
+   router, via [install]) records into one shared span ring, so the
+   merged fleet trace must contain, for each routed op, a single trace
+   id whose spans form one tree: router root -> srv.* per shard ->
+   repl.forward -> backup srv.*. *)
+
+let e2e_connected_trace () =
+  let k = 4 and key_bits = 8 in
+  let paths = Array.init k (sock_path "trace") in
+  let b_path = sock_path "trace_b" k in
+  let stores = Array.init k (fun _ -> fresh_store ()) in
+  let backup_store = fresh_store () in
+  let ring = Obs.Tracebuf.create ~capacity:8192 in
+  Obs.Tracebuf.install ring;
+  (* two workers: the chain parks a long-lived connection on the
+     backup, and the router dials a second one to scrape it *)
+  let backup =
+    Server.start ~store:backup_store ~workers:2 ~trace:ring
+      ~epoch_cell:(Atomic.make 0)
+      ~listen:(Net.Sockaddr.Unix_sock b_path) ()
+  in
+  let epoch_cell = Atomic.make 0 in
+  let chain =
+    Repl.Chain.create ~epoch_cell
+      ~snapshot:(fun ?version () -> Store.extract_snapshot stores.(0) ?version ())
+      ~current_version:(fun () -> Store.current_version stores.(0))
+      [| Net.Sockaddr.Unix_sock b_path |]
+  in
+  let servers =
+    Array.init k (fun i ->
+        if i = 0 then
+          Server.start ~store:stores.(0) ~workers:1 ~trace:ring ~epoch_cell
+            ~on_mutation:(Repl.Chain.on_mutation chain)
+            ~listen:(Net.Sockaddr.Unix_sock paths.(0)) ()
+        else
+          Server.start ~store:stores.(i) ~workers:1 ~trace:ring
+            ~listen:(Net.Sockaddr.Unix_sock paths.(i)) ())
+  in
+  let topo =
+    Cluster.Topology.create_replicated ~key_bits
+      (Array.init k (fun i ->
+           if i = 0 then
+             [| Net.Sockaddr.Unix_sock paths.(0); Net.Sockaddr.Unix_sock b_path |]
+           else [| Net.Sockaddr.Unix_sock paths.(i) |]))
+  in
+  let router = Cluster.Router.create ~retries:1 topo in
+  Fun.protect
+    ~finally:(fun () ->
+      Cluster.Router.close router;
+      Repl.Chain.close chain;
+      Array.iter (fun s -> try Server.stop s with _ -> ()) servers;
+      (try Server.stop backup with _ -> ());
+      Array.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths;
+      try Sys.remove b_path with Sys_error _ -> ())
+    (fun () ->
+      (* first mutation runs the chain's initial catch-up; warm up so
+         the traced insert below exercises the plain forward path *)
+      ok "warm-up insert" (Cluster.Router.insert router ~key:1 ~value:1);
+      ok "insert" (Cluster.Router.insert router ~key:2 ~value:42);
+      let got =
+        ok "find_bulk" (Cluster.Router.find_bulk router [| 2; 64; 128; 192 |])
+      in
+      check_bool "bulk sees the write" true (got.(0) = Some 42);
+      let doc, skipped = Cluster.Router.fleet_trace ~clear:false ~local:ring router in
+      check_int "no node skipped" 0 (List.length skipped);
+      let events =
+        match Obs.Json.member "traceEvents" doc with
+        | Some (Obs.Json.List evs) -> evs
+        | _ -> Alcotest.fail "merged trace has no traceEvents"
+      in
+      (* every span that carries a trace id, keyed by that id *)
+      let arg name e =
+        match Obs.Json.member "args" e with
+        | Some args -> Obs.Json.member name args
+        | None -> None
+      in
+      let traced =
+        List.filter_map
+          (fun e ->
+            match (arg "trace" e, arg "span" e, arg "parent" e) with
+            | Some (Obs.Json.String tr), Some (Obs.Json.Int span), Some (Obs.Json.Int parent)
+              ->
+                let name =
+                  match Obs.Json.member "name" e with
+                  | Some (Obs.Json.String n) -> n
+                  | _ -> "?"
+                in
+                Some (tr, (name, span, parent))
+            | _ -> None)
+          events
+      in
+      let trace_ids = List.sort_uniq compare (List.map fst traced) in
+      check_int "one trace per routed op" 3 (List.length trace_ids);
+      (* each trace is one connected tree rooted at the router *)
+      List.iter
+        (fun tr ->
+          let spans = List.filter_map
+              (fun (t, s) -> if t = tr then Some s else None) traced
+          in
+          let ids = List.map (fun (_, span, _) -> span) spans in
+          check_bool "span ids unique within the trace" true
+            (List.length (List.sort_uniq compare ids) = List.length ids);
+          let roots = List.filter (fun (_, _, parent) -> parent = 0) spans in
+          (match roots with
+          | [ (name, _, _) ] ->
+              check_bool "root is a router span" true
+                (String.length name >= 8 && String.sub name 0 8 = "cluster.")
+          | rs -> Alcotest.failf "trace %s has %d roots" tr (List.length rs));
+          List.iter
+            (fun (name, _, parent) ->
+              if parent <> 0 && not (List.mem parent ids) then
+                Alcotest.failf "span %s in trace %s has unresolved parent %d" name
+                  tr parent)
+            spans)
+        trace_ids;
+      let names_of tr =
+        List.filter_map (fun (t, (n, _, _)) -> if t = tr then Some n else None) traced
+      in
+      (* the replicated insert: primary and backup lanes plus the hop *)
+      (match
+         List.filter (fun tr -> List.mem "repl.forward" (names_of tr)) trace_ids
+       with
+      | [ tr ] ->
+          let ns = names_of tr in
+          check_int "insert span on the primary" 1
+            (List.length (List.filter (fun n -> n = "srv.insert") ns));
+          check_int "replicate span on the backup" 1
+            (List.length (List.filter (fun n -> n = "srv.replicate") ns))
+      | trs -> Alcotest.failf "%d traces contain repl.forward" (List.length trs));
+      (* the fan-out read: one shard lane per key bucket *)
+      match
+        List.filter (fun tr -> List.mem "cluster.find_bulk" (names_of tr)) trace_ids
+      with
+      | [ tr ] ->
+          check_int "find_bulk spans on all 4 shards" 4
+            (List.length (List.filter (fun n -> n = "srv.find_bulk") (names_of tr)))
+      | trs -> Alcotest.failf "%d find_bulk traces" (List.length trs))
+
 let () =
   Alcotest.run "cluster"
     [
@@ -522,6 +662,8 @@ let () =
           Alcotest.test_case "snapshot naive = opt = expected" `Quick
             e2e_snapshot_modes;
           Alcotest.test_case "cluster-wide compaction" `Quick e2e_cluster_compact;
+          Alcotest.test_case "one client op yields one connected trace" `Quick
+            e2e_connected_trace;
         ] );
       ( "failure",
         [

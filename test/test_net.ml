@@ -27,7 +27,8 @@ let gen_plain_request =
         map (fun version -> Net.Wire.Snapshot { version }) (opt small_nat);
         return Net.Wire.Stats;
         return Net.Wire.Metrics_prom;
-        return Net.Wire.Trace_dump;
+        map (fun clear -> Net.Wire.Trace_dump { clear }) bool;
+        return Net.Wire.Registry_snap;
         map (fun n -> Net.Wire.Slowlog { n }) small_nat;
         map (fun version -> Net.Wire.Tag_at { version }) small_nat;
         map2
@@ -38,9 +39,9 @@ let gen_plain_request =
         return Net.Wire.Epoch_probe;
       ])
 
-(* The full request space adds the v4 epoch wrappers, which may enclose
-   any plain (non-wrapper) request — nesting is rejected by the codec. *)
-let gen_request =
+(* The epoch wrappers may enclose any plain (non-wrapper) request —
+   nesting is rejected by the codec. *)
+let gen_wrapped_request =
   QCheck.Gen.(
     oneof
       [
@@ -51,6 +52,20 @@ let gen_request =
         map2
           (fun epoch req -> Net.Wire.Replicate { epoch; req })
           small_nat gen_plain_request;
+      ])
+
+(* The full v5 request space adds the outermost trace-context wrapper,
+   which may enclose a plain or epoch-wrapped request. *)
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        gen_wrapped_request;
+        map2
+          (fun (trace_hi, trace_lo, parent_span, sampled) req ->
+            Net.Wire.Traced { trace_hi; trace_lo; parent_span; sampled; req })
+          (quad (int_bound 0xffff) (int_bound 0xffff) (int_bound 0xffff) bool)
+          gen_wrapped_request;
       ])
 
 let gen_error_code =
@@ -93,6 +108,7 @@ let gen_response =
         map (fun s -> Net.Wire.Prom_text s) string_printable;
         map (fun s -> Net.Wire.Trace_json s) string_printable;
         map (fun s -> Net.Wire.Slowlog_json s) string_printable;
+        map (fun s -> Net.Wire.Snap_json s) string_printable;
         map2 (fun code message -> Net.Wire.Error { code; message }) gen_error_code
           string_printable;
         map2 (fun dropped before -> Net.Wire.Gc_done { dropped; before }) small_nat
@@ -205,8 +221,43 @@ let decode_bad_version () =
         (explain (Net.Wire.decode_request b ~off:0 ~len));
       check_string "bad version (response)" "bad_version"
         (explain (Net.Wire.decode_response b ~off:0 ~len)))
-    (* both a garbage byte and the previous protocol version *)
-    [ "\x63"; String.make 1 (Char.chr (Net.Wire.protocol_version - 1)) ]
+    (* a garbage byte, the version just below the compatibility window,
+       and the version just above it *)
+    [
+      "\x63";
+      String.make 1 (Char.chr (Net.Wire.min_protocol_version - 1));
+      String.make 1 (Char.chr (Net.Wire.protocol_version + 1));
+    ]
+
+(* The v4→v5 compatibility window: a frame carrying the previous
+   protocol version decodes fine, for every v4 shape — including the
+   payloadless Trace_dump, which must imply clear=true. *)
+let decode_v4_frames_accepted () =
+  let v4 = String.make 1 (Char.chr Net.Wire.min_protocol_version) in
+  let reframe req =
+    let body = Net.Wire.encode_request_body req in
+    v4 ^ String.sub body 1 (String.length body - 1)
+  in
+  List.iter
+    (fun req ->
+      let b, len = body_of_string (reframe req) in
+      match Net.Wire.decode_request b ~off:0 ~len with
+      | Ok req' ->
+          check_bool "v4 frame decodes to the same request" true
+            (Net.Wire.equal_request req req')
+      | Error (c, m) ->
+          Alcotest.failf "v4 frame rejected: %s %s" (Net.Wire.error_code_name c) m)
+    [
+      Net.Wire.Ping;
+      Net.Wire.Insert { key = 1; value = 2 };
+      Net.Wire.Stamped { epoch = 3; req = Net.Wire.Find { key = 1; version = None } };
+    ];
+  (* v4 Trace_dump: opcode 10 with no flag byte *)
+  let b, len = body_of_string (v4 ^ "\x0a") in
+  (match Net.Wire.decode_request b ~off:0 ~len with
+  | Ok (Net.Wire.Trace_dump { clear }) ->
+      check_bool "payloadless trace_dump means clear" true clear
+  | r -> Alcotest.failf "v4 trace_dump decoded as %s" (explain r))
 
 let decode_bad_opcode () =
   let b, len = body_of_string (ver ^ "\x63") in
@@ -295,6 +346,48 @@ let decode_nested_epoch_wrapper () =
       (fun r -> Net.Wire.Stamped { epoch = 2; req = r });
       (fun r -> Net.Wire.Replicate { epoch = 2; req = r });
     ]
+
+let decode_nested_traced_wrapper () =
+  (* Traced is strictly outermost: a Traced inside Traced, Stamped or
+     Replicate must decode as malformed. (Traced over Stamped/Replicate
+     is the legal composition and is covered by the round-trip
+     property.) *)
+  let traced r =
+    Net.Wire.Traced
+      { trace_hi = 1; trace_lo = 2; parent_span = 3; sampled = true; req = r }
+  in
+  List.iter
+    (fun (outer : Net.Wire.request -> Net.Wire.request) ->
+      let body = Net.Wire.encode_request_body (outer (traced Net.Wire.Ping)) in
+      let b, len = body_of_string body in
+      check_string "nested traced wrapper" "malformed"
+        (explain (Net.Wire.decode_request b ~off:0 ~len)))
+    [
+      traced;
+      (fun r -> Net.Wire.Stamped { epoch = 1; req = r });
+      (fun r -> Net.Wire.Replicate { epoch = 1; req = r });
+    ]
+
+let decode_bad_traced_fields () =
+  (* opcode 19 with a sampled flag that is neither 0 nor 1 *)
+  let b, len =
+    body_of_string (ver ^ "\x13" ^ String.make 24 '\x00' ^ "\x07" ^ ver ^ "\x01")
+  in
+  check_string "bad sampled flag" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len));
+  (* negative trace id half *)
+  let b, len =
+    body_of_string
+      (ver ^ "\x13" ^ String.make 8 '\xff' ^ String.make 16 '\x00' ^ "\x01" ^ ver
+     ^ "\x01")
+  in
+  check_string "negative trace field" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_bad_trace_clear_flag () =
+  let b, len = body_of_string (ver ^ "\x0a\x07") in
+  check_string "bad clear flag" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
 
 let decode_negative_gc_horizons () =
   (* compact with before = -1 *)
@@ -478,6 +571,99 @@ let e2e_trace_dump () =
         (trace_event_names (Net.Client.trace_dump client) = [ "test.span.after" ]);
       Net.Client.close client)
 
+(* clear=false is a peek: two collectors polling the same ring must
+   both see the window; a clearing dump still drains it. *)
+let e2e_trace_dump_peek () =
+  with_server ~trace_capacity:8 (fun _store _server addr ->
+      Fun.protect ~finally:(fun () -> Obs.Span.set_sink None) @@ fun () ->
+      let client = Net.Client.connect addr in
+      Obs.Span.with_ "test.peek" (fun () -> ());
+      let names = trace_event_names (Net.Client.trace_dump ~clear:false client) in
+      check_bool "peek sees the span" true (List.mem "test.peek" names);
+      let names = trace_event_names (Net.Client.trace_dump ~clear:false client) in
+      check_bool "second peek still sees it" true (List.mem "test.peek" names);
+      let names = trace_event_names (Net.Client.trace_dump client) in
+      check_bool "clearing dump sees it last" true (List.mem "test.peek" names);
+      check_bool "ring drained" true
+        (trace_event_names (Net.Client.trace_dump client) = []);
+      Net.Client.close client)
+
+let e2e_registry_snap () =
+  with_server (fun _store _server addr ->
+      let client = Net.Client.connect addr in
+      Net.Client.insert client ~key:1 ~value:1;
+      let text = Net.Client.registry_snap client in
+      (match Obs.Json.of_string text with
+      | Error e -> Alcotest.failf "snapshot JSON does not parse: %s" e
+      | Ok json -> (
+          match Obs.Snap.of_json json with
+          | Error e -> Alcotest.failf "snapshot does not deserialise: %s" e
+          | Ok snap ->
+              check_bool "net.requests counted" true
+                (Obs.Snap.counter snap "net.requests" >= 1);
+              check_bool "insert latency histogram present" true
+                (Obs.Snap.find_hist snap "net.insert.ns" <> None)));
+      Net.Client.close client)
+
+(* A Traced frame runs the request under the carried context: the
+   server records a srv.* span whose trace id and parent are the
+   client's. *)
+let e2e_traced_request_spans () =
+  with_server ~trace_capacity:64 (fun _store _server addr ->
+      Fun.protect ~finally:(fun () -> Obs.Span.set_sink None) @@ fun () ->
+      let client = Net.Client.connect addr in
+      let trace = Obs.Traceid.generate () in
+      let parent = Obs.Traceid.new_span_id () in
+      (match
+         Net.Client.call client
+           (Net.Wire.Traced
+              {
+                trace_hi = trace.Obs.Traceid.hi;
+                trace_lo = trace.Obs.Traceid.lo;
+                parent_span = parent;
+                sampled = true;
+                req = Net.Wire.Insert { key = 5; value = 50 };
+              })
+       with
+      | Net.Wire.Ack -> ()
+      | r -> Alcotest.failf "traced insert answered %a" Net.Wire.pp_response r);
+      let json = Net.Client.trace_dump client in
+      (match Obs.Json.of_string json with
+      | Error e -> Alcotest.failf "trace JSON does not parse: %s" e
+      | Ok doc -> (
+          match Obs.Json.member "traceEvents" doc with
+          | Some (Obs.Json.List evs) ->
+              let srv =
+                List.filter
+                  (fun e -> Obs.Json.member "name" e = Some (Obs.Json.String "srv.insert"))
+                  evs
+              in
+              check_int "one srv.insert span" 1 (List.length srv);
+              let args = Option.get (Obs.Json.member "args" (List.hd srv)) in
+              check_bool "span carries the trace id" true
+                (Obs.Json.member "trace" args
+                = Some (Obs.Json.String (Obs.Traceid.to_hex trace)));
+              check_bool "span parents the client span" true
+                (Obs.Json.member "parent" args = Some (Obs.Json.Int parent))
+          | _ -> Alcotest.fail "no traceEvents list"));
+      (* unsampled contexts must not record anything *)
+      (match
+         Net.Client.call client
+           (Net.Wire.Traced
+              {
+                trace_hi = trace.Obs.Traceid.hi;
+                trace_lo = trace.Obs.Traceid.lo;
+                parent_span = parent;
+                sampled = false;
+                req = Net.Wire.Ping;
+              })
+       with
+      | Net.Wire.Pong -> ()
+      | r -> Alcotest.failf "unsampled traced ping answered %a" Net.Wire.pp_response r);
+      check_bool "unsampled request recorded no span" true
+        (trace_event_names (Net.Client.trace_dump client) = []);
+      Net.Client.close client)
+
 let slowlog_entries text =
   match Obs.Json.of_string text with
   | Error e -> Alcotest.failf "slowlog JSON does not parse: %s" e
@@ -594,20 +780,77 @@ let e2e_error_frames_keep_connection () =
         | _ -> false);
       raw_close fd)
 
-(* Regression for the protocol version bump: a frame carrying the
-   previous version byte (a stale client) is answered with a
+(* Regression for the protocol version bump: a frame carrying a version
+   below the compatibility window (a stale client) is answered with a
    Bad_version error frame — not a closed connection, not a hang — and
    the very next well-formed request on the same connection succeeds. *)
 let e2e_stale_version_keeps_connection () =
   with_server (fun _store _server addr ->
       let fd = raw_connect addr in
-      let stale = String.make 1 (Char.chr (Net.Wire.protocol_version - 1)) in
-      (* a v1 Tag request, bit-exact *)
+      let stale = String.make 1 (Char.chr (Net.Wire.min_protocol_version - 1)) in
+      (* a pre-window Tag request, bit-exact *)
       raw_write fd (frame_of_body (stale ^ "\x05"));
       expect_error "stale version" Net.Wire.Bad_version (raw_read_response fd);
       raw_write fd (frame_of_body (Net.Wire.encode_request_body Net.Wire.Ping));
       check_bool "connection usable after stale-version frame" true
         (raw_read_response fd = Net.Wire.Pong);
+      raw_close fd)
+
+(* Like [raw_read_response] but hands back the raw frame body, so a
+   test can inspect the response's version byte. *)
+let raw_read_frame raw =
+  let rec go () =
+    match Net.Wire.scan raw.buf ~off:raw.start ~len:(raw.fill - raw.start) with
+    | `Frame (off, len, consumed) ->
+        raw.start <- raw.start + consumed;
+        Bytes.sub raw.buf off len
+    | `Oversize _ -> Alcotest.fail "oversize response"
+    | `Partial -> (
+        if raw.start > 0 then begin
+          Bytes.blit raw.buf raw.start raw.buf 0 (raw.fill - raw.start);
+          raw.fill <- raw.fill - raw.start;
+          raw.start <- 0
+        end;
+        match Unix.read raw.fd raw.buf raw.fill (Bytes.length raw.buf - raw.fill) with
+        | 0 -> raise End_of_file
+        | n ->
+            raw.fill <- raw.fill + n;
+            go ())
+  in
+  go ()
+
+(* The v4→v5 interop contract live: a client speaking the previous
+   protocol version gets served, and every response frame echoes the
+   request's version byte so the old client can keep decoding. *)
+let e2e_v4_client_interop () =
+  with_server (fun _store _server addr ->
+      let fd = raw_connect addr in
+      let v4_body req =
+        let body = Net.Wire.encode_request_body req in
+        String.make 1 (Char.chr Net.Wire.min_protocol_version)
+        ^ String.sub body 1 (String.length body - 1)
+      in
+      raw_write fd (frame_of_body (v4_body Net.Wire.Ping));
+      let frame = raw_read_frame fd in
+      check_int "response echoes v4" Net.Wire.min_protocol_version
+        (Char.code (Bytes.get frame 0));
+      (match Net.Wire.decode_response frame ~off:0 ~len:(Bytes.length frame) with
+      | Ok Net.Wire.Pong -> ()
+      | r -> Alcotest.failf "v4 ping answered with %s" (explain r));
+      (* a v4 mutation round-trips too, and a v5 frame on the same
+         connection is answered at v5 *)
+      raw_write fd (frame_of_body (v4_body (Net.Wire.Insert { key = 9; value = 90 })));
+      let frame = raw_read_frame fd in
+      check_int "insert response echoes v4" Net.Wire.min_protocol_version
+        (Char.code (Bytes.get frame 0));
+      raw_write fd
+        (frame_of_body (Net.Wire.encode_request_body (Net.Wire.Find { key = 9; version = None })));
+      let frame = raw_read_frame fd in
+      check_int "v5 request answered at v5" Net.Wire.protocol_version
+        (Char.code (Bytes.get frame 0));
+      (match Net.Wire.decode_response frame ~off:0 ~len:(Bytes.length frame) with
+      | Ok (Net.Wire.Value (Some 90)) -> ()
+      | r -> Alcotest.failf "find answered with %s" (explain r));
       raw_close fd)
 
 let e2e_tag_at_find_bulk () =
@@ -805,6 +1048,10 @@ let () =
           Alcotest.test_case "negative tag_at version" `Quick decode_negative_tag_at;
           Alcotest.test_case "negative gc horizons" `Quick decode_negative_gc_horizons;
           Alcotest.test_case "nested epoch wrapper" `Quick decode_nested_epoch_wrapper;
+          Alcotest.test_case "nested traced wrapper" `Quick decode_nested_traced_wrapper;
+          Alcotest.test_case "bad traced fields" `Quick decode_bad_traced_fields;
+          Alcotest.test_case "bad trace clear flag" `Quick decode_bad_trace_clear_flag;
+          Alcotest.test_case "v4 frames accepted" `Quick decode_v4_frames_accepted;
         ] );
       ( "server-e2e",
         [
@@ -814,12 +1061,19 @@ let () =
           Alcotest.test_case "metrics returns Prometheus text" `Quick e2e_metrics_prom;
           Alcotest.test_case "trace dump returns and clears the span ring" `Quick
             e2e_trace_dump;
+          Alcotest.test_case "trace dump clear=false is a peek" `Quick
+            e2e_trace_dump_peek;
+          Alcotest.test_case "registry snapshot opcode" `Quick e2e_registry_snap;
+          Alcotest.test_case "traced requests record remote child spans" `Quick
+            e2e_traced_request_spans;
           Alcotest.test_case "slowlog captures and filters by threshold" `Quick
             e2e_slowlog;
           Alcotest.test_case "error frames keep the connection usable" `Quick
             e2e_error_frames_keep_connection;
           Alcotest.test_case "stale protocol version keeps the connection usable"
             `Quick e2e_stale_version_keeps_connection;
+          Alcotest.test_case "v4 client interop against a v5 server" `Quick
+            e2e_v4_client_interop;
           Alcotest.test_case "tag_at and find_bulk opcodes" `Quick e2e_tag_at_find_bulk;
           Alcotest.test_case "compact and retention opcodes" `Quick
             e2e_compact_retention;

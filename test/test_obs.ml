@@ -264,6 +264,319 @@ let percentile_properties =
       && List.for_all (fun p -> p <= Obs.Histogram.max_value h) ps
       && Obs.Histogram.count h = List.length samples)
 
+(* Histogram merge: count/sum exactly additive, max of max, and the
+   merged percentiles bracket the inputs' — the law that makes fleet
+   p99 aggregation honest. *)
+
+let histogram_merge_properties =
+  QCheck.Test.make
+    ~name:"histogram merge: additive count/sum, bracketed percentiles" ~count:200
+    QCheck.(
+      make
+        ~print:(fun (xs, ys) ->
+          let s l = String.concat "," (List.map string_of_int l) in
+          Printf.sprintf "a=[%s] b=[%s]" (s xs) (s ys))
+        Gen.(
+          pair
+            (list_size (int_range 1 100) (int_range 0 (1 lsl 40)))
+            (list_size (int_range 1 100) (int_range 0 (1 lsl 40)))))
+    (fun (xs, ys) ->
+      let a = Obs.Histogram.create "test.merge.a"
+      and b = Obs.Histogram.create "test.merge.b" in
+      List.iter (Obs.Histogram.record a) xs;
+      List.iter (Obs.Histogram.record b) ys;
+      let m = Obs.Histogram.merge a b in
+      let exact =
+        Obs.Histogram.count m = List.length xs + List.length ys
+        && Obs.Histogram.sum m = Obs.Histogram.sum a + Obs.Histogram.sum b
+        && Obs.Histogram.max_value m
+           = max (Obs.Histogram.max_value a) (Obs.Histogram.max_value b)
+      in
+      (* Bracketing holds at bucket granularity: percentiles are bucket
+         midpoints whose exact value depends on the histogram's own max
+         (the top-bucket clamp), so compare the buckets they land in. *)
+      let bracketed =
+        List.for_all
+          (fun q ->
+            let bucket h = Obs.Histogram.index_of (Obs.Histogram.percentile h q) in
+            let bm = bucket m and ba = bucket a and bb = bucket b in
+            bm >= min ba bb && bm <= max ba bb)
+          [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ]
+      in
+      exact && bracketed)
+
+(* Trace ids *)
+
+let traceid_basics () =
+  let a = Obs.Traceid.generate () and b = Obs.Traceid.generate () in
+  check_bool "generated ids are non-null" true
+    ((not (Obs.Traceid.is_null a)) && not (Obs.Traceid.is_null b));
+  check_bool "distinct ids" false (Obs.Traceid.equal a b);
+  check_int "hex is 32 digits" 32 (String.length (Obs.Traceid.to_hex a));
+  (match Obs.Traceid.of_hex (Obs.Traceid.to_hex a) with
+  | Some a' -> check_bool "hex roundtrip" true (Obs.Traceid.equal a a')
+  | None -> Alcotest.fail "own hex did not parse");
+  List.iter
+    (fun s ->
+      check_bool ("rejects " ^ s) true (Obs.Traceid.of_hex s = None))
+    [ ""; "abc"; String.make 32 'g'; String.make 33 '0' ];
+  check_bool "span ids are nonzero" true
+    (List.for_all
+       (fun _ -> Obs.Traceid.new_span_id () > 0)
+       (List.init 100 Fun.id));
+  check_bool "coin at 0 never fires" true
+    (List.for_all (fun _ -> not (Obs.Traceid.coin ~rate:0.0 ())) (List.init 50 Fun.id));
+  check_bool "coin at 1 always fires" true
+    (List.for_all (fun _ -> Obs.Traceid.coin ~rate:1.0 ()) (List.init 50 Fun.id))
+
+(* Span trace contexts *)
+
+let span_context_propagation () =
+  let events = ref [] in
+  Obs.Span.set_sink (Some (fun e -> events := e :: !events));
+  let trace = Obs.Traceid.generate () in
+  Obs.Span.with_context
+    (Some { Obs.Span.trace; parent = 42; sampled = true })
+    (fun () ->
+      Obs.Span.with_ "test.ctx.outer" (fun () ->
+          (match Obs.Span.get_context () with
+          | Some c ->
+              check_bool "trace id inherited inside the span" true
+                (Obs.Traceid.equal c.Obs.Span.trace trace);
+              check_bool "context re-pointed at the open span" true
+                (c.Obs.Span.parent <> 42 && c.Obs.Span.parent > 0)
+          | None -> Alcotest.fail "no context inside with_context");
+          Obs.Span.with_ "test.ctx.inner" (fun () -> ())));
+  Obs.Span.set_sink None;
+  check_bool "context restored after the body" true (Obs.Span.get_context () = None);
+  match List.rev !events with
+  | [ inner; outer ] ->
+      check_bool "both spans carry the trace id" true
+        (Obs.Traceid.equal inner.Obs.Span.trace trace
+        && Obs.Traceid.equal outer.Obs.Span.trace trace);
+      check_bool "span ids allocated and distinct" true
+        (inner.Obs.Span.span_id > 0
+        && outer.Obs.Span.span_id > 0
+        && inner.Obs.Span.span_id <> outer.Obs.Span.span_id);
+      check_int "inner parents the outer span" outer.Obs.Span.span_id
+        inner.Obs.Span.parent;
+      check_int "outer parents the context" 42 outer.Obs.Span.parent
+  | evs -> Alcotest.failf "expected 2 span events, got %d" (List.length evs)
+
+let span_no_context_is_contextless () =
+  let events = ref [] in
+  Obs.Span.set_sink (Some (fun e -> events := e :: !events));
+  Obs.Span.with_ "test.ctx.none" (fun () -> ());
+  Obs.Span.set_sink None;
+  match !events with
+  | [ e ] ->
+      check_bool "null trace outside a context" true (Obs.Traceid.is_null e.Obs.Span.trace);
+      check_int "no span id" 0 e.Obs.Span.span_id;
+      check_int "no parent" 0 e.Obs.Span.parent
+  | evs -> Alcotest.failf "expected 1 span event, got %d" (List.length evs)
+
+(* Registry snapshots (fleet aggregation unit) *)
+
+let snap_json_roundtrip_and_merge () =
+  let c = Obs.Registry.counter "test.snap.counter" in
+  Obs.Metric.reset_counter c;
+  Obs.Metric.add c 7;
+  let h = Obs.Registry.histogram "test.snap.hist" in
+  Obs.Histogram.reset h;
+  List.iter (fun v -> Obs.Histogram.record h v) [ 1; 10; 100 ];
+  let s = Obs.Snap.of_registry () in
+  (match Obs.Snap.of_json (Obs.Snap.to_json s) with
+  | Ok s' -> check_bool "json roundtrip" true (s = s')
+  | Error e -> Alcotest.fail e);
+  (match Obs.Json.of_string (Obs.Json.to_string (Obs.Snap.to_json s)) with
+  | Ok j -> (
+      match Obs.Snap.of_json j with
+      | Ok s' -> check_bool "roundtrip through text" true (s = s')
+      | Error e -> Alcotest.fail e)
+  | Error e -> Alcotest.fail e);
+  let m = Obs.Snap.merge s s in
+  check_int "merged counters add" 14 (Obs.Snap.counter m "test.snap.counter");
+  (match Obs.Snap.find_hist m "test.snap.hist" with
+  | Some hh ->
+      check_int "merged hist count" 6 hh.Obs.Snap.hcount;
+      check_int "merged hist sum" 222 hh.Obs.Snap.hsum;
+      check_int "merged hist max" 100 hh.Obs.Snap.hmax
+  | None -> Alcotest.fail "merged histogram missing");
+  check_bool "merge_all []" true (Obs.Snap.merge_all [] = []);
+  check_bool "merge_all singleton" true (Obs.Snap.merge_all [ s ] = s);
+  (* garbage in, error out — never an exception *)
+  List.iter
+    (fun bad ->
+      check_bool "bad snapshot JSON rejected" true
+        (match Obs.Snap.of_json bad with Error _ -> true | Ok _ -> false))
+    [
+      Obs.Json.Int 3;
+      Obs.Json.Obj [ ("histograms", Obs.Json.Obj [ ("h", Obs.Json.Int 1) ]) ];
+    ]
+
+let snap_percentile_and_le_fraction () =
+  let h = Obs.Registry.histogram "test.snap.le" in
+  Obs.Histogram.reset h;
+  for _ = 1 to 9 do
+    Obs.Histogram.record h 10
+  done;
+  Obs.Histogram.record h 1_000_000;
+  let s = Obs.Snap.of_registry () in
+  match Obs.Snap.find_hist s "test.snap.le" with
+  | None -> Alcotest.fail "histogram missing from snapshot"
+  | Some hh ->
+      check_int "snapshot p50 matches live histogram"
+        (Obs.Histogram.percentile h 0.5)
+        (Obs.Snap.hist_percentile hh 0.5);
+      (match Obs.Snap.hist_le_fraction hh ~le:100_000 with
+      | Some f -> Alcotest.(check (float 0.001)) "9 of 10 under the bar" 0.9 f
+      | None -> Alcotest.fail "le fraction empty");
+      check_bool "empty histogram yields None" true
+        (Obs.Snap.hist_le_fraction
+           { Obs.Snap.hcount = 0; hsum = 0; hmax = 0; buckets = [] }
+           ~le:1
+        = None)
+
+let snap_prometheus_labels () =
+  let s1 = [ ("test.fleet.ops", Obs.Snap.Counter 3) ]
+  and s2 = [ ("test.fleet.ops", Obs.Snap.Counter 4) ] in
+  let page =
+    Obs.Snap.prometheus
+      [
+        ([ ("shard", "0"); ("replica", "0") ], s1);
+        ([ ("shard", "1"); ("replica", "0") ], s2);
+      ]
+  in
+  let lines = String.split_on_char '\n' page |> List.filter (fun l -> l <> "") in
+  let count p = List.length (List.filter p lines) in
+  let has_prefix p l = String.length l >= String.length p && String.sub l 0 (String.length p) = p in
+  check_int "one TYPE preamble for the family" 1
+    (count (has_prefix "# TYPE test_fleet_ops"));
+  check_int "one series per node" 1
+    (count (has_prefix "test_fleet_ops{shard=\"0\",replica=\"0\"}"));
+  check_int "second node labelled" 1
+    (count (has_prefix "test_fleet_ops{shard=\"1\",replica=\"0\"}"))
+
+(* SLOs *)
+
+let slo_parse_and_burn () =
+  (match Obs.Slo.parse "find=1ms, insert=500us" with
+  | Ok
+      [
+        { Obs.Slo.op = "find"; threshold_ns = 1_000_000 };
+        { Obs.Slo.op = "insert"; threshold_ns = 500_000 };
+      ] ->
+      ()
+  | Ok os -> Alcotest.failf "parsed %d unexpected objectives" (List.length os)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun spec ->
+      check_bool ("rejects " ^ spec) true
+        (match Obs.Slo.parse spec with Error _ -> true | Ok _ -> false))
+    [ ""; "find"; "=1ms"; "find=1"; "find=0ms"; "find=1ms,find=2ms" ];
+  let t = Obs.Slo.create [ { Obs.Slo.op = "testburn"; threshold_ns = 1000 } ] in
+  Obs.Slo.note t ~op:"testburn" ~latency_ns:500;
+  Obs.Slo.note t ~op:"testburn" ~latency_ns:1000;
+  Obs.Slo.note t ~op:"testburn" ~latency_ns:5000;
+  Obs.Slo.note t ~op:"unknown" ~latency_ns:1;
+  check_int "ok counter" 2 (Obs.Metric.value (Obs.Registry.counter "slo.testburn.ok"));
+  check_int "violation counter" 1
+    (Obs.Metric.value (Obs.Registry.counter "slo.testburn.violations"));
+  check_bool "burn window counts the violation" true
+    (Obs.Window.sum (Obs.Registry.window "slo.testburn.rate.violations") ~window_s:60
+    >= 1);
+  Alcotest.(check string)
+    "objectives render back" "find=1ms,insert=500us"
+    (Obs.Slo.to_string
+       [
+         { Obs.Slo.op = "find"; threshold_ns = 1_000_000 };
+         { Obs.Slo.op = "insert"; threshold_ns = 500_000 };
+       ])
+
+let slo_attainment () =
+  let h = Obs.Registry.histogram "net.testslo.ns" in
+  Obs.Histogram.reset h;
+  for _ = 1 to 9 do
+    Obs.Histogram.record h 10
+  done;
+  Obs.Histogram.record h 1_000_000;
+  let snap = Obs.Snap.of_registry () in
+  (match
+     Obs.Slo.attainment [ { Obs.Slo.op = "testslo"; threshold_ns = 100_000 } ] snap
+   with
+  | Some ("testslo", f) -> Alcotest.(check (float 0.001)) "attainment" 0.9 f
+  | Some (op, _) -> Alcotest.failf "wrong op %s" op
+  | None -> Alcotest.fail "no attainment");
+  check_bool "unknown op yields None" true
+    (Obs.Slo.attainment [ { Obs.Slo.op = "nosuch"; threshold_ns = 1 } ] snap = None)
+
+(* Merged Chrome traces *)
+
+let merge_chrome_rebases_and_dedups () =
+  let trace = Obs.Traceid.generate () in
+  let ev ~span ~parent ~start name =
+    {
+      Obs.Span.name;
+      depth = 1;
+      start_ns = start;
+      stop_ns = start + 100;
+      dom = 0;
+      trace;
+      span_id = span;
+      parent;
+    }
+  in
+  let d1 = Obs.Tracebuf.chrome_json ~clock_ns:1_000 [ ev ~span:1 ~parent:0 ~start:500 "root" ] in
+  let d2 =
+    Obs.Tracebuf.chrome_json ~clock_ns:2_000
+      [ ev ~span:2 ~parent:1 ~start:900 "child"; ev ~span:1 ~parent:0 ~start:400 "root" ]
+  in
+  let merged = Obs.Tracebuf.merge_chrome [ ("a", d1, 0); ("b", d2, 2_000) ] in
+  (match Obs.Json.of_string (Obs.Json.to_string merged) with
+  | Error e -> Alcotest.fail e
+  | Ok _ -> ());
+  match Obs.Json.member "traceEvents" merged with
+  | Some (Obs.Json.List evs) ->
+      let metas, spans =
+        List.partition
+          (fun e -> Obs.Json.member "ph" e = Some (Obs.Json.String "M"))
+          evs
+      in
+      check_int "one process_name per part" 2 (List.length metas);
+      check_bool "labels name the lanes" true
+        (List.exists
+           (fun e ->
+             match Obs.Json.member "args" e with
+             | Some args -> Obs.Json.member "name" args = Some (Obs.Json.String "b")
+             | None -> false)
+           metas);
+      (* span 1 appeared in both parts: kept once *)
+      let with_span id =
+        List.filter
+          (fun e ->
+            match Obs.Json.member "args" e with
+            | Some args -> Obs.Json.member "span" args = Some (Obs.Json.Int id)
+            | None -> false)
+          spans
+      in
+      check_int "duplicate span deduplicated" 1 (List.length (with_span 1));
+      check_int "unique span kept" 1 (List.length (with_span 2));
+      (* part b's delta (2000 ns) shifts its events by 2 us *)
+      (match with_span 2 with
+      | [ child ] -> (
+          match Obs.Json.member "ts" child with
+          | Some (Obs.Json.Float ts) ->
+              Alcotest.(check (float 1e-9)) "rebased ts" 2.9 ts
+          | _ -> Alcotest.fail "child has no ts")
+      | _ -> assert false);
+      (* parts keep distinct pid lanes *)
+      let pids =
+        List.sort_uniq compare
+          (List.filter_map (fun e -> Obs.Json.member "pid" e) spans)
+      in
+      check_int "two pid lanes" 2 (List.length pids)
+  | _ -> Alcotest.fail "no traceEvents list"
+
 (* Sliding windows, on a fake clock so seconds advance on demand. *)
 
 let with_fake_clock f =
@@ -326,8 +639,18 @@ let window_concurrent () =
 
 (* Trace ring *)
 
-let mkspan ?(dom = 0) name i =
-  { Obs.Span.name; depth = 1; start_ns = i * 100; stop_ns = (i * 100) + 50; dom }
+let mkspan ?(dom = 0) ?(trace = Obs.Traceid.null) ?(span_id = 0) ?(parent = 0)
+    name i =
+  {
+    Obs.Span.name;
+    depth = 1;
+    start_ns = i * 100;
+    stop_ns = (i * 100) + 50;
+    dom;
+    trace;
+    span_id;
+    parent;
+  }
 
 let tracebuf_overwrites_oldest () =
   let t = Obs.Tracebuf.create ~capacity:4 in
@@ -579,6 +902,22 @@ let () =
           Alcotest.test_case "percentiles" `Quick histogram_percentiles;
           Alcotest.test_case "under domains" `Quick histogram_concurrent_domains;
           QCheck_alcotest.to_alcotest percentile_properties;
+          QCheck_alcotest.to_alcotest histogram_merge_properties;
+        ] );
+      ( "traceid",
+        [ Alcotest.test_case "ids, hex, coin" `Quick traceid_basics ] );
+      ( "snap",
+        [
+          Alcotest.test_case "json roundtrip and merge" `Quick
+            snap_json_roundtrip_and_merge;
+          Alcotest.test_case "percentile and le fraction" `Quick
+            snap_percentile_and_le_fraction;
+          Alcotest.test_case "prometheus labels" `Quick snap_prometheus_labels;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "parse and burn counters" `Quick slo_parse_and_burn;
+          Alcotest.test_case "attainment from snapshot" `Quick slo_attainment;
         ] );
       ( "window",
         [
@@ -604,6 +943,15 @@ let () =
         [
           Alcotest.test_case "nesting and sink" `Quick span_nesting_and_sink;
           Alcotest.test_case "disabled is a no-op" `Quick span_disabled_is_noop;
+          Alcotest.test_case "trace context propagation" `Quick
+            span_context_propagation;
+          Alcotest.test_case "no context means null ids" `Quick
+            span_no_context_is_contextless;
+        ] );
+      ( "merge-chrome",
+        [
+          Alcotest.test_case "rebases and dedups" `Quick
+            merge_chrome_rebases_and_dedups;
         ] );
       ( "overhead",
         [
