@@ -22,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|cluster|repl|obs|gc|smoke");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|batch|cluster|repl|obs|gc|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -79,6 +79,47 @@ let smoke () =
                  batch ops base)
           else None)
         !net_results
+  in
+  (* The batch-update path: a miniature B in {1,8,64,512} sweep over the
+     local store and the loopback server regenerates BENCH_batch.json.
+     The gate is the batching contract itself: batched installs (B >= 8)
+     strictly out-run the unbatched baseline in both sweeps, and the
+     coalesced fence epilogue actually saved fences (fences_saved > 0)
+     — an inversion or a zero means the single-traversal install or the
+     batch scope rotted, not noise. *)
+  let batch_results = ref None in
+  Metrics.with_report ~fig:"batch" (fun () ->
+      batch_results := Some (Fig_batch.run ~n:4_000));
+  let batch_problems =
+    Metrics.validate ~fig:"batch"
+      ~expect_histograms:
+        [ "mvdict.pskiplist.insert_batch.ns"; "net.insert_batch.ns" ]
+  in
+  let batch_problems =
+    batch_problems
+    @
+    match !batch_results with
+    | None -> [ "BENCH_batch.json: figure did not run" ]
+    | Some r ->
+        let inversions tag results =
+          let base = List.assoc 1 results in
+          List.filter_map
+            (fun (batch, ops) ->
+              if batch >= 8 && ops <= base then
+                Some
+                  (Printf.sprintf
+                     "BENCH_batch.json: %s batch=%d throughput %.0f not above \
+                      unbatched %.0f"
+                     tag batch ops base)
+              else None)
+            results
+        in
+        inversions "local" r.Fig_batch.local
+        @ inversions "net" r.Fig_batch.net
+        @
+        if r.Fig_batch.fences_saved <= 0 then
+          [ "BENCH_batch.json: batched installs saved no fences" ]
+        else []
   in
   (* The sharded serving layer: a miniature K in {1,2,4,8} sweep over
      real Unix sockets regenerates BENCH_cluster.json. The gate wants
@@ -226,8 +267,8 @@ let smoke () =
     else []
   in
   match
-    problems @ net_problems @ cluster_problems @ repl_problems @ gc_problems
-    @ obs_problems
+    problems @ net_problems @ batch_problems @ cluster_problems @ repl_problems
+    @ gc_problems @ obs_problems
   with
   | [] -> print_endline "smoke: metrics report OK"
   | ps ->
@@ -263,6 +304,9 @@ let () =
       Metrics.with_report ~fig:"ablations" (fun () -> Ablations.run ~n:(min n 50_000));
     if want "net" then
       Metrics.with_report ~fig:"net" (fun () -> ignore (Fig_net.run ~n:(min n 50_000)));
+    if want "batch" then
+      Metrics.with_report ~fig:"batch" (fun () ->
+          ignore (Fig_batch.run ~n:(min n 50_000)));
     if want "cluster" then
       Metrics.with_report ~fig:"cluster" (fun () ->
           ignore (Fig_cluster.run ~n:(min n 20_000)));

@@ -17,10 +17,12 @@
    API over a socket (lib/net wire protocol); `mvkv client <op>` is the
    matching remote front end:
 
-     mvkv serve           --pool /tmp/pool.mvkv --port 7787
-     mvkv client insert   --port 7787 --key 10 --value 100
-     mvkv client find     --port 7787 --key 10 [--at 3]
-     mvkv client stats    --port 7787
+     mvkv serve                --pool /tmp/pool.mvkv --port 7787
+     mvkv client insert        --port 7787 --key 10 --value 100
+     mvkv client insert-batch  --port 7787 --pairs 1=10,2=20,3=30
+     mvkv client scan          --port 7787 --lo 0 --hi 100 [--at 3]
+     mvkv client find          --port 7787 --key 10 [--at 3]
+     mvkv client stats         --port 7787
 
    `mvkv cluster` scales that to K shard processes: each shard is a
    `serve` bound to its slot in a shared topology file, and the client
@@ -55,6 +57,26 @@ let version_arg =
   let doc = "Snapshot version to read (defaults to the current state)." in
   Arg.(value & opt (some int) None & info [ "at" ] ~docv:"V" ~doc)
 
+let pairs_arg =
+  let doc = "Comma-separated KEY=VALUE pairs, e.g. $(b,1=10,2=20)." in
+  Arg.(required & opt (some string) None & info [ "pairs" ] ~docv:"PAIRS" ~doc)
+
+let keys_arg =
+  let doc = "Comma-separated keys, e.g. $(b,1,2,3)." in
+  Arg.(required & opt (some string) None & info [ "keys" ] ~docv:"KEYS" ~doc)
+
+let lo_arg =
+  let doc = "Scan range start (inclusive)." in
+  Arg.(required & opt (some int) None & info [ "lo" ] ~docv:"LO" ~doc)
+
+let hi_arg =
+  let doc = "Scan range end (exclusive)." in
+  Arg.(required & opt (some int) None & info [ "hi" ] ~docv:"HI" ~doc)
+
+let limit_arg =
+  let doc = "Pairs per scan page (0 = server-chosen)." in
+  Arg.(value & opt int 0 & info [ "limit" ] ~docv:"N" ~doc)
+
 let threads_arg =
   let doc = "Index reconstruction threads." in
   Arg.(value & opt int 1 & info [ "threads"; "t" ] ~docv:"T" ~doc)
@@ -76,6 +98,28 @@ let maybe_stats dump =
 (* A missing or corrupt pool is an expected user error: one line on
    stderr and a nonzero exit, never an exception backtrace. *)
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let parse_pairs s =
+  List.map
+    (fun item ->
+      let bad () = die "mvkv: bad pair %S (expected KEY=VALUE)" item in
+      match String.index_opt item '=' with
+      | None -> bad ()
+      | Some i -> (
+          let k = String.trim (String.sub item 0 i) in
+          let v = String.trim (String.sub item (i + 1) (String.length item - i - 1)) in
+          match (int_of_string_opt k, int_of_string_opt v) with
+          | Some k, Some v -> (k, v)
+          | _ -> bad ()))
+    (String.split_on_char ',' s)
+
+let parse_keys s =
+  List.map
+    (fun item ->
+      match int_of_string_opt (String.trim item) with
+      | Some k -> k
+      | None -> die "mvkv: bad key %S" item)
+    (String.split_on_char ',' s)
 
 let open_store pool threads =
   match
@@ -408,6 +452,28 @@ let client_remove socket host port timeout_ms retries key =
       Net.Client.remove c ~key;
       let version = Net.Client.tag c in
       Printf.printf "removed %d at version %d\n" key version)
+
+let client_insert_batch socket host port timeout_ms retries pairs =
+  let pairs = parse_pairs pairs in
+  with_client ?timeout_ms ~retries socket host port (fun c ->
+      Net.Client.insert_batch c pairs;
+      let version = Net.Client.tag c in
+      Printf.printf "inserted %d pair(s) at version %d\n" (List.length pairs)
+        version)
+
+let client_remove_batch socket host port timeout_ms retries keys =
+  let keys = parse_keys keys in
+  with_client ?timeout_ms ~retries socket host port (fun c ->
+      Net.Client.remove_batch c keys;
+      let version = Net.Client.tag c in
+      Printf.printf "removed %d key(s) at version %d\n" (List.length keys) version)
+
+let client_scan socket host port timeout_ms retries lo hi version limit =
+  if hi <= lo then die "mvkv: scan needs --lo < --hi";
+  with_client ?timeout_ms ~retries socket host port (fun c ->
+      ignore
+        (Net.Client.scan c ?version ~limit ~lo ~hi (fun k v ->
+             Printf.printf "%d\t%d\n" k v)))
 
 let client_tag socket host port timeout_ms retries =
   with_client ?timeout_ms ~retries socket host port (fun c ->
@@ -770,6 +836,33 @@ let cluster_remove topo timeout_ms retries key =
       Printf.printf "removed %d at cluster version %d\n" key version;
       Ok ())
 
+let cluster_insert_batch topo timeout_ms retries pairs =
+  let pairs = parse_pairs pairs in
+  with_router topo timeout_ms retries (fun r ->
+      let* () = Cluster.Router.insert_batch r pairs in
+      let* version = Cluster.Router.tag r in
+      Printf.printf "inserted %d pair(s) at cluster version %d\n"
+        (List.length pairs) version;
+      Ok ())
+
+let cluster_remove_batch topo timeout_ms retries keys =
+  let keys = parse_keys keys in
+  with_router topo timeout_ms retries (fun r ->
+      let* () = Cluster.Router.remove_batch r keys in
+      let* version = Cluster.Router.tag r in
+      Printf.printf "removed %d key(s) at cluster version %d\n" (List.length keys)
+        version;
+      Ok ())
+
+let cluster_scan topo timeout_ms retries lo hi version limit =
+  if hi <= lo then die "mvkv: scan needs --lo < --hi";
+  with_router topo timeout_ms retries (fun r ->
+      let* _count =
+        Cluster.Router.scan r ?version ~limit ~lo ~hi (fun k v ->
+            Printf.printf "%d\t%d\n" k v)
+      in
+      Ok ())
+
 let cluster_tag topo timeout_ms retries =
   with_router topo timeout_ms retries (fun r ->
       let* version = Cluster.Router.tag r in
@@ -1085,6 +1178,21 @@ let render_top ~prev ~now json =
     (delta "pmem.flushed_lines")
     (counter_of json "pmem.fences")
     (delta "pmem.fences");
+  (* Batching effectiveness: how much durability work batch scopes
+     coalesced away, and how hard the server is batching/coalescing its
+     request stream. *)
+  Printf.printf
+    "      saved by batching: %d lines (%.0f/s)   %d fences (%.0f/s)\n"
+    (counter_of json "pmem.flushes_saved")
+    (delta "pmem.flushes_saved")
+    (counter_of json "pmem.fences_saved")
+    (delta "pmem.fences_saved");
+  Printf.printf "net:  batch p50 %s frames   coalesced %d frames (%.0f/s)\n"
+    (match hist_field json "net.batch_size" "p50_ns" with
+    | Some n -> string_of_int n
+    | None -> "-")
+    (counter_of json "net.coalesced_frames")
+    (delta "net.coalesced_frames");
   (* Replication health: forwarding/catch-up are primary-side, the
      redial and read-failover counters appear when the polled process
      also runs a router (and stay 0 on a plain shard). *)
@@ -1196,6 +1304,21 @@ let () =
             Term.(
               const client_remove $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
               $ retries_arg $ key_arg);
+          cmd_of "insert-batch"
+            "Install many pairs in one frame (one version bump server-side)."
+            Term.(
+              const client_insert_batch $ socket_arg $ host_arg $ port_arg
+              $ timeout_ms_arg $ retries_arg $ pairs_arg);
+          cmd_of "remove-batch"
+            "Remove many keys in one frame (one version bump server-side)."
+            Term.(
+              const client_remove_batch $ socket_arg $ host_arg $ port_arg
+              $ timeout_ms_arg $ retries_arg $ keys_arg);
+          cmd_of "scan"
+            "Stream the live pairs of [--lo, --hi) in key order, paged."
+            Term.(
+              const client_scan $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
+              $ retries_arg $ lo_arg $ hi_arg $ version_arg $ limit_arg);
           cmd_of "tag" "Commit a snapshot remotely and print its version."
             Term.(
               const client_tag $ socket_arg $ host_arg $ port_arg $ timeout_ms_arg
@@ -1283,6 +1406,24 @@ let () =
                 Term.(
                   const cluster_remove $ topology_arg $ timeout_ms_arg $ retries_arg
                   $ key_arg);
+              cmd_of "insert-batch"
+                "Bucket pairs per owning shard, one pipelined batch per \
+                 shard, then cut a cluster tag."
+                Term.(
+                  const cluster_insert_batch $ topology_arg $ timeout_ms_arg
+                  $ retries_arg $ pairs_arg);
+              cmd_of "remove-batch"
+                "Bucket keys per owning shard, one pipelined batch per \
+                 shard, then cut a cluster tag."
+                Term.(
+                  const cluster_remove_batch $ topology_arg $ timeout_ms_arg
+                  $ retries_arg $ keys_arg);
+              cmd_of "scan"
+                "Stream the live pairs of [--lo, --hi) across shards in key \
+                 order, paged."
+                Term.(
+                  const cluster_scan $ topology_arg $ timeout_ms_arg
+                  $ retries_arg $ lo_arg $ hi_arg $ version_arg $ limit_arg);
               cmd_of "tag" "Cut a cluster-wide snapshot version on every shard."
                 Term.(const cluster_tag $ topology_arg $ timeout_ms_arg $ retries_arg);
               cmd_of "find" "Route a lookup to the owning shard."

@@ -65,6 +65,11 @@ let w_failovers = Obs.Registry.window "repl.rate.read_failovers"
 let h_failover_ns = Obs.Registry.histogram "repl.failover_latency_ns"
 let m_insert = Obs.Instr.op "cluster.insert"
 let m_remove = Obs.Instr.op "cluster.remove"
+let m_insert_batch = Obs.Instr.op "cluster.insert_batch"
+let m_remove_batch = Obs.Instr.op "cluster.remove_batch"
+let m_scan = Obs.Instr.op "cluster.scan"
+let h_batch_pairs = Obs.Registry.histogram "cluster.batch.pairs"
+let c_scan_pairs = Obs.Registry.counter "cluster.scan.pairs"
 let m_find = Obs.Instr.op "cluster.find"
 let m_find_bulk = Obs.Instr.op "cluster.find_bulk"
 let m_history = Obs.Instr.op "cluster.history"
@@ -386,6 +391,120 @@ let find_bulk t ?version keys =
               end
           in
           per_shard 0)
+
+(* ---- batched writes: per-shard buckets, pipelined frames ---- *)
+
+(* Shared bucketing for batched writes: every item lands in its owning
+   shard's bucket (arrival order preserved), or the whole batch fails
+   with the first out-of-space key before anything is sent. *)
+let bucket_by_shard t items key_of =
+  let k = Topology.shards t.topo in
+  let buckets = Array.make k [] in
+  let bad = ref None in
+  List.iter
+    (fun it ->
+      if !bad = None then
+        match check_key t (key_of it) with
+        | Ok shard -> buckets.(shard) <- it :: buckets.(shard)
+        | Error e -> bad := Some e)
+    items;
+  match !bad with
+  | Some e -> Error e
+  | None -> Ok (Array.map List.rev buckets)
+
+(* One pipelined [call_batch] per shard that owns anything: each shard's
+   bucket goes out as <=bulk_chunk-element batch frames written in one
+   buffered send, so a K-shard batch costs K round trips, not one per
+   key. Each frame is one store-level batch (one version bump) on its
+   shard — cluster batches are per-shard-chunk atomic, not
+   cluster-atomic. First shard failure wins; earlier shards keep their
+   writes (at-least-once under reconnect, like the single-key path). *)
+let batched_write t m name ~frame items key_of =
+  traced t m name (fun () ->
+      Obs.Histogram.record h_batch_pairs (List.length items);
+      match bucket_by_shard t items key_of with
+      | Error e -> Error e
+      | Ok buckets ->
+          let rec per_shard shard =
+            if shard >= Array.length buckets then Ok ()
+            else
+              match buckets.(shard) with
+              | [] -> per_shard (shard + 1)
+              | items -> (
+                  let arr = Array.of_list items in
+                  let n = Array.length arr in
+                  let reqs =
+                    List.init
+                      ((n + bulk_chunk - 1) / bulk_chunk)
+                      (fun c ->
+                        let lo = c * bulk_chunk in
+                        frame (Array.sub arr lo (min bulk_chunk (n - lo))))
+                  in
+                  match
+                    on_primary t shard (fun c ->
+                        List.iter
+                          (function
+                            | Net.Wire.Ack -> ()
+                            | Net.Wire.Error { code; message } ->
+                                raise (Net.Client.Remote_error (code, message))
+                            | r ->
+                                raise
+                                  (Net.Client.Protocol_error
+                                     (Format.asprintf
+                                        "unexpected batch response: %a"
+                                        Net.Wire.pp_response r)))
+                          (Net.Client.call_batch c reqs))
+                  with
+                  | Ok () -> per_shard (shard + 1)
+                  | Error _ as e -> e)
+          in
+          per_shard 0)
+
+let insert_batch t pairs =
+  batched_write t m_insert_batch "cluster.insert_batch"
+    ~frame:(fun pairs -> Net.Wire.Insert_batch { pairs })
+    pairs fst
+
+let remove_batch t keys =
+  batched_write t m_remove_batch "cluster.remove_batch"
+    ~frame:(fun keys -> Net.Wire.Remove_batch { keys })
+    keys Fun.id
+
+(* ---- ranged scan: shard-ordered pages ---- *)
+
+(* Shards own contiguous ascending key ranges, so walking them in shard
+   order and paging each shard's intersection of [lo, hi) streams the
+   whole range to [f] in ascending key order. Each shard's pages are
+   buffered until that shard succeeds: a mid-scan failover retries the
+   whole shard range on the next replica without re-delivering pairs. *)
+let scan t ?version ?limit ~lo ~hi f =
+  traced t m_scan "cluster.scan" (fun () ->
+      let part = Topology.partition t.topo in
+      let k = Topology.shards t.topo in
+      let rec per_shard shard total =
+        if shard >= k then Ok total
+        else
+          let slo, shi = Distrib.Partition.range part shard in
+          let lo' = max lo slo and hi' = min hi shi in
+          if lo' >= hi' then per_shard (shard + 1) total
+          else
+            let buf = ref [] in
+            match
+              on_read t shard (fun c ->
+                  buf := [];
+                  ignore
+                    (Net.Client.scan c ?version ?limit ~lo:lo' ~hi:hi'
+                       (fun key value -> buf := (key, value) :: !buf)))
+            with
+            | Ok () ->
+                let pairs = List.rev !buf in
+                List.iter (fun (key, value) -> f key value) pairs;
+                let n = List.length pairs in
+                Obs.Metric.add c_scan_pairs n;
+                per_shard (shard + 1) (total + n)
+            | Error _ as e -> e
+      in
+      per_shard 0 0)
 
 (* ---- cluster-wide tag ---- *)
 

@@ -101,6 +101,34 @@ val find_bulk : t -> ?version:int -> int array -> (int option array, error) resu
     out as pipelined [Find_bulk] frames ([Net.Client.call_batch]), and
     the answers are reassembled in input order. *)
 
+val insert_batch : t -> (int * int) list -> (unit, error) result
+(** Batched insert: pairs are bucketed per owning shard and each bucket
+    goes out as pipelined [Insert_batch] frames of at most 1024 pairs —
+    one round trip per shard, one store-level batch (one version bump)
+    per frame on the shard. Not cluster-atomic: the first shard failure
+    aborts the fan-out, but earlier shards keep their writes. *)
+
+val remove_batch : t -> int list -> (unit, error) result
+(** Batched remove, same routing and atomicity contract as
+    {!insert_batch}. *)
+
+val scan :
+  t ->
+  ?version:int ->
+  ?limit:int ->
+  lo:int ->
+  hi:int ->
+  (int -> int -> unit) ->
+  (int, error) result
+(** Stream every live pair of [[lo, hi)] to the callback in ascending
+    key order, walking the shards that intersect the range in shard
+    (= key) order and paging each with [Scan] frames ([limit] bounds
+    one page; 0 or absent = server-chosen). Returns the number of pairs
+    streamed. Out-of-key-space portions of the range simply match
+    nothing. Pin [version] for a coherent cut; each shard's pages are
+    delivered only after that shard's scan succeeds, so a read failover
+    never re-delivers pairs. *)
+
 val tag : t -> (int, error) result
 (** Cluster-wide tag: probe every shard's version, broadcast
     [Tag_at (max + 1)], verify every ack equals the target, return it. *)

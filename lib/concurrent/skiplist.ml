@@ -86,14 +86,15 @@ let rec bump_top t level =
   if level > current && not (Atomic.compare_and_set t.top current level) then
     bump_top t level
 
-let find_or_insert t key ~make =
-  let preds = Array.make max_level t.head in
-  let succs = Array.make max_level Nil in
+(* Shared insertion body: [search] populates [preds]/[succs] for the key
+   (from the head, or from a finger cursor) and returns the level-0
+   match. Re-run on every CAS retry. *)
+let insert_with t ~search key ~make preds succs =
   let backoff = Backoff.create () in
   (* [made] memoises the speculative value so [make] runs at most once
      even across CAS retries. *)
   let rec attempt made =
-    match find_towers t key preds succs with
+    match search () with
     | Node existing_node -> begin
         match made with
         | None -> Found existing_node.value
@@ -118,7 +119,7 @@ let find_or_insert t key ~make =
               if not (Atomic.compare_and_set preds.(lvl).(lvl) succs.(lvl) node)
               then begin
                 Backoff.once backoff;
-                ignore (find_towers t key preds succs);
+                ignore (search ());
                 (* Our node is not yet visible at [lvl], so the re-search
                    gives a fresh successor to adopt. *)
                 Atomic.set next.(lvl) succs.(lvl);
@@ -131,6 +132,121 @@ let find_or_insert t key ~make =
         end
   in
   attempt None
+
+let find_or_insert t key ~make =
+  let preds = Array.make max_level t.head in
+  let succs = Array.make max_level Nil in
+  insert_with t ~search:(fun () -> find_towers t key preds succs) key ~make
+    preds succs
+
+(* Finger cursors (Jiffy-style batch installs): the recorded predecessor
+   next-arrays of one search are valid starting points for the next
+   search as long as keys are sought in ascending order — a stored
+   pred's key stays strictly below every later target, and the
+   structure is insert-only so the arrays remain reachable. Each level
+   resumes from where the previous search left it OR from the
+   predecessor the level above just found, whichever is further along
+   (threading the descent down as an ordinary search would — a node
+   reached via level-l links is linked at every lower level too). The
+   finger alone would leave level 0 walking from wherever the batch
+   started; the threaded descent keeps each seek logarithmic, and the
+   fingers make a sorted batch's seeks one amortized walk over its
+   span. *)
+type ('k, 'v) cursor = {
+  list : ('k, 'v) t;
+  c_preds : ('k, 'v) node Atomic.t array array;
+  c_pred_nodes : ('k, 'v) node array;
+      (* the node whose next-array c_preds.(l) is; Nil = head *)
+  c_succs : ('k, 'v) node array;
+  mutable c_last : 'k option;
+      (* last sought key: a same-key seek is a CAS-retry re-search and
+         must re-walk every level *)
+}
+
+let cursor t =
+  {
+    list = t;
+    c_preds = Array.make max_level t.head;
+    c_pred_nodes = Array.make max_level Nil;
+    c_succs = Array.make max_level Nil;
+    c_last = None;
+  }
+
+(* The fast path that makes the fingers pay: a level whose recorded
+   predecessor still points at its recorded successor (one atomic load)
+   with that successor >= [key] is untouched — adopt it without
+   walking. Ascending seeks skip almost every level this way and only
+   walk the few whose window actually moved. The skip is safe exactly
+   because it is validated against the live cell: the pair it keeps is
+   a true (pred, succ) straddle of [key] at that instant, and any
+   staleness that develops afterwards is caught by the insert CAS,
+   whose retry re-seeks the same key and therefore walks every level
+   ([c_last] disables skipping on retries — also on a fresh cursor,
+   whose unprimed fingers would otherwise all claim head-to-Nil). *)
+let seek c key =
+  let t = c.list in
+  let retry =
+    match c.c_last with Some k -> t.compare k key = 0 | None -> true
+  in
+  c.c_last <- Some key;
+  let found = ref Nil in
+  (* Levels at and above [top] hold no nodes, so the cursor's init
+     state (head pred, Nil succ) stays a valid straddle there; starting
+     the loop at [top] skips them wholesale. A racing taller insert is
+     caught by the CAS, and its bump of [top] happens before its upper
+     links, so the retry's re-seek covers the new levels. *)
+  let top = Atomic.get t.top in
+  (* predecessor node found one level up; Nil = still at the head *)
+  let carry = ref Nil in
+  for level = (if top < max_level then top - 1 else max_level - 1) downto 0 do
+    let finger = c.c_pred_nodes.(level) in
+    let start_pred, start_next =
+      match (!carry, finger) with
+      | (Node cn as carried), Nil -> (carried, cn.next)
+      | (Node cn as carried), Node fn when t.compare cn.key fn.key > 0 ->
+          (carried, cn.next)
+      | _, Nil -> (Nil, c.c_preds.(level))
+      | _, (Node fn as fng) -> (fng, fn.next)
+    in
+    let skip =
+      (not retry)
+      && start_pred == finger
+      && Atomic.get c.c_preds.(level).(level) == c.c_succs.(level)
+      && match c.c_succs.(level) with
+         | Nil -> true
+         | Node s -> t.compare s.key key >= 0
+    in
+    if skip then begin
+      (match finger with Node _ -> carry := finger | Nil -> ());
+      if level = 0 then begin
+        match c.c_succs.(0) with
+        | Node s as cur when t.compare s.key key = 0 -> found := cur
+        | Node _ | Nil -> ()
+      end
+    end
+    else begin
+      let rec advance pred pred_next =
+        match Atomic.get pred_next.(level) with
+        | Node n as cur when t.compare n.key key < 0 -> advance cur n.next
+        | cur -> (pred, pred_next, cur)
+      in
+      let pred, pred_next, cur = advance start_pred start_next in
+      c.c_preds.(level) <- pred_next;
+      c.c_pred_nodes.(level) <- pred;
+      c.c_succs.(level) <- cur;
+      (match pred with Node _ -> carry := pred | Nil -> ());
+      if level = 0 then begin
+        match cur with
+        | Node n when t.compare n.key key = 0 -> found := cur
+        | Node _ | Nil -> ()
+      end
+    end
+  done;
+  !found
+
+let find_or_insert_at c key ~make =
+  insert_with c.list ~search:(fun () -> seek c key) key ~make c.c_preds
+    c.c_succs
 
 let iter t f =
   let rec walk = function

@@ -38,6 +38,27 @@ val find_or_insert : ('k, 'v) t -> 'k -> make:(unit -> 'v) -> 'v insert_outcome
 
 val find : ('k, 'v) t -> 'k -> 'v option
 
+(** {1 Finger cursors}
+
+    A cursor remembers the predecessor towers of its last search and
+    resumes the next search from them instead of re-descending from the
+    head. Sound only for {e ascending} key sequences (a remembered
+    predecessor's key stays below every later target; the structure is
+    insert-only, so remembered towers stay reachable). A sorted batch
+    of inserts thus costs one amortized level-0 walk over its key span
+    rather than a full [O(log n)] descent per key. Safe concurrently
+    with other inserts; must not be held across a {!scrub}. *)
+
+type ('k, 'v) cursor
+
+val cursor : ('k, 'v) t -> ('k, 'v) cursor
+(** Fresh cursor positioned at the head. *)
+
+val find_or_insert_at :
+  ('k, 'v) cursor -> 'k -> make:(unit -> 'v) -> 'v insert_outcome
+(** As {!find_or_insert}, searching from the cursor's fingers and
+    leaving them at the key for the next (ascending) call. *)
+
 val iter : ('k, 'v) t -> ('k -> 'v -> unit) -> unit
 (** In-order traversal of level 0. *)
 

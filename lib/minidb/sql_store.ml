@@ -49,6 +49,32 @@ struct
     Db.insert_row (conn t) ~version ~key ~value:marker;
     Obs.Instr.finish m_remove t0
 
+  (* Loop fallback: canonicalise, stamp once, then one row per event —
+     the engines here have no amortizable traversal or fence to save. *)
+  let insert_batch t pairs =
+    match Mvdict.Dict_intf.canonical_pairs ~compare:Int.compare pairs with
+    | [] -> ()
+    | items ->
+        if List.exists (fun (_, v) -> v = marker) items then
+          invalid_arg (name ^ ": value out of allowable range");
+        let t0 = Obs.Instr.start () in
+        let version = Mvdict.Version.stamp t.ctx in
+        List.iter
+          (fun (key, value) -> Db.insert_row (conn t) ~version ~key ~value)
+          items;
+        Obs.Instr.finish m_insert t0
+
+  let remove_batch t keys =
+    match Mvdict.Dict_intf.canonical_keys ~compare:Int.compare keys with
+    | [] -> ()
+    | keys ->
+        let t0 = Obs.Instr.start () in
+        let version = Mvdict.Version.stamp t.ctx in
+        List.iter
+          (fun key -> Db.insert_row (conn t) ~version ~key ~value:marker)
+          keys;
+        Obs.Instr.finish m_remove t0
+
   let tag t = Mvdict.Version.tag t.ctx
   let current_version t = Mvdict.Version.current t.ctx
 

@@ -20,6 +20,51 @@ let equal_event equal_value a b =
   | Del, Del -> true
   | Put _, Del | Del, Put _ -> false
 
+(* Canonical batch form, shared by every store (and by the wire/repl
+   layers so backups replay exactly what the primary installed): sort
+   by key, and for duplicate keys keep only the last occurrence —
+   within one batch all events share one version, so earlier
+   occurrences could never be observed anyway. The sort is stable, so
+   "last occurrence wins" is well-defined. *)
+(* Fast path shared by both canonicalisers: callers routinely send
+   already-sorted batches (ascending scans, router buckets, replicated
+   frames), and for those one comparison per element replaces the whole
+   sort-and-dedup. *)
+let rec ascending_pairs ~compare = function
+  | [] | [ _ ] -> true
+  | (k1, _) :: ((k2, _) :: _ as rest) ->
+      compare k1 k2 < 0 && ascending_pairs ~compare rest
+
+let rec ascending_keys ~compare = function
+  | [] | [ _ ] -> true
+  | k1 :: (k2 :: _ as rest) ->
+      compare k1 k2 < 0 && ascending_keys ~compare rest
+
+let canonical_pairs_slow ~compare pairs =
+  let arr = Array.of_list pairs in
+  let n = Array.length arr in
+  let keyed = Array.mapi (fun i (k, v) -> (k, i, v)) arr in
+  Array.sort
+    (fun (k1, i1, _) (k2, i2, _) ->
+      let c = compare k1 k2 in
+      if c <> 0 then c else Int.compare i1 i2)
+    keyed;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    let k, _, v = keyed.(i) in
+    (match !out with
+    | (k', _) :: _ when compare k k' = 0 -> ()
+    | _ -> out := (k, v) :: !out)
+  done;
+  !out
+
+let canonical_pairs ~compare pairs =
+  if ascending_pairs ~compare pairs then pairs
+  else canonical_pairs_slow ~compare pairs
+
+let canonical_keys ~compare keys =
+  if ascending_keys ~compare keys then keys else List.sort_uniq compare keys
+
 module type S = sig
   type t
   type key
@@ -35,6 +80,18 @@ module type S = sig
   val remove : t -> key -> unit
   (** Remove [key] from the next snapshot (appends a removal marker;
       removing an absent key is a no-op in every visible snapshot). *)
+
+  val insert_batch : t -> (key * value) list -> unit
+  (** Install every pair under one version bump, equivalent to inserting
+      them one by one with no intervening {!tag}: the batch is first
+      canonicalised (sorted by key, later duplicates winning), so the
+      visible history of each key gains at most one event per batch.
+      Persistent stores amortise the index traversal and coalesce the
+      flush/fence epilogue across the whole batch. *)
+
+  val remove_batch : t -> key list -> unit
+  (** Batch analogue of {!remove}: one removal marker per distinct key,
+      all under one version bump. *)
 
   val tag : t -> int
   (** Commit the operations issued so far as an immutable snapshot and

@@ -22,6 +22,8 @@ struct
   (* Hot-path op metrics (lib/obs); shared across instantiations. *)
   let m_insert = Obs.Instr.op "mvdict.eskiplist.insert"
   let m_remove = Obs.Instr.op "mvdict.eskiplist.remove"
+  let m_insert_batch = Obs.Instr.op "mvdict.eskiplist.insert_batch"
+  let m_remove_batch = Obs.Instr.op "mvdict.eskiplist.remove_batch"
   let m_find = Obs.Instr.op "mvdict.eskiplist.find"
   let m_history = Obs.Instr.op "mvdict.eskiplist.history"
   let m_snapshot = Obs.Instr.op "mvdict.eskiplist.snapshot"
@@ -53,6 +55,34 @@ struct
     let t0 = Obs.Instr.start () in
     append t key None;
     Obs.Instr.finish m_remove t0
+
+  (* Amortized fallback: one stamped version shared by the whole
+     canonical batch, events appended key-at-a-time (an ephemeral store
+     has no persistence epilogue to coalesce). *)
+  let append_all t items ~value_of =
+    let version = Version.stamp t.ctx in
+    List.iter
+      (fun (key, x) ->
+        EH.H.append (history_of t key) ~ctx:t.ctx ~board:t.board ~version
+          (value_of x))
+      items
+
+  let insert_batch t pairs =
+    let t0 = Obs.Instr.start () in
+    append_all t
+      (Dict_intf.canonical_pairs ~compare:K.compare pairs)
+      ~value_of:(fun v -> Some v);
+    Obs.Instr.finish m_insert_batch t0
+
+  let remove_batch t keys =
+    let t0 = Obs.Instr.start () in
+    append_all t
+      (List.map
+         (fun k -> (k, ()))
+         (Dict_intf.canonical_keys ~compare:K.compare keys))
+      ~value_of:(fun () -> None);
+    Obs.Instr.finish m_remove_batch t0
+
   let tag t = Version.tag t.ctx
   let current_version t = Version.current t.ctx
 

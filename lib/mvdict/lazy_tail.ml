@@ -96,6 +96,31 @@ module Make (B : BACKEND) = struct
     writer_exit t;
     Completion.publish board stamp
 
+  (* Two-phase append for batch installs: [append_entry] claims a slot
+     and writes (version, value) but no stamp, so the entry stays
+     invisible; [finish_entry] later stamps it. Splitting the phases
+     lets a batch write every payload, run one persistence barrier,
+     stamp every entry, and run one more barrier — two fences for the
+     whole batch instead of two per key. Completion publishing is the
+     caller's job (after the final barrier, so visible implies
+     durable). *)
+  let append_entry t ~version value =
+    if version < 1 then invalid_arg "Lazy_tail.append_entry: version must be >= 1";
+    let slot = Atomic.fetch_and_add t.pending 1 in
+    ensure_capacity t slot;
+    let version = ordered_version t slot version in
+    writer_enter t;
+    B.write_entry t.backend slot ~version value;
+    writer_exit t;
+    slot
+
+  let finish_entry t ~ctx ~slot =
+    writer_enter t;
+    let stamp = Version.next_completion ctx in
+    B.set_finished t.backend slot stamp;
+    writer_exit t;
+    stamp
+
   type lookup = Absent | Entry of int * B.value
 
   (* Algorithm 1, find: walk the tail forward while the next entry is

@@ -69,6 +69,19 @@ module Make (B : BACKEND) : sig
   (** The full Algorithm-1 insert: claim, order, write, persist, stamp,
       publish completion. [remove] is an append of {!B.marker}. *)
 
+  val append_entry : t -> version:int -> B.value -> int
+  (** First half of a two-phase (batch) append: claim a slot, order the
+      version, write the entry payload — but do not stamp it, so it
+      stays invisible. Returns the slot for {!finish_entry}. Used with
+      {!Media.with_batch} so the payload persists at a shared barrier
+      rather than per key. *)
+
+  val finish_entry : t -> ctx:Version.t -> slot:int -> int
+  (** Second half: take the next completion stamp and persist it into
+      the slot. Returns the stamp; the caller must
+      [Completion.publish] it only after the stamps' persistence
+      barrier, so an entry can never be visible before it is durable. *)
+
   type lookup =
     | Absent  (** No visible entry at or below the requested version. *)
     | Entry of int * B.value

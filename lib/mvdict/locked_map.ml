@@ -23,6 +23,8 @@ struct
   (* Hot-path op metrics (lib/obs); shared across instantiations. *)
   let m_insert = Obs.Instr.op "mvdict.lockedmap.insert"
   let m_remove = Obs.Instr.op "mvdict.lockedmap.remove"
+  let m_insert_batch = Obs.Instr.op "mvdict.lockedmap.insert_batch"
+  let m_remove_batch = Obs.Instr.op "mvdict.lockedmap.remove_batch"
   let m_find = Obs.Instr.op "mvdict.lockedmap.find"
   let m_history = Obs.Instr.op "mvdict.lockedmap.history"
   let m_snapshot = Obs.Instr.op "mvdict.lockedmap.snapshot"
@@ -59,6 +61,40 @@ struct
     let t0 = Obs.Instr.start () in
     append t key None;
     Obs.Instr.finish m_remove t0
+
+  (* Amortized fallback: resolve every history under one lock
+     acquisition instead of one per key, then append lock-free with a
+     single stamped version for the whole canonical batch. *)
+  let append_all t items ~value_of =
+    let version = Version.stamp t.ctx in
+    let resolved =
+      with_lock t (fun () ->
+          List.map
+            (fun (key, x) ->
+              (Concurrent.Rbtree.find_or_insert t.map key ~make:EH.create, x))
+            items)
+    in
+    List.iter
+      (fun (h, x) ->
+        EH.H.append h ~ctx:t.ctx ~board:t.board ~version (value_of x))
+      resolved
+
+  let insert_batch t pairs =
+    let t0 = Obs.Instr.start () in
+    append_all t
+      (Dict_intf.canonical_pairs ~compare:K.compare pairs)
+      ~value_of:(fun v -> Some v);
+    Obs.Instr.finish m_insert_batch t0
+
+  let remove_batch t keys =
+    let t0 = Obs.Instr.start () in
+    append_all t
+      (List.map
+         (fun k -> (k, ()))
+         (Dict_intf.canonical_keys ~compare:K.compare keys))
+      ~value_of:(fun () -> None);
+    Obs.Instr.finish m_remove_batch t0
+
   let tag t = Version.tag t.ctx
   let current_version t = Version.current t.ctx
 

@@ -25,6 +25,8 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
      by name, so every functor instantiation shares them. *)
   let m_insert = Obs.Instr.op "mvdict.pskiplist.insert"
   let m_remove = Obs.Instr.op "mvdict.pskiplist.remove"
+  let m_insert_batch = Obs.Instr.op "mvdict.pskiplist.insert_batch"
+  let m_remove_batch = Obs.Instr.op "mvdict.pskiplist.remove_batch"
   let m_find = Obs.Instr.op "mvdict.pskiplist.find"
   let m_history = Obs.Instr.op "mvdict.pskiplist.history"
   let m_snapshot = Obs.Instr.op "mvdict.pskiplist.snapshot"
@@ -119,6 +121,95 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
     let t0 = Obs.Instr.start () in
     gated t (fun () -> append t key Codec.marker_word);
     Obs.Instr.finish m_remove t0
+
+  (* [history_of] along a finger cursor: the batch's ascending walk
+     resumes each index search from the previous key's towers. Same
+     Added/Raced contract as above. *)
+  let history_of_at t cur key =
+    match
+      Concurrent.Skiplist.find_or_insert_at cur key ~make:(fun () ->
+          Phistory.create t.heap)
+    with
+    | Concurrent.Skiplist.Found h -> h
+    | Concurrent.Skiplist.Added h ->
+        Pmem.Pblockchain.append t.chain
+          ~key:(Codec.encode (module K) t.heap key)
+          ~hist:(Phistory.handle h);
+        h
+    | Concurrent.Skiplist.Raced { made; existing } ->
+        Phistory.destroy t.heap made;
+        existing
+
+  (* The Jiffy-style batch install. Under one gate pass: stamp one
+     version for the whole batch, resolve every history along a single
+     ascending finger walk, write all payloads, then stamp all entries
+     — with [Media.with_batch] coalescing the persistence epilogue into
+     two barriers (payloads durable before any stamp; stamps durable
+     before any publication). Completion stamps are published last and
+     still inside the gated section: compaction's drain assumes a
+     drained store has published every claimed slot.
+
+     Very large batches are installed as chunks of [install_chunk] keys
+     (still one gate pass, one version and one cursor — the canonical
+     ascending order spans chunks, so the fingers keep paying off):
+     beyond a few dozen keys the two-phase walk stops fitting in cache
+     and the dirty-range log outgrows its merge window, so per-chunk
+     epilogues are strictly faster and still collapse [install_chunk]
+     fences into one. Crash-safety is unchanged — each entry is durable
+     at its chunk's barrier, before anything makes it visible. *)
+  let install_chunk = 64
+
+  let install_one_chunk t ~version ~cur ~word_of items lo hi =
+    let k = hi - lo in
+    let stamps = Array.make k 0 in
+    Pmem.Media.with_batch (fun () ->
+        let slots =
+          Array.init k (fun i ->
+              let key, x = items.(lo + i) in
+              let h = history_of_at t cur key in
+              (h, Phistory.H.append_entry h ~version (word_of x)))
+        in
+        Pmem.Media.batch_barrier ();
+        Array.iteri
+          (fun i (h, slot) ->
+            stamps.(i) <- Phistory.H.finish_entry h ~ctx:t.ctx ~slot)
+          slots);
+    (* Scope exit above was the stamps' barrier; entries become visible
+       only now, so visible still implies durable. *)
+    Array.iter (fun s -> Completion.publish t.board s) stamps
+
+  let install_batch t items ~word_of =
+    let items = Array.of_list items in
+    gated t (fun () ->
+        let version = Version.stamp t.ctx in
+        let cur = Concurrent.Skiplist.cursor t.index in
+        let n = Array.length items in
+        let i = ref 0 in
+        while !i < n do
+          let hi = min n (!i + install_chunk) in
+          install_one_chunk t ~version ~cur ~word_of items !i hi;
+          i := hi
+        done)
+
+  let insert_batch t pairs =
+    match Dict_intf.canonical_pairs ~compare:K.compare pairs with
+    | [] -> ()
+    | items ->
+        let t0 = Obs.Instr.start () in
+        install_batch t items ~word_of:(fun v ->
+            Codec.encode (module V) t.heap v);
+        Obs.Instr.finish m_insert_batch t0
+
+  let remove_batch t keys =
+    match Dict_intf.canonical_keys ~compare:K.compare keys with
+    | [] -> ()
+    | keys ->
+        let t0 = Obs.Instr.start () in
+        install_batch t
+          (List.map (fun k -> (k, ())) keys)
+          ~word_of:(fun () -> Codec.marker_word);
+        Obs.Instr.finish m_remove_batch t0
+
   let tag t = Version.tag t.ctx
   let current_version t = Version.current t.ctx
 

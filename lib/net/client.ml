@@ -235,6 +235,16 @@ let remove t ~key =
   | Wire.Ack -> ()
   | r -> unexpected "remove" r
 
+let insert_batch t pairs =
+  match call t (Wire.Insert_batch { pairs = Array.of_list pairs }) with
+  | Wire.Ack -> ()
+  | r -> unexpected "insert_batch" r
+
+let remove_batch t keys =
+  match call t (Wire.Remove_batch { keys = Array.of_list keys }) with
+  | Wire.Ack -> ()
+  | r -> unexpected "remove_batch" r
+
 let find t ?version key =
   match call t (Wire.Find { key; version }) with
   | Wire.Value v -> v
@@ -273,6 +283,32 @@ let snapshot t ?version () =
   match call t (Wire.Snapshot { version }) with
   | Wire.Pairs pairs -> pairs
   | r -> unexpected "snapshot" r
+
+(* Stream a whole range page by page: each [Scan] is bounded by the
+   server's chunk cap, and a full page means the range may continue —
+   re-issue from just past the last key seen. [limit] bounds one page
+   (0 = server-chosen); [f] sees every pair in ascending key order.
+   Pin [version] for a coherent multi-page scan: an unpinned scan reads
+   each page at the then-current state. *)
+let scan t ?version ?(limit = 0) ~lo ~hi f =
+  let rec page lo total =
+    if lo >= hi then total
+    else
+      match call t (Wire.Scan { lo; hi; version; limit }) with
+      | Wire.Pairs pairs ->
+          Array.iter (fun (k, v) -> f k v) pairs;
+          let n = Array.length pairs in
+          if n = 0 then total
+          else
+            let last, _ = pairs.(n - 1) in
+            (* A page shorter than the requested limit proves the server
+               exhausted [lo, hi); with a server-chosen limit we page
+               until an empty reply instead. *)
+            if (limit > 0 && n < limit) || last = max_int then total + n
+            else page (last + 1) (total + n)
+      | r -> unexpected "scan" r
+  in
+  page lo 0
 
 let epoch_probe t =
   match call t Wire.Epoch_probe with

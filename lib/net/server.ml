@@ -37,6 +37,7 @@
 
 let c_requests = Obs.Registry.counter "net.requests"
 let c_errors = Obs.Registry.counter "net.errors"
+let c_coalesced = Obs.Registry.counter "net.coalesced_frames"
 let c_bad_epoch = Obs.Registry.counter "net.bad_epoch"
 let c_replicated = Obs.Registry.counter "net.replicated"
 let c_connections = Obs.Registry.counter "net.connections"
@@ -105,6 +106,11 @@ module Handoff = struct
 end
 
 let recv_chunk = 65536
+
+(* Upper bound on pairs in one [Scan] reply page: 16 bytes each keeps
+   the page around 1 MiB, well inside [Wire.max_frame]. Clients stream
+   longer ranges by re-issuing from the last key of a full page. *)
+let scan_chunk = 65536
 
 (* How often blocked acceptor/worker loops wake up to look at the stop
    flag; bounds shutdown latency without any cross-domain signalling. *)
@@ -254,6 +260,30 @@ struct
     | Wire.Epoch_probe ->
         Wire.Epoch_info
           { epoch = Atomic.get t.epoch; version = S.current_version t.store }
+    | Wire.Insert_batch { pairs } ->
+        S.insert_batch t.store (Array.to_list pairs);
+        Wire.Ack
+    | Wire.Remove_batch { keys } ->
+        S.remove_batch t.store (Array.to_list keys);
+        Wire.Ack
+    | Wire.Scan { lo; hi; version; limit } ->
+        (* One bounded page of the range: [limit] 0 (or anything above
+           the cap) means server-chosen. The walk stops early once the
+           page is full instead of materialising the whole range. *)
+        let limit =
+          if limit <= 0 then scan_chunk else min limit scan_chunk
+        in
+        let acc = ref [] and n = ref 0 in
+        let exception Page_full in
+        (try
+           S.iter_range t.store ?version ~lo ~hi (fun k v ->
+               acc := (k, v) :: !acc;
+               incr n;
+               if !n >= limit then raise Page_full)
+         with Page_full -> ());
+        let a = Array.of_list !acc in
+        let m = Array.length a in
+        Wire.Pairs (Array.init m (fun i -> a.(m - 1 - i)))
     | Wire.Stamped _ | Wire.Replicate _ ->
         (* Unreachable: [dispatch] unwraps both and the decoder rejects
            nested wrappers — but keep it a typed error, not an assert. *)
@@ -401,21 +431,114 @@ struct
     done;
     List.rev !items
 
+  (* Apply one coalesced run of same-kind mutations as a single store
+     batch. Mirrors [dispatch_inner]: one op-metric/slowlog sample and
+     one replication hook firing (with the synthesized batch request,
+     so backups see the same coalescing) — but one reply per original
+     frame, so client semantics are unchanged. *)
+  let apply_run t conn ~label ~req ~apply versions =
+    let metrics = List.assoc label op_metrics in
+    let t0 = Obs.Instr.start () in
+    let resp =
+      match apply () with
+      | () -> Wire.Ack
+      | exception e ->
+          Obs.Metric.incr c_errors;
+          Wire.Error { code = Wire.Server_error; message = Printexc.to_string e }
+    in
+    let elapsed = Obs.Instr.finish_elapsed metrics t0 in
+    if elapsed > 0 then begin
+      Obs.Slowlog.note t.slow ~op:label ~latency_ns:elapsed ();
+      match t.slo with
+      | None -> ()
+      | Some slo -> Obs.Slo.note slo ~op:label ~latency_ns:elapsed
+    end;
+    (match (resp, t.on_mutation) with
+    | Wire.Error _, _ | _, None -> ()
+    | resp, Some hook -> (
+        try hook req resp
+        with e ->
+          Printf.eprintf "net.server: replication hook failed: %s\n%!"
+            (Printexc.to_string e)));
+    List.iter
+      (fun version ->
+        Obs.Metric.incr c_requests;
+        Wire.add_response ~version conn.out resp)
+      versions
+
+  (* Same-connection write coalescing: within one drained batch, a
+     maximal run of consecutive top-level plain [Insert] (or [Remove])
+     frames with pairwise-distinct keys is applied as one store-level
+     batch. Wrapped frames ([Stamped]/[Traced]/[Replicate]) need their
+     own dispatch and never coalesce. A run also stops at a repeated
+     key: all events of one batch share one version, so the canonical
+     install would collapse the duplicate — but per-frame semantics
+     promise each write its own history event. *)
   let process t conn items =
     Obs.Histogram.record h_batch (List.length items);
     Obs.Window.add w_requests (List.length items);
-    List.iter
-      (fun (version, item) ->
-        Obs.Metric.incr c_requests;
-        let resp =
-          match item with
-          | `Req req -> dispatch t req
-          | `Err resp ->
-              Obs.Metric.incr c_errors;
-              resp
-        in
-        Wire.add_response ~version conn.out resp)
-      items;
+    let single (version, item) =
+      Obs.Metric.incr c_requests;
+      let resp =
+        match item with
+        | `Req req -> dispatch t req
+        | `Err resp ->
+            Obs.Metric.incr c_errors;
+            resp
+      in
+      Wire.add_response ~version conn.out resp
+    in
+    let rec go = function
+      | [] -> ()
+      | ((_, `Req (Wire.Insert _)) :: _) as l ->
+          let seen = Hashtbl.create 16 in
+          let rec take vers pairs = function
+            | (ver, `Req (Wire.Insert { key; value })) :: rest
+              when not (Hashtbl.mem seen key) ->
+                Hashtbl.add seen key ();
+                take (ver :: vers) ((key, value) :: pairs) rest
+            | rest -> (List.rev vers, List.rev pairs, rest)
+          in
+          let vers, pairs, rest = take [] [] l in
+          if List.length vers >= 2 then begin
+            Obs.Metric.add c_coalesced (List.length vers);
+            apply_run t conn ~label:"insert_batch"
+              ~req:(Wire.Insert_batch { pairs = Array.of_list pairs })
+              ~apply:(fun () -> S.insert_batch t.store pairs)
+              vers;
+            go rest
+          end
+          else begin
+            single (List.hd l);
+            go (List.tl l)
+          end
+      | ((_, `Req (Wire.Remove _)) :: _) as l ->
+          let seen = Hashtbl.create 16 in
+          let rec take vers keys = function
+            | (ver, `Req (Wire.Remove { key })) :: rest
+              when not (Hashtbl.mem seen key) ->
+                Hashtbl.add seen key ();
+                take (ver :: vers) (key :: keys) rest
+            | rest -> (List.rev vers, List.rev keys, rest)
+          in
+          let vers, keys, rest = take [] [] l in
+          if List.length vers >= 2 then begin
+            Obs.Metric.add c_coalesced (List.length vers);
+            apply_run t conn ~label:"remove_batch"
+              ~req:(Wire.Remove_batch { keys = Array.of_list keys })
+              ~apply:(fun () -> S.remove_batch t.store keys)
+              vers;
+            go rest
+          end
+          else begin
+            single (List.hd l);
+            go (List.tl l)
+          end
+      | it :: rest ->
+          single it;
+          go rest
+    in
+    go items;
     flush_out conn
 
   let read_more conn =

@@ -30,12 +30,16 @@
    Registry_snap / Snap_json (mergeable registry snapshots for fleet
    aggregation). v4 peers still interoperate: requests are accepted
    down to {!min_protocol_version} and responses echo the request
-   frame's version byte. *)
-let protocol_version = 5
+   frame's version byte.
+   Version 6 added the batching opcodes: Insert_batch / Remove_batch
+   (multi-key mutations installed under one version bump) and Scan (a
+   ranged read answered with Pairs, streamed in bounded chunks via the
+   limit field). *)
+let protocol_version = 6
 
-(* Oldest request version a decoder accepts. v4 frames contain no v5
-   constructs (the opcodes did not exist), so decoding them with the
-   v5 rules is sound. *)
+(* Oldest request version a decoder accepts. Older frames contain no
+   newer constructs (the opcodes did not exist), so decoding them with
+   the current rules is sound. *)
 let min_protocol_version = 4
 
 (* Largest accepted body, in bytes. Generous enough for a snapshot of
@@ -126,6 +130,18 @@ type request =
           mergeable snapshot (raw histogram buckets, window sums) —
           what the router scrapes from every shard and replica for
           [mvkv cluster top]/[cluster metrics]. *)
+  | Insert_batch of { pairs : (int * int) array }
+      (** Install every pair under one version bump
+          ({!Dict_intf.S.insert_batch}); answered with {!Ack}. *)
+  | Remove_batch of { keys : int array }
+      (** Remove every key under one version bump; answered with
+          {!Ack}. *)
+  | Scan of { lo : int; hi : int; version : int option; limit : int }
+      (** Ranged read: up to [limit] live pairs of snapshot [version]
+          with keys in [lo, hi), ascending; answered with {!Pairs}. A
+          full page ([limit] pairs) means the range may continue — the
+          client streams the rest by re-issuing with
+          [lo = last_key + 1]. [limit = 0] means server-chosen. *)
 
 type response =
   | Pong
@@ -203,12 +219,16 @@ let rec request_label = function
   | Epoch_probe -> "epoch_probe"
   | Traced { req; _ } -> request_label req
   | Registry_snap -> "registry_snap"
+  | Insert_batch _ -> "insert_batch"
+  | Remove_batch _ -> "remove_batch"
+  | Scan _ -> "scan"
 
 let request_labels =
   [
     "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats";
     "metrics"; "trace"; "slowlog"; "tag_at"; "find_bulk"; "compact"; "retention";
-    "replicate"; "epoch_probe"; "registry_snap";
+    "replicate"; "epoch_probe"; "registry_snap"; "insert_batch"; "remove_batch";
+    "scan";
   ]
 
 (* The key a request touches, when it names one — slow-op log entries
@@ -220,17 +240,19 @@ let rec request_key = function
       request_key req
   | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump _ | Slowlog _
   | Tag_at _ | Find_bulk _ | Compact _ | Retention _ | Epoch_probe
-  | Registry_snap ->
+  | Registry_snap | Insert_batch _ | Remove_batch _ | Scan _ ->
       None
 
 (* Requests a primary must forward to its backups for the replica set
    to converge; everything else is read-only or server-local. *)
 let rec is_mutation = function
-  | Insert _ | Remove _ | Tag | Tag_at _ | Compact _ | Retention _ -> true
+  | Insert _ | Remove _ | Tag | Tag_at _ | Compact _ | Retention _
+  | Insert_batch _ | Remove_batch _ ->
+      true
   | Stamped { req; _ } | Replicate { req; _ } | Traced { req; _ } ->
       is_mutation req
   | Ping | Find _ | Find_bulk _ | History _ | Snapshot _ | Stats | Metrics_prom
-  | Trace_dump _ | Slowlog _ | Epoch_probe | Registry_snap ->
+  | Trace_dump _ | Slowlog _ | Epoch_probe | Registry_snap | Scan _ ->
       false
 
 (* ---- equality / printing (tests, error messages) ---- *)
@@ -303,6 +325,9 @@ let request_opcode = function
   | Epoch_probe -> 18
   | Traced _ -> 19
   | Registry_snap -> 20
+  | Insert_batch _ -> 21
+  | Remove_batch _ -> 22
+  | Scan _ -> 23
 
 (* A wrapper's payload is its epoch followed by the complete inner
    request body (version byte, opcode, payload) running to the end of
@@ -339,7 +364,22 @@ let rec encode_request_body (r : request) =
       put_int buf trace_lo;
       put_int buf parent_span;
       put_u8 buf (if sampled then 1 else 0);
-      Buffer.add_string buf (encode_request_body req));
+      Buffer.add_string buf (encode_request_body req)
+  | Insert_batch { pairs } ->
+      put_int buf (Array.length pairs);
+      Array.iter
+        (fun (k, v) ->
+          put_int buf k;
+          put_int buf v)
+        pairs
+  | Remove_batch { keys } ->
+      put_int buf (Array.length keys);
+      Array.iter (put_int buf) keys
+  | Scan { lo; hi; version; limit } ->
+      put_int buf lo;
+      put_int buf hi;
+      put_opt_int buf version;
+      put_int buf limit);
   Buffer.contents buf
 
 let response_opcode = function
@@ -611,6 +651,37 @@ let rec decode_request_at ~allow_wrap ~allow_trace b ~off ~len :
         | Result.Ok req ->
             Result.Ok (Traced { trace_hi; trace_lo; parent_span; sampled; req }))
     | 20 -> finish c Registry_snap
+    | 21 ->
+        let n = get_count c "insert_batch.count" in
+        (* 16 bytes per pair: reject counts the payload cannot hold
+           before allocating for them. *)
+        if n > (c.limit - c.pos) / 16 then
+          raise (Bad (Malformed, Printf.sprintf "pair count %d overruns frame" n));
+        finish c
+          (Insert_batch
+             {
+               pairs =
+                 Array.init n (fun _ ->
+                     let k = get_int c "insert_batch.key" in
+                     let v = get_int c "insert_batch.value" in
+                     (k, v));
+             })
+    | 22 ->
+        let n = get_count c "remove_batch.count" in
+        (* 8 bytes per key: reject counts the payload cannot hold. *)
+        if n > (c.limit - c.pos) / 8 then
+          raise (Bad (Malformed, Printf.sprintf "key count %d overruns frame" n));
+        finish c
+          (Remove_batch
+             { keys = Array.init n (fun _ -> get_int c "remove_batch.key") })
+    | 23 ->
+        let lo = get_int c "scan.lo" in
+        let hi = get_int c "scan.hi" in
+        let version = get_opt_int c "scan.version" in
+        let limit = get_int c "scan.limit" in
+        if limit < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative scan limit %d" limit));
+        finish c (Scan { lo; hi; version; limit })
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
   with
   | r -> r

@@ -146,24 +146,228 @@ let fill t off len c =
         Array1.unsafe_set b i c
       done
 
+(* Make cache line [line] durable in the crash-sim shadow. Accounting
+   is the caller's job, so batch drains can blit many deduplicated
+   lines under one [record_flush]. *)
+let blit_line t line =
+  match (t.backing, t.buf) with
+  | Ram { shadow = Some shadow }, Ram_buf b ->
+      let lo = line * cache_line in
+      let hi = min t.capacity (lo + cache_line) in
+      if hi > lo then Bytes.blit b lo shadow lo (hi - lo)
+  | (Ram { shadow = None } | File _), _ | Ram { shadow = Some _ }, Map_buf _ -> ()
+
+let flush_lines t first last =
+  Pstats.record_flush t.stats ~lines:(last - first + 1);
+  for line = first to last do
+    blit_line t line
+  done
+
+(* Batch scopes. Inside [with_batch] the calling domain defers every
+   flush and fence: dirty cache-line ranges are only appended to a flat
+   log (deduplication waits for the drain — the hot path must stay
+   cheaper than the atomic increment it replaces), and fences only
+   counted. [batch_barrier] — also run at scope exit — then makes each
+   touched media durable: sort the range log, sweep-merge it, blit each
+   distinct line once under one [record_flush] and a single fence,
+   crediting the difference to [Pstats] as
+   [flushes_saved]/[fences_saved]. Crash correctness is preserved
+   because the crash-sim shadow is untouched until the barrier: a
+   simulated crash mid-batch loses the entire unfenced suffix, exactly
+   as real pmem would. The scope is per-domain (DLS), so concurrent
+   domains outside the batch are unaffected. *)
+
+type scope_entry = {
+  media : t;
+  mutable firsts : int array;
+  mutable lasts : int array;
+      (* parallel arrays: [firsts.(i), lasts.(i)] is the i-th recorded
+         dirty line range, in request order *)
+  mutable nranges : int;
+  mutable asked_lines : int;
+  mutable asked_fences : int;
+}
+
+type scope = {
+  mutable entries : scope_entry list;
+  mutable pool : (int array * int array) list;
+      (* retired range-log arrays, reused by the next scope on this
+         domain so short batches don't pay a fresh allocation each *)
+}
+
+(* [active] is the open batch scope, if any; [cached] keeps the scope
+   value (and its array pool) alive between batches so back-to-back
+   batches allocate nothing. *)
+type slot = { mutable active : scope option; cached : scope }
+
+let scope_key : slot Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { active = None; cached = { entries = []; pool = [] } })
+
+let rec find_entry media = function
+  | [] -> None
+  | e :: rest -> if e.media == media then Some e else find_entry media rest
+
+let scope_entry scope media =
+  (* one media per scope is the overwhelmingly common case *)
+  match scope.entries with
+  | e :: _ when e.media == media -> e
+  | entries -> (
+      match find_entry media entries with
+      | Some e -> e
+      | None ->
+          let firsts, lasts =
+            match scope.pool with
+            | arrays :: rest ->
+                scope.pool <- rest;
+                arrays
+            | [] -> (Array.make 64 0, Array.make 64 0)
+          in
+          let e =
+            { media; firsts; lasts; nranges = 0; asked_lines = 0;
+              asked_fences = 0 }
+          in
+          scope.entries <- e :: scope.entries;
+          e)
+
+let record_range e first last =
+  e.asked_lines <- e.asked_lines + (last - first + 1);
+  (* A batch's writes alternate between a few regions (entry payloads,
+     history headers, the key chain), so ranges adjacent to any of the
+     last few recorded ones merge in place; only genuinely scattered
+     ranges grow the log and wait for the drain's sort. *)
+  let n = e.nranges in
+  let rec try_merge i =
+    if i < 0 || i < n - 4 then false
+    else if first <= e.lasts.(i) + 1 && last + 1 >= e.firsts.(i) then begin
+      if first < e.firsts.(i) then e.firsts.(i) <- first;
+      if last > e.lasts.(i) then e.lasts.(i) <- last;
+      true
+    end
+    else try_merge (i - 1)
+  in
+  if not (try_merge (n - 1)) then begin
+    if n = Array.length e.firsts then begin
+      let cap = 2 * n in
+      let firsts = Array.make cap 0 and lasts = Array.make cap 0 in
+      Array.blit e.firsts 0 firsts 0 n;
+      Array.blit e.lasts 0 lasts 0 n;
+      e.firsts <- firsts;
+      e.lasts <- lasts
+    end;
+    e.firsts.(n) <- first;
+    e.lasts.(n) <- last;
+    e.nranges <- n + 1
+  end
+
+(* Lines fit in 31 bits (capacity / 64), so a range packs into one
+   immediate int and the drain sorts monomorphically. *)
+let range_bits = 31
+
+let drain_entry e =
+  let actual = ref 0 in
+  if e.nranges > 0 then begin
+    let n = e.nranges in
+    let packed = Array.make n 0 in
+    let sorted = ref true in
+    for i = 0 to n - 1 do
+      let p = (e.firsts.(i) lsl range_bits) lor e.lasts.(i) in
+      packed.(i) <- p;
+      if i > 0 && p < packed.(i - 1) then sorted := false
+    done;
+    if not !sorted then Array.sort (fun (a : int) b -> Stdlib.compare a b) packed;
+    let media = e.media in
+    let flush_run =
+      (* hoist the backing dispatch out of the per-line loop *)
+      match (media.backing, media.buf) with
+      | Ram { shadow = Some shadow }, Ram_buf b ->
+          fun first last ->
+            actual := !actual + (last - first + 1);
+            let lo = first * cache_line in
+            let hi = min media.capacity ((last + 1) * cache_line) in
+            if hi > lo then Bytes.blit b lo shadow lo (hi - lo)
+      | (Ram { shadow = None } | File _), _ | Ram { shadow = Some _ }, Map_buf _
+        ->
+          fun first last -> actual := !actual + (last - first + 1)
+    in
+    let mask = (1 lsl range_bits) - 1 in
+    let cur_first = ref (packed.(0) lsr range_bits)
+    and cur_last = ref (packed.(0) land mask) in
+    for i = 1 to n - 1 do
+      let f = packed.(i) lsr range_bits and l = packed.(i) land mask in
+      if f > !cur_last + 1 then begin
+        flush_run !cur_first !cur_last;
+        cur_first := f;
+        cur_last := l
+      end
+      else if l > !cur_last then cur_last := l
+    done;
+    flush_run !cur_first !cur_last;
+    Pstats.record_flush e.media.stats ~lines:!actual;
+    e.nranges <- 0
+  end;
+  Pstats.record_flush_saved e.media.stats ~lines:(e.asked_lines - !actual);
+  if e.asked_fences > 0 then begin
+    Pstats.record_fence e.media.stats;
+    Pstats.record_fence_saved e.media.stats ~count:(e.asked_fences - 1)
+  end;
+  e.asked_lines <- 0;
+  e.asked_fences <- 0
+
+let batch_barrier () =
+  match (Domain.DLS.get scope_key).active with
+  | None -> ()
+  | Some scope -> List.iter drain_entry scope.entries
+
+let with_batch f =
+  let slot = Domain.DLS.get scope_key in
+  match slot.active with
+  | Some _ -> f () (* nested: the outer scope's barriers cover us *)
+  | None ->
+      let scope = slot.cached in
+      slot.active <- Some scope;
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter drain_entry scope.entries;
+          (* retire the entries (no media refs survive the scope) but
+             keep their arrays for the next batch on this domain *)
+          List.iter
+            (fun e -> scope.pool <- (e.firsts, e.lasts) :: scope.pool)
+            scope.entries;
+          scope.entries <- [];
+          slot.active <- None)
+        f
+
 let flush t off len =
   check_range t off len;
   if len > 0 then begin
     let first = off / cache_line and last = (off + len - 1) / cache_line in
-    Pstats.record_flush t.stats ~lines:(last - first + 1);
-    match (t.backing, t.buf) with
-    | Ram { shadow = Some shadow }, Ram_buf b ->
-        let lo = first * cache_line in
-        let hi = min t.capacity ((last + 1) * cache_line) in
-        Bytes.blit b lo shadow lo (hi - lo)
-    | (Ram { shadow = None } | File _), _ | Ram { shadow = Some _ }, Map_buf _ -> ()
+    match (Domain.DLS.get scope_key).active with
+    | Some scope -> record_range (scope_entry scope t) first last
+    | None -> flush_lines t first last
   end
 
-let fence t = Pstats.record_fence t.stats
+let fence t =
+  match (Domain.DLS.get scope_key).active with
+  | Some scope ->
+      let e = scope_entry scope t in
+      e.asked_fences <- e.asked_fences + 1
+  | None -> Pstats.record_fence t.stats
 
+(* One DLS lookup for the flush + fence pair (persist is the hot call
+   on every entry write). *)
 let persist t off len =
-  flush t off len;
-  fence t
+  check_range t off len;
+  match (Domain.DLS.get scope_key).active with
+  | Some scope ->
+      let e = scope_entry scope t in
+      if len > 0 then
+        record_range e (off / cache_line) ((off + len - 1) / cache_line);
+      e.asked_fences <- e.asked_fences + 1
+  | None ->
+      if len > 0 then
+        flush_lines t (off / cache_line) ((off + len - 1) / cache_line);
+      Pstats.record_fence t.stats
 
 let simulate_crash t =
   match (t.backing, t.buf) with

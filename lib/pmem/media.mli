@@ -67,6 +67,32 @@ val fence : t -> unit
 val persist : t -> int -> int -> unit
 (** [flush] followed by [fence]. *)
 
+(** {1 Batch scopes}
+
+    A batch scope coalesces the persistence epilogues of a multi-record
+    install: inside {!with_batch} the calling domain's flushes are
+    deferred and deduplicated per cache line and its fences are merely
+    counted; each {!batch_barrier} (and scope exit) then issues one
+    flush pass over the distinct dirty lines and one fence per touched
+    media, crediting the eliminated work to {!Pstats} as
+    [flushes_saved]/[fences_saved]. The crash-sim shadow is only
+    updated at the barrier, so a simulated crash mid-batch loses the
+    whole unfenced suffix — callers must not expose batch effects
+    before the closing barrier. Scopes are per-domain; other domains
+    flush and fence eagerly as usual. *)
+
+val with_batch : (unit -> 'a) -> 'a
+(** Run [f] with deferred persistence on this domain, draining the
+    scope (barrier) on exit — including exceptional exit. Nested calls
+    are transparent: the outermost scope's barriers cover them. *)
+
+val batch_barrier : unit -> unit
+(** Drain the current domain's batch scope now: flush distinct dirty
+    lines, issue one fence per touched media, credit savings. Needed
+    mid-batch when a later write phase must be ordered after an earlier
+    one (e.g. stamping entries only after their payloads are durable).
+    No-op outside {!with_batch}. *)
+
 val simulate_crash : t -> unit
 (** Crash-sim RAM media only: revert every non-durable write, as a power
     failure would. Raises [Invalid_argument] otherwise. *)

@@ -13,6 +13,16 @@ val create : unit -> t
 
 val record_flush : t -> lines:int -> unit
 val record_fence : t -> unit
+
+val record_flush_saved : t -> lines:int -> unit
+(** Cache-line flushes a batch scope deduplicated away (several records
+    sharing a line, flushed once at the batch barrier instead of per
+    record). Mirrored as [pmem.flushes_saved]. No-op for [lines <= 0]. *)
+
+val record_fence_saved : t -> count:int -> unit
+(** Store fences coalesced into a single batch-epilogue fence. Mirrored
+    as [pmem.fences_saved]. No-op for [count <= 0]. *)
+
 val record_alloc : t -> bytes:int -> unit
 val record_free : t -> bytes:int -> unit
 
@@ -24,6 +34,8 @@ val record_leak : t -> bytes:int -> unit
 
 val flushed_lines : t -> int
 val fences : t -> int
+val flushes_saved : t -> int
+val fences_saved : t -> int
 val allocs : t -> int
 val alloc_bytes : t -> int
 val frees : t -> int

@@ -113,23 +113,50 @@ let diff_ops local remote =
   done;
   List.rev !ops
 
-(* [replay_remove]: when the catch-up was triggered by a Remove of a
-   key the backup never held, the state diff carries no trace of it —
-   replay the remove on top so the backup records the same tombstone
-   event the primary just did. (When the backup did hold the key, the
-   diff's own Remove already records it.) *)
-let catch_up ?replay_remove t peer =
+(* [replay_removes]: when the catch-up was triggered by removes of keys
+   the backup never held, the state diff carries no trace of them —
+   replay those removes on top so the backup records the same tombstone
+   events the primary just did. (When the backup did hold a key, the
+   diff's own remove already records it.) *)
+let catch_up ?replay_removes t peer =
   Obs.Span.with_ "repl.catch_up" @@ fun () ->
   let c = ensure_conn t peer in
   let epoch = Atomic.get t.epoch in
   let remote = Net.Client.snapshot c () in
   let local = t.snapshot () in
   let ops = diff_ops local remote in
-  List.iter (fun op -> ignore (Net.Client.replicate c ~epoch op)) ops;
-  (match replay_remove with
-  | Some key when not (Array.exists (fun (k, _) -> k = key) remote) ->
-      ignore (Net.Client.replicate c ~epoch (Net.Wire.Remove { key }))
-  | _ -> ());
+  (* The diff's removes and inserts touch disjoint keys, so the whole
+     state ship collapses into at most two replicated batch frames. *)
+  let inserts, removes =
+    List.partition_map
+      (function
+        | Net.Wire.Insert { key; value } -> Either.Left (key, value)
+        | Net.Wire.Remove { key } -> Either.Right key
+        | op -> invalid_arg ("catch_up: unexpected diff op " ^ Net.Wire.request_label op))
+      ops
+  in
+  if removes <> [] then
+    ignore
+      (Net.Client.replicate c ~epoch
+         (Net.Wire.Remove_batch { keys = Array.of_list removes }));
+  if inserts <> [] then
+    ignore
+      (Net.Client.replicate c ~epoch
+         (Net.Wire.Insert_batch { pairs = Array.of_list inserts }));
+  (match replay_removes with
+  | Some keys -> (
+      match
+        List.filter
+          (fun key -> not (Array.exists (fun (k, _) -> k = key) remote))
+          keys
+      with
+      | [] -> ()
+      | [ key ] -> ignore (Net.Client.replicate c ~epoch (Net.Wire.Remove { key }))
+      | keys ->
+          ignore
+            (Net.Client.replicate c ~epoch
+               (Net.Wire.Remove_batch { keys = Array.of_list keys })))
+  | None -> ());
   (* Align the clock last, so a backup never tags a state it does not
      have yet. *)
   ignore
@@ -168,6 +195,27 @@ let canonical (req : Net.Wire.request) (resp : Net.Wire.response) :
       if before > 0 then Some (Net.Wire.Compact { before }) else None
   | ((Net.Wire.Insert _ | Net.Wire.Remove _ | Net.Wire.Compact _) as req), _ ->
       Some req
+  (* Batches forward canonicalised (sorted, later duplicates winning) —
+     the exact form the primary's store installed — so backups replay
+     identical history events from one Replicate frame per batch. *)
+  | Net.Wire.Insert_batch { pairs }, _ ->
+      Some
+        (Net.Wire.Insert_batch
+           {
+             pairs =
+               Array.of_list
+                 (Mvdict.Dict_intf.canonical_pairs ~compare:Int.compare
+                    (Array.to_list pairs));
+           })
+  | Net.Wire.Remove_batch { keys }, _ ->
+      Some
+        (Net.Wire.Remove_batch
+           {
+             keys =
+               Array.of_list
+                 (Mvdict.Dict_intf.canonical_keys ~compare:Int.compare
+                    (Array.to_list keys));
+           })
   | _ -> None
 
 let forward_to t peer op =
@@ -177,10 +225,13 @@ let forward_to t peer op =
          locally before the hook fired), so syncing replaces forwarding
          for this peer on this op — modulo the tombstone of a Remove,
          which the state diff cannot see (see [catch_up]). *)
-      let replay_remove =
-        match op with Net.Wire.Remove { key } -> Some key | _ -> None
+      let replay_removes =
+        match op with
+        | Net.Wire.Remove { key } -> Some [ key ]
+        | Net.Wire.Remove_batch { keys } -> Some (Array.to_list keys)
+        | _ -> None
       in
-      catch_up ?replay_remove t peer
+      catch_up ?replay_removes t peer
     else begin
       let c = ensure_conn t peer in
       (* A span per hop: when the mutation arrived under a trace

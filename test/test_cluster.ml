@@ -288,6 +288,51 @@ let e2e_find_bulk () =
       | Error (Cluster.Router.Bad_key { key = 999; _ }) -> ()
       | _ -> Alcotest.fail "expected Bad_key from bulk")
 
+let e2e_batch_and_scan () =
+  with_cluster ~tag:"batch" (fun router stores ->
+      (* one multi-shard batch: pairs bucket per owning shard (width 64
+         ranges), each bucket one pipelined Insert_batch frame *)
+      let pairs = List.init 64 (fun i -> (i * 4, i * 40)) in
+      ok "insert_batch" (Cluster.Router.insert_batch router pairs);
+      check_int "shard 0 got its bucket" 16 (Store.key_count stores.(0));
+      check_int "shard 3 got its bucket" 16 (Store.key_count stores.(3));
+      let v1 = ok "tag" (Cluster.Router.tag router) in
+      (* scan the whole space: ascending across shard boundaries, and a
+         small page limit forces several Scan frames per shard *)
+      let acc = ref [] in
+      let n =
+        ok "scan"
+          (Cluster.Router.scan router ~limit:5 ~lo:0 ~hi:256 (fun k v ->
+               acc := (k, v) :: !acc))
+      in
+      check_int "scan streamed every pair" 64 n;
+      check_bool "scan ascending across shards" true
+        (List.rev !acc = pairs);
+      (* batched remove spanning shards, then the range re-reads short *)
+      ok "remove_batch" (Cluster.Router.remove_batch router [ 0; 4; 252 ]);
+      let m =
+        ok "scan" (Cluster.Router.scan router ~lo:0 ~hi:256 (fun _ _ -> ()))
+      in
+      check_int "removed keys left the range" 61 m;
+      (* pinned to the pre-remove tag the full cut is still there *)
+      let m1 =
+        ok "scan"
+          (Cluster.Router.scan router ~version:v1 ~lo:0 ~hi:256 (fun _ _ -> ()))
+      in
+      check_int "pinned scan sees the old cut" 64 m1;
+      (* a bad key anywhere fails the whole batch before any send *)
+      (match Cluster.Router.insert_batch router [ (1, 1); (999, 9) ] with
+      | Error (Cluster.Router.Bad_key { key = 999; _ }) -> ()
+      | _ -> Alcotest.fail "expected Bad_key from insert_batch");
+      check_bool "aborted batch wrote nothing" true
+        (ok "find" (Cluster.Router.find router 1) = None);
+      (* the out-of-key-space part of a range simply matches nothing *)
+      match Cluster.Router.scan router ~lo:(-5) ~hi:8 (fun _ _ -> ()) with
+      | Ok n -> check_int "negative lo clamps" 0 n
+      | Error e ->
+          Alcotest.failf "scan with negative lo: %s"
+            (Cluster.Router.error_to_string e))
+
 let e2e_snapshot_modes () =
   with_cluster ~tag:"snap" (fun router _stores ->
       for key = 0 to 255 do
@@ -659,6 +704,8 @@ let () =
           Alcotest.test_case "routed ops land on owners" `Quick e2e_routed_ops;
           Alcotest.test_case "cluster-wide tag is one version" `Quick e2e_cluster_tag;
           Alcotest.test_case "find_bulk reassembles input order" `Quick e2e_find_bulk;
+          Alcotest.test_case "batched writes bucket per shard; scan pages in order"
+            `Quick e2e_batch_and_scan;
           Alcotest.test_case "snapshot naive = opt = expected" `Quick
             e2e_snapshot_modes;
           Alcotest.test_case "cluster-wide compaction" `Quick e2e_cluster_compact;

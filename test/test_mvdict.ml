@@ -382,6 +382,69 @@ module Conformance (S : STORE) = struct
     let snap = S.extract_snapshot t () in
     check_int "odd keys survive" (threads * per / 2) (Array.length snap)
 
+  let batch_insert_visible () =
+    let t = S.make () in
+    S.insert_batch t [ (3, 30); (1, 10); (2, 20) ];
+    let v1 = S.tag t in
+    check_bool "all visible" true
+      (S.find t 1 = Some 10 && S.find t 2 = Some 20 && S.find t 3 = Some 30);
+    Alcotest.(check (array (pair int int)))
+      "sorted snapshot" [| (1, 10); (2, 20); (3, 30) |]
+      (S.extract_snapshot t ~version:v1 ())
+
+  let batch_duplicate_last_wins () =
+    let t = S.make () in
+    S.insert_batch t [ (5, 1); (5, 2); (5, 3) ];
+    ignore (S.tag t);
+    check_bool "last duplicate wins" true (S.find t 5 = Some 3);
+    check_int "single history event" 1 (List.length (S.extract_history t 5))
+
+  let batch_remove_hides () =
+    let t = S.make () in
+    S.insert_batch t [ (1, 10); (2, 20); (3, 30) ];
+    let v1 = S.tag t in
+    S.remove_batch t [ 2; 404; 3; 2 ];
+    let v2 = S.tag t in
+    check_bool "removed" true (S.find t 2 = None && S.find t 3 = None);
+    check_bool "kept" true (S.find t 1 = Some 10);
+    check_bool "v1 intact" true (S.find t ~version:v1 2 = Some 20);
+    check_bool "v2 gone" true (S.find t ~version:v2 3 = None)
+
+  let batch_empty_noop () =
+    let t = S.make () in
+    S.insert_batch t [];
+    S.remove_batch t [];
+    ignore (S.tag t);
+    check_int "still empty" 0 (Array.length (S.extract_snapshot t ()))
+
+  let batch_matches_singles () =
+    (* One store driven by batches, a twin by the equivalent single-key
+       ops: every observation must agree. *)
+    let a = S.make () and b = S.make () in
+    let i1 = [ (9, 90); (4, 40); (7, 70); (1, 11) ] in
+    S.insert_batch a i1;
+    List.iter (fun (k, v) -> S.insert b k v) i1;
+    let va1 = S.tag a and vb1 = S.tag b in
+    S.remove_batch a [ 4; 9 ];
+    List.iter (fun k -> S.remove b k) [ 4; 9 ];
+    S.insert_batch a [ (2, 22); (7, 77) ];
+    List.iter (fun (k, v) -> S.insert b k v) [ (2, 22); (7, 77) ];
+    let va2 = S.tag a and vb2 = S.tag b in
+    check_int "same versions" va1 vb1;
+    check_int "same versions 2" va2 vb2;
+    List.iter
+      (fun v ->
+        Alcotest.(check (array (pair int int)))
+          (Printf.sprintf "snapshot v%d" v)
+          (S.extract_snapshot b ~version:v ())
+          (S.extract_snapshot a ~version:v ()))
+      [ va1; va2 ];
+    for k = 0 to 10 do
+      check_bool "find agrees" true (S.find a k = S.find b k);
+      check_bool "history agrees" true
+        (S.extract_history a k = S.extract_history b k)
+    done
+
   let tests name =
     [
       Alcotest.test_case (name ^ ": insert/find") `Quick simple_insert_find;
@@ -397,6 +460,13 @@ module Conformance (S : STORE) = struct
       Alcotest.test_case (name ^ ": key_count") `Quick key_count_tracks_distinct_keys;
       Alcotest.test_case (name ^ ": range queries") `Quick range_queries;
       Alcotest.test_case (name ^ ": remove absent") `Quick remove_absent_key_harmless;
+      Alcotest.test_case (name ^ ": batch insert visible") `Quick batch_insert_visible;
+      Alcotest.test_case (name ^ ": batch duplicate last wins") `Quick
+        batch_duplicate_last_wins;
+      Alcotest.test_case (name ^ ": batch remove hides") `Quick batch_remove_hides;
+      Alcotest.test_case (name ^ ": batch empty noop") `Quick batch_empty_noop;
+      Alcotest.test_case (name ^ ": batch matches singles") `Quick
+        batch_matches_singles;
       Alcotest.test_case (name ^ ": model check") `Slow model_check_random_program;
       Alcotest.test_case (name ^ ": concurrent disjoint") `Quick concurrent_disjoint_inserts;
       Alcotest.test_case (name ^ ": concurrent mixed") `Quick concurrent_mixed_ops_converge;
@@ -910,6 +980,112 @@ let crash_point_property =
       Array.to_list (PStore.extract_snapshot t2 ()) = IntMap.bindings !model
       && PStore.current_version t2 = cut)
 
+let batch_coalescing_saves_pmem_work () =
+  (* The whole point of the batched install: single-key ops flush and
+     fence per key (nothing saved), a batch coalesces its epilogue and
+     books the difference in Pstats. *)
+  let heap = fresh_heap () in
+  let stats = Pmem.Pheap.stats heap in
+  let t = PStore.create heap in
+  for k = 0 to 99 do
+    PStore.insert t k k
+  done;
+  PStore.remove t 7;
+  ignore (PStore.tag t);
+  check_int "single-key ops save no fences" 0 (Pmem.Pstats.fences_saved stats);
+  check_int "single-key ops save no flushes" 0 (Pmem.Pstats.flushes_saved stats);
+  let fences_before = Pmem.Pstats.fences stats in
+  PStore.insert_batch t (List.init 100 (fun k -> (k + 1000, k)));
+  ignore (PStore.tag t);
+  let saved_fences = Pmem.Pstats.fences_saved stats in
+  let saved_flushes = Pmem.Pstats.flushes_saved stats in
+  check_bool "batched install saves fences" true (saved_fences > 0);
+  check_bool "batched install saves flushed lines" true (saved_flushes > 0);
+  check_bool "batch still fences at its barriers" true
+    (Pmem.Pstats.fences stats > fences_before);
+  PStore.remove_batch t (List.init 50 (fun k -> k + 1000));
+  ignore (PStore.tag t);
+  check_bool "batched remove saves fences too" true
+    (Pmem.Pstats.fences_saved stats > saved_fences);
+  (* And singles afterwards leave the saved counters untouched. *)
+  let f = Pmem.Pstats.fences_saved stats
+  and l = Pmem.Pstats.flushes_saved stats in
+  for k = 0 to 49 do
+    PStore.insert t k (k * 7)
+  done;
+  ignore (PStore.tag t);
+  check_int "singles after a batch save no fences" f
+    (Pmem.Pstats.fences_saved stats);
+  check_int "singles after a batch save no flushes" l
+    (Pmem.Pstats.flushes_saved stats)
+
+let batch_twin_equivalence =
+  (* A store driven by random batched schedules must answer exactly
+     like a twin driven by the flattened (canonicalised) single-key
+     ops — finds, snapshots and histories at every version — including
+     after a crash + reopen. One asymmetry is by design: tags are
+     volatile, so recovery rewinds the clock to the highest durable
+     entry stamp (the stamp of the last mutation), dropping trailing
+     tags — the model tracks that stamp and expects it post-crash. *)
+  let open QCheck in
+  let pair_gen = Gen.(pair (int_bound 20) (map (fun v -> v - 50) (int_bound 100))) in
+  let step_gen =
+    Gen.(
+      frequency
+        [
+          (4, map (fun ps -> `Insert ps) (list_size (int_range 1 12) pair_gen));
+          (2, map (fun ks -> `Remove ks) (list_size (int_range 1 8) (int_bound 20)));
+          (2, return `Tag);
+        ])
+  in
+  Test.make ~name:"batched store equals its single-key twin" ~count:40
+    (make Gen.(list_size (int_range 1 40) step_gen))
+    (fun steps ->
+      let media = Pmem.Media.create_ram ~crash_sim:true ~capacity:(1 lsl 22) () in
+      let heap = Pmem.Pheap.create media in
+      let a = PStore.create heap in
+      let b = E.make () in
+      let last_stamp = ref 0 in
+      List.iter
+        (function
+          | `Insert ps ->
+              last_stamp := E.current_version b + 1;
+              PStore.insert_batch a ps;
+              List.iter
+                (fun (k, v) -> E.insert b k v)
+                (Mvdict.Dict_intf.canonical_pairs ~compare:Int.compare ps)
+          | `Remove ks ->
+              last_stamp := E.current_version b + 1;
+              PStore.remove_batch a ks;
+              List.iter (fun k -> E.remove b k)
+                (Mvdict.Dict_intf.canonical_keys ~compare:Int.compare ks)
+          | `Tag ->
+              ignore (PStore.tag a);
+              ignore (E.tag b))
+        steps;
+      ignore (PStore.tag a);
+      ignore (E.tag b);
+      let current = PStore.current_version a in
+      let agree expected_version a =
+        let ok = ref (PStore.current_version a = expected_version) in
+        for v = 0 to current do
+          if
+            PStore.extract_snapshot a ~version:v ()
+            <> E.extract_snapshot b ~version:v ()
+          then ok := false
+        done;
+        for k = 0 to 20 do
+          if PStore.find a k <> E.find b k then ok := false;
+          if PStore.extract_history a k <> E.extract_history b k then
+            ok := false
+        done;
+        !ok
+      in
+      let pre = agree (E.current_version b) a in
+      Pmem.Media.simulate_crash media;
+      let a2 = PStore.open_existing ~threads:2 (Pmem.Pheap.reopen heap) in
+      pre && agree !last_stamp a2)
+
 let crash_after_concurrent_inserts () =
   (* Concurrent writers, then power cut: every completed operation must
      be recovered (each insert fully persists before returning). *)
@@ -1054,6 +1230,12 @@ let () =
           Alcotest.test_case "against store" `Quick snapshot_diff_against_store;
           Alcotest.test_case "common prefix" `Quick snapshot_common_prefix;
           QCheck_alcotest.to_alcotest snapshot_diff_property;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "coalescing saves pmem work" `Quick
+            batch_coalescing_saves_pmem_work;
+          QCheck_alcotest.to_alcotest batch_twin_equivalence;
         ] );
       ( "properties",
         [

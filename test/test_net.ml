@@ -37,6 +37,15 @@ let gen_plain_request =
         map (fun before -> Net.Wire.Compact { before }) small_nat;
         map (fun keep -> Net.Wire.Retention { keep }) small_nat;
         return Net.Wire.Epoch_probe;
+        map
+          (fun ps -> Net.Wire.Insert_batch { pairs = Array.of_list ps })
+          (small_list (pair gen_key_value gen_key_value));
+        map
+          (fun ks -> Net.Wire.Remove_batch { keys = Array.of_list ks })
+          (small_list gen_key_value);
+        map
+          (fun (lo, hi, version, limit) -> Net.Wire.Scan { lo; hi; version; limit })
+          (quad gen_key_value gen_key_value (opt small_nat) small_nat);
       ])
 
 (* The epoch wrappers may enclose any plain (non-wrapper) request —
@@ -54,7 +63,7 @@ let gen_wrapped_request =
           small_nat gen_plain_request;
       ])
 
-(* The full v5 request space adds the outermost trace-context wrapper,
+(* The full request space adds the outermost trace-context wrapper,
    which may enclose a plain or epoch-wrapped request. *)
 let gen_request =
   QCheck.Gen.(
@@ -322,6 +331,29 @@ let decode_bulk_count_overrun () =
 let decode_negative_tag_at () =
   let b, len = body_of_string (ver ^ "\x0c" ^ String.make 8 '\xff') in
   check_string "negative tag_at version" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_batch_count_overrun () =
+  (* insert_batch declaring 1000 pairs with no payload behind the count *)
+  let b, len = body_of_string (ver ^ "\x15" ^ "\xe8\x03" ^ String.make 6 '\x00') in
+  check_string "insert_batch pair count overrun" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len));
+  (* remove_batch declaring 1000 keys with no payload *)
+  let b, len = body_of_string (ver ^ "\x16" ^ "\xe8\x03" ^ String.make 6 '\x00') in
+  check_string "remove_batch key count overrun" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len));
+  (* a count the frame could "hold" but that is negative *)
+  let b, len = body_of_string (ver ^ "\x15" ^ String.make 8 '\xff') in
+  check_string "negative insert_batch count" "malformed"
+    (explain (Net.Wire.decode_request b ~off:0 ~len))
+
+let decode_bad_scan_limit () =
+  (* scan lo=0 hi=0 version=None limit=-1 *)
+  let b, len =
+    body_of_string
+      (ver ^ "\x17" ^ String.make 16 '\x00' ^ "\x00" ^ String.make 8 '\xff')
+  in
+  check_string "negative scan limit" "malformed"
     (explain (Net.Wire.decode_request b ~off:0 ~len))
 
 let decode_nested_epoch_wrapper () =
@@ -837,8 +869,8 @@ let e2e_v4_client_interop () =
       (match Net.Wire.decode_response frame ~off:0 ~len:(Bytes.length frame) with
       | Ok Net.Wire.Pong -> ()
       | r -> Alcotest.failf "v4 ping answered with %s" (explain r));
-      (* a v4 mutation round-trips too, and a v5 frame on the same
-         connection is answered at v5 *)
+      (* a v4 mutation round-trips too, and a current-version frame on
+         the same connection is answered at the current version *)
       raw_write fd (frame_of_body (v4_body (Net.Wire.Insert { key = 9; value = 90 })));
       let frame = raw_read_frame fd in
       check_int "insert response echoes v4" Net.Wire.min_protocol_version
@@ -846,12 +878,90 @@ let e2e_v4_client_interop () =
       raw_write fd
         (frame_of_body (Net.Wire.encode_request_body (Net.Wire.Find { key = 9; version = None })));
       let frame = raw_read_frame fd in
-      check_int "v5 request answered at v5" Net.Wire.protocol_version
+      check_int "v6 request answered at v6" Net.Wire.protocol_version
         (Char.code (Bytes.get frame 0));
       (match Net.Wire.decode_response frame ~off:0 ~len:(Bytes.length frame) with
       | Ok (Net.Wire.Value (Some 90)) -> ()
       | r -> Alcotest.failf "find answered with %s" (explain r));
+      (* a v5 client reaching a v6 server: even a v6-era opcode in a
+         v5-stamped frame is served, and the reply echoes v5 so the
+         client's strict decoder keeps working *)
+      let v5_body req =
+        let body = Net.Wire.encode_request_body req in
+        String.make 1 (Char.chr (Net.Wire.protocol_version - 1))
+        ^ String.sub body 1 (String.length body - 1)
+      in
+      raw_write fd
+        (frame_of_body
+           (v5_body (Net.Wire.Insert_batch { pairs = [| (20, 200); (21, 210) |] })));
+      let frame = raw_read_frame fd in
+      check_int "batch response echoes v5"
+        (Net.Wire.protocol_version - 1)
+        (Char.code (Bytes.get frame 0));
+      (match Net.Wire.decode_response frame ~off:0 ~len:(Bytes.length frame) with
+      | Ok Net.Wire.Ack -> ()
+      | r -> Alcotest.failf "v5 insert_batch answered with %s" (explain r));
+      raw_write fd (frame_of_body (v5_body (Net.Wire.Find { key = 21; version = None })));
+      let frame = raw_read_frame fd in
+      check_int "follow-up find echoes v5"
+        (Net.Wire.protocol_version - 1)
+        (Char.code (Bytes.get frame 0));
+      (match Net.Wire.decode_response frame ~off:0 ~len:(Bytes.length frame) with
+      | Ok (Net.Wire.Value (Some 210)) -> ()
+      | r -> Alcotest.failf "v5 find answered with %s" (explain r));
       raw_close fd)
+
+let e2e_batch_and_scan () =
+  with_server (fun _store _server addr ->
+      let client = Net.Client.connect addr in
+      Net.Client.insert_batch client (List.init 50 (fun k -> (k, k * 10)));
+      let v1 = Net.Client.tag client in
+      Net.Client.insert_batch client [ (7, 700); (90, 900) ];
+      Net.Client.remove_batch client [ 3; 4; 404 ];
+      check_bool "batched insert visible" true (Net.Client.find client 7 = Some 700);
+      check_bool "batched remove hides" true (Net.Client.find client 3 = None);
+      check_bool "old version intact" true
+        (Net.Client.find client ~version:v1 7 = Some 70);
+      (* ranged scan pages through [lo, hi) in ascending key order;
+         limit=4 forces several pages *)
+      let acc = ref [] in
+      let n =
+        Net.Client.scan client ~lo:0 ~hi:10 ~limit:4 (fun k v ->
+            acc := (k, v) :: !acc)
+      in
+      let expect =
+        [ (0, 0); (1, 10); (2, 20); (5, 50); (6, 60); (7, 700); (8, 80); (9, 90) ]
+      in
+      check_int "scan streams the live range" (List.length expect) n;
+      check_bool "scan pairs ascending" true (List.rev !acc = expect);
+      (* pinned to v1, the batch-removed keys are still visible *)
+      let acc = ref [] in
+      ignore
+        (Net.Client.scan client ~version:v1 ~lo:0 ~hi:5 (fun k v ->
+             acc := (k, v) :: !acc));
+      check_bool "pinned scan sees pre-batch state" true
+        (List.rev !acc = [ (0, 0); (1, 10); (2, 20); (3, 30); (4, 40) ]);
+      (* a pipelined run of plain Insert frames coalesces server-side
+         into one store-level batch — while still acking every frame.
+         The run only forms when the frames drain in one wakeup, so
+         allow a few attempts before declaring coalescing broken. *)
+      let coalesced = Obs.Registry.counter "net.coalesced_frames" in
+      let rec attempt tries base =
+        let before = Obs.Metric.value coalesced in
+        let reqs =
+          List.init 16 (fun i -> Net.Wire.Insert { key = base + i; value = i })
+        in
+        let resps = Net.Client.call_batch client reqs in
+        check_bool "coalesced run still acks each frame" true
+          (List.for_all (fun r -> r = Net.Wire.Ack) resps);
+        if Obs.Metric.value coalesced > before then ()
+        else if tries > 1 then attempt (tries - 1) (base + 16)
+        else Alcotest.fail "pipelined mutation run never coalesced"
+      in
+      attempt 5 1000;
+      check_bool "coalesced writes landed" true
+        (Net.Client.find client 1008 = Some 8);
+      Net.Client.close client)
 
 let e2e_tag_at_find_bulk () =
   with_server (fun store _server addr ->
@@ -1046,6 +1156,8 @@ let () =
           Alcotest.test_case "negative string length" `Quick decode_negative_string_length;
           Alcotest.test_case "bulk count overrun" `Quick decode_bulk_count_overrun;
           Alcotest.test_case "negative tag_at version" `Quick decode_negative_tag_at;
+          Alcotest.test_case "batch count overruns" `Quick decode_batch_count_overrun;
+          Alcotest.test_case "bad scan limit" `Quick decode_bad_scan_limit;
           Alcotest.test_case "negative gc horizons" `Quick decode_negative_gc_horizons;
           Alcotest.test_case "nested epoch wrapper" `Quick decode_nested_epoch_wrapper;
           Alcotest.test_case "nested traced wrapper" `Quick decode_nested_traced_wrapper;
@@ -1072,9 +1184,10 @@ let () =
             e2e_error_frames_keep_connection;
           Alcotest.test_case "stale protocol version keeps the connection usable"
             `Quick e2e_stale_version_keeps_connection;
-          Alcotest.test_case "v4 client interop against a v5 server" `Quick
+          Alcotest.test_case "v4/v5 client interop against a v6 server" `Quick
             e2e_v4_client_interop;
           Alcotest.test_case "tag_at and find_bulk opcodes" `Quick e2e_tag_at_find_bulk;
+          Alcotest.test_case "batch opcodes and ranged scan" `Quick e2e_batch_and_scan;
           Alcotest.test_case "compact and retention opcodes" `Quick
             e2e_compact_retention;
           Alcotest.test_case "per-request timeout" `Quick e2e_request_timeout;
