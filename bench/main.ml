@@ -22,7 +22,7 @@ let parse_args () =
   let bechamel = ref false in
   let spec =
     [
-      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|batch|cluster|repl|obs|gc|smoke");
+      ("--fig", Arg.Set_string fig, "FIG figure to run: all|2|3|4|5|6|7|8|ablations|net|batch|cluster|repl|obs|gc|move|smoke");
       ("-n", Arg.Set_int n, "N single-node workload size (default 100000; paper: 1000000)");
       ("--dist-n", Arg.Set_int dist_n, "N per-rank pairs for figs 6-8 (default 100000, as the paper)");
       ("--real", Arg.Set real, "also run real-domain cross-checks (slow on 1 core)");
@@ -230,6 +230,37 @@ let smoke () =
                 r.Fig_repl.failover_p99_us );
           ]
   in
+  (* Live resharding: one shard handed off over real Unix sockets while
+     a mutator keeps writing regenerates BENCH_move.json. The gate is
+     the availability contract: zero lost acked writes across the
+     handoff, writers make progress while the move runs, and the
+     client-observed write p99 stays under 500 ms — the seal window
+     plus the Moved chase must stay invisible at human timescales. *)
+  let move_results = ref None in
+  Metrics.with_report ~fig:"move" (fun () ->
+      move_results := Some (Fig_move.run ~n:2_000));
+  let move_problems =
+    Metrics.validate ~fig:"move"
+      ~expect_histograms:[ "move.copy_ns"; "move.pause_ns"; "move.round_ns" ]
+  in
+  let move_problems =
+    move_problems
+    @
+    match !move_results with
+    | None -> [ "BENCH_move.json: figure did not run" ]
+    | Some r ->
+        List.filter_map
+          (fun (ok, msg) -> if ok then None else Some ("BENCH_move.json: " ^ msg))
+          [
+            ( r.Fig_move.lost = 0,
+              Printf.sprintf "%d acked write(s) lost across the handoff"
+                r.Fig_move.lost );
+            (r.Fig_move.ops_during > 0., "no write progress while the move ran");
+            ( r.Fig_move.write_p99_ms < 500.,
+              Printf.sprintf "write p99 %.1fms above the 500ms cutover bound"
+                r.Fig_move.write_p99_ms );
+          ]
+  in
   (* The observability layer itself: BENCH_obs.json prices each
      instrumentation regime; the gate holds the disabled-probe path
      (counters mode) within 5% of the uninstrumented baseline, and the
@@ -268,7 +299,7 @@ let smoke () =
   in
   match
     problems @ net_problems @ batch_problems @ cluster_problems @ repl_problems
-    @ gc_problems @ obs_problems
+    @ move_problems @ gc_problems @ obs_problems
   with
   | [] -> print_endline "smoke: metrics report OK"
   | ps ->
@@ -315,6 +346,9 @@ let () =
           ignore (Fig_repl.run ~n:(min n 10_000)));
     if want "obs" then
       Metrics.with_report ~fig:"obs" (fun () -> ignore (Fig_obs.run ~n:(min n 20_000)));
+    if want "move" then
+      Metrics.with_report ~fig:"move" (fun () ->
+          ignore (Fig_move.run ~n:(min n 10_000)));
     if want "gc" then
       Metrics.with_report ~fig:"gc" (fun () ->
           ignore (Fig_gc.run ~keys:1024 ~rounds:(max 20 (min n 100_000 / 1024))));

@@ -563,6 +563,35 @@ let promote_to_arg =
   in
   Arg.(value & opt (some int) None & info [ "to" ] ~docv:"J" ~doc)
 
+let move_shard_arg =
+  let doc = "Shard whose range is being moved / split / merged." in
+  Arg.(required & opt (some int) None & info [ "shard" ] ~docv:"I" ~doc)
+
+let move_dest_arg =
+  let doc =
+    "Destination replica set, repeated (first = new primary), e.g. \
+     $(b,--dest tcp://host:port --dest unix:///path)."
+  in
+  Arg.(value & opt_all string [] & info [ "dest" ] ~docv:"ENDPOINT" ~doc)
+
+let split_at_arg =
+  let doc = "Split point: the new shard owns keys at or above $(docv)." in
+  Arg.(required & opt (some int) None & info [ "at" ] ~docv:"KEY" ~doc)
+
+let move_page_arg =
+  let doc = "Events per migration frame during the copy phase." in
+  Arg.(value & opt int 4096 & info [ "page" ] ~docv:"N" ~doc)
+
+let move_lag_arg =
+  let doc =
+    "Cut over once a whole catch-up round ships at most $(docv) events."
+  in
+  Arg.(value & opt int 64 & info [ "lag" ] ~docv:"N" ~doc)
+
+let move_rounds_arg =
+  let doc = "Catch-up round budget before cutover happens regardless." in
+  Arg.(value & opt int 16 & info [ "max-rounds" ] ~docv:"N" ~doc)
+
 let mode_arg =
   let doc =
     "Distributed snapshot merge: $(b,naive) (one K-way heap merge) or \
@@ -711,6 +740,90 @@ let cluster_promote topo_file timeout_ms retries shard to_slot =
     (Net.Sockaddr.to_string (Cluster.Topology.primary promoted shard))
     epoch !fenced
     (Cluster.Topology.replica_count promoted shard)
+
+(* ---- live resharding: cluster move / split / merge / moves ---- *)
+
+let parse_endpoints specs =
+  Array.of_list
+    (List.map
+       (fun s ->
+         match Net.Sockaddr.of_string s with
+         | Ok ep -> ep
+         | Error m -> die "mvkv: %s" m)
+       specs)
+
+let print_move_progress (p : Cluster.Move.progress) =
+  match p.phase with
+  | "copy" ->
+      Printf.printf "round %d: copied %d key(s), %d event(s)\n%!" p.round p.keys
+        p.events
+  | "cutover" ->
+      Printf.printf "cutover: final diff %d key(s), %d event(s)\n%!" p.keys
+        p.events
+  | _ -> ()
+
+let print_move_outcome verb (o : Cluster.Move.outcome) =
+  Printf.printf
+    "%s: %d key(s), %d event(s) in %d round(s); copy %.1fms, write pause \
+     %.1fms; now at epoch %d\n"
+    verb o.keys_copied o.events_copied o.rounds
+    (float_of_int o.copy_ns /. 1e6)
+    (float_of_int o.pause_ns /. 1e6)
+    o.new_epoch
+
+let cluster_move topo_file timeout_ms retries shard dest page lag max_rounds =
+  let topo = load_topology topo_file in
+  check_shard_id topo topo_file shard;
+  if dest = [] then die "mvkv: cluster move needs at least one --dest";
+  match
+    Cluster.Move.move ?timeout_ms ~retries ~page ~lag ~max_rounds
+      ~notify:print_move_progress ~topo_path:topo_file topo ~shard
+      ~dest:(parse_endpoints dest) ()
+  with
+  | Ok o when o.rounds = 0 && o.events_copied = 0 && o.copy_ns = 0 ->
+      Printf.printf
+        "shard %d already lives at the destination (epoch %d); re-fenced\n"
+        shard o.new_epoch
+  | Ok o -> print_move_outcome (Printf.sprintf "moved shard %d" shard) o
+  | Error e -> die "mvkv: %s" (Cluster.Move.error_to_string e)
+
+let cluster_split topo_file timeout_ms retries shard at dest page lag max_rounds
+    =
+  let topo = load_topology topo_file in
+  check_shard_id topo topo_file shard;
+  if dest = [] then die "mvkv: cluster split needs at least one --dest";
+  match
+    Cluster.Move.split ?timeout_ms ~retries ~page ~lag ~max_rounds
+      ~notify:print_move_progress ~topo_path:topo_file topo ~shard ~at
+      ~dest:(parse_endpoints dest) ()
+  with
+  | Ok o ->
+      print_move_outcome (Printf.sprintf "split shard %d at %d" shard at) o
+  | Error e -> die "mvkv: %s" (Cluster.Move.error_to_string e)
+
+let cluster_merge topo_file timeout_ms retries shard page lag max_rounds =
+  let topo = load_topology topo_file in
+  check_shard_id topo topo_file shard;
+  match
+    Cluster.Move.merge ?timeout_ms ~retries ~page ~lag ~max_rounds
+      ~notify:print_move_progress ~topo_path:topo_file topo ~shard ()
+  with
+  | Ok o ->
+      print_move_outcome
+        (Printf.sprintf "merged shard %d into shard %d" (shard + 1) shard)
+        o
+  | Error e -> die "mvkv: %s" (Cluster.Move.error_to_string e)
+
+let cluster_moves topo_file timeout_ms retries =
+  let topo = load_topology topo_file in
+  let timeout_ms = Some (Option.value timeout_ms ~default:2000) in
+  Printf.printf "%-5s %-38s %s\n" "shard" "endpoint" "seals";
+  List.iter
+    (fun (shard, ep, r) ->
+      match r with
+      | Ok json -> Printf.printf "%-5d %-38s %s\n" shard ep json
+      | Error reason -> Printf.printf "%-5d %-38s down (%s)\n" shard ep reason)
+    (Cluster.Move.status ?timeout_ms ~retries topo)
 
 (* `cluster client status`: one row per replica, probed with
    ping + epoch_probe; exits 1 when any primary is unreachable (the
@@ -1024,6 +1137,23 @@ let cluster_top topo_file timeout_ms retries interval count =
     | snaps ->
         print_newline ();
         row "cluster" (Obs.Snap.merge_all snaps));
+    (* Fleet-wide migration line: live seals and copy traffic show a
+       reshard in flight; sealed rejects count writers bouncing off a
+       Moved answer (each one a router chase, not a failure). *)
+    (match List.rev !up with
+    | [] -> ()
+    | snaps ->
+        let m = Obs.Snap.merge_all snaps in
+        let installed = Obs.Snap.counter m "move.install.events" in
+        let sealed = Obs.Snap.gauge m "move.sealed_ranges" in
+        let rejects = Obs.Snap.counter m "move.sealed_rejects" in
+        if installed > 0 || sealed > 0 || rejects > 0 then
+          Printf.printf
+            "\nmove: %d sealed range(s)   installed %d event(s) (%.1f/s 10s)  \
+             sealed rejects %d\n"
+            sealed installed
+            (rate10 m "move.rate.install.events")
+            rejects);
     Printf.printf "%!";
     if !i < rounds then
       try Unix.sleepf interval with Unix.Unix_error (Unix.EINTR, _, _) -> ()
@@ -1365,6 +1495,32 @@ let () =
             Term.(
               const cluster_promote $ topology_arg $ timeout_ms_arg
               $ retries_arg $ promote_shard_arg $ promote_to_arg);
+          cmd_of "move"
+            "Hand a shard's whole range to a new replica set under \
+             traffic: copy + catch-up rounds, sealed cutover, epoch bump. \
+             Re-run the same command to resume after a coordinator crash."
+            Term.(
+              const cluster_move $ topology_arg $ timeout_ms_arg $ retries_arg
+              $ move_shard_arg $ move_dest_arg $ move_page_arg $ move_lag_arg
+              $ move_rounds_arg);
+          cmd_of "split"
+            "Split a shard's range at --at: the upper half moves to --dest \
+             as a new shard (later shard ids shift up)."
+            Term.(
+              const cluster_split $ topology_arg $ timeout_ms_arg $ retries_arg
+              $ move_shard_arg $ split_at_arg $ move_dest_arg $ move_page_arg
+              $ move_lag_arg $ move_rounds_arg);
+          cmd_of "merge"
+            "Fold shard I+1's range into shard I (its left neighbour), \
+             then drop it from the topology."
+            Term.(
+              const cluster_merge $ topology_arg $ timeout_ms_arg $ retries_arg
+              $ move_shard_arg $ move_page_arg $ move_lag_arg $ move_rounds_arg);
+          cmd_of "moves"
+            "Per-shard migration status: active range seals, their age and \
+             redirect target."
+            Term.(
+              const cluster_moves $ topology_arg $ timeout_ms_arg $ retries_arg);
           cmd_of "top"
             "Live fleet dashboard: one row per replica plus a cluster-wide \
              aggregate (rates, p50/p99, lagging backups, pmem footprint)."

@@ -18,6 +18,7 @@ type error =
   | Tag_mismatch of { shard : int; expected : int; got : int }
   | Bad_key of { key : int; key_bits : int }
   | Stale_epoch of { shard : int; epoch : int; reason : string }
+  | Moved of { shard : int; epoch : int; endpoint : string }
 
 let error_to_string = function
   | Shard_down { shard; endpoint; reason } ->
@@ -29,6 +30,11 @@ let error_to_string = function
       Printf.sprintf "key %d outside the %d-bit cluster key space" key key_bits
   | Stale_epoch { shard; epoch; reason } ->
       Printf.sprintf "shard %d rejected our epoch %d: %s" shard epoch reason
+  | Moved { shard; epoch; endpoint } ->
+      Printf.sprintf
+        "shard %d's range moved to %s (epoch %d) and the topology reload did \
+         not catch up"
+        shard endpoint epoch
 
 type snapshot_mode = Naive | Opt of { threads : int }
 
@@ -61,6 +67,8 @@ let h_bulk_keys = Obs.Registry.histogram "cluster.find_bulk.keys"
 let c_read_failovers = Obs.Registry.counter "repl.read_failovers"
 let c_stale_epochs = Obs.Registry.counter "repl.stale_epochs"
 let c_topo_reloads = Obs.Registry.counter "repl.topology_reloads"
+let c_moved_chases = Obs.Registry.counter "cluster.moved_chases"
+let c_conns_kept = Obs.Registry.counter "cluster.conns_kept"
 let w_failovers = Obs.Registry.window "repl.rate.read_failovers"
 let h_failover_ns = Obs.Registry.histogram "repl.failover_latency_ns"
 let m_insert = Obs.Instr.op "cluster.insert"
@@ -104,11 +112,48 @@ let close t =
         slots)
     t.conns
 
-(* Swap in a new topology: every cached connection is dropped (it was
-   stamping the old epoch) and re-dial bookkeeping starts over. *)
+(* Swap in a new topology, keeping still-valid live connections: an
+   endpoint that appears in both maps keeps its socket (re-stamped with
+   the new epoch — the server adopts it on the next request), so a
+   migration of one range does not force redials (and repl.redials
+   noise) on every other shard. Dial bookkeeping transfers with the
+   endpoint; connections to endpoints that left the map are closed. *)
 let set_topology t topo =
-  close t;
+  let old = Hashtbl.create 16 in
+  Array.iteri
+    (fun shard slots ->
+      Array.iteri
+        (fun slot conn ->
+          let ep = Net.Sockaddr.to_string (Topology.replica t.topo shard slot) in
+          Hashtbl.replace old ep (conn, t.dialled.(shard).(slot));
+          slots.(slot) <- None)
+        slots)
+    t.conns;
   let conns, dialled, preferred = conn_arrays topo in
+  Array.iteri
+    (fun shard slots ->
+      Array.iteri
+        (fun slot _ ->
+          let ep = Net.Sockaddr.to_string (Topology.replica topo shard slot) in
+          match Hashtbl.find_opt old ep with
+          | None -> ()
+          | Some (conn, was_dialled) ->
+              Hashtbl.remove old ep;
+              dialled.(shard).(slot) <- was_dialled;
+              (match conn with
+              | None -> ()
+              | Some c ->
+                  Net.Client.set_epoch c (Topology.epoch topo);
+                  Obs.Metric.incr c_conns_kept;
+                  slots.(slot) <- Some c))
+        slots)
+    conns;
+  Hashtbl.iter
+    (fun _ (conn, _) ->
+      match conn with
+      | Some c -> ( try Net.Client.close c with _ -> ())
+      | None -> ())
+    old;
   t.topo <- topo;
   t.conns <- conns;
   t.dialled <- dialled;
@@ -173,6 +218,13 @@ let attempt t shard slot f =
       match f c with
       | v -> `Ok v
       | exception Net.Client.Remote_error (Net.Wire.Bad_epoch, msg) -> `Stale msg
+      | exception Net.Client.Remote_error (Net.Wire.Moved, msg) -> (
+          (* The range is sealed for migration: the server is healthy
+             (connection stays up) but this key now belongs elsewhere —
+             chase via a topology reload, not a failover. *)
+          match Net.Wire.parse_moved msg with
+          | Some (epoch, endpoint) -> `Moved (epoch, endpoint)
+          | None -> `Moved (Topology.epoch t.topo + 1, msg))
       | exception Net.Client.Remote_error (code, msg) ->
           drop_conn t shard slot;
           `Down (Printf.sprintf "error frame %s: %s" (Net.Wire.error_code_name code) msg)
@@ -197,23 +249,99 @@ let stale_epoch t shard reason =
   Obs.Metric.incr c_stale_epochs;
   Error (Stale_epoch { shard; epoch = Topology.epoch t.topo; reason })
 
+(* A [Moved] rejection races the cutover's topology publication: the
+   seal lands first, the rewritten map follows within the cutover
+   window. Poll the reload source until it shows an epoch at least
+   [min_epoch] (the one the seal named), bounded to ~500ms — well above
+   the cutover-pause gate, so a healthy move is always caught. The
+   bound is a wall-clock deadline, not a sleep count: [Unix.sleepf] is
+   routinely cut short by the runtime's inter-domain interrupts, so N
+   nominal sleeps can drain orders of magnitude too fast. *)
+let chase_moved t ~min_epoch =
+  let deadline = Unix.gettimeofday () +. 0.5 in
+  let rec poll () =
+    if Topology.epoch t.topo >= min_epoch then true
+    else begin
+      ignore (reload_topology t);
+      if Topology.epoch t.topo >= min_epoch then true
+      else if Unix.gettimeofday () >= deadline then false
+      else begin
+        (try Unix.sleepf 0.005 with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        poll ()
+      end
+    end
+  in
+  poll ()
+
+(* A topology reload may renumber shards (a split inserts an id, a
+   merge removes one): retrying the same shard index against the new
+   map could hit a different range's primary, and an acked write would
+   strand on a node its key never routes to again. Retry in place only
+   when the index still denotes the same key range after the reload. *)
+let reload_keeps_shard t shard =
+  let before = Topology.range t.topo shard in
+  if not (reload_topology t) then `No_reload
+  else if
+    shard < Topology.shards t.topo && Topology.range t.topo shard = before
+  then `Same
+  else `Renumbered
+
+(* The renumbered case surfaces as [Moved]: the chased/batched/scan
+   retry loops all respond by re-routing from the key against the
+   already-reloaded map (so the chase terminates immediately). *)
+let renumbered_moved t shard =
+  let shard' = min shard (Topology.shards t.topo - 1) in
+  Error
+    (Moved
+       {
+         shard;
+         epoch = Topology.epoch t.topo;
+         endpoint = Net.Sockaddr.to_string (Topology.primary t.topo shard');
+       })
+
 (* Writes go to the primary, and only the primary — slot 0 is the one
    replica whose chain forwards to the rest. A down primary or a stale
    epoch both trigger one topology reload + retry: after a promotion the
-   fix for either is the same new map. *)
+   fix for either is the same new map. A [Moved] rejection is NOT
+   retried here: shard ids may have been renumbered by a split, so the
+   retry must re-route from the key — [chased] (below) wraps whole
+   routed ops for that. *)
 let on_primary t shard f =
   Obs.Metric.incr c_requests;
   let rec go ~reloaded =
     match attempt t shard 0 f with
     | `Ok v -> Ok v
-    | `Stale reason ->
-        if (not reloaded) && reload_topology t then go ~reloaded:true
-        else stale_epoch t shard reason
-    | `Down reason ->
-        if (not reloaded) && reload_topology t then go ~reloaded:true
-        else shard_down t shard 0 reason
+    | `Stale reason -> (
+        if reloaded then stale_epoch t shard reason
+        else
+          match reload_keeps_shard t shard with
+          | `Same -> go ~reloaded:true
+          | `Renumbered -> renumbered_moved t shard
+          | `No_reload -> stale_epoch t shard reason)
+    | `Moved (epoch, endpoint) -> Error (Moved { shard; epoch; endpoint })
+    | `Down reason -> (
+        if reloaded then shard_down t shard 0 reason
+        else
+          match reload_keeps_shard t shard with
+          | `Same -> go ~reloaded:true
+          | `Renumbered -> renumbered_moved t shard
+          | `No_reload -> shard_down t shard 0 reason)
   in
   go ~reloaded:false
+
+(* Op-level Moved chasing: re-run the whole routed operation (routing
+   included — ownership and even shard numbering changed) against the
+   chased topology. Bounded: concurrent moves can bounce an op at most
+   [attempts] times before the typed error surfaces. *)
+let chased ?(attempts = 4) t op =
+  let rec go attempts =
+    match op () with
+    | Error (Moved { epoch; _ }) as e when attempts > 0 ->
+        Obs.Metric.incr c_moved_chases;
+        if chase_moved t ~min_epoch:epoch then go (attempts - 1) else e
+    | r -> r
+  in
+  go attempts
 
 (* Reads walk the replica set starting from the sticky preferred slot;
    a successful failover moves the preference so every later read pays
@@ -239,16 +367,29 @@ let on_read t shard f =
             end;
             `Ok v
         | `Stale reason -> `Stale reason
+        | `Moved (epoch, endpoint) -> `Moved (epoch, endpoint)
         | `Down reason -> try_slot (i + 1) (slot, reason)
     in
     match try_slot 0 (0, "no replicas") with
     | `Ok v -> Ok v
-    | `Stale reason ->
-        if (not reloaded) && reload_topology t then go ~reloaded:true
-        else stale_epoch t shard reason
-    | `All_down (slot, reason) ->
-        if (not reloaded) && reload_topology t then go ~reloaded:true
-        else shard_down t shard slot reason
+    | `Stale reason -> (
+        if reloaded then stale_epoch t shard reason
+        else
+          match reload_keeps_shard t shard with
+          | `Same -> go ~reloaded:true
+          | `Renumbered -> renumbered_moved t shard
+          | `No_reload -> stale_epoch t shard reason)
+    | `Moved (epoch, endpoint) ->
+        (* Reads are never sealed, so this only happens if a caller
+           routes a mutation through [on_read]; surface it typed. *)
+        Error (Moved { shard; epoch; endpoint })
+    | `All_down (slot, reason) -> (
+        if reloaded then shard_down t shard slot reason
+        else
+          match reload_keeps_shard t shard with
+          | `Same -> go ~reloaded:true
+          | `Renumbered -> renumbered_moved t shard
+          | `No_reload -> shard_down t shard slot reason)
   in
   go ~reloaded:false
 
@@ -265,6 +406,21 @@ let each_shard t route f =
       | Error _ as e -> e
   in
   go 0 []
+
+(* Broadcast an absolute, idempotent operation to every primary,
+   chasing [Moved]: a sealed shard rejects clock/GC mutations, so after
+   the chase the {e same} operation is re-broadcast over the
+   post-reshard topology — shards that already applied it ack the same
+   answer (the ops are advance-to/below-horizon absolute). *)
+let broadcast_chased ?(attempts = 4) t f =
+  let rec go attempts =
+    match each_shard t on_primary (fun _ c -> f c) with
+    | Error (Moved { epoch; _ }) when attempts > 0 && chase_moved t ~min_epoch:epoch
+      ->
+        go (attempts - 1)
+    | r -> r
+  in
+  go attempts
 
 let check_key t key =
   if Topology.in_key_space t.topo key then Ok (Topology.owner t.topo key)
@@ -294,30 +450,33 @@ let traced t m name f =
 
 let insert t ~key ~value =
   traced t m_insert "cluster.insert" (fun () ->
-      Result.bind (check_key t key) (fun shard ->
-          on_primary t shard (fun c -> Net.Client.insert c ~key ~value)))
+      chased t (fun () ->
+          Result.bind (check_key t key) (fun shard ->
+              on_primary t shard (fun c -> Net.Client.insert c ~key ~value))))
 
 let remove t ~key =
   traced t m_remove "cluster.remove" (fun () ->
-      Result.bind (check_key t key) (fun shard ->
-          on_primary t shard (fun c -> Net.Client.remove c ~key)))
+      chased t (fun () ->
+          Result.bind (check_key t key) (fun shard ->
+              on_primary t shard (fun c -> Net.Client.remove c ~key))))
 
 let find t ?version key =
   traced t m_find "cluster.find" (fun () ->
-      Result.bind (check_key t key) (fun shard ->
-          on_read t shard (fun c -> Net.Client.find c ?version key)))
+      chased t (fun () ->
+          Result.bind (check_key t key) (fun shard ->
+              on_read t shard (fun c -> Net.Client.find c ?version key))))
 
 (* ---- broadcast ops ---- *)
 
 let ping t =
-  Result.map (fun _ -> ()) (each_shard t on_primary (fun _ c -> Net.Client.ping c))
+  Result.map (fun _ -> ()) (broadcast_chased t (fun c -> Net.Client.ping c))
 
 (* Clock probes feed tag/compact horizons, which are then written at
    the primaries — so probe the primaries, not a possibly-lagging
    backup. *)
 let versions t =
   Result.map Array.of_list
-    (each_shard t on_primary (fun _ c -> Net.Client.tag_at c ~version:0))
+    (broadcast_chased t (fun c -> Net.Client.tag_at c ~version:0))
 
 (* ---- find_bulk: per-shard batches, answers in input order ---- *)
 
@@ -328,6 +487,11 @@ let bulk_chunk = 1024
 let find_bulk t ?version keys =
   traced t m_find_bulk "cluster.find_bulk" (fun () ->
       Obs.Histogram.record h_bulk_keys (Array.length keys);
+      (* The whole bucket-and-fan-out runs under [chased]: a [Moved]
+         bounce (live reshard, possibly renumbering shards) re-buckets
+         every key against the chased topology. Reads are idempotent,
+         so re-running the full fan-out is safe. *)
+      chased t @@ fun () ->
       let k = Topology.shards t.topo in
       (* positions of each shard's keys, in input order *)
       let buckets = Array.make k [] in
@@ -422,43 +586,60 @@ let bucket_by_shard t items key_of =
 let batched_write t m name ~frame items key_of =
   traced t m name (fun () ->
       Obs.Histogram.record h_batch_pairs (List.length items);
-      match bucket_by_shard t items key_of with
-      | Error e -> Error e
-      | Ok buckets ->
-          let rec per_shard shard =
-            if shard >= Array.length buckets then Ok ()
-            else
-              match buckets.(shard) with
-              | [] -> per_shard (shard + 1)
-              | items -> (
-                  let arr = Array.of_list items in
-                  let n = Array.length arr in
-                  let reqs =
-                    List.init
-                      ((n + bulk_chunk - 1) / bulk_chunk)
-                      (fun c ->
-                        let lo = c * bulk_chunk in
-                        frame (Array.sub arr lo (min bulk_chunk (n - lo))))
-                  in
-                  match
-                    on_primary t shard (fun c ->
-                        List.iter
-                          (function
-                            | Net.Wire.Ack -> ()
-                            | Net.Wire.Error { code; message } ->
-                                raise (Net.Client.Remote_error (code, message))
-                            | r ->
-                                raise
-                                  (Net.Client.Protocol_error
-                                     (Format.asprintf
-                                        "unexpected batch response: %a"
-                                        Net.Wire.pp_response r)))
-                          (Net.Client.call_batch c reqs))
-                  with
-                  | Ok () -> per_shard (shard + 1)
-                  | Error _ as e -> e)
-          in
-          per_shard 0)
+      let send_one shard items =
+        let arr = Array.of_list items in
+        let n = Array.length arr in
+        let reqs =
+          List.init
+            ((n + bulk_chunk - 1) / bulk_chunk)
+            (fun c ->
+              let lo = c * bulk_chunk in
+              frame (Array.sub arr lo (min bulk_chunk (n - lo))))
+        in
+        on_primary t shard (fun c ->
+            List.iter
+              (function
+                | Net.Wire.Ack -> ()
+                | Net.Wire.Error { code; message } ->
+                    raise (Net.Client.Remote_error (code, message))
+                | r ->
+                    raise
+                      (Net.Client.Protocol_error
+                         (Format.asprintf "unexpected batch response: %a"
+                            Net.Wire.pp_response r)))
+              (Net.Client.call_batch c reqs))
+      in
+      (* A [Moved] bounce re-routes only the not-yet-acked remainder
+         (the bounced shard's bucket plus every later one): shard ids
+         may have been renumbered by a split, so the remainder is
+         re-bucketed from its keys against the chased topology. Acked
+         buckets are never resent — no duplicate history events. *)
+      let rec send ~attempts items =
+        match bucket_by_shard t items key_of with
+        | Error e -> Error e
+        | Ok buckets ->
+            let k = Array.length buckets in
+            let rec per_shard shard =
+              if shard >= k then Ok ()
+              else
+                match buckets.(shard) with
+                | [] -> per_shard (shard + 1)
+                | shard_items -> (
+                    match send_one shard shard_items with
+                    | Ok () -> per_shard (shard + 1)
+                    | Error (Moved { epoch; _ }) as e when attempts > 0 ->
+                        Obs.Metric.incr c_moved_chases;
+                        if chase_moved t ~min_epoch:epoch then
+                          send ~attempts:(attempts - 1)
+                            (List.concat
+                               (List.init (k - shard) (fun i ->
+                                    buckets.(shard + i))))
+                        else e
+                    | Error _ as e -> e)
+            in
+            per_shard 0
+      in
+      send ~attempts:4 items)
 
 let insert_batch t pairs =
   batched_write t m_insert_batch "cluster.insert_batch"
@@ -472,39 +653,45 @@ let remove_batch t keys =
 
 (* ---- ranged scan: shard-ordered pages ---- *)
 
-(* Shards own contiguous ascending key ranges, so walking them in shard
-   order and paging each shard's intersection of [lo, hi) streams the
-   whole range to [f] in ascending key order. Each shard's pages are
-   buffered until that shard succeeds: a mid-scan failover retries the
-   whole shard range on the next replica without re-delivering pairs. *)
+(* Shards own contiguous ascending key ranges, so walking positions
+   from [lo] upward streams the whole range to [f] in ascending key
+   order. Each shard's pages are buffered until that shard succeeds: a
+   mid-scan failover retries the shard range on the next replica
+   without re-delivering pairs, and a [Moved] bounce (a live reshard
+   renumbered the map mid-scan) chases the topology and resumes from
+   the first undelivered position — never from a shard index, which the
+   reshard may have re-pointed at a different range. *)
 let scan t ?version ?limit ~lo ~hi f =
   traced t m_scan "cluster.scan" (fun () ->
-      let part = Topology.partition t.topo in
-      let k = Topology.shards t.topo in
-      let rec per_shard shard total =
-        if shard >= k then Ok total
+      let stop = min hi (1 lsl Topology.key_bits t.topo) in
+      let rec walk ~attempts pos total =
+        if pos >= stop then Ok total
         else
-          let slo, shi = Distrib.Partition.range part shard in
-          let lo' = max lo slo and hi' = min hi shi in
-          if lo' >= hi' then per_shard (shard + 1) total
-          else
-            let buf = ref [] in
-            match
-              on_read t shard (fun c ->
-                  buf := [];
-                  ignore
-                    (Net.Client.scan c ?version ?limit ~lo:lo' ~hi:hi'
-                       (fun key value -> buf := (key, value) :: !buf)))
-            with
-            | Ok () ->
-                let pairs = List.rev !buf in
-                List.iter (fun (key, value) -> f key value) pairs;
-                let n = List.length pairs in
-                Obs.Metric.add c_scan_pairs n;
-                per_shard (shard + 1) (total + n)
-            | Error _ as e -> e
+          let shard = Topology.owner t.topo pos in
+          let _, shi = Topology.range t.topo shard in
+          let hi' = min stop shi in
+          let buf = ref [] in
+          match
+            on_read t shard (fun c ->
+                buf := [];
+                ignore
+                  (Net.Client.scan c ?version ?limit ~lo:pos ~hi:hi'
+                     (fun key value -> buf := (key, value) :: !buf)))
+          with
+          | Ok () ->
+              let pairs = List.rev !buf in
+              List.iter (fun (key, value) -> f key value) pairs;
+              let n = List.length pairs in
+              Obs.Metric.add c_scan_pairs n;
+              walk ~attempts hi' (total + n)
+          | Error (Moved { epoch; _ }) as e when attempts > 0 ->
+              Obs.Metric.incr c_moved_chases;
+              if chase_moved t ~min_epoch:epoch then
+                walk ~attempts:(attempts - 1) pos total
+              else e
+          | Error _ as e -> e
       in
-      per_shard 0 0)
+      walk ~attempts:4 (max lo 0) 0)
 
 (* ---- cluster-wide tag ---- *)
 
@@ -521,7 +708,7 @@ let tag t =
                 else Error (Tag_mismatch { shard; expected = target; got = ack })
           in
           Result.bind
-            (each_shard t on_primary (fun _ c -> Net.Client.tag_at c ~version:target))
+            (broadcast_chased t (fun c -> Net.Client.tag_at c ~version:target))
             (verify 0))
 
 (* ---- cluster-wide compaction ---- *)
@@ -543,28 +730,40 @@ let compact t ~keep =
           else
             Result.map
               (fun dropped -> (before, List.fold_left ( + ) 0 dropped))
-              (each_shard t on_primary (fun _ c -> Net.Client.compact c ~before)))
+              (broadcast_chased t (fun c -> Net.Client.compact c ~before)))
 
-(* ---- scatter-gather history ---- *)
+(* ---- per-key history ---- *)
 
 let history t key =
   traced t m_history "cluster.history" (fun () ->
-      Result.bind (check_key t key) (fun _owner ->
-          Result.map
-            (fun per_shard ->
-              (* Ranges are disjoint, so normally one shard answers and
-                 the rest are empty; merging by version keeps the result
-                 well-defined even if ownership ever moved. *)
-              List.concat per_shard
-              |> List.stable_sort (fun (v1, _) (v2, _) -> compare v1 v2))
-            (each_shard t on_read (fun _ c -> Net.Client.history c key))))
+      chased t (fun () ->
+          Result.bind (check_key t key) (fun owner ->
+              (* The owner holds the key's complete history: a reshard
+                 ships whole version chains, and the previous owner
+                 keeps a stale (unreachable) copy until its own GC — so
+                 this must be a single-shard read, never a
+                 scatter-gather that would double-count those
+                 leftovers. *)
+              on_read t owner (fun c -> Net.Client.history c key))))
 
 (* ---- distributed extract_snapshot ---- *)
+
+(* Clip a shard's contribution to the range it owns: after a split or
+   merge, the old owner still stores the moved range's pairs (reclaim
+   is its own GC's business), and including them would duplicate — or,
+   after post-reshard writes, contradict — the new owner's answer. *)
+let clip_to_range t shard pairs =
+  let lo, hi = Topology.range t.topo shard in
+  if Array.for_all (fun (k, _) -> k >= lo && k < hi) pairs then pairs
+  else
+    Array.of_list
+      (List.filter (fun (k, _) -> k >= lo && k < hi) (Array.to_list pairs))
 
 let gather_parts t ?version () =
   Obs.Span.with_ "cluster.snapshot.gather" (fun () ->
       Result.map Array.of_list
-        (each_shard t on_read (fun _ c -> Net.Client.snapshot c ?version ())))
+        (each_shard t on_read (fun shard c ->
+             clip_to_range t shard (Net.Client.snapshot c ?version ()))))
 
 let snapshot t ?version ~mode () =
   let merge parts =
@@ -595,7 +794,9 @@ let snapshot t ?version ~mode () =
           let merged = merge parts in
           Obs.Metric.add c_snapshot_pairs (Array.length merged);
           merged)
-        (gather_parts t ?version ()))
+        (* Chased: a reshard mid-gather re-runs the whole fan-out so
+           every shard's clip uses one coherent topology. *)
+        (chased t (fun () -> gather_parts t ?version ())))
 
 (* ---- fleet aggregation ---- *)
 
@@ -625,6 +826,7 @@ let fleet_snaps t =
             | Ok j -> Obs.Snap.of_json j
             | Error e -> Error (Printf.sprintf "bad snapshot JSON: %s" e))
         | `Stale reason -> Error (Printf.sprintf "stale epoch: %s" reason)
+        | `Moved (_, endpoint) -> Error (Printf.sprintf "moved to %s" endpoint)
         | `Down reason -> Error reason
       in
       { shard; slot; snap })
@@ -686,6 +888,10 @@ let fleet_trace ?(clear = true) ?local t =
            | `Stale reason ->
                skipped :=
                  (replica_label shard slot, "stale epoch: " ^ reason) :: !skipped;
+               None
+           | `Moved (_, endpoint) ->
+               skipped :=
+                 (replica_label shard slot, "moved to " ^ endpoint) :: !skipped;
                None
            | `Down reason ->
                skipped := (replica_label shard slot, reason) :: !skipped;

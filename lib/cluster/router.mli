@@ -44,6 +44,13 @@ type error =
           and rejected the request with [Bad_epoch]; reloading the
           topology did not produce a newer map (no [reload] closure, or
           the file has not caught up yet). *)
+  | Moved of { shard : int; epoch : int; endpoint : string }
+      (** The shard no longer owns the key: a live reshard sealed the
+          range and pointed at [endpoint] as of topology [epoch]. Write
+          paths chase this automatically (reload the topology until its
+          epoch reaches [epoch], then re-route {e from the key} — a
+          split may have renumbered shard ids); it surfaces only when
+          the chase budget runs out or no [reload] closure exists. *)
 
 val error_to_string : error -> string
 
@@ -144,8 +151,11 @@ val compact : t -> keep:int -> (int * int, error) result
     snapshots at or after [before] remain faithful. *)
 
 val history : t -> int -> ((int * int Mvdict.Dict_intf.event) list, error) result
-(** Scatter-gather [extract_history] across all shards (non-owners
-    contribute nothing), merged in version order. *)
+(** [extract_history] from the key's owning shard (with read failover
+    across its replicas). Single-shard by design: the owner holds the
+    complete chain — live resharding ships whole version histories —
+    while a previous owner may keep a stale copy until its own GC, so a
+    scatter-gather would double-count. *)
 
 val snapshot :
   t -> ?version:int -> mode:snapshot_mode -> unit -> ((int * int) array, error) result

@@ -279,6 +279,78 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) = struct
 
   let key_count t = Concurrent.Skiplist.cardinal t.index
 
+  (* ---- migration primitives ----
+
+     [pull_chains] pages a key range's version chains out (shard
+     handoff reads), [install_chains] writes pulled chains into another
+     store preserving the version stamps exactly — Put and Del events
+     alike, so tombstones and multi-event-per-version histories
+     transfer verbatim. *)
+
+  let decode_event t word =
+    if Codec.is_marker word then Dict_intf.Del
+    else Dict_intf.Put (Codec.decode (module V) t.media word)
+
+  exception Page_done
+
+  (* One gated ascending pass over [lo, hi). Per key: every event with
+     version > [since], oldest first; keys with nothing above [since]
+     are skipped. [limit] bounds the page in events but a key's chain
+     is never split, and the first key always ships — so every
+     non-empty page makes progress and an empty page means done. *)
+  let pull_chains t ~lo ~hi ~since ~limit =
+    gated t (fun () ->
+        let acc = ref [] and events = ref 0 in
+        (try
+           Concurrent.Skiplist.iter_range t.index ~lo ~hi (fun key h ->
+               if limit > 0 && !events >= limit then raise Page_done;
+               let chain =
+                 List.filter_map
+                   (fun (version, word) ->
+                     if version > since then Some (version, decode_event t word)
+                     else None)
+                   (Phistory.H.events h ~ctx:t.ctx)
+               in
+               if chain <> [] then begin
+                 acc := (key, chain) :: !acc;
+                 events := !events + List.length chain
+               end)
+         with Page_done -> ());
+        List.rev !acc)
+
+  (* Install pulled chains, idempotently. Invariant the coordinator
+     maintains: this store's chain for a migrating key is always a
+     prefix of the source's, and an incoming chain is {e all} of the
+     source's events above [since]. So the already-installed part of a
+     chain is exactly our own events above [since] — count them, append
+     the rest. (Counting by version alone would be wrong: the version
+     clock only advances on tags, so two successive events of one key
+     can share a version and a replay must not drop the second.) *)
+  let install_chains t ~since chains =
+    let chains = List.sort (fun (a, _) (b, _) -> K.compare a b) chains in
+    gated t (fun () ->
+        let cur = Concurrent.Skiplist.cursor t.index in
+        List.iter
+          (fun (key, events) ->
+            let h = history_of_at t cur key in
+            let skip =
+              List.fold_left
+                (fun n (version, _) -> if version > since then n + 1 else n)
+                0
+                (Phistory.H.events h ~ctx:t.ctx)
+            in
+            List.iteri
+              (fun i (version, event) ->
+                if i >= skip then
+                  let word =
+                    match event with
+                    | Dict_intf.Del -> Codec.marker_word
+                    | Dict_intf.Put v -> Codec.encode (module V) t.heap v
+                  in
+                  Phistory.H.append h ~ctx:t.ctx ~board:t.board ~version word)
+              events)
+          chains)
+
   let open_existing ?(threads = 1) heap =
     Obs.Span.with_ "mvdict.pskiplist.recover" @@ fun () ->
     let chain_handle = Pmem.Pheap.root_get heap chain_root_slot in

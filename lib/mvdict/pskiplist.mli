@@ -65,6 +65,32 @@ module Make (K : Codec.KEY) (V : Codec.VALUE) : sig
   val gc_stop : gc -> unit
   (** Signal the GC domain to stop and join it. *)
 
+  val pull_chains :
+    t ->
+    lo:key ->
+    hi:key ->
+    since:int ->
+    limit:int ->
+    (key * (int * value Dict_intf.event) list) list
+  (** One page of version chains for keys in [lo, hi) (ascending):
+      per key, every event with version > [since], oldest first — Put
+      and Del (tombstone) events alike, with exact version stamps.
+      Keys with nothing above [since] are skipped. [limit] bounds the
+      page in {e events} (0 = unbounded); a key's chain is never split
+      across pages and the first key always ships, so a non-empty page
+      always makes progress: stream a range by re-issuing with
+      [lo = last key + 1] until the page comes back empty. One gated
+      pass — concurrent writers are not blocked. *)
+
+  val install_chains : t -> since:int -> (key * (int * value Dict_intf.event) list) list -> unit
+  (** Install chains pulled from another store, preserving version
+      stamps exactly. Idempotent {e under the migration invariant}:
+      this store's chain for each key is a prefix of the source's and
+      the incoming chain is all of the source's events above [since]
+      for that key — already-present events (this store's own events
+      above [since]) are counted and skipped, the rest appended in
+      order. Safe to replay after a crash mid-install. *)
+
   val history_words : t -> key -> (int * int * int) array
   (** Raw persisted [(version, word, stamp)] records of a key's history
       (test/diagnostic hook). *)

@@ -315,6 +315,33 @@ let epoch_probe t =
   | Wire.Epoch_info { epoch; version } -> (epoch, version)
   | r -> unexpected "epoch_probe" r
 
+(* ---- migration (shard handoff) helpers ---- *)
+
+let migrate_pull t ~lo ~hi ~since ~limit =
+  match call t (Wire.Migrate_pull { lo; hi; since; limit }) with
+  | Wire.Histories chains -> chains
+  | r -> unexpected "migrate_pull" r
+
+let history_batch t ~since chains =
+  match call t (Wire.History_batch { since; chains }) with
+  | Wire.Ack -> ()
+  | r -> unexpected "history_batch" r
+
+let range_seal t ~lo ~hi ~epoch ~endpoint =
+  match call t (Wire.Range_seal { lo; hi; epoch; endpoint }) with
+  | Wire.Ack -> ()
+  | r -> unexpected "range_seal" r
+
+let range_unseal t ~lo ~hi =
+  match call t (Wire.Range_unseal { lo; hi }) with
+  | Wire.Ack -> ()
+  | r -> unexpected "range_unseal" r
+
+let moves_status t =
+  match call t Wire.Moves_status with
+  | Wire.Moves_json s -> s
+  | r -> unexpected "moves_status" r
+
 (* Ship one already-applied mutation to a backup. Returns the backup's
    raw (non-error) response so the chain can cross-check e.g. the
    version a [Tag_at] landed at. *)

@@ -54,6 +54,25 @@ let w_requests = Obs.Registry.window "net.rate.requests"
 let w_bytes_in = Obs.Registry.window "net.rate.bytes_in"
 let w_bytes_out = Obs.Registry.window "net.rate.bytes_out"
 
+(* Migration metrics: what a shard sees of a live move. Pull/install
+   sides are distinct — the old owner pulls, the new owner installs —
+   so one server usually moves only one set of these. *)
+let c_move_pull_keys = Obs.Registry.counter "move.pull.keys"
+let c_move_pull_events = Obs.Registry.counter "move.pull.events"
+let c_move_install_keys = Obs.Registry.counter "move.install.keys"
+let c_move_install_events = Obs.Registry.counter "move.install.events"
+let c_move_install_bytes = Obs.Registry.counter "move.install.bytes"
+let c_move_sealed_rejects = Obs.Registry.counter "move.sealed_rejects"
+let w_move_install = Obs.Registry.window "move.rate.install.events"
+let g_move_sealed = Obs.Registry.gauge "move.sealed_ranges"
+
+let h_move_drain = Obs.Registry.histogram "move.drain_ns"
+(** Range_seal handling time: how long draining in-flight writes took. *)
+
+let h_move_pause = Obs.Registry.histogram "move.cutover_pause_ns"
+(** Seal-to-unseal wall time: the write-unavailability window of a
+    cutover, as observed by the sealed (old) owner. *)
+
 let op_metrics =
   List.map (fun label -> (label, Obs.Instr.op ("net." ^ label))) Wire.request_labels
 
@@ -124,6 +143,21 @@ module type STORE = sig
   val compact : t -> before:int -> int
   (** Drop history entries no snapshot at or after [before] observes;
       returns how many were dropped (see {!Mvdict.Pskiplist}). *)
+
+  val pull_chains :
+    t ->
+    lo:int ->
+    hi:int ->
+    since:int ->
+    limit:int ->
+    (int * (int * int Mvdict.Dict_intf.event) list) list
+  (** One page of per-key version chains above [since] for keys in
+      [lo, hi) — the Migrate_pull opcode (see {!Mvdict.Pskiplist}). *)
+
+  val install_chains :
+    t -> since:int -> (int * (int * int Mvdict.Dict_intf.event) list) list -> unit
+  (** Install pulled chains verbatim, idempotently — the History_batch
+      opcode (see {!Mvdict.Pskiplist}). *)
 end
 
 module Make (S : STORE) =
@@ -151,6 +185,16 @@ struct
     stop_flag : bool Atomic.t;
     active : int Atomic.t;
     queue : Handoff.t;
+    seals : (int * int * int * string * int) list Atomic.t;
+        (** sealed key ranges: [(lo, hi, epoch, endpoint, sealed_at_ns)].
+            While a range is sealed, mutations touching it are rejected
+            with a [Moved] error naming [epoch]/[endpoint] — the
+            migration cutover's write gate. *)
+    mut_slots : int Atomic.t list Atomic.t;
+        (** one in-flight-mutation flag per connection; [Range_seal]
+            drains by observing each flag at zero once (a grace period,
+            not a global-zero instant, so traffic on unrelated ranges
+            cannot stall the drain). *)
     mutable supervisor : unit Domain.t option;
   }
 
@@ -185,9 +229,137 @@ struct
     in
     adopt ()
 
+  (* ---- migration write gate ----
+
+     A sealed range rejects mutations that touch it with a typed
+     [Moved] error carrying the new epoch and owner. The Dekker-style
+     handshake with [Range_seal]'s drain: a mutation raises its
+     connection's in-flight flag {e before} reading the seal list; the
+     sealer publishes the seal {e before} waiting for every flag to
+     read zero once. Either the mutation saw the seal (rejected), or
+     the drain saw its flag (waited for it) — no acked write can slip
+     through after the drain returns. *)
+
+  let seal_conflict t (req : Wire.request) =
+    match Atomic.get t.seals with
+    | [] -> None
+    | seals -> (
+        let hit key =
+          List.find_opt (fun (lo, hi, _, _, _) -> key >= lo && key < hi) seals
+        in
+        let first_hit fold keys =
+          fold
+            (fun acc key -> match acc with Some _ -> acc | None -> hit key)
+            None keys
+        in
+        match req with
+        | Wire.Insert { key; _ } | Wire.Remove { key } -> hit key
+        | Wire.Insert_batch { pairs } ->
+            first_hit
+              (fun f acc -> Array.fold_left (fun a (k, _) -> f a k) acc)
+              pairs
+        | Wire.Remove_batch { keys } ->
+            first_hit (fun f acc -> Array.fold_left f acc) keys
+        | Wire.History_batch { chains; _ } ->
+            first_hit
+              (fun f acc -> Array.fold_left (fun a (k, _) -> f a k) acc)
+              chains
+        (* The version clock and the GC horizon are migrating state
+           too: a tag or compaction that landed after the coordinator's
+           final clock probe would be missing on the new owner, so a
+           seal rejects them — the router chases and re-issues the same
+           absolute operation on the post-move topology. But only while
+           the cutover is unpublished to this server: once we have
+           adopted an epoch at or above the seal's (the chased retry
+           stamps the new epoch, adopted before this check), the range
+           already belongs to the destination per the live map — it
+           gets the clock op directly, and our clock only governs the
+           ranges we kept. Without the epoch cut-off, the residual seal
+           between topology save and unseal would bounce every retry
+           and exhaust the chase for nothing. Clock {e probes}
+           ([Tag_at 0]) mutate nothing and always pass. *)
+        | Wire.Tag | Wire.Compact _ | Wire.Retention _ ->
+            let cur = Atomic.get t.epoch in
+            List.find_opt (fun (_, _, epoch, _, _) -> epoch > cur) seals
+        | Wire.Tag_at { version } ->
+            if version > 0 then
+              let cur = Atomic.get t.epoch in
+              List.find_opt (fun (_, _, epoch, _, _) -> epoch > cur) seals
+            else None
+        | _ -> None)
+
+  let sealed_reject (_, _, epoch, endpoint, _) =
+    Obs.Metric.incr c_move_sealed_rejects;
+    Wire.Error { code = Wire.Moved; message = Wire.moved_message ~epoch ~endpoint }
+
+  (* Grace-period drain: observe every connection's in-flight flag at
+     zero once. Flags are raised only around one frame's apply, so each
+     wait is bounded by one store operation, not by traffic. [except]
+     skips the caller's own gate — a drain issued from inside a gated
+     request (the Tag_at 0 publication barrier) must not wait on
+     itself. *)
+  let drain_mutations ?except t =
+    List.iter
+      (fun slot ->
+        if match except with Some g -> g != slot | None -> true then
+          while Atomic.get slot > 0 do
+            Domain.cpu_relax ()
+          done)
+      (Atomic.get t.mut_slots)
+
+  let set_seal t ~lo ~hi ~epoch ~endpoint =
+    let rec update () =
+      let cur = Atomic.get t.seals in
+      (* Re-sealing the same range keeps the original timestamp: the
+         cutover-pause histogram measures from the first seal. *)
+      let sealed_at =
+        match List.find_opt (fun (l, h, _, _, _) -> l = lo && h = hi) cur with
+        | Some (_, _, _, _, at) -> at
+        | None -> Obs.Clock.now_ns ()
+      in
+      let rest = List.filter (fun (l, h, _, _, _) -> not (l = lo && h = hi)) cur in
+      if
+        not
+          (Atomic.compare_and_set t.seals cur
+             ((lo, hi, epoch, endpoint, sealed_at) :: rest))
+      then update ()
+    in
+    update ();
+    Obs.Metric.set g_move_sealed (List.length (Atomic.get t.seals))
+
+  let clear_seal t ~lo ~hi =
+    let rec update () =
+      let cur = Atomic.get t.seals in
+      let removed = List.find_opt (fun (l, h, _, _, _) -> l = lo && h = hi) cur in
+      let rest = List.filter (fun (l, h, _, _, _) -> not (l = lo && h = hi)) cur in
+      if Atomic.compare_and_set t.seals cur rest then removed else update ()
+    in
+    let removed = update () in
+    Obs.Metric.set g_move_sealed (List.length (Atomic.get t.seals));
+    removed
+
+  let moves_json t =
+    let now = Obs.Clock.now_ns () in
+    let buf = Buffer.create 128 in
+    Buffer.add_string buf
+      (Printf.sprintf "{\"epoch\":%d,\"version\":%d,\"sealed\":["
+         (Atomic.get t.epoch)
+         (S.current_version t.store));
+    List.iteri
+      (fun i (lo, hi, epoch, endpoint, sealed_at) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"lo\":%d,\"hi\":%d,\"epoch\":%d,\"endpoint\":%S,\"age_ms\":%.1f}"
+             lo hi epoch endpoint
+             (float_of_int (now - sealed_at) /. 1e6)))
+      (Atomic.get t.seals);
+    Buffer.add_string buf "]}";
+    Buffer.contents buf
+
   (* ---- request dispatch ---- *)
 
-  let apply t (req : Wire.request) : Wire.response =
+  let apply t ~gate (req : Wire.request) : Wire.response =
     match req with
     | Wire.Ping -> Wire.Pong
     | Wire.Insert { key; value } ->
@@ -207,15 +379,30 @@ struct
            the caller (the cluster router) to flag as a conflict. The
            loop re-reads the clock so concurrent taggers cannot push it
            past the target through us. *)
-        let rec bump () =
+        if version = 0 then begin
+          (* The probe doubles as a publication barrier: read the clock
+             first, then drain every other connection's in-flight flag.
+             A write that will ever be stamped <= the answer read the
+             clock before it reached that value — its flag was already
+             up when we started scanning, so the drain waits for its
+             chain append. A write starting after our read stamps
+             strictly above the answer. This is what lets a migration
+             round trust [since = probed clock]: no event at or below
+             the watermark can surface after the round's pulls. *)
           let current = S.current_version t.store in
-          if current >= version then current
-          else begin
-            ignore (S.tag t.store);
-            bump ()
-          end
-        in
-        Wire.Version (bump ())
+          drain_mutations ~except:gate t;
+          Wire.Version current
+        end
+        else
+          let rec bump () =
+            let current = S.current_version t.store in
+            if current >= version then current
+            else begin
+              ignore (S.tag t.store);
+              bump ()
+            end
+          in
+          Wire.Version (bump ())
     | Wire.History { key } -> Wire.Events (S.extract_history t.store key)
     | Wire.Snapshot { version } ->
         (* The one request that walks the whole store: span it so a
@@ -284,6 +471,41 @@ struct
         let a = Array.of_list !acc in
         let m = Array.length a in
         Wire.Pairs (Array.init m (fun i -> a.(m - 1 - i)))
+    | Wire.Migrate_pull { lo; hi; since; limit } ->
+        (* [limit] bounds the page in events; the same cap as Scan
+           keeps the reply around 1 MiB. *)
+        let limit = if limit <= 0 then scan_chunk else min limit scan_chunk in
+        let chains = S.pull_chains t.store ~lo ~hi ~since ~limit in
+        Obs.Metric.add c_move_pull_keys (List.length chains);
+        Obs.Metric.add c_move_pull_events
+          (List.fold_left (fun n (_, es) -> n + List.length es) 0 chains);
+        Wire.Histories (Array.of_list chains)
+    | Wire.History_batch { since; chains } ->
+        S.install_chains t.store ~since (Array.to_list chains);
+        let events =
+          Array.fold_left (fun n (_, es) -> n + List.length es) 0 chains
+        in
+        Obs.Metric.add c_move_install_keys (Array.length chains);
+        Obs.Metric.add c_move_install_events events;
+        (* Wire-encoding sizes: 16 bytes per chain header, 9 or 17 per
+           event — close enough to the bytes that actually moved. *)
+        Obs.Metric.add c_move_install_bytes
+          ((16 * Array.length chains) + (17 * events));
+        Obs.Window.add w_move_install events;
+        Wire.Ack
+    | Wire.Range_seal { lo; hi; epoch; endpoint } ->
+        let t0 = Obs.Clock.now_ns () in
+        set_seal t ~lo ~hi ~epoch ~endpoint;
+        drain_mutations t;
+        Obs.Histogram.record h_move_drain (Obs.Clock.now_ns () - t0);
+        Wire.Ack
+    | Wire.Range_unseal { lo; hi } ->
+        (match clear_seal t ~lo ~hi with
+        | None -> ()
+        | Some (_, _, _, _, sealed_at) ->
+            Obs.Histogram.record h_move_pause (Obs.Clock.now_ns () - sealed_at));
+        Wire.Ack
+    | Wire.Moves_status -> Wire.Moves_json (moves_json t)
     | Wire.Stamped _ | Wire.Replicate _ ->
         (* Unreachable: [dispatch] unwraps both and the decoder rejects
            nested wrappers — but keep it a typed error, not an assert. *)
@@ -297,11 +519,11 @@ struct
      to [on_mutation] (the replication chain) after the local apply, so
      the ack the client sees means "applied here and offered to every
      reachable backup". *)
-  let dispatch_inner t ~replicated req =
+  let dispatch_core t ~replicated ~gate req =
     let metrics = List.assoc (Wire.request_label req) op_metrics in
     let t0 = Obs.Instr.start () in
     let resp =
-      match apply t req with
+      match apply t ~gate req with
       | resp -> resp
       | exception e ->
           Obs.Metric.incr c_errors;
@@ -329,7 +551,25 @@ struct
               (Printexc.to_string e)));
     resp
 
-  let rec dispatch t req =
+  (* The write-gate shell around [dispatch_core]: client mutations
+     raise their connection's in-flight flag, then either bounce off a
+     seal covering one of their keys or run. Replicated frames bypass
+     the gate — backups are never sealed, and the seal must not recurse
+     into the replication path it is draining. *)
+  let dispatch_inner t ~replicated ~gate req =
+    if replicated || not (Wire.is_mutation req) then
+      dispatch_core t ~replicated ~gate req
+    else begin
+      Atomic.incr gate;
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr gate)
+        (fun () ->
+          match seal_conflict t req with
+          | Some seal -> sealed_reject seal
+          | None -> dispatch_core t ~replicated ~gate req)
+    end
+
+  let rec dispatch t ~gate req =
     match req with
     | Wire.Traced { trace_hi; trace_lo; parent_span; sampled; req } ->
         (* Inherit the remote trace context for the duration of the
@@ -348,14 +588,14 @@ struct
                })
             (fun () ->
               Obs.Span.with_ ("srv." ^ Wire.request_label req) (fun () ->
-                  dispatch t req))
-        else dispatch t req
+                  dispatch t ~gate req))
+        else dispatch t ~gate req
     | Wire.Stamped { epoch; req } -> (
         match check_epoch t epoch with
         | Error resp ->
             Obs.Metric.incr c_bad_epoch;
             resp
-        | Ok () -> dispatch_inner t ~replicated:false req)
+        | Ok () -> dispatch_inner t ~replicated:false ~gate req)
     | Wire.Replicate { epoch; req } -> (
         match check_epoch t epoch with
         | Error resp ->
@@ -363,13 +603,16 @@ struct
             resp
         | Ok () ->
             Obs.Metric.incr c_replicated;
-            dispatch_inner t ~replicated:true req)
-    | req -> dispatch_inner t ~replicated:false req
+            dispatch_inner t ~replicated:true ~gate req)
+    | req -> dispatch_inner t ~replicated:false ~gate req
 
   (* ---- per-connection state ---- *)
 
   type conn = {
     fd : Unix.file_descr;
+    inflight : int Atomic.t;
+        (** raised while a mutation from this connection is applying;
+            what [Range_seal]'s drain observes (see the write gate). *)
     mutable buf : Bytes.t;
     mutable start : int;  (** first unconsumed byte *)
     mutable fill : int;  (** end of valid data *)
@@ -439,12 +682,22 @@ struct
   let apply_run t conn ~label ~req ~apply versions =
     let metrics = List.assoc label op_metrics in
     let t0 = Obs.Instr.start () in
+    (* Same write gate as [dispatch_inner]: the coalesced run is one
+       client mutation as far as seals are concerned. *)
     let resp =
-      match apply () with
-      | () -> Wire.Ack
-      | exception e ->
-          Obs.Metric.incr c_errors;
-          Wire.Error { code = Wire.Server_error; message = Printexc.to_string e }
+      Atomic.incr conn.inflight;
+      Fun.protect
+        ~finally:(fun () -> Atomic.decr conn.inflight)
+        (fun () ->
+          match seal_conflict t req with
+          | Some seal -> sealed_reject seal
+          | None -> (
+              match apply () with
+              | () -> Wire.Ack
+              | exception e ->
+                  Obs.Metric.incr c_errors;
+                  Wire.Error
+                    { code = Wire.Server_error; message = Printexc.to_string e }))
     in
     let elapsed = Obs.Instr.finish_elapsed metrics t0 in
     if elapsed > 0 then begin
@@ -481,7 +734,7 @@ struct
       Obs.Metric.incr c_requests;
       let resp =
         match item with
-        | `Req req -> dispatch t req
+        | `Req req -> dispatch t ~gate:conn.inflight req
         | `Err resp ->
             Obs.Metric.incr c_errors;
             resp
@@ -587,6 +840,7 @@ struct
     let conn =
       {
         fd;
+        inflight = Atomic.make 0;
         buf = Bytes.create recv_chunk;
         start = 0;
         fill = 0;
@@ -595,6 +849,16 @@ struct
         eof = false;
       }
     in
+    (* Register the in-flight flag for seal drains. Slots are never
+       unregistered — a closed connection's flag reads zero forever, and
+       the list is bounded by connections accepted over the server's
+       lifetime. *)
+    let rec register () =
+      let cur = Atomic.get t.mut_slots in
+      if not (Atomic.compare_and_set t.mut_slots cur (conn.inflight :: cur)) then
+        register ()
+    in
+    register ();
     let rec loop () =
       match collect t conn with
       | exception Fatal_frame (code, message) -> fatal_close conn code message
@@ -713,6 +977,8 @@ struct
         stop_flag = Atomic.make false;
         active = Atomic.make 0;
         queue = Handoff.create ();
+        seals = Atomic.make [];
+        mut_slots = Atomic.make [];
         supervisor = None;
       }
     in

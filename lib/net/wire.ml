@@ -34,8 +34,15 @@
    Version 6 added the batching opcodes: Insert_batch / Remove_batch
    (multi-key mutations installed under one version bump) and Scan (a
    ranged read answered with Pairs, streamed in bounded chunks via the
-   limit field). *)
-let protocol_version = 6
+   limit field).
+   Version 7 added the migration opcodes: Migrate_pull / Histories
+   (page a range's per-key version chains out of the current owner),
+   History_batch (install pulled chains verbatim on the new owner,
+   preserving version stamps and tombstones), Range_seal /
+   Range_unseal (the old owner's write gate around cutover),
+   Moves_status / Moves_json, and the Moved error code (sealed range:
+   the payload names the new epoch and endpoint). *)
+let protocol_version = 7
 
 (* Oldest request version a decoder accepts. Older frames contain no
    newer constructs (the opcodes did not exist), so decoding them with
@@ -62,6 +69,10 @@ type error_code =
   | Bad_epoch
       (** the request's epoch stamp is older than the newest epoch the
           server has seen — the sender's topology is stale *)
+  | Moved
+      (** the key's range is sealed for migration — the message (built
+          by {!moved_message}) names the topology epoch and the new
+          owner's endpoint, so the sender can chase the move *)
 
 type request =
   | Ping
@@ -142,6 +153,42 @@ type request =
           full page ([limit] pairs) means the range may continue — the
           client streams the rest by re-issuing with
           [lo = last_key + 1]. [limit = 0] means server-chosen. *)
+  | Migrate_pull of { lo : int; hi : int; since : int; limit : int }
+      (** Page the per-key version chains of keys in [lo, hi) out of
+          the store, restricted to events with version > [since]
+          ([since = 0] is everything — versions start at 1); answered
+          with {!Histories} in ascending key order. [limit] bounds the
+          page in {e events} (0 = server-chosen); a key's chain is
+          never split across pages, and an empty reply means the range
+          is exhausted. The bulk-copy and delta rounds of a shard
+          migration are pages of this request. *)
+  | History_batch of {
+      since : int;
+      chains : (int * (int * int Mvdict.Dict_intf.event) list) array;
+    }
+      (** Install pulled chains verbatim — exact version stamps, Put
+          and Del events alike ({!Dict_intf.S.install_chains});
+          answered with {!Ack}. [since] is the horizon the chains were
+          pulled with: each chain holds {e all} of the source's events
+          above it for that key, which is what makes re-installation
+          idempotent (the installer counts its own events above
+          [since] and appends only the tail). A mutation: the new
+          owner's primary forwards it to its backups verbatim, so
+          replica sets converge on exact histories too. *)
+  | Range_seal of { lo : int; hi : int; epoch : int; endpoint : string }
+      (** Close the write gate for keys in [lo, hi): drain in-flight
+          mutations, then reject new ones with a {!Moved} error naming
+          [epoch] (the topology generation the move creates) and
+          [endpoint] (the new owner). Answered with {!Ack} once
+          drained. Idempotent — re-sealing the same range just updates
+          the destination info. *)
+  | Range_unseal of { lo : int; hi : int }
+      (** Reopen the write gate for [lo, hi) (cutover done, or the
+          move was abandoned); answered with {!Ack}. Idempotent. *)
+  | Moves_status
+      (** Answered with {!Moves_json}: the server's epoch, clock, and
+          currently sealed ranges with their age — what
+          [mvkv cluster moves] renders. *)
 
 type response =
   | Pong
@@ -162,6 +209,11 @@ type response =
       (** Epoch_probe result: the server's epoch and version clock. *)
   | Snap_json of string
       (** Registry_snap result: an {!Obs.Snap} document as JSON text. *)
+  | Histories of (int * (int * int Mvdict.Dict_intf.event) list) array
+      (** Migrate_pull result: per key (ascending), the version chain
+          above the requested horizon, oldest first. *)
+  | Moves_json of string
+      (** Moves_status result: sealed-range status as JSON text. *)
   | Error of { code : error_code; message : string }
 
 let error_code_to_int = function
@@ -173,6 +225,7 @@ let error_code_to_int = function
   | Busy -> 6
   | Server_error -> 7
   | Bad_epoch -> 8
+  | Moved -> 9
 
 let error_code_of_int = function
   | 1 -> Some Bad_version
@@ -183,6 +236,7 @@ let error_code_of_int = function
   | 6 -> Some Busy
   | 7 -> Some Server_error
   | 8 -> Some Bad_epoch
+  | 9 -> Some Moved
   | _ -> None
 
 let error_code_name = function
@@ -194,6 +248,27 @@ let error_code_name = function
   | Busy -> "busy"
   | Server_error -> "server_error"
   | Bad_epoch -> "bad_epoch"
+  | Moved -> "moved"
+
+(* The Moved error rides the generic code+message error frame; the
+   destination travels in the message in a fixed spelling these two
+   helpers own. Wire-compatible with every peer (unknown codes decode
+   as Server_error with the message intact). *)
+let moved_message ~epoch ~endpoint =
+  Printf.sprintf "moved epoch=%d endpoint=%s" epoch endpoint
+
+let parse_moved message =
+  match String.split_on_char ' ' message with
+  | [ "moved"; e; ep ]
+    when String.length e > 6
+         && String.sub e 0 6 = "epoch="
+         && String.length ep > 9
+         && String.sub ep 0 9 = "endpoint=" -> (
+      match int_of_string_opt (String.sub e 6 (String.length e - 6)) with
+      | Some epoch when epoch >= 0 ->
+          Some (epoch, String.sub ep 9 (String.length ep - 9))
+      | _ -> None)
+  | _ -> None
 
 (* Stable per-op label: metric names and the serve log both key on it.
    Wrappers are unwrapped by the server before the metric lookup, so
@@ -222,13 +297,19 @@ let rec request_label = function
   | Insert_batch _ -> "insert_batch"
   | Remove_batch _ -> "remove_batch"
   | Scan _ -> "scan"
+  | Migrate_pull _ -> "migrate_pull"
+  | History_batch _ -> "history_batch"
+  | Range_seal _ -> "range_seal"
+  | Range_unseal _ -> "range_unseal"
+  | Moves_status -> "moves_status"
 
 let request_labels =
   [
     "ping"; "insert"; "remove"; "find"; "tag"; "history"; "snapshot"; "stats";
     "metrics"; "trace"; "slowlog"; "tag_at"; "find_bulk"; "compact"; "retention";
     "replicate"; "epoch_probe"; "registry_snap"; "insert_batch"; "remove_batch";
-    "scan";
+    "scan"; "migrate_pull"; "history_batch"; "range_seal"; "range_unseal";
+    "moves_status";
   ]
 
 (* The key a request touches, when it names one — slow-op log entries
@@ -240,19 +321,25 @@ let rec request_key = function
       request_key req
   | Ping | Tag | Snapshot _ | Stats | Metrics_prom | Trace_dump _ | Slowlog _
   | Tag_at _ | Find_bulk _ | Compact _ | Retention _ | Epoch_probe
-  | Registry_snap | Insert_batch _ | Remove_batch _ | Scan _ ->
+  | Registry_snap | Insert_batch _ | Remove_batch _ | Scan _ | Migrate_pull _
+  | History_batch _ | Range_seal _ | Range_unseal _ | Moves_status ->
       None
 
 (* Requests a primary must forward to its backups for the replica set
-   to converge; everything else is read-only or server-local. *)
+   to converge; everything else is read-only or server-local.
+   History_batch is one: the new owner's backups need the migrated
+   chains too. Range_seal/Range_unseal are deliberately NOT — the gate
+   lives on the primary (backups never take client writes), and a seal
+   must not recurse into the replication path it is draining. *)
 let rec is_mutation = function
   | Insert _ | Remove _ | Tag | Tag_at _ | Compact _ | Retention _
-  | Insert_batch _ | Remove_batch _ ->
+  | Insert_batch _ | Remove_batch _ | History_batch _ ->
       true
   | Stamped { req; _ } | Replicate { req; _ } | Traced { req; _ } ->
       is_mutation req
   | Ping | Find _ | Find_bulk _ | History _ | Snapshot _ | Stats | Metrics_prom
-  | Trace_dump _ | Slowlog _ | Epoch_probe | Registry_snap | Scan _ ->
+  | Trace_dump _ | Slowlog _ | Epoch_probe | Registry_snap | Scan _
+  | Migrate_pull _ | Range_seal _ | Range_unseal _ | Moves_status ->
       false
 
 (* ---- equality / printing (tests, error messages) ---- *)
@@ -282,6 +369,8 @@ let pp_response fmt = function
   | Gc_done { dropped; before } ->
       Format.fprintf fmt "gc_done dropped=%d before=%d" dropped before
   | Snap_json s -> Format.fprintf fmt "snap(%d bytes)" (String.length s)
+  | Histories chains -> Format.fprintf fmt "histories(%d keys)" (Array.length chains)
+  | Moves_json s -> Format.fprintf fmt "moves(%d bytes)" (String.length s)
   | Error { code; message } ->
       Format.fprintf fmt "error %s: %s" (error_code_name code) message
 
@@ -328,6 +417,31 @@ let request_opcode = function
   | Insert_batch _ -> 21
   | Remove_batch _ -> 22
   | Scan _ -> 23
+  | Migrate_pull _ -> 24
+  | History_batch _ -> 25
+  | Range_seal _ -> 26
+  | Range_unseal _ -> 27
+  | Moves_status -> 28
+
+(* Chains travel as: count, then per key the key, the event count, and
+   each event as version + tag byte (0 Del / 1 Put + value) — the same
+   event encoding the Events response uses. *)
+let put_chains buf chains =
+  put_int buf (Array.length chains);
+  Array.iter
+    (fun (key, events) ->
+      put_int buf key;
+      put_int buf (List.length events);
+      List.iter
+        (fun (version, event) ->
+          put_int buf version;
+          match event with
+          | Mvdict.Dict_intf.Del -> put_u8 buf 0
+          | Mvdict.Dict_intf.Put v ->
+              put_u8 buf 1;
+              put_int buf v)
+        events)
+    chains
 
 (* A wrapper's payload is its epoch followed by the complete inner
    request body (version byte, opcode, payload) running to the end of
@@ -379,7 +493,24 @@ let rec encode_request_body (r : request) =
       put_int buf lo;
       put_int buf hi;
       put_opt_int buf version;
-      put_int buf limit);
+      put_int buf limit
+  | Migrate_pull { lo; hi; since; limit } ->
+      put_int buf lo;
+      put_int buf hi;
+      put_int buf since;
+      put_int buf limit
+  | History_batch { since; chains } ->
+      put_int buf since;
+      put_chains buf chains
+  | Range_seal { lo; hi; epoch; endpoint } ->
+      put_int buf lo;
+      put_int buf hi;
+      put_int buf epoch;
+      put_string buf endpoint
+  | Range_unseal { lo; hi } ->
+      put_int buf lo;
+      put_int buf hi
+  | Moves_status -> ());
   Buffer.contents buf
 
 let response_opcode = function
@@ -398,6 +529,8 @@ let response_opcode = function
   | Gc_done _ -> 13
   | Epoch_info _ -> 14
   | Snap_json _ -> 15
+  | Histories _ -> 16
+  | Moves_json _ -> 17
 
 (* [version] echoes the request frame's version byte so a v4 client's
    strict decoder accepts the reply; the payload encodings are
@@ -440,6 +573,8 @@ let encode_response_body ?(version = protocol_version) (r : response) =
   | Epoch_info { epoch; version } ->
       put_int buf epoch;
       put_int buf version
+  | Histories chains -> put_chains buf chains
+  | Moves_json s -> put_string buf s
   | Error { code; message } ->
       put_u8 buf (error_code_to_int code);
       put_string buf message);
@@ -523,6 +658,32 @@ let finish c (v : 'a) : ('a, error_code * string) result =
   if c.pos <> c.limit then
     Result.Error (Malformed, Printf.sprintf "%d trailing bytes" (c.limit - c.pos))
   else Result.Ok v
+
+(* Chains decoder shared by the Migrate_pull response and the
+   History_batch request. Guards: a chain needs at least 16 bytes
+   (key + event count), an event at least 9 (version + tag byte) —
+   counts the payload cannot hold are rejected before allocation. *)
+let get_chains c what =
+  let n = get_count c (what ^ ".count") in
+  if n > (c.limit - c.pos) / 16 then
+    raise (Bad (Malformed, Printf.sprintf "chain count %d overruns frame" n));
+  Array.init n (fun _ ->
+      let key = get_int c (what ^ ".key") in
+      let m = get_count c (what ^ ".events") in
+      if m > (c.limit - c.pos) / 9 then
+        raise (Bad (Malformed, Printf.sprintf "event count %d overruns frame" m));
+      let events = ref [] in
+      for _ = 1 to m do
+        let version = get_int c (what ^ ".version") in
+        let event =
+          match get_u8 c (what ^ ".tag") with
+          | 0 -> Mvdict.Dict_intf.Del
+          | 1 -> Mvdict.Dict_intf.Put (get_int c (what ^ ".value"))
+          | t -> raise (Bad (Malformed, Printf.sprintf "bad event tag %d in %s" t what))
+        in
+        events := (version, event) :: !events
+      done;
+      (key, List.rev !events))
 
 let open_cursor b ~off ~len what =
   let c = { b; limit = off + len; pos = off } in
@@ -682,6 +843,35 @@ let rec decode_request_at ~allow_wrap ~allow_trace b ~off ~len :
         if limit < 0 then
           raise (Bad (Malformed, Printf.sprintf "negative scan limit %d" limit));
         finish c (Scan { lo; hi; version; limit })
+    | 24 ->
+        let lo = get_int c "migrate_pull.lo" in
+        let hi = get_int c "migrate_pull.hi" in
+        let since = get_int c "migrate_pull.since" in
+        let limit = get_int c "migrate_pull.limit" in
+        if since < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative migrate_pull since %d" since));
+        if limit < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative migrate_pull limit %d" limit));
+        finish c (Migrate_pull { lo; hi; since; limit })
+    | 25 ->
+        let since = get_int c "history_batch.since" in
+        if since < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative history_batch since %d" since));
+        let chains = get_chains c "history_batch" in
+        finish c (History_batch { since; chains })
+    | 26 ->
+        let lo = get_int c "range_seal.lo" in
+        let hi = get_int c "range_seal.hi" in
+        let epoch = get_int c "range_seal.epoch" in
+        if epoch < 0 then
+          raise (Bad (Malformed, Printf.sprintf "negative range_seal epoch %d" epoch));
+        let endpoint = get_string c "range_seal.endpoint" in
+        finish c (Range_seal { lo; hi; epoch; endpoint })
+    | 27 ->
+        let lo = get_int c "range_unseal.lo" in
+        let hi = get_int c "range_unseal.hi" in
+        finish c (Range_unseal { lo; hi })
+    | 28 -> finish c Moves_status
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown request opcode %d" op)
   with
   | r -> r
@@ -751,6 +941,8 @@ let decode_response b ~off ~len : (response, error_code * string) result =
         let version = get_int c "epoch_info.version" in
         finish c (Epoch_info { epoch; version })
     | 15 -> finish c (Snap_json (get_string c "snap"))
+    | 16 -> finish c (Histories (get_chains c "histories"))
+    | 17 -> finish c (Moves_json (get_string c "moves"))
     | op -> Result.Error (Bad_opcode, Printf.sprintf "unknown response opcode %d" op)
   with
   | r -> r

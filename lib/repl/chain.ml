@@ -216,6 +216,11 @@ let canonical (req : Net.Wire.request) (resp : Net.Wire.response) :
                  (Mvdict.Dict_intf.canonical_keys ~compare:Int.compare
                     (Array.to_list keys));
            })
+  (* Migrated chains forward verbatim: the explicit version stamps are
+     the canonical form (install is idempotent on the backup exactly as
+     it was on the primary), so a new owner's backups converge on the
+     moved range's exact histories. *)
+  | (Net.Wire.History_batch _ as req), _ -> Some req
   | _ -> None
 
 let forward_to t peer op =
